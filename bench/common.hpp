@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses. Every
+ * bench prints a header naming the paper artifact it regenerates,
+ * the paper's reported behavior, and a diffable ASCII table of the
+ * measured series; each also drops a CSV under bench_out/ for
+ * external re-plotting.
+ */
+
+#ifndef ACCORDION_BENCH_COMMON_HPP
+#define ACCORDION_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace accordion::bench {
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &artifact, const std::string &paper_claim)
+{
+    std::printf("\n================================================="
+                "=============\n");
+    std::printf("%s\n", artifact.c_str());
+    std::printf("paper: %s\n", paper_claim.c_str());
+    std::printf("---------------------------------------------------"
+                "-----------\n");
+}
+
+/** Open a CSV under bench_out/, creating the directory. */
+inline util::CsvWriter
+csvFor(const std::string &name, std::vector<std::string> header)
+{
+    std::filesystem::create_directories("bench_out");
+    return util::CsvWriter("bench_out/" + name + ".csv",
+                           std::move(header));
+}
+
+} // namespace accordion::bench
+
+#endif // ACCORDION_BENCH_COMMON_HPP

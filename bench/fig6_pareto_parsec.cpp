@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Reproduces Fig. 6: iso-execution-time pareto fronts for the four
+ * PARSEC kernels — canneal, ferret, bodytrack, x264.
+ */
+
+#include "pareto_bench.hpp"
+
+int
+main()
+{
+    accordion::bench::runParetoBench(
+        "6", {"canneal", "ferret", "bodytrack", "x264"});
+    return 0;
+}

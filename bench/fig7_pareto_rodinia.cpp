@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Reproduces Fig. 7: iso-execution-time pareto fronts for the two
+ * Rodinia kernels — hotspot and srad.
+ */
+
+#include "pareto_bench.hpp"
+
+int
+main()
+{
+    accordion::bench::runParetoBench("7", {"hotspot", "srad"});
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrates themselves:
+ * variation-field sampling, chip manufacturing, timing-model
+ * queries, the event-driven vs analytic performance models, and the
+ * RMS kernels at their default inputs. These guard the simulator's
+ * own performance, not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/core_selection.hpp"
+#include "manycore/perf_model.hpp"
+#include "manycore/power_model.hpp"
+#include "rms/workload.hpp"
+#include "vartech/variation_chip.hpp"
+
+using namespace accordion;
+
+namespace {
+
+const vartech::Technology &
+tech()
+{
+    static const auto t = vartech::Technology::makeItrs11nm();
+    return t;
+}
+
+const vartech::ChipFactory &
+factory()
+{
+    static const vartech::ChipFactory f(
+        tech(), vartech::ChipFactory::Params{}, 12345);
+    return f;
+}
+
+const vartech::VariationChip &
+chip()
+{
+    static const auto c = factory().make(0);
+    return c;
+}
+
+void
+BM_ChipManufacture(benchmark::State &state)
+{
+    std::uint64_t id = 0;
+    for (auto _ : state) {
+        auto c = factory().make(id++);
+        benchmark::DoNotOptimize(c.vddNtv());
+    }
+}
+BENCHMARK(BM_ChipManufacture);
+
+void
+BM_SafeFrequencyQuery(benchmark::State &state)
+{
+    const auto &timing = chip().coreTiming(17);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(timing.safeFrequency(0.55));
+}
+BENCHMARK(BM_SafeFrequencyQuery);
+
+void
+BM_ErrorRateQuery(benchmark::State &state)
+{
+    const auto &timing = chip().coreTiming(17);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(timing.errorRate(0.55, 0.7e9));
+}
+BENCHMARK(BM_ErrorRateQuery);
+
+void
+BM_PerfModel(benchmark::State &state)
+{
+    const bool event_driven = state.range(0) != 0;
+    const manycore::EventDrivenPerfModel event;
+    const manycore::AnalyticPerfModel analytic;
+    const manycore::PerfModel &model =
+        event_driven ? static_cast<const manycore::PerfModel &>(event)
+                     : analytic;
+    std::vector<std::size_t> cores(64);
+    for (std::size_t i = 0; i < cores.size(); ++i)
+        cores[i] = i;
+    manycore::TaskSet tasks;
+    tasks.numTasks = 64;
+    tasks.instrPerTask = 50000;
+    const manycore::WorkloadTraits traits;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            model
+                .estimate(chip().geometry(), cores, 0.5e9, tasks,
+                          traits)
+                .seconds);
+}
+BENCHMARK(BM_PerfModel)->Arg(0)->Arg(1)->ArgName("event");
+
+void
+BM_CoreSelection(benchmark::State &state)
+{
+    const manycore::PowerModel power(tech());
+    for (auto _ : state) {
+        core::CoreSelector selector(chip(), power);
+        benchmark::DoNotOptimize(selector.selectCores(128).size());
+    }
+}
+BENCHMARK(BM_CoreSelection);
+
+void
+BM_Kernel(benchmark::State &state)
+{
+    const rms::Workload &w =
+        *rms::allWorkloads()[static_cast<std::size_t>(state.range(0))];
+    rms::RunConfig config;
+    config.input = w.defaultInput();
+    config.threads = w.defaultThreads();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(w.run(config).problemSize);
+    state.SetLabel(w.name());
+}
+BENCHMARK(BM_Kernel)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

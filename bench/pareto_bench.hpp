@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared driver for the Fig. 6 / Fig. 7 iso-execution-time pareto
+ * benches: extracts Safe and Speculative fronts for a set of
+ * kernels on the default chip and prints the paper's four columns
+ * (MIPS/W, power, problem size, quality — all normalized to the
+ * STV baseline) against NNTV/NSTV.
+ */
+
+#ifndef ACCORDION_BENCH_PARETO_BENCH_HPP
+#define ACCORDION_BENCH_PARETO_BENCH_HPP
+
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/accordion.hpp"
+
+namespace accordion::bench {
+
+/** Run and print the pareto fronts of the given kernels. */
+inline void
+runParetoBench(const std::string &figure,
+               const std::vector<std::string> &kernels)
+{
+    util::setVerbose(false);
+    core::AccordionSystem system;
+    auto csv = csvFor(
+        "fig" + figure + "_pareto",
+        {"benchmark", "flavor", "ps_ratio", "n_ntv", "n_ratio",
+         "f_ghz", "mipsw_ratio", "power_ratio", "q_ratio", "mode",
+         "feasible", "within_budget"});
+
+    for (const std::string &name : kernels) {
+        const rms::Workload &w = rms::findWorkload(name);
+        const core::QualityProfile &profile = system.profile(name);
+        const core::StvBaseline base =
+            system.pareto().baseline(w, profile);
+
+        banner(util::format(
+                   "Figure %s — %s: iso-execution-time pareto fronts",
+                   figure.c_str(), name.c_str()),
+               "MIPS/W < ~2x and degrading with N; Spec beats Safe; "
+               "Compress needs fewer cores; Expand N/power-limited "
+               "at the largest sizes");
+        std::printf("STV baseline: N_STV=%zu, f=%.2f GHz, "
+                    "T=%.3g s, %.0f MIPS, %.1f W\n\n",
+                    base.n, base.fHz / 1e9, base.seconds, base.mips,
+                    base.powerW);
+
+        for (core::Flavor flavor :
+             {core::Flavor::Safe, core::Flavor::Speculative}) {
+            std::printf("%s fronts:\n",
+                        core::flavorName(flavor).c_str());
+            util::Table table(
+                {"PS/PSstv", "N", "N/Nstv", "f (GHz)", "MIPS/W x",
+                 "Power x", "Q/Qstv", "mode", "status"});
+            for (const core::OperatingPoint &p :
+                 system.pareto().extract(w, profile, flavor)) {
+                std::string status = p.feasible ? "ok" : "infeasible";
+                if (!p.withinBudget)
+                    status += ",over-budget";
+                table.addRow(
+                    {util::format("%.2f", p.psRatio),
+                     util::format("%zu", p.n),
+                     util::format("%.1f", p.nRatio(base)),
+                     util::format("%.2f", p.fHz / 1e9),
+                     util::format("%.2f", p.efficiencyRatio(base)),
+                     util::format("%.2f", p.powerRatio(base)),
+                     util::format("%.3f", p.qualityRatio),
+                     core::sizeModeName(p.sizeMode), status});
+                csv.addRow(
+                    {name, core::flavorName(flavor),
+                     util::format("%.6g", p.psRatio),
+                     util::format("%zu", p.n),
+                     util::format("%.6g", p.nRatio(base)),
+                     util::format("%.6g", p.fHz / 1e9),
+                     util::format("%.6g", p.efficiencyRatio(base)),
+                     util::format("%.6g", p.powerRatio(base)),
+                     util::format("%.6g", p.qualityRatio),
+                     core::sizeModeName(p.sizeMode),
+                     p.feasible ? "1" : "0",
+                     p.withinBudget ? "1" : "0"});
+            }
+            std::printf("%s\n", table.render().c_str());
+        }
+    }
+}
+
+} // namespace accordion::bench
+
+#endif // ACCORDION_BENCH_PARETO_BENCH_HPP

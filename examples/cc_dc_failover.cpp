@@ -1,0 +1,105 @@
+/**
+ * @file
+ * CC/DC failover demo: run a Monte Carlo pricing workload (a
+ * data-intensive, fault-tolerant RMS-style computation) through the
+ * Accordion master-slave runtime while data cores hang and corrupt
+ * results, and watch the control core's watchdogs and quality
+ * limits contain every error.
+ *
+ *   ./cc_dc_failover [hang_prob] [corrupt_prob]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/runtime.hpp"
+#include "util/rng.hpp"
+
+using namespace accordion;
+using namespace accordion::core;
+
+int
+main(int argc, char **argv)
+{
+    const double hang_prob = argc > 1 ? std::atof(argv[1]) : 0.05;
+    const double corrupt_prob = argc > 2 ? std::atof(argv[2]) : 0.05;
+
+    // Work: estimate E[max(S-K, 0)] by per-item Monte Carlo batches
+    // — each work item prices one strike, tolerating dropped items
+    // the way RMS applications tolerate dropped tasks.
+    const ItemFn price = [](const WorkItem &item) {
+        util::Rng rng(7, item.id);
+        const double strike = 0.8 + item.input;
+        double sum = 0.0;
+        const int paths = 2000;
+        for (int i = 0; i < paths; ++i) {
+            const double s = std::exp(-0.02 + 0.2 * rng.normal());
+            sum += std::max(0.0, s - strike);
+        }
+        return sum / paths;
+    };
+    std::vector<WorkItem> items(256);
+    for (std::size_t i = 0; i < items.size(); ++i)
+        items[i] = {i, static_cast<double>(i) / 512.0};
+
+    RuntimeParams params;
+    params.organization = Organization::HomogeneousSpatial;
+    params.numDcs = 14;
+    params.numCcs = 2;
+    params.maxRetries = 1;
+    // The application developer's preset limit on per-task quality
+    // degradation (Section 6.3, outcome class (ii)).
+    params.acceptable = [](double v) {
+        return std::isfinite(v) && v >= 0.0 && v <= 1.0;
+    };
+
+    DcFaultModel faults;
+    faults.hangProbability = hang_prob;
+    faults.corruptProbability = corrupt_prob;
+    faults.corruptMagnitude = 50.0;
+    faults.seed = 99;
+
+    std::printf("CC/DC failover demo: %zu items on %zu DCs / %zu "
+                "CCs, hang %.0f%%, corrupt %.0f%%\n\n",
+                items.size(), params.numDcs, params.numCcs,
+                100.0 * hang_prob, 100.0 * corrupt_prob);
+
+    const AccordionRuntime runtime{params};
+    const RuntimeReport clean = runtime.execute(items, price);
+    const RuntimeReport faulty = runtime.execute(items, price, faults);
+
+    std::printf("%-28s %10s %10s\n", "", "fault-free", "faulty");
+    std::printf("%-28s %10zu %10zu\n", "completed first try",
+                clean.completed, faulty.completed);
+    std::printf("%-28s %10zu %10zu\n", "recovered by re-dispatch",
+                clean.recovered, faulty.recovered);
+    std::printf("%-28s %10zu %10zu\n", "dropped (perceived as Drop)",
+                clean.dropped, faulty.dropped);
+    std::printf("%-28s %10zu %10zu\n", "watchdog fires",
+                clean.watchdogFires, faulty.watchdogFires);
+    std::printf("%-28s %10zu %10zu\n", "quality-limit rejects",
+                clean.qualityRejects, faulty.qualityRejects);
+    std::printf("%-28s %10.1f %10.1f\n", "virtual time",
+                clean.virtualTime, faulty.virtualTime);
+
+    // Application-level damage: mean price over surviving items vs
+    // the fault-free merge — RMS fault tolerance in action.
+    double clean_mean = 0.0, faulty_mean = 0.0;
+    for (double v : clean.results)
+        clean_mean += v;
+    clean_mean /= static_cast<double>(clean.results.size());
+    for (double v : faulty.results)
+        faulty_mean += v;
+    faulty_mean /= static_cast<double>(faulty.results.size());
+    std::printf("\nmerged estimate: %.5f fault-free vs %.5f under "
+                "faults (%.2f%% deviation, %zu/%zu items survive)\n",
+                clean_mean, faulty_mean,
+                100.0 * std::abs(faulty_mean - clean_mean) /
+                    clean_mean,
+                faulty.results.size(), items.size());
+    std::printf("every corrupted result was either caught by the "
+                "CC's quality limit or diluted by the merge — no "
+                "crash, no hang, bounded quality loss.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Mode tuner: given a benchmark, a quality floor, and a power
+ * budget, recommend the Accordion operating point — problem size,
+ * mode, flavor, core count and clock — that maximizes energy
+ * efficiency while matching the STV execution time. This is the
+ * decision a cluster-scheduler integration of Accordion would make
+ * per job.
+ *
+ *   ./mode_tuner [benchmark] [quality_floor] [power_budget_w]
+ *   e.g. ./mode_tuner hotspot 0.9 80
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/accordion.hpp"
+
+using namespace accordion;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "hotspot";
+    const double q_floor = argc > 2 ? std::atof(argv[2]) : 0.9;
+    const double budget = argc > 3 ? std::atof(argv[3]) : 100.0;
+
+    core::AccordionSystem::Config config;
+    config.power.budgetW = budget;
+    core::AccordionSystem system(config);
+    const rms::Workload &w = rms::findWorkload(name);
+    const core::QualityProfile &profile = system.profile(name);
+    const core::StvBaseline base = system.pareto().baseline(w, profile);
+
+    std::printf("mode tuner: %s, quality floor %.2f, budget %.0f W\n",
+                name.c_str(), q_floor, budget);
+    std::printf("STV reference: %zu cores, %.3g s, %.1f W\n\n",
+                base.n, base.seconds, base.powerW);
+
+    const core::OperatingPoint *best = nullptr;
+    std::vector<core::OperatingPoint> all;
+    for (core::Flavor flavor :
+         {core::Flavor::Safe, core::Flavor::Speculative}) {
+        for (const auto &p :
+             system.pareto().extract(w, profile, flavor))
+            all.push_back(p);
+    }
+    for (const auto &p : all) {
+        if (!p.feasible || !p.withinBudget ||
+            p.qualityRatio < q_floor)
+            continue;
+        if (!best ||
+            p.efficiencyRatio(base) > best->efficiencyRatio(base))
+            best = &p;
+    }
+
+    if (!best) {
+        std::printf("no feasible operating point satisfies the "
+                    "constraints; relax the quality floor or the "
+                    "budget.\n");
+        return 1;
+    }
+    std::printf("recommended operating point:\n");
+    std::printf("  mode:        %s %s\n",
+                core::flavorName(best->flavor).c_str(),
+                core::sizeModeName(best->sizeMode).c_str());
+    std::printf("  problem size: %.2fx the default (%s = adjust "
+                "accordingly)\n",
+                best->psRatio, w.accordionInputName().c_str());
+    std::printf("  cores:       %zu of %zu (%.1fx N_STV)\n", best->n,
+                system.chip().numCores(), best->nRatio(base));
+    std::printf("  clock:       %.2f GHz at Vdd = %.3f V%s\n",
+                best->fHz / 1e9, system.chip().vddNtv(),
+                best->flavor == core::Flavor::Speculative
+                    ? " (above the safe clock)"
+                    : "");
+    std::printf("  power:       %.1f W (%.2fx STV)\n", best->powerW,
+                best->powerRatio(base));
+    std::printf("  efficiency:  %.2fx the STV MIPS/W\n",
+                best->efficiencyRatio(base));
+    std::printf("  quality:     %.3fx STV\n", best->qualityRatio);
+    return 0;
+}

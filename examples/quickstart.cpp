@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quickstart: wire up an Accordion system, inspect the manufactured
+ * chip, and extract an iso-execution-time operating point for one
+ * RMS kernel.
+ *
+ *   ./quickstart [benchmark]   (default: canneal)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "core/accordion.hpp"
+
+using namespace accordion;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "canneal";
+
+    // One object wires the whole stack: 11 nm technology, a
+    // variation-afflicted 288-core chip, power + performance
+    // models, and cached per-kernel quality profiles.
+    core::AccordionSystem system;
+    const auto &chip = system.chip();
+
+    std::printf("Accordion quickstart\n");
+    std::printf("====================\n");
+    std::printf("chip: %zu cores, %zu clusters, VddNTV = %.3f V\n",
+                chip.numCores(), chip.numClusters(), chip.vddNtv());
+    double f_lo = 1e300, f_hi = 0.0;
+    for (std::size_t k = 0; k < chip.numClusters(); ++k) {
+        f_lo = std::min(f_lo, chip.clusterSafeF(k));
+        f_hi = std::max(f_hi, chip.clusterSafeF(k));
+    }
+    std::printf("cluster safe f spans [%.2f, %.2f] GHz "
+                "(nominal would be 1.00)\n",
+                f_lo / 1e9, f_hi / 1e9);
+
+    const rms::Workload &w = rms::findWorkload(name);
+    std::printf("\nbenchmark: %s (%s; Accordion input: %s)\n",
+                w.name().c_str(), w.domain().c_str(),
+                w.accordionInputName().c_str());
+
+    const core::QualityProfile &profile = system.profile(name);
+    const core::StvBaseline base = system.pareto().baseline(w, profile);
+    std::printf("STV baseline: %zu cores at %.1f GHz, %.3g s, "
+                "%.1f W\n",
+                base.n, base.fHz / 1e9, base.seconds, base.powerW);
+
+    // Ask for the Speculative Expand point at 1.33x problem size:
+    // more work in the same time, errors embraced, quality made up
+    // by the larger problem.
+    const auto point = system.pareto().evaluateAt(
+        w, profile, core::Flavor::Speculative, 1.33, base);
+    std::printf("\nSpeculative %s at 1.33x problem size:\n",
+                core::sizeModeName(point.sizeMode).c_str());
+    std::printf("  cores: %zu (%.1fx N_STV), f = %.2f GHz "
+                "(Perr target %.1e)\n",
+                point.n, point.nRatio(base), point.fHz / 1e9,
+                point.perr);
+    std::printf("  execution time: %.3g s (STV: %.3g s) -> %s\n",
+                point.execSeconds, base.seconds,
+                point.feasible ? "iso-execution time met"
+                               : "NOT met (N-limited)");
+    std::printf("  power: %.1f W (budget %.0f W)%s\n", point.powerW,
+                system.powerModel().budget(),
+                point.withinBudget ? "" : "  ** over budget **");
+    std::printf("  energy efficiency: %.2fx the STV MIPS/W\n",
+                point.efficiencyRatio(base));
+    std::printf("  output quality: %.3fx the STV quality (assumed "
+                "drop share %.0f%%)\n",
+                point.qualityRatio, 100.0 * point.dropFraction);
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Variation explorer: manufacture a batch of chips and visualize
+ * how parametric variation shapes each one — an ASCII safe-
+ * frequency map of the cluster grid, per-chip VddNTV, and the
+ * batch statistics a binning engineer would look at.
+ *
+ *   ./variation_explorer [num_chips] [seed]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/stats.hpp"
+#include "vartech/variation_chip.hpp"
+
+using namespace accordion;
+
+namespace {
+
+/** Render the 6x6 cluster grid as a safe-f heat map. */
+void
+printClusterMap(const vartech::VariationChip &chip)
+{
+    const auto &geo = chip.geometry();
+    const char shades[] = " .:-=+*#%@";
+    double lo = 1e300, hi = 0.0;
+    for (std::size_t k = 0; k < chip.numClusters(); ++k) {
+        lo = std::min(lo, chip.clusterSafeF(k));
+        hi = std::max(hi, chip.clusterSafeF(k));
+    }
+    std::printf("  cluster safe-f map (@ fast .. ' ' slow, "
+                "[%.2f, %.2f] GHz):\n", lo / 1e9, hi / 1e9);
+    for (std::size_t y = 0; y < geo.params().clustersY; ++y) {
+        std::printf("    ");
+        for (std::size_t x = 0; x < geo.params().clustersX; ++x) {
+            const std::size_t k = y * geo.params().clustersX + x;
+            const double t =
+                (chip.clusterSafeF(k) - lo) / (hi - lo + 1e-12);
+            const auto idx = static_cast<std::size_t>(t * 9.0);
+            std::printf("%c%c", shades[idx], shades[idx]);
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::size_t count =
+        argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 8;
+    const std::uint64_t seed =
+        argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2]))
+                 : 12345;
+
+    const auto tech = vartech::Technology::makeItrs11nm();
+    const vartech::ChipFactory factory(
+        tech, vartech::ChipFactory::Params{}, seed);
+
+    util::OnlineStats vddntv, worst_f, best_f;
+    for (std::uint64_t id = 0; id < count; ++id) {
+        const auto chip = factory.make(id);
+        double f_lo = 1e300, f_hi = 0.0;
+        for (std::size_t k = 0; k < chip.numClusters(); ++k) {
+            f_lo = std::min(f_lo, chip.clusterSafeF(k));
+            f_hi = std::max(f_hi, chip.clusterSafeF(k));
+        }
+        vddntv.add(chip.vddNtv());
+        worst_f.add(f_lo);
+        best_f.add(f_hi);
+        std::printf("chip %2llu: VddNTV = %.3f V, cluster safe f in "
+                    "[%.2f, %.2f] GHz\n",
+                    static_cast<unsigned long long>(id),
+                    chip.vddNtv(), f_lo / 1e9, f_hi / 1e9);
+        if (id == 0)
+            printClusterMap(chip);
+    }
+
+    std::printf("\nbatch of %zu chips:\n", count);
+    std::printf("  VddNTV: mean %.3f V, sigma %.3f V, range "
+                "[%.3f, %.3f] V\n",
+                vddntv.mean(), vddntv.stddev(), vddntv.min(),
+                vddntv.max());
+    std::printf("  slowest cluster f: mean %.2f GHz; fastest "
+                "cluster f: mean %.2f GHz\n",
+                worst_f.mean() / 1e9, best_f.mean() / 1e9);
+    std::printf("  => speed binning alone would leave %.0f%% of the "
+                "chip's throughput on the table (the gap Accordion's "
+                "variation-aware selection recovers)\n",
+                100.0 * (1.0 - worst_f.mean() / best_f.mean()));
+    return 0;
+}

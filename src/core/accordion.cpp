@@ -1,0 +1,60 @@
+#include "accordion.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace accordion::core {
+
+AccordionSystem::AccordionSystem() : AccordionSystem(Config{}) {}
+
+AccordionSystem::AccordionSystem(Config config)
+    : config_(std::move(config)),
+      tech_(vartech::Technology::makeItrs11nm())
+{
+    factory_ = std::make_unique<vartech::ChipFactory>(
+        tech_, config_.factory, config_.seed);
+    chip_ = std::make_unique<vartech::VariationChip>(
+        factory_->make(config_.chipId));
+    power_ = std::make_unique<manycore::PowerModel>(tech_,
+                                                    config_.power);
+    if (config_.eventDrivenPerf)
+        perf_ = std::make_unique<manycore::EventDrivenPerfModel>(
+            config_.memory);
+    else
+        perf_ = std::make_unique<manycore::AnalyticPerfModel>(
+            config_.memory);
+    pareto_ = std::make_unique<ParetoExtractor>(*chip_, *power_, *perf_,
+                                                config_.pareto);
+}
+
+const QualityProfile &
+AccordionSystem::profile(const std::string &workload)
+{
+    auto it = profiles_.find(workload);
+    if (it == profiles_.end()) {
+        util::inform("measuring quality profile of %s", workload.c_str());
+        it = profiles_
+                 .emplace(workload,
+                          QualityProfile::measure(
+                              rms::findWorkload(workload), config_.seed))
+                 .first;
+    }
+    return it->second;
+}
+
+double
+AccordionSystem::bestEfficiencyGain(const std::string &workload)
+{
+    const rms::Workload &w = rms::findWorkload(workload);
+    const QualityProfile &prof = profile(workload);
+    const StvBaseline base = pareto_->baseline(w, prof);
+    double best = 0.0;
+    for (const OperatingPoint &point :
+         pareto_->extract(w, prof, Flavor::Speculative))
+        if (point.feasible && point.withinBudget)
+            best = std::max(best, point.efficiencyRatio(base));
+    return best;
+}
+
+} // namespace accordion::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Top-level facade of the Accordion library. An AccordionSystem
+ * wires together the technology node, a manufactured (variation-
+ * afflicted) chip, the power and performance models, and cached
+ * per-kernel quality profiles, and exposes pareto-front extraction —
+ * everything the paper's evaluation needs from one object.
+ *
+ * Typical use (see examples/quickstart.cpp):
+ * @code
+ *   accordion::core::AccordionSystem system;
+ *   const auto &w = accordion::rms::findWorkload("canneal");
+ *   auto front = system.pareto().extract(
+ *       w, system.profile("canneal"),
+ *       accordion::core::Flavor::Speculative);
+ * @endcode
+ */
+
+#ifndef ACCORDION_CORE_ACCORDION_HPP
+#define ACCORDION_CORE_ACCORDION_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "manycore/perf_model.hpp"
+#include "manycore/power_model.hpp"
+#include "pareto.hpp"
+#include "quality_profile.hpp"
+#include "runtime.hpp"
+#include "vartech/variation_chip.hpp"
+
+namespace accordion::core {
+
+/** One fully wired Accordion evaluation stack. */
+class AccordionSystem
+{
+  public:
+    /** Construction knobs. */
+    struct Config
+    {
+        std::uint64_t seed = 12345; //!< manufacturing seed
+        std::uint64_t chipId = 0; //!< which chip of the sample
+        vartech::ChipFactory::Params factory;
+        manycore::PowerModelParams power;
+        manycore::MemorySystemParams memory;
+        /** Use the event-driven performance model instead of the
+         *  (cross-validated) analytic one. Slower, bit-identical
+         *  methodology. */
+        bool eventDrivenPerf = false;
+        ParetoExtractor::Params pareto;
+    };
+
+    AccordionSystem();
+    explicit AccordionSystem(Config config);
+
+    const vartech::Technology &technology() const { return tech_; }
+    const vartech::ChipFactory &factory() const { return *factory_; }
+    const vartech::VariationChip &chip() const { return *chip_; }
+    const manycore::PowerModel &powerModel() const { return *power_; }
+    const manycore::PerfModel &perfModel() const { return *perf_; }
+    const ParetoExtractor &pareto() const { return *pareto_; }
+    const Config &config() const { return config_; }
+
+    /**
+     * Quality profile of a kernel, measured on first use and
+     * cached.
+     */
+    const QualityProfile &profile(const std::string &workload);
+
+    /**
+     * Headline number (Section 9): the best feasible, within-
+     * budget energy-efficiency gain over STV across a kernel's
+     * Speculative fronts.
+     */
+    double bestEfficiencyGain(const std::string &workload);
+
+  private:
+    Config config_;
+    vartech::Technology tech_;
+    std::unique_ptr<vartech::ChipFactory> factory_;
+    std::unique_ptr<vartech::VariationChip> chip_;
+    std::unique_ptr<manycore::PowerModel> power_;
+    std::unique_ptr<manycore::PerfModel> perf_;
+    std::unique_ptr<ParetoExtractor> pareto_;
+    std::map<std::string, QualityProfile> profiles_;
+};
+
+} // namespace accordion::core
+
+#endif // ACCORDION_CORE_ACCORDION_HPP

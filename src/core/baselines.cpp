@@ -1,0 +1,180 @@
+#include "baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace accordion::core {
+
+BaselineEvaluator::BaselineEvaluator(const vartech::VariationChip &chip,
+                                     const manycore::PowerModel &power,
+                                     const manycore::PerfModel &perf)
+    : BaselineEvaluator(chip, power, perf, Params{})
+{
+}
+
+BaselineEvaluator::BaselineEvaluator(const vartech::VariationChip &chip,
+                                     const manycore::PowerModel &power,
+                                     const manycore::PerfModel &perf,
+                                     Params params)
+    : chip_(&chip), power_(&power), perf_(&perf), params_(params),
+      selector_(chip, power)
+{
+}
+
+BaselineResult
+BaselineEvaluator::booster(const rms::Workload &workload,
+                           const QualityProfile &profile,
+                           const StvBaseline &base) const
+{
+    const auto &geometry = chip_->geometry();
+    const auto &tech = chip_->technology();
+    const double vdd_lo = chip_->vddNtv();
+    const double vdd_hi = vdd_lo + params_.boosterRailGap;
+    const double total_instr = profile.defaultInstrPerTask() *
+        static_cast<double>(profile.threads());
+
+    BaselineResult result;
+    result.scheme = "Booster (dual rail)";
+    const std::size_t step = geometry.coresPerCluster();
+    for (std::size_t n = step; n <= chip_->numCores(); n += step) {
+        const auto cores = selector_.selectCores(n);
+        // The governor can hold every core at any effective f up to
+        // the slowest core's high-rail frequency.
+        double f_eff = 1e300;
+        for (std::size_t core : cores)
+            f_eff = std::min(f_eff,
+                             chip_->coreSafeFAt(core, vdd_hi));
+
+        manycore::TaskSet tasks;
+        tasks.numTasks = n;
+        tasks.instrPerTask = total_instr / static_cast<double>(n);
+        tasks.ccFrequencyHz =
+            chip_->coreSafeF(selector_.selectControlCores(1).front());
+        const auto est = perf_->estimate(geometry, cores, f_eff,
+                                         tasks, workload.traits(),
+                                         tech.fNtv() / f_eff);
+
+        // Power: each core mixes the rails; a core whose low-rail
+        // safe f already exceeds f_eff stays on the low rail.
+        double watts = 0.0;
+        for (std::size_t core : cores) {
+            const double f_lo = chip_->coreSafeF(core);
+            const double f_hi = chip_->coreSafeFAt(core, vdd_hi);
+            double x = 0.0; // high-rail time share
+            if (f_eff > f_lo)
+                x = std::clamp((f_eff - f_lo) /
+                                   std::max(1.0, f_hi - f_lo),
+                               0.0, 1.0);
+            const double p_lo = power_->corePower(
+                *chip_, core, vdd_lo, f_eff,
+                est.avgCoreUtilization);
+            const double p_hi = power_->corePower(
+                *chip_, core, vdd_hi, f_eff,
+                est.avgCoreUtilization);
+            watts += (1.0 - x) * p_lo + x * p_hi;
+        }
+        const std::size_t clusters =
+            (n + step - 1) / step;
+        watts += static_cast<double>(clusters) *
+            power_->uncorePowerPerCluster(vdd_hi);
+        watts *= 1.0 + params_.boosterPowerOverhead;
+
+        result.n = n;
+        result.fHz = f_eff;
+        result.execSeconds = est.seconds;
+        result.powerW = watts;
+        result.mipsPerWatt = est.mips() / watts;
+        result.withinBudget = watts <= power_->budget() + 1e-9;
+        result.feasible = est.seconds <= base.seconds * 1.02;
+        if (result.feasible)
+            break;
+    }
+    return result;
+}
+
+BaselineResult
+BaselineEvaluator::energySmart(const rms::Workload &workload,
+                               const QualityProfile &profile,
+                               const StvBaseline &base) const
+{
+    const auto &geometry = chip_->geometry();
+    const double total_instr = profile.defaultInstrPerTask() *
+        static_cast<double>(profile.threads());
+    const auto traits = workload.traits();
+
+    BaselineResult result;
+    result.scheme = "EnergySmart (per-cluster f)";
+    const auto &tech = chip_->technology();
+    const double cc_f =
+        chip_->coreSafeF(selector_.selectControlCores(1).front());
+    const std::size_t step = geometry.coresPerCluster();
+    for (std::size_t n = step; n <= chip_->numCores(); n += step) {
+        const auto cores = selector_.selectCores(n);
+        // Per-cluster frequency domains: the cluster's slowest core
+        // sets its clock; the variation-aware scheduler hands each
+        // cluster a share of the work proportional to its speed.
+        // Each domain is evaluated through the same performance
+        // model Accordion uses (contention, sync and serial tail
+        // included), and the slowest domain sets the makespan.
+        struct Domain
+        {
+            std::vector<std::size_t> cores;
+            double f = 0.0;
+        };
+        std::vector<Domain> domains;
+        double sum_f = 0.0;
+        double watts = 0.0;
+        for (std::size_t i = 0; i < cores.size(); /* by cluster */) {
+            const std::size_t cluster =
+                geometry.clusterOfCore(cores[i]);
+            Domain domain;
+            domain.f = chip_->clusterSafeF(cluster);
+            while (i < cores.size() &&
+                   geometry.clusterOfCore(cores[i]) == cluster) {
+                domain.cores.push_back(cores[i]);
+                watts += power_->corePower(*chip_, cores[i],
+                                           chip_->vddNtv(),
+                                           domain.f);
+                ++i;
+            }
+            sum_f += domain.f *
+                static_cast<double>(domain.cores.size());
+            watts += power_->uncorePowerPerCluster(chip_->vddNtv());
+            domains.push_back(std::move(domain));
+        }
+
+        double seconds = 0.0;
+        for (const Domain &domain : domains) {
+            manycore::TaskSet tasks;
+            tasks.numTasks = domain.cores.size();
+            const double share = domain.f *
+                static_cast<double>(domain.cores.size()) / sum_f;
+            tasks.instrPerTask = total_instr * share /
+                static_cast<double>(domain.cores.size());
+            tasks.ccFrequencyHz = cc_f;
+            const auto est = perf_->estimate(
+                geometry, domain.cores, domain.f, tasks, traits,
+                tech.fNtv() / domain.f);
+            seconds = std::max(seconds, est.seconds);
+        }
+        // Cross-domain synchronization/straggler penalty: domains
+        // finish at different times and re-balance imperfectly.
+        seconds /= params_.energySmartEfficiency;
+
+        result.n = n;
+        result.fHz = sum_f / static_cast<double>(n);
+        result.execSeconds = seconds;
+        result.powerW = watts;
+        result.mipsPerWatt = total_instr *
+            (1.0 + traits.serialFraction) / seconds / 1e6 / watts;
+        result.withinBudget = watts <= power_->budget() + 1e-9;
+        result.feasible = seconds <= base.seconds * 1.02;
+        if (result.feasible)
+            break;
+    }
+    return result;
+}
+
+} // namespace accordion::core

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Variation-mitigation baselines from the paper's related work
+ * (Section 8), implemented so Accordion can be compared against
+ * them on the same chip and workloads:
+ *
+ *  - Booster [25]: two independent Vdd rails; an on-chip governor
+ *    time-multiplexes each core between the rails so every core
+ *    presents the same *effective* frequency — applications never
+ *    perceive variation-induced speed differences. The achievable
+ *    common frequency is capped by the slowest core on the high
+ *    rail, and the governor's rail switching costs a small power
+ *    overhead.
+ *
+ *  - EnergySmart [21]: a single Vdd rail with per-cluster frequency
+ *    domains; a variation-aware scheduler load-balances tasks in
+ *    proportion to each cluster's speed. Aggregate throughput is
+ *    the sum of cluster throughputs, discounted by a straggler/
+ *    synchronization penalty — the overhead Accordion avoids by
+ *    clocking every engaged core at one frequency.
+ *
+ * Neither baseline has Accordion's problem-size knob, so both are
+ * evaluated at the default problem size (Still semantics): find
+ * the smallest core count that matches the STV execution time and
+ * report power and MIPS/W.
+ */
+
+#ifndef ACCORDION_CORE_BASELINES_HPP
+#define ACCORDION_CORE_BASELINES_HPP
+
+#include <string>
+
+#include "core_selection.hpp"
+#include "manycore/perf_model.hpp"
+#include "manycore/power_model.hpp"
+#include "pareto.hpp"
+#include "quality_profile.hpp"
+
+namespace accordion::core {
+
+/** Outcome of one baseline's iso-execution-time search. */
+struct BaselineResult
+{
+    std::string scheme;
+    std::size_t n = 0;
+    double fHz = 0.0; //!< common/average core frequency
+    double execSeconds = 0.0;
+    double powerW = 0.0;
+    double mipsPerWatt = 0.0;
+    bool feasible = false;
+    bool withinBudget = false;
+
+    double
+    efficiencyRatio(const StvBaseline &base) const
+    {
+        return mipsPerWatt / base.mipsPerWatt;
+    }
+};
+
+/** Evaluates the baselines on one chip. */
+class BaselineEvaluator
+{
+  public:
+    /** Baseline knobs. */
+    struct Params
+    {
+        /** Booster's high rail sits this much above VddNTV [V]. */
+        double boosterRailGap = 0.05;
+        /** Booster governor, level shifters, and dual power-grid
+         *  overhead. Reference [14] of the paper (Reevaluating Fast
+         *  Dual-Voltage Power Rail Switching) found rail switching
+         *  substantially more costly at NTV than at STV. */
+        double boosterPowerOverhead = 0.15;
+        /** EnergySmart straggler/synchronization efficiency: the
+         *  fraction of the speed-proportional ideal throughput the
+         *  scheduler actually extracts. */
+        double energySmartEfficiency = 0.88;
+    };
+
+    BaselineEvaluator(const vartech::VariationChip &chip,
+                      const manycore::PowerModel &power,
+                      const manycore::PerfModel &perf);
+
+    BaselineEvaluator(const vartech::VariationChip &chip,
+                      const manycore::PowerModel &power,
+                      const manycore::PerfModel &perf, Params params);
+
+    /** Booster at the default problem size. */
+    BaselineResult booster(const rms::Workload &workload,
+                           const QualityProfile &profile,
+                           const StvBaseline &base) const;
+
+    /** EnergySmart at the default problem size. */
+    BaselineResult energySmart(const rms::Workload &workload,
+                               const QualityProfile &profile,
+                               const StvBaseline &base) const;
+
+    const Params &params() const { return params_; }
+
+  private:
+    const vartech::VariationChip *chip_;
+    const manycore::PowerModel *power_;
+    const manycore::PerfModel *perf_;
+    Params params_;
+    CoreSelector selector_;
+};
+
+} // namespace accordion::core
+
+#endif // ACCORDION_CORE_BASELINES_HPP

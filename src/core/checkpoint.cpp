@@ -1,0 +1,43 @@
+#include "checkpoint.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace accordion::core {
+
+CheckpointPlan
+planCheckpoints(const CheckpointParams &params, double errors_per_cycle,
+                double f_hz)
+{
+    if (errors_per_cycle < 0.0)
+        util::fatal("planCheckpoints: negative error rate");
+    CheckpointPlan plan;
+    plan.errorsPerCycle = errors_per_cycle;
+    if (errors_per_cycle == 0.0) {
+        plan.optimalIntervalCycles = 1e300; // never checkpoint
+        return plan;
+    }
+    plan.optimalIntervalCycles = std::sqrt(
+        2.0 * params.checkpointCostCycles / errors_per_cycle);
+    // Young's first-order overhead: checkpointing plus expected
+    // rework and recovery.
+    plan.overheadFraction =
+        params.checkpointCostCycles / plan.optimalIntervalCycles +
+        errors_per_cycle *
+            (plan.optimalIntervalCycles / 2.0 +
+             params.recoveryCostCycles);
+    plan.checkpointsPerSecond = f_hz / plan.optimalIntervalCycles;
+    return plan;
+}
+
+double
+accordionCoveredErrorRate(double perr, double control_fraction)
+{
+    if (control_fraction < 0.0 || control_fraction > 1.0)
+        util::fatal("accordionCoveredErrorRate: control fraction %g "
+                    "not in [0,1]", control_fraction);
+    return perr * control_fraction;
+}
+
+} // namespace accordion::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Checkpoint/recovery cost model (Section 4.1). Accordion can still
+ * keep checkpoint-recovery as a safety net, but of significantly
+ * reduced complexity: data-intensive phases tolerate errors, so
+ * only control state needs checkpointing, and the anticipated
+ * error-handling frequency is low. This model quantifies that
+ * argument with the classic first-order analysis (Young/Daly):
+ *
+ *   optimal interval  tau* = sqrt(2 C / lambda)
+ *   overhead(tau)     = C / tau + lambda * tau / 2
+ *
+ * where C is the checkpoint cost and lambda the error rate the
+ * checkpoints must cover. Under Accordion, lambda contains only
+ * the errors that escape containment (control-state corruption),
+ * not the raw variation-induced Perr that a conventional
+ * worst-case design would have to recover from.
+ */
+
+#ifndef ACCORDION_CORE_CHECKPOINT_HPP
+#define ACCORDION_CORE_CHECKPOINT_HPP
+
+#include <cstddef>
+
+namespace accordion::core {
+
+/** Checkpoint scheme parameters. */
+struct CheckpointParams
+{
+    double checkpointCostCycles = 5e5; //!< state save cost C
+    double recoveryCostCycles = 1e6; //!< rollback + restart cost R
+};
+
+/** Derived checkpointing figures for one error-rate regime. */
+struct CheckpointPlan
+{
+    double errorsPerCycle = 0.0; //!< lambda
+    double optimalIntervalCycles = 0.0; //!< tau*
+    double overheadFraction = 0.0; //!< time lost to ckpt + rework
+    double checkpointsPerSecond = 0.0; //!< at the given clock
+};
+
+/**
+ * First-order optimal checkpointing plan for an error rate
+ * @p errors_per_cycle at clock @p f_hz.
+ */
+CheckpointPlan planCheckpoints(const CheckpointParams &params,
+                               double errors_per_cycle, double f_hz);
+
+/**
+ * The error rate checkpointing must cover under Accordion: only
+ * the fraction of errors that strikes control (CC) execution —
+ * data-phase errors surface as Drop and need no rollback.
+ *
+ * @param perr Raw per-cycle timing error rate at the operating f.
+ * @param control_fraction Share of cycles spent in fault-sensitive
+ *        control execution.
+ */
+double accordionCoveredErrorRate(double perr,
+                                 double control_fraction);
+
+} // namespace accordion::core
+
+#endif // ACCORDION_CORE_CHECKPOINT_HPP

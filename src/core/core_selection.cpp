@@ -1,0 +1,102 @@
+#include "core_selection.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace accordion::core {
+
+CoreSelector::CoreSelector(const vartech::VariationChip &chip,
+                           const manycore::PowerModel &power)
+    : chip_(&chip), power_(&power)
+{
+    const auto &geometry = chip.geometry();
+    const double vdd = chip.vddNtv();
+    ranking_.reserve(chip.numClusters());
+    for (std::size_t k = 0; k < chip.numClusters(); ++k) {
+        ClusterRank rank;
+        rank.cluster = k;
+        rank.safeF = chip.clusterSafeF(k);
+        double watts = power.uncorePowerPerCluster(vdd);
+        for (std::size_t core : geometry.coresOfCluster(k))
+            watts += power.corePower(chip, core, vdd, rank.safeF);
+        rank.powerW = watts;
+        rank.efficiency = static_cast<double>(
+                              geometry.coresPerCluster()) *
+            rank.safeF / watts;
+        ranking_.push_back(rank);
+    }
+    std::sort(ranking_.begin(), ranking_.end(),
+              [](const ClusterRank &a, const ClusterRank &b) {
+                  if (a.efficiency != b.efficiency)
+                      return a.efficiency > b.efficiency;
+                  return a.cluster < b.cluster;
+              });
+}
+
+std::vector<std::size_t>
+CoreSelector::selectCores(std::size_t n) const
+{
+    if (n == 0)
+        util::fatal("CoreSelector: zero cores requested");
+    if (n > chip_->numCores())
+        util::fatal("CoreSelector: %zu cores requested, chip has %zu", n,
+                    chip_->numCores());
+    std::vector<std::size_t> cores;
+    cores.reserve(n);
+    for (const ClusterRank &rank : ranking_) {
+        for (std::size_t core :
+             chip_->geometry().coresOfCluster(rank.cluster)) {
+            cores.push_back(core);
+            if (cores.size() == n)
+                return cores;
+        }
+    }
+    return cores;
+}
+
+double
+CoreSelector::safeFrequency(const std::vector<std::size_t> &cores) const
+{
+    if (cores.empty())
+        util::fatal("CoreSelector::safeFrequency: empty selection");
+    double f = 1e300;
+    for (std::size_t core : cores)
+        f = std::min(f, chip_->coreSafeF(core));
+    return f;
+}
+
+double
+CoreSelector::speculativeFrequency(const std::vector<std::size_t> &cores,
+                                   double perr) const
+{
+    if (cores.empty())
+        util::fatal("CoreSelector::speculativeFrequency: empty selection");
+    double f = 1e300;
+    for (std::size_t core : cores)
+        f = std::min(f, chip_->coreFrequencyForErrorRate(core, perr));
+    return f;
+}
+
+std::vector<std::size_t>
+CoreSelector::selectControlCores(std::size_t count) const
+{
+    std::vector<std::size_t> all(chip_->numCores());
+    for (std::size_t c = 0; c < all.size(); ++c)
+        all[c] = c;
+    std::sort(all.begin(), all.end(),
+              [this](std::size_t a, std::size_t b) {
+                  const double fa = chip_->coreSafeF(a);
+                  const double fb = chip_->coreSafeF(b);
+                  if (fa != fb)
+                      return fa > fb;
+                  return a < b;
+              });
+    if (count > all.size())
+        util::fatal("CoreSelector: %zu control cores requested, chip has "
+                    "%zu cores", count, all.size());
+    all.resize(count);
+    return all;
+}
+
+} // namespace accordion::core

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Variation-aware core selection (Sections 4 and 6.3). Accordion
+ * assigns work at cluster granularity; when a problem size demands
+ * N cores, it picks the most energy-efficient N cores of the
+ * variation-afflicted chip — the ones that deliver the most
+ * performance per Watt at the chip's VddNTV. The slowest selected
+ * core dictates the common operating frequency. Control cores are
+ * reserved from the fastest (most reliable) cores.
+ */
+
+#ifndef ACCORDION_CORE_CORE_SELECTION_HPP
+#define ACCORDION_CORE_CORE_SELECTION_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "manycore/power_model.hpp"
+#include "vartech/variation_chip.hpp"
+
+namespace accordion::core {
+
+/** A ranked cluster with its derived figures of merit. */
+struct ClusterRank
+{
+    std::size_t cluster = 0;
+    double safeF = 0.0; //!< slowest-core safe f at VddNTV [Hz]
+    double powerW = 0.0; //!< cluster power at its safe f [W]
+    double efficiency = 0.0; //!< cores x f / power [Hz/W]
+};
+
+/**
+ * Ranks clusters of a chip by energy efficiency at VddNTV and
+ * materializes core selections at cluster granularity.
+ */
+class CoreSelector
+{
+  public:
+    CoreSelector(const vartech::VariationChip &chip,
+                 const manycore::PowerModel &power);
+
+    /** Clusters ordered from most to least energy-efficient. */
+    const std::vector<ClusterRank> &rankedClusters() const
+    {
+        return ranking_;
+    }
+
+    /**
+     * The most energy-efficient @p n cores (n rounded up to whole
+     * clusters; pass multiples of the cluster size for exact
+     * counts).
+     */
+    std::vector<std::size_t> selectCores(std::size_t n) const;
+
+    /**
+     * Safe common frequency of a selection: the minimum safe f
+     * across the selected cores [Hz].
+     */
+    double safeFrequency(const std::vector<std::size_t> &cores) const;
+
+    /**
+     * Speculative common frequency: the slowest selected core's
+     * frequency at the target per-cycle error rate [Hz]. Always
+     * >= safeFrequency for perr above the safe threshold.
+     */
+    double speculativeFrequency(const std::vector<std::size_t> &cores,
+                                double perr) const;
+
+    /**
+     * The @p count most reliable cores (highest safe f) of the
+     * chip — Accordion's control cores under the homogeneous
+     * spatio-temporal organization (Fig. 3a).
+     */
+    std::vector<std::size_t> selectControlCores(std::size_t count) const;
+
+    const vartech::VariationChip &chip() const { return *chip_; }
+
+  private:
+    const vartech::VariationChip *chip_;
+    const manycore::PowerModel *power_;
+    std::vector<ClusterRank> ranking_;
+};
+
+} // namespace accordion::core
+
+#endif // ACCORDION_CORE_CORE_SELECTION_HPP

@@ -1,0 +1,204 @@
+#include "dynamic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/log.hpp"
+
+namespace accordion::core {
+
+DynamicOrchestrator::DynamicOrchestrator(
+    const vartech::VariationChip &chip,
+    const manycore::PowerModel &power, const manycore::PerfModel &perf)
+    : DynamicOrchestrator(chip, power, perf, Params{})
+{
+}
+
+DynamicOrchestrator::DynamicOrchestrator(
+    const vartech::VariationChip &chip,
+    const manycore::PowerModel &power, const manycore::PerfModel &perf,
+    Params params)
+    : chip_(&chip), power_(&power), perf_(&perf), params_(params)
+{
+    if (params_.phases == 0)
+        util::fatal("DynamicOrchestrator: need at least one phase");
+}
+
+double
+DynamicOrchestrator::effectiveClusterF(
+    std::size_t cluster, const std::vector<double> &scale) const
+{
+    return chip_->clusterSafeF(cluster) * scale[cluster];
+}
+
+std::vector<std::size_t>
+DynamicOrchestrator::selectForBudget(const rms::Workload &workload,
+                                     double instr, double budget_s,
+                                     const std::vector<double> &scale,
+                                     double *f_out) const
+{
+    const auto &geometry = chip_->geometry();
+    const auto &tech = chip_->technology();
+    const double vdd = chip_->vddNtv();
+
+    // Rank clusters by *effective frequency* (fastest first, energy
+    // efficiency as the tiebreak). Under temporal degradation the
+    // common clock — set by the slowest engaged cluster — is the
+    // binding constraint, so a degraded cluster must fall to the
+    // back of the line even when its perf/W still looks decent.
+    struct Rank
+    {
+        std::size_t cluster;
+        double f;
+        double eff;
+    };
+    std::vector<Rank> ranking;
+    ranking.reserve(chip_->numClusters());
+    for (std::size_t k = 0; k < chip_->numClusters(); ++k) {
+        Rank rank;
+        rank.cluster = k;
+        rank.f = effectiveClusterF(k, scale);
+        double watts = power_->uncorePowerPerCluster(vdd);
+        for (std::size_t core : geometry.coresOfCluster(k))
+            watts += power_->corePower(*chip_, core, vdd, rank.f);
+        rank.eff = static_cast<double>(geometry.coresPerCluster()) *
+            rank.f / watts;
+        ranking.push_back(rank);
+    }
+    std::sort(ranking.begin(), ranking.end(),
+              [](const Rank &a, const Rank &b) {
+                  if (a.f != b.f)
+                      return a.f > b.f;
+                  if (a.eff != b.eff)
+                      return a.eff > b.eff;
+                  return a.cluster < b.cluster;
+              });
+
+    // Control cores keep their own clock domain: the fastest core
+    // of the chip runs the serial merge tail.
+    double cc_f = 0.0;
+    for (std::size_t core = 0; core < chip_->numCores(); ++core)
+        cc_f = std::max(cc_f, chip_->coreSafeF(core));
+
+    std::vector<std::size_t> cores;
+    double f = 1e300;
+    std::vector<std::size_t> best;
+    double best_f = 0.0;
+    double fastest_seconds = 1e300;
+    std::vector<std::size_t> fastest;
+    double fastest_f = 0.0;
+    for (const Rank &rank : ranking) {
+        for (std::size_t core : geometry.coresOfCluster(rank.cluster))
+            cores.push_back(core);
+        f = std::min(f, rank.f);
+
+        manycore::TaskSet tasks;
+        tasks.numTasks = cores.size();
+        tasks.instrPerTask =
+            instr / static_cast<double>(cores.size());
+        tasks.ccFrequencyHz = cc_f;
+        const auto est = perf_->estimate(geometry, cores, f, tasks,
+                                         workload.traits(),
+                                         tech.fNtv() / f);
+        if (est.seconds < fastest_seconds) {
+            fastest_seconds = est.seconds;
+            fastest = cores;
+            fastest_f = f;
+        }
+        if (est.seconds <=
+            budget_s * (1.0 + params_.isoTolerance)) {
+            best = cores;
+            best_f = f;
+            break;
+        }
+    }
+    if (best.empty()) {
+        // No selection meets the budget: take the fastest one seen
+        // — adding further (degraded, low-ranked) clusters would
+        // only drag the common clock down.
+        best = std::move(fastest);
+        best_f = fastest_f;
+    }
+    *f_out = best_f;
+    return best;
+}
+
+DynamicReport
+DynamicOrchestrator::run(const rms::Workload &workload,
+                         const QualityProfile &profile,
+                         const StvBaseline &base,
+                         const std::vector<ResilienceEvent> &events) const
+{
+    const auto &geometry = chip_->geometry();
+    const auto &tech = chip_->technology();
+    const double total_instr = profile.defaultInstrPerTask() *
+        static_cast<double>(profile.threads());
+    const double phase_instr =
+        total_instr / static_cast<double>(params_.phases);
+    const double phase_budget =
+        base.seconds / static_cast<double>(params_.phases);
+
+    std::vector<double> scale(chip_->numClusters(), 1.0);
+    DynamicReport report;
+    std::vector<std::size_t> cores;
+    double f = 0.0;
+
+    for (std::size_t phase = 0; phase < params_.phases; ++phase) {
+        // Apply the events that fire at this boundary.
+        bool resiliency_changed = false;
+        for (const ResilienceEvent &event : events) {
+            if (event.phase == phase) {
+                if (event.cluster >= chip_->numClusters())
+                    util::fatal("DynamicOrchestrator: event cluster "
+                                "%zu out of range", event.cluster);
+                scale[event.cluster] = event.safeFScale;
+                resiliency_changed = true;
+            }
+        }
+
+        bool reselected = false;
+        if (cores.empty() ||
+            (params_.adaptive && resiliency_changed)) {
+            cores = selectForBudget(workload, phase_instr,
+                                    phase_budget, scale, &f);
+            reselected = true;
+        } else if (!params_.adaptive && resiliency_changed) {
+            // Static allocation: the degraded clusters drag the
+            // common clock down.
+            for (std::size_t core : cores) {
+                const std::size_t k = geometry.clusterOfCore(core);
+                f = std::min(f, effectiveClusterF(k, scale));
+            }
+        }
+
+        manycore::TaskSet tasks;
+        tasks.numTasks = cores.size();
+        tasks.instrPerTask =
+            phase_instr / static_cast<double>(cores.size());
+        double cc_f = 0.0;
+        for (std::size_t core = 0; core < chip_->numCores(); ++core)
+            cc_f = std::max(cc_f, chip_->coreSafeF(core));
+        tasks.ccFrequencyHz = cc_f;
+        const auto est = perf_->estimate(geometry, cores, f, tasks,
+                                         workload.traits(),
+                                         tech.fNtv() / f);
+        const auto breakdown = power_->chipPower(
+            *chip_, cores, chip_->vddNtv(), f,
+            est.avgCoreUtilization);
+
+        PhaseOutcome outcome;
+        outcome.phase = phase;
+        outcome.n = cores.size();
+        outcome.fHz = f;
+        outcome.seconds = est.seconds;
+        outcome.powerW = breakdown.total();
+        outcome.reselected = reselected;
+        report.phases.push_back(outcome);
+        report.totalSeconds += est.seconds;
+        report.energyJ += est.seconds * breakdown.total();
+        report.reselections += reselected ? 1 : 0;
+    }
+    return report;
+}
+
+} // namespace accordion::core

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Dynamic Accordion orchestration — the paper's second open
+ * question (Section 7): "While the number of cores assigned to
+ * computation can be changed midst-execution, the problem size may
+ * not be. [...] both the phases of the application and the hardware
+ * resources may experience changes in resiliency within the course
+ * of execution."
+ *
+ * This module implements that extension: execution is divided into
+ * phases; between phases, resiliency events (thermal emergencies,
+ * aging, droop — anything that rescales a cluster's safe
+ * frequency) take effect, and the orchestrator may re-select the
+ * engaged cores and the common clock at each phase boundary to
+ * hold the iso-execution-time target. The problem size stays fixed
+ * mid-run, exactly as the paper stipulates.
+ */
+
+#ifndef ACCORDION_CORE_DYNAMIC_HPP
+#define ACCORDION_CORE_DYNAMIC_HPP
+
+#include <vector>
+
+#include "core_selection.hpp"
+#include "manycore/perf_model.hpp"
+#include "manycore/power_model.hpp"
+#include "pareto.hpp"
+#include "quality_profile.hpp"
+
+namespace accordion::core {
+
+/** A temporal change in one cluster's resiliency. */
+struct ResilienceEvent
+{
+    std::size_t phase = 0; //!< takes effect at this phase boundary
+    std::size_t cluster = 0;
+    /** Multiplier on the cluster's safe frequency from this phase
+     *  on (< 1: degradation, e.g. a thermal emergency; > 1 back
+     *  toward nominal as conditions recover). Events on the same
+     *  cluster replace earlier ones. */
+    double safeFScale = 1.0;
+};
+
+/** What one phase did. */
+struct PhaseOutcome
+{
+    std::size_t phase = 0;
+    std::size_t n = 0; //!< engaged cores during the phase
+    double fHz = 0.0; //!< common clock during the phase
+    double seconds = 0.0;
+    double powerW = 0.0;
+    bool reselected = false; //!< allocation changed at the boundary
+};
+
+/** Whole-run outcome. */
+struct DynamicReport
+{
+    std::vector<PhaseOutcome> phases;
+    double totalSeconds = 0.0;
+    double energyJ = 0.0;
+    std::size_t reselections = 0;
+
+    double avgPowerW() const
+    {
+        return totalSeconds > 0.0 ? energyJ / totalSeconds : 0.0;
+    }
+};
+
+/** Phase-granular dynamic controller. */
+class DynamicOrchestrator
+{
+  public:
+    /** Controller knobs. */
+    struct Params
+    {
+        std::size_t phases = 8; //!< phase boundaries per run
+        double isoTolerance = 0.02; //!< slack on the per-phase budget
+        /** Re-select cores at phase boundaries; false = the static
+         *  baseline that keeps the initial allocation and merely
+         *  rides the degraded clock. */
+        bool adaptive = true;
+    };
+
+    DynamicOrchestrator(const vartech::VariationChip &chip,
+                        const manycore::PowerModel &power,
+                        const manycore::PerfModel &perf);
+
+    DynamicOrchestrator(const vartech::VariationChip &chip,
+                        const manycore::PowerModel &power,
+                        const manycore::PerfModel &perf,
+                        Params params);
+
+    /**
+     * Run the workload's default problem size across the phase
+     * schedule under the given resiliency events, targeting the
+     * STV execution time of @p base.
+     */
+    DynamicReport run(const rms::Workload &workload,
+                      const QualityProfile &profile,
+                      const StvBaseline &base,
+                      const std::vector<ResilienceEvent> &events) const;
+
+    const Params &params() const { return params_; }
+
+  private:
+    /** Effective safe f of a cluster under the current scales. */
+    double effectiveClusterF(std::size_t cluster,
+                             const std::vector<double> &scale) const;
+
+    /** Cheapest selection meeting the per-phase time budget. */
+    std::vector<std::size_t> selectForBudget(
+        const rms::Workload &workload, double instr, double budget_s,
+        const std::vector<double> &scale, double *f_out) const;
+
+    const vartech::VariationChip *chip_;
+    const manycore::PowerModel *power_;
+    const manycore::PerfModel *perf_;
+    Params params_;
+};
+
+} // namespace accordion::core
+
+#endif // ACCORDION_CORE_DYNAMIC_HPP

@@ -1,0 +1,39 @@
+#include "modes.hpp"
+
+#include "util/log.hpp"
+
+namespace accordion::core {
+
+std::string
+sizeModeName(SizeMode mode)
+{
+    switch (mode) {
+      case SizeMode::Compress: return "Compress";
+      case SizeMode::Still: return "Still";
+      case SizeMode::Expand: return "Expand";
+    }
+    util::panic("sizeModeName: unknown mode %d", static_cast<int>(mode));
+}
+
+std::string
+flavorName(Flavor flavor)
+{
+    switch (flavor) {
+      case Flavor::Safe: return "Safe";
+      case Flavor::Speculative: return "Speculative";
+    }
+    util::panic("flavorName: unknown flavor %d",
+                static_cast<int>(flavor));
+}
+
+SizeMode
+classifySizeMode(double problem_size_ratio, double tolerance)
+{
+    if (problem_size_ratio < 1.0 - tolerance)
+        return SizeMode::Compress;
+    if (problem_size_ratio > 1.0 + tolerance)
+        return SizeMode::Expand;
+    return SizeMode::Still;
+}
+
+} // namespace accordion::core

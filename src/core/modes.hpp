@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Accordion modes of operation (Table 1 of the paper).
+ *
+ * Size modes — how the problem size accords with the core count:
+ *  - Still: problem size fixed; N grows by >= fSTV/fNTV.
+ *  - Compress: smaller problem, fewer cores, higher f; quality is
+ *    lost to the compressed problem size.
+ *  - Expand: larger problem; N must grow faster than the problem
+ *    size so per-core work still shrinks by fNTV/fSTV.
+ *
+ * Frequency flavors:
+ *  - Safe: f <= fNTV,Safe — no variation-induced timing errors.
+ *  - Speculative: f > fNTV,Safe — timing errors are embraced and
+ *    surface as dropped tasks; the expanded problem size makes up
+ *    the quality.
+ */
+
+#ifndef ACCORDION_CORE_MODES_HPP
+#define ACCORDION_CORE_MODES_HPP
+
+#include <string>
+
+namespace accordion::core {
+
+/** Problem-size mode (Table 1 rows). */
+enum class SizeMode
+{
+    Compress,
+    Still,
+    Expand,
+};
+
+/** Operating-frequency flavor (Table 1 columns). */
+enum class Flavor
+{
+    Safe,
+    Speculative,
+};
+
+/** Name of a size mode. */
+std::string sizeModeName(SizeMode mode);
+
+/** Name of a flavor. */
+std::string flavorName(Flavor flavor);
+
+/**
+ * Classify a problem-size ratio into a size mode. Ratios within
+ * @p tolerance of 1.0 count as Still.
+ */
+SizeMode classifySizeMode(double problem_size_ratio,
+                          double tolerance = 1e-9);
+
+} // namespace accordion::core
+
+#endif // ACCORDION_CORE_MODES_HPP

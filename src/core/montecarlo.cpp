@@ -1,0 +1,74 @@
+#include "montecarlo.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace accordion::core {
+
+MonteCarloEvaluator::MonteCarloEvaluator(
+    const vartech::ChipFactory &factory, std::size_t chips)
+    : factory_(&factory), chips_(chips)
+{
+    if (chips == 0)
+        util::fatal("MonteCarloEvaluator: empty sample");
+}
+
+std::vector<double>
+MonteCarloEvaluator::values(const ChipMetric &metric) const
+{
+    std::vector<double> out;
+    out.reserve(chips_);
+    for (std::uint64_t id = 0; id < chips_; ++id) {
+        const vartech::VariationChip chip = factory_->make(id);
+        out.push_back(metric(chip));
+    }
+    return out;
+}
+
+SampleStatistics
+MonteCarloEvaluator::evaluate(const std::string &name,
+                              const ChipMetric &metric) const
+{
+    const std::vector<double> vals = values(metric);
+    util::OnlineStats stats;
+    for (double v : vals)
+        stats.add(v);
+    SampleStatistics out;
+    out.metric = name;
+    out.chips = chips_;
+    out.mean = stats.mean();
+    out.stddev = stats.stddev();
+    out.min = stats.min();
+    out.max = stats.max();
+    out.p10 = util::percentile(vals, 10.0);
+    out.p90 = util::percentile(vals, 90.0);
+    return out;
+}
+
+SampleStatistics
+MonteCarloEvaluator::efficiencyGainDistribution(
+    const rms::Workload &workload, const QualityProfile &profile,
+    const manycore::PowerModel &power, const manycore::PerfModel &perf,
+    Flavor flavor, double quality_floor) const
+{
+    return evaluate(
+        workload.name() + " best MIPS/W gain",
+        [&](const vartech::VariationChip &chip) {
+            const ParetoExtractor extractor(chip, power, perf);
+            const StvBaseline base =
+                extractor.baseline(workload, profile);
+            double best = 0.0;
+            for (const OperatingPoint &p :
+                 extractor.extract(workload, profile, flavor)) {
+                if (!p.feasible || !p.withinBudget ||
+                    p.qualityRatio < quality_floor)
+                    continue;
+                best = std::max(best, p.efficiencyRatio(base));
+            }
+            return best;
+        });
+}
+
+} // namespace accordion::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Monte Carlo evaluation over the manufactured-chip sample. The
+ * paper evaluates on a sample of 100 chips (Table 2); this module
+ * runs any per-chip metric across the sample and aggregates the
+ * distribution, so results can be reported as "mean +/- sigma over
+ * the sample" instead of a single representative die.
+ */
+
+#ifndef ACCORDION_CORE_MONTECARLO_HPP
+#define ACCORDION_CORE_MONTECARLO_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "manycore/perf_model.hpp"
+#include "manycore/power_model.hpp"
+#include "pareto.hpp"
+#include "quality_profile.hpp"
+#include "vartech/variation_chip.hpp"
+
+namespace accordion::core {
+
+/** Distribution summary of a per-chip metric. */
+struct SampleStatistics
+{
+    std::string metric;
+    std::size_t chips = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p10 = 0.0;
+    double p90 = 0.0;
+};
+
+/**
+ * Runs per-chip metrics over a chip sample.
+ */
+class MonteCarloEvaluator
+{
+  public:
+    /**
+     * @param factory Chip factory (shared Cholesky).
+     * @param chips Sample size (the paper uses 100).
+     */
+    MonteCarloEvaluator(const vartech::ChipFactory &factory,
+                        std::size_t chips = 100);
+
+    /** Metric evaluated on one manufactured chip. */
+    using ChipMetric =
+        std::function<double(const vartech::VariationChip &)>;
+
+    /** Evaluate @p metric on every chip of the sample. */
+    SampleStatistics evaluate(const std::string &name,
+                              const ChipMetric &metric) const;
+
+    /** Raw per-chip values of a metric, in chip-id order. */
+    std::vector<double> values(const ChipMetric &metric) const;
+
+    /**
+     * Distribution of the best feasible, within-budget, iso-quality
+     * (Q >= @p quality_floor) energy-efficiency gain of a kernel
+     * across the sample — the headline number per chip.
+     *
+     * @param profile Quality profile (chip-independent).
+     */
+    SampleStatistics efficiencyGainDistribution(
+        const rms::Workload &workload, const QualityProfile &profile,
+        const manycore::PowerModel &power,
+        const manycore::PerfModel &perf, Flavor flavor,
+        double quality_floor = 0.0) const;
+
+    std::size_t sampleSize() const { return chips_; }
+
+  private:
+    const vartech::ChipFactory *factory_;
+    std::size_t chips_;
+};
+
+} // namespace accordion::core
+
+#endif // ACCORDION_CORE_MONTECARLO_HPP

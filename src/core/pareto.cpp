@@ -1,0 +1,174 @@
+#include "pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace accordion::core {
+
+ParetoExtractor::ParetoExtractor(const vartech::VariationChip &chip,
+                                 const manycore::PowerModel &power,
+                                 const manycore::PerfModel &perf)
+    : ParetoExtractor(chip, power, perf, Params{})
+{
+}
+
+ParetoExtractor::ParetoExtractor(const vartech::VariationChip &chip,
+                                 const manycore::PowerModel &power,
+                                 const manycore::PerfModel &perf,
+                                 Params params)
+    : chip_(&chip), power_(&power), perf_(&perf), params_(params),
+      selector_(chip, power)
+{
+}
+
+StvBaseline
+ParetoExtractor::baseline(const rms::Workload &workload,
+                          const QualityProfile &profile) const
+{
+    const auto &geometry = chip_->geometry();
+    const auto &tech = chip_->technology();
+    StvBaseline base;
+    base.n = power_->maxCoresAtStv(geometry.coresPerCluster());
+    base.fHz = tech.fStv();
+
+    // Densely packed cores; variation is neglected at STV, so the
+    // identity of the cores only matters for cluster contention.
+    std::vector<std::size_t> cores(base.n);
+    for (std::size_t i = 0; i < base.n; ++i)
+        cores[i] = i;
+
+    const double total_instr = profile.defaultInstrPerTask() *
+        static_cast<double>(profile.threads());
+    manycore::TaskSet tasks;
+    tasks.numTasks = base.n;
+    tasks.instrPerTask = total_instr / static_cast<double>(base.n);
+    tasks.ccFrequencyHz = base.fHz;
+
+    // Each cluster is one frequency domain (Section 6.1): the
+    // memory system clocks with the cores, so Table 2's latencies
+    // are constant in cycles — quoted in ns at the 1 GHz NTV
+    // nominal, they scale as fNom/f at any operating clock.
+    const double stv_latency_scale = tech.fNtv() / base.fHz;
+    const auto est = perf_->estimate(geometry, cores, base.fHz, tasks,
+                                     workload.traits(),
+                                     stv_latency_scale);
+    base.seconds = est.seconds;
+    base.mips = est.mips();
+
+    const std::size_t clusters =
+        (base.n + geometry.coresPerCluster() - 1) /
+        geometry.coresPerCluster();
+    base.powerW = static_cast<double>(base.n) *
+            power_->corePowerNominal(tech.params().vddStv, base.fHz,
+                                     est.avgCoreUtilization) +
+        static_cast<double>(clusters) *
+            power_->uncorePowerPerCluster(tech.params().vddStv);
+    base.mipsPerWatt = base.mips / base.powerW;
+    return base;
+}
+
+OperatingPoint
+ParetoExtractor::evaluateAt(const rms::Workload &workload,
+                            const QualityProfile &profile, Flavor flavor,
+                            double ps_ratio,
+                            const StvBaseline &base) const
+{
+    const auto &geometry = chip_->geometry();
+    const double total_instr = profile.defaultInstrPerTask() *
+        static_cast<double>(profile.threads()) * ps_ratio;
+    const std::size_t cluster_size = geometry.coresPerCluster();
+
+    OperatingPoint point;
+    point.psRatio = ps_ratio;
+    point.flavor = flavor;
+    point.sizeMode = classifySizeMode(ps_ratio, 1e-6);
+    point.dropFraction = flavor == Flavor::Speculative
+        ? profile.speculativeDropFraction()
+        : 0.0;
+
+    const auto &tech = chip_->technology();
+
+    // Scan core counts at cluster granularity from small to large;
+    // the first count achieving iso-execution time is the pareto
+    // point (fewest cores == least power == most efficient).
+    OperatingPoint best;
+    bool found = false;
+    OperatingPoint last; // fallback: full-chip attempt
+    for (std::size_t n = cluster_size; n <= chip_->numCores();
+         n += cluster_size) {
+        const std::vector<std::size_t> cores =
+            selector_.selectCores(n);
+
+        manycore::TaskSet tasks;
+        tasks.numTasks = n;
+        tasks.instrPerTask = total_instr / static_cast<double>(n);
+        // The serial merge tail runs on the fastest (control) core
+        // of the chip, not at the workers' common clock.
+        tasks.ccFrequencyHz =
+            chip_->coreSafeF(selector_.selectControlCores(1).front());
+
+        double f = 0.0;
+        double perr = 0.0;
+        if (flavor == Flavor::Safe) {
+            f = selector_.safeFrequency(cores);
+        } else {
+            // One timing error per infected task: Perr = 1/e with
+            // e the task's cycle count (Section 6.3).
+            const double cycles =
+                tasks.instrPerTask * params_.cpiForErrorBudget;
+            perr = std::clamp(1.0 / cycles, params_.perrMin,
+                              params_.perrMax);
+            f = selector_.speculativeFrequency(cores, perr);
+        }
+
+        // The cluster domain (memory included) clocks at f; the
+        // Table 2 latencies are constant in cycles.
+        const auto est = perf_->estimate(geometry, cores, f, tasks,
+                                         workload.traits(),
+                                         tech.fNtv() / f);
+        const auto breakdown = power_->chipPower(
+            *chip_, cores, chip_->vddNtv(), f,
+            est.avgCoreUtilization);
+
+        OperatingPoint candidate = point;
+        candidate.n = n;
+        candidate.fHz = f;
+        candidate.perr = perr;
+        candidate.execSeconds = est.seconds;
+        candidate.powerW = breakdown.total();
+        candidate.withinBudget =
+            breakdown.total() <= power_->budget() + 1e-9;
+        candidate.mips = est.mips();
+        candidate.mipsPerWatt = est.mips() / breakdown.total();
+        candidate.feasible = est.seconds <=
+            base.seconds * (1.0 + params_.isoTolerance);
+        last = candidate;
+        if (candidate.feasible) {
+            best = candidate;
+            found = true;
+            break;
+        }
+    }
+    OperatingPoint result = found ? best : last;
+    result.qualityRatio =
+        profile.qualityAt(ps_ratio, result.dropFraction);
+    return result;
+}
+
+std::vector<OperatingPoint>
+ParetoExtractor::extract(const rms::Workload &workload,
+                         const QualityProfile &profile,
+                         Flavor flavor) const
+{
+    const StvBaseline base = baseline(workload, profile);
+    std::vector<OperatingPoint> front;
+    front.reserve(profile.defaultCurve().psRatio.size());
+    for (double ps_ratio : profile.defaultCurve().psRatio)
+        front.push_back(
+            evaluateAt(workload, profile, flavor, ps_ratio, base));
+    return front;
+}
+
+} // namespace accordion::core

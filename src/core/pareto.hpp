@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Iso-execution-time pareto-front extraction (Section 6.3, Figures
+ * 6 and 7). For every problem size of a kernel's sweep, find how
+ * many NTV cores — and which operating frequency — it takes to
+ * match the STV execution time, then report energy efficiency
+ * (MIPS/W), power, problem size and quality, all normalized to the
+ * STV baseline:
+ *
+ *  - The STV baseline runs the default problem size on N_STV cores
+ *    (the most that fit the 100 W budget at the STV supply) at the
+ *    nominal STV frequency, neglecting variation — the paper
+ *    deliberately favors STV this way.
+ *  - At NTV, Accordion picks the most energy-efficient N cores at
+ *    cluster granularity; the slowest selected core sets the
+ *    common clock. Safe flavors cap the clock at the safe
+ *    frequency; Speculative flavors instead budget one timing
+ *    error per infected task (Perr = 1/e for a task of e cycles)
+ *    and clock the cores at the frequency that error rate buys.
+ */
+
+#ifndef ACCORDION_CORE_PARETO_HPP
+#define ACCORDION_CORE_PARETO_HPP
+
+#include <optional>
+#include <vector>
+
+#include "core_selection.hpp"
+#include "manycore/perf_model.hpp"
+#include "manycore/power_model.hpp"
+#include "modes.hpp"
+#include "quality_profile.hpp"
+#include "rms/workload.hpp"
+#include "vartech/variation_chip.hpp"
+
+namespace accordion::core {
+
+/** The STV reference execution. */
+struct StvBaseline
+{
+    std::size_t n = 0; //!< N_STV
+    double fHz = 0.0; //!< nominal STV clock
+    double seconds = 0.0; //!< Execution Time_STV at default size
+    double mips = 0.0;
+    double powerW = 0.0;
+    double mipsPerWatt = 0.0;
+};
+
+/** One point of an iso-execution-time front. */
+struct OperatingPoint
+{
+    double psRatio = 0.0; //!< problem size / default
+    std::size_t n = 0; //!< NNTV
+    double fHz = 0.0; //!< common NTV clock
+    double perr = 0.0; //!< per-cycle error-rate target (Spec only)
+    double dropFraction = 0.0; //!< assumed dropped-task share (Spec)
+    double execSeconds = 0.0;
+    double powerW = 0.0;
+    bool withinBudget = true;
+    double mips = 0.0;
+    double mipsPerWatt = 0.0;
+    double qualityRatio = 0.0; //!< Q_NTV / Q_STV
+    Flavor flavor = Flavor::Safe;
+    SizeMode sizeMode = SizeMode::Still;
+    bool feasible = true; //!< iso-execution time attainable
+
+    /** Normalized coordinates against a baseline. */
+    double nRatio(const StvBaseline &b) const
+    {
+        return static_cast<double>(n) / static_cast<double>(b.n);
+    }
+    double powerRatio(const StvBaseline &b) const
+    {
+        return powerW / b.powerW;
+    }
+    double efficiencyRatio(const StvBaseline &b) const
+    {
+        return mipsPerWatt / b.mipsPerWatt;
+    }
+};
+
+/** Extractor over one chip instance. */
+class ParetoExtractor
+{
+  public:
+    /** Tunables. */
+    struct Params
+    {
+        /** Effective CPI used to convert task instructions into the
+         *  cycle count that sets the Speculative error-rate budget. */
+        double cpiForErrorBudget = 1.3;
+        /** Slack accepted on iso-execution time. */
+        double isoTolerance = 0.02;
+        /** Clamp range for the Speculative per-cycle error rate. */
+        double perrMin = 1e-15;
+        double perrMax = 1e-2;
+    };
+
+    ParetoExtractor(const vartech::VariationChip &chip,
+                    const manycore::PowerModel &power,
+                    const manycore::PerfModel &perf);
+
+    ParetoExtractor(const vartech::VariationChip &chip,
+                    const manycore::PowerModel &power,
+                    const manycore::PerfModel &perf, Params params);
+
+    /** Measure the STV baseline of a kernel. */
+    StvBaseline baseline(const rms::Workload &workload,
+                         const QualityProfile &profile) const;
+
+    /**
+     * Extract the iso-execution-time front of a kernel under a
+     * flavor: one operating point per problem size of the profile's
+     * sweep (points that cannot reach iso-execution time with all
+     * 288 cores are marked infeasible and reported at the full core
+     * count).
+     */
+    std::vector<OperatingPoint> extract(const rms::Workload &workload,
+                                        const QualityProfile &profile,
+                                        Flavor flavor) const;
+
+    /** Evaluate a single problem-size ratio. */
+    OperatingPoint evaluateAt(const rms::Workload &workload,
+                              const QualityProfile &profile,
+                              Flavor flavor, double ps_ratio,
+                              const StvBaseline &baseline) const;
+
+    const CoreSelector &selector() const { return selector_; }
+    const Params &params() const { return params_; }
+
+  private:
+    const vartech::VariationChip *chip_;
+    const manycore::PowerModel *power_;
+    const manycore::PerfModel *perf_;
+    Params params_;
+    CoreSelector selector_;
+};
+
+} // namespace accordion::core
+
+#endif // ACCORDION_CORE_PARETO_HPP

@@ -1,0 +1,105 @@
+#include "quality_profile.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace accordion::core {
+
+util::PiecewiseLinear
+ProfileCurve::interp() const
+{
+    return util::PiecewiseLinear(psRatio, qRatio);
+}
+
+QualityProfile
+QualityProfile::measure(const rms::Workload &workload, std::uint64_t seed)
+{
+    QualityProfile profile;
+    profile.threads_ = workload.defaultThreads();
+
+    const rms::RunResult reference = workload.runReference(seed);
+
+    rms::RunConfig def;
+    def.input = workload.defaultInput();
+    def.threads = profile.threads_;
+    def.seed = seed;
+    const rms::RunResult def_result = workload.run(def);
+    profile.psDefault_ = def_result.problemSize;
+    profile.qDefault_ = workload.quality(def_result, reference);
+    profile.instrPerTaskDefault_ = def_result.taskSet.instrPerTask;
+    if (profile.psDefault_ <= 0.0 || profile.qDefault_ <= 0.0)
+        util::fatal("QualityProfile: %s has degenerate default point "
+                    "(ps=%g, q=%g)", workload.name().c_str(),
+                    profile.psDefault_, profile.qDefault_);
+
+    struct Scenario
+    {
+        fault::FaultPlan plan;
+        ProfileCurve *curve;
+    };
+    Scenario scenarios[] = {
+        {fault::FaultPlan(), &profile.default_},
+        {fault::FaultPlan::dropQuarter(), &profile.quarter_},
+        {fault::FaultPlan::dropHalf(), &profile.half_},
+    };
+
+    for (double input : workload.inputSweep()) {
+        rms::RunConfig config;
+        config.input = input;
+        config.threads = profile.threads_;
+        config.seed = seed;
+        // Problem size is scenario-independent; take it from the
+        // fault-free run.
+        config.fault = fault::FaultPlan();
+        const rms::RunResult clean = workload.run(config);
+        const double ps_ratio = clean.problemSize / profile.psDefault_;
+        for (Scenario &scenario : scenarios) {
+            config.fault = scenario.plan;
+            const double q = workload.qualityOf(config, reference) /
+                profile.qDefault_;
+            ProfileCurve &curve = *scenario.curve;
+            // PiecewiseLinear needs strictly increasing knots; the
+            // sweeps are size-ordered, so collisions only come from
+            // quantized tilings — keep the first.
+            if (!curve.psRatio.empty() &&
+                ps_ratio <= curve.psRatio.back())
+                continue;
+            curve.psRatio.push_back(ps_ratio);
+            curve.qRatio.push_back(q);
+        }
+    }
+    if (profile.default_.psRatio.size() < 2)
+        util::fatal("QualityProfile: %s sweep yields < 2 distinct sizes",
+                    workload.name().c_str());
+    return profile;
+}
+
+double
+QualityProfile::qualityAt(double ps_ratio, double drop_fraction) const
+{
+    const double q0 = default_.interp()(ps_ratio);
+    if (drop_fraction <= 0.0)
+        return q0;
+    const double q25 = quarter_.interp()(ps_ratio);
+    const double q50 = half_.interp()(ps_ratio);
+    if (drop_fraction >= 0.5)
+        return q50;
+    if (drop_fraction >= 0.25) {
+        const double t = (drop_fraction - 0.25) / 0.25;
+        return q25 * (1.0 - t) + q50 * t;
+    }
+    const double t = drop_fraction / 0.25;
+    return q0 * (1.0 - t) + q25 * t;
+}
+
+double
+QualityProfile::speculativeDropFraction() const
+{
+    const double q25_at_default = quarter_.interp()(1.0);
+    // Negligible Drop 1/4 degradation => report the more
+    // conservative Drop 1/2 (Section 6.3).
+    return q25_at_default > 0.93 ? 0.5 : 0.25;
+}
+
+} // namespace accordion::core

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Quality-vs-problem-size profiles (the paper's Figures 2 and 4).
+ * A profile is measured by sweeping a kernel's Accordion input
+ * under three scenarios — Default, Drop 1/4 and Drop 1/2 — and
+ * normalizing both axes to the default input, exactly as Section
+ * 6.2 prescribes. The pareto extractor then interrogates the
+ * profile at arbitrary problem sizes through piecewise-linear
+ * interpolation.
+ */
+
+#ifndef ACCORDION_CORE_QUALITY_PROFILE_HPP
+#define ACCORDION_CORE_QUALITY_PROFILE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "rms/workload.hpp"
+#include "util/interp.hpp"
+
+namespace accordion::core {
+
+/** One measured scenario curve. */
+struct ProfileCurve
+{
+    std::vector<double> psRatio; //!< problem size / default
+    std::vector<double> qRatio; //!< quality / default quality
+
+    /** Interpolator over the curve. */
+    util::PiecewiseLinear interp() const;
+};
+
+/**
+ * A kernel's measured quality profile.
+ */
+class QualityProfile
+{
+  public:
+    /**
+     * Measure the profile of @p workload: reference run, then the
+     * input sweep under Default / Drop 1/4 / Drop 1/2 at the
+     * kernel's profiling thread count (64, or 32 for srad).
+     */
+    static QualityProfile measure(const rms::Workload &workload,
+                                  std::uint64_t seed = 42);
+
+    /** Default-scenario curve (all tasks contribute). */
+    const ProfileCurve &defaultCurve() const { return default_; }
+
+    /** Drop 1/4 curve. */
+    const ProfileCurve &dropQuarterCurve() const { return quarter_; }
+
+    /** Drop 1/2 curve. */
+    const ProfileCurve &dropHalfCurve() const { return half_; }
+
+    /** Absolute problem size at the default input. */
+    double defaultProblemSize() const { return psDefault_; }
+
+    /** Absolute quality at the default input (vs hyper-accurate). */
+    double defaultQuality() const { return qDefault_; }
+
+    /** Instructions per task at the default input. */
+    double defaultInstrPerTask() const { return instrPerTaskDefault_; }
+
+    /** Profiling thread count. */
+    std::size_t threads() const { return threads_; }
+
+    /**
+     * Interpolated quality ratio at a problem-size ratio under a
+     * dropped-task fraction; linear between the measured 0, 1/4 and
+     * 1/2 curves, clamped beyond.
+     */
+    double qualityAt(double ps_ratio, double drop_fraction = 0.0) const;
+
+    /**
+     * The drop fraction the Speculative analysis assumes for this
+     * kernel: Drop 1/2 where Drop 1/4 degradation is negligible
+     * (< 5% at the default size), else Drop 1/4 — the paper's
+     * Section 6.3 convention.
+     */
+    double speculativeDropFraction() const;
+
+  private:
+    ProfileCurve default_;
+    ProfileCurve quarter_;
+    ProfileCurve half_;
+    double psDefault_ = 0.0;
+    double qDefault_ = 0.0;
+    double instrPerTaskDefault_ = 0.0;
+    std::size_t threads_ = 0;
+};
+
+} // namespace accordion::core
+
+#endif // ACCORDION_CORE_QUALITY_PROFILE_HPP

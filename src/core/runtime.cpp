@@ -1,0 +1,191 @@
+#include "runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/log.hpp"
+
+namespace accordion::core {
+
+std::string
+organizationName(Organization organization)
+{
+    switch (organization) {
+      case Organization::HomogeneousSpatial:
+        return "homogeneous spatio-temporal (Fig. 3a)";
+      case Organization::HomogeneousTimeMultiplexed:
+        return "homogeneous time-multiplexed (Fig. 3b)";
+      case Organization::HeterogeneousClusters:
+        return "heterogeneous clusters (Fig. 3c)";
+    }
+    util::panic("organizationName: unknown organization %d",
+                static_cast<int>(organization));
+}
+
+OrganizationTraits
+organizationTraits(Organization organization)
+{
+    OrganizationTraits traits;
+    switch (organization) {
+      case Organization::HomogeneousSpatial:
+        // Plain cores everywhere; semantics are programmed, CC count
+        // configurable.
+        traits.ccSpeedFactor = 1.0;
+        traits.multiplexOverhead = 0.0;
+        traits.ccAreaFactor = 1.0;
+        traits.ccCountFixed = false;
+        break;
+      case Organization::HomogeneousTimeMultiplexed:
+        // Better hardware use, but CC duties steal DC throughput
+        // and protection-domain switches cost.
+        traits.ccSpeedFactor = 1.0;
+        traits.multiplexOverhead = 0.08;
+        traits.ccAreaFactor = 1.0;
+        traits.ccCountFixed = false;
+        break;
+      case Organization::HeterogeneousClusters:
+        // Specialized CCs merge faster but are bigger and their
+        // count is baked into the cluster design.
+        traits.ccSpeedFactor = 1.6;
+        traits.multiplexOverhead = 0.0;
+        traits.ccAreaFactor = 1.8;
+        traits.ccCountFixed = true;
+        break;
+    }
+    return traits;
+}
+
+Mailbox::Mailbox(std::size_t slots) : slots_(slots) {}
+
+void
+Mailbox::post(std::size_t owner, std::size_t dc, double value)
+{
+    if (dc >= slots_.size())
+        util::panic("Mailbox: slot %zu out of range", dc);
+    if (owner != dc)
+        util::panic("Mailbox: protection violation — DC %zu wrote slot "
+                    "%zu", owner, dc);
+    slots_[dc] = value;
+}
+
+std::optional<double>
+Mailbox::collect(std::size_t dc)
+{
+    if (dc >= slots_.size())
+        util::panic("Mailbox: slot %zu out of range", dc);
+    std::optional<double> value = slots_[dc];
+    slots_[dc].reset();
+    return value;
+}
+
+AccordionRuntime::AccordionRuntime(RuntimeParams params)
+    : params_(std::move(params))
+{
+    if (params_.numDcs == 0)
+        util::fatal("AccordionRuntime: need at least one DC");
+    if (params_.numCcs == 0)
+        util::fatal("AccordionRuntime: need at least one CC");
+    if (!params_.acceptable)
+        params_.acceptable = [](double v) { return std::isfinite(v); };
+}
+
+RuntimeReport
+AccordionRuntime::execute(const std::vector<WorkItem> &items,
+                          const ItemFn &fn,
+                          const DcFaultModel &faults) const
+{
+    const OrganizationTraits traits =
+        organizationTraits(params_.organization);
+    util::Rng rng(faults.seed, 0xdc);
+    Mailbox mailbox(params_.numDcs);
+    RuntimeReport report;
+    report.resultOf.assign(items.size(), std::nullopt);
+
+    struct Pending
+    {
+        std::size_t item;
+        std::size_t attempts;
+    };
+    std::deque<Pending> queue;
+    for (std::size_t i = 0; i < items.size(); ++i)
+        queue.push_back({i, 0});
+
+    // Per-DC virtual clocks; an item costs one unit, a hang costs
+    // the watchdog timeout (then fast reset re-arms the DC).
+    std::vector<double> dc_clock(params_.numDcs, 0.0);
+    const double item_cost =
+        1.0 * (1.0 + traits.multiplexOverhead);
+
+    std::size_t rr = 0;
+    while (!queue.empty()) {
+        Pending pending = queue.front();
+        queue.pop_front();
+        // Dispatch to the least-loaded DC (round-robin tie-break) —
+        // the CC's scheduling housekeeping.
+        std::size_t dc = rr % params_.numDcs;
+        for (std::size_t probe = 0; probe < params_.numDcs; ++probe) {
+            const std::size_t cand = (rr + probe) % params_.numDcs;
+            if (dc_clock[cand] < dc_clock[dc])
+                dc = cand;
+        }
+        ++rr;
+
+        const bool hangs = rng.bernoulli(faults.hangProbability);
+        if (hangs) {
+            // The DC never posts; the CC's per-DC watchdog fires
+            // after the timeout and resets the DC.
+            dc_clock[dc] += params_.watchdogTimeout * item_cost;
+            ++report.watchdogFires;
+            if (pending.attempts < params_.maxRetries) {
+                queue.push_back({pending.item, pending.attempts + 1});
+            } else {
+                ++report.dropped;
+            }
+            continue;
+        }
+
+        double value = fn(items[pending.item]);
+        if (rng.bernoulli(faults.corruptProbability))
+            value += faults.corruptMagnitude *
+                (rng.uniform() < 0.5 ? -1.0 : 1.0);
+        dc_clock[dc] += item_cost;
+        mailbox.post(dc, dc, value);
+
+        // CC collects over the dedicated mailbox and applies the
+        // preset quality limit; offenders are handled exactly like
+        // crashes (Section 6.3, outcome class (ii)).
+        const std::optional<double> posted = mailbox.collect(dc);
+        if (!posted.has_value())
+            util::panic("AccordionRuntime: DC %zu posted nothing", dc);
+        if (!params_.acceptable(*posted)) {
+            ++report.qualityRejects;
+            if (pending.attempts < params_.maxRetries) {
+                queue.push_back({pending.item, pending.attempts + 1});
+            } else {
+                ++report.dropped;
+            }
+            continue;
+        }
+
+        if (pending.attempts == 0)
+            ++report.completed;
+        else
+            ++report.recovered;
+        report.resultOf[pending.item] = *posted;
+    }
+
+    for (const auto &value : report.resultOf)
+        if (value.has_value())
+            report.results.push_back(*value);
+
+    const double dc_makespan =
+        *std::max_element(dc_clock.begin(), dc_clock.end());
+    report.ccBusyTime = static_cast<double>(items.size()) *
+        params_.mergeCostPerItem /
+        (traits.ccSpeedFactor * static_cast<double>(params_.numCcs));
+    report.virtualTime = dc_makespan + report.ccBusyTime;
+    return report;
+}
+
+} // namespace accordion::core

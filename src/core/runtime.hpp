@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Functional model of the Accordion execution runtime (Section 4):
+ * Control Cores (CCs) and Data Cores (DCs) in master-slave mode.
+ *
+ * CC semantics: CCs coordinate a designated set of DCs, keep a
+ * watchdog per DC to detect crashes/hangs, never consume DC data
+ * for control, collect results over a dedicated mailbox memory, and
+ * merge results once DCs finish. CCs can also enforce preset limits
+ * on per-task quality degradation, treating offending tasks like
+ * crashed ones (outcome class (ii) of Section 6.3).
+ *
+ * DC semantics: DCs feature fast reset/restart, may write only
+ * their own mailbox slot (enforced — a stray write panics, modeling
+ * the hardware protection domain), and read shared data the CC
+ * manages.
+ *
+ * The model is functional with an abstract virtual clock: it
+ * executes real work closures, injects hangs/corruptions, and
+ * reports what the protocol did about them. The architectural
+ * design space of Fig. 3 (homogeneous spatio-temporal, homogeneous
+ * time-multiplexed, heterogeneous clusters) is captured by
+ * organization-dependent overheads and CC provisioning.
+ */
+
+#ifndef ACCORDION_CORE_RUNTIME_HPP
+#define ACCORDION_CORE_RUNTIME_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace accordion::core {
+
+/** Fig. 3 design-space organizations. */
+enum class Organization
+{
+    HomogeneousSpatial, //!< Fig. 3a: fastest cores act as CCs
+    HomogeneousTimeMultiplexed, //!< Fig. 3b: CC/DC time-multiplexed
+    HeterogeneousClusters, //!< Fig. 3c: CCs specialized by design
+};
+
+/** Name of an organization. */
+std::string organizationName(Organization organization);
+
+/** Organization-dependent cost model (used by the ablation bench). */
+struct OrganizationTraits
+{
+    /** CC merge/housekeeping speed relative to a plain core. */
+    double ccSpeedFactor = 1.0;
+    /** Throughput lost to time-multiplexing CC duties onto DCs. */
+    double multiplexOverhead = 0.0;
+    /** CC area relative to a DC (heterogeneous CCs are bigger). */
+    double ccAreaFactor = 1.0;
+    /** Whether the CC:DC ratio is fixed by the hardware. */
+    bool ccCountFixed = false;
+};
+
+/** Traits of each organization. */
+OrganizationTraits organizationTraits(Organization organization);
+
+/**
+ * Dedicated mailbox memory: the only place DCs may write. Slot
+ * ownership is enforced; writing another core's slot models a
+ * protection-domain violation and panics (the hardware would trap).
+ */
+class Mailbox
+{
+  public:
+    explicit Mailbox(std::size_t slots);
+
+    /** DC @p dc posts its end result. Panics on foreign slots. */
+    void post(std::size_t owner, std::size_t dc, double value);
+
+    /** CC collects (and clears) a slot; empty if nothing posted. */
+    std::optional<double> collect(std::size_t dc);
+
+    std::size_t slots() const { return slots_.size(); }
+
+  private:
+    std::vector<std::optional<double>> slots_;
+};
+
+/** One unit of data-parallel work. */
+struct WorkItem
+{
+    std::size_t id = 0;
+    double input = 0.0;
+};
+
+/** The computation a DC performs on a work item. */
+using ItemFn = std::function<double(const WorkItem &)>;
+
+/** Injected DC misbehavior. */
+struct DcFaultModel
+{
+    double hangProbability = 0.0; //!< per item: DC crashes/hangs
+    double corruptProbability = 0.0; //!< per item: result corrupted
+    double corruptMagnitude = 1e6; //!< additive corruption size
+    std::uint64_t seed = 1;
+};
+
+/** Runtime configuration. */
+struct RuntimeParams
+{
+    Organization organization = Organization::HomogeneousSpatial;
+    std::size_t numDcs = 14; //!< data cores
+    std::size_t numCcs = 2; //!< control cores
+    /** Watchdog timeout, in multiples of one item's nominal time. */
+    double watchdogTimeout = 4.0;
+    /** Re-dispatch attempts before an item is dropped. */
+    std::size_t maxRetries = 1;
+    /** Preset per-result acceptance test (outcome class (ii));
+     *  results failing it are treated like crashes. Accepts all
+     *  finite values by default. */
+    std::function<bool(double)> acceptable;
+    /** CC merge cost per item, in item-time units. */
+    double mergeCostPerItem = 0.02;
+};
+
+/** What happened during an execute(). */
+struct RuntimeReport
+{
+    std::size_t completed = 0; //!< first-try successes
+    std::size_t recovered = 0; //!< succeeded after re-dispatch
+    std::size_t dropped = 0; //!< gave up (perceived as Drop)
+    std::size_t watchdogFires = 0;
+    std::size_t qualityRejects = 0; //!< acceptance-test failures
+    double virtualTime = 0.0; //!< abstract parallel makespan
+    double ccBusyTime = 0.0; //!< merge + housekeeping time
+    std::vector<double> results; //!< merged results (id order,
+                                 //!< dropped items absent)
+    std::vector<std::optional<double>> resultOf; //!< per item
+};
+
+/** The master-slave runtime. */
+class AccordionRuntime
+{
+  public:
+    explicit AccordionRuntime(RuntimeParams params);
+
+    /**
+     * Execute @p items on the DC set with fault injection. The
+     * returned report reflects the CC-observed outcome of every
+     * item.
+     */
+    RuntimeReport execute(const std::vector<WorkItem> &items,
+                          const ItemFn &fn,
+                          const DcFaultModel &faults = {}) const;
+
+    const RuntimeParams &params() const { return params_; }
+
+  private:
+    RuntimeParams params_;
+};
+
+} // namespace accordion::core
+
+#endif // ACCORDION_CORE_RUNTIME_HPP

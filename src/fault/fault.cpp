@@ -1,0 +1,142 @@
+#include "fault.hpp"
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace accordion::fault {
+
+std::string
+errorModeName(ErrorMode mode)
+{
+    switch (mode) {
+      case ErrorMode::None: return "none";
+      case ErrorMode::Drop: return "drop";
+      case ErrorMode::StuckAt1All: return "stuck-at-1 all bits";
+      case ErrorMode::StuckAt0All: return "stuck-at-0 all bits";
+      case ErrorMode::StuckAt1High: return "stuck-at-1 high bits";
+      case ErrorMode::StuckAt0High: return "stuck-at-0 high bits";
+      case ErrorMode::StuckAt1Low: return "stuck-at-1 low bits";
+      case ErrorMode::StuckAt0Low: return "stuck-at-0 low bits";
+      case ErrorMode::RandomFlip: return "random bit flips";
+      case ErrorMode::Invert: return "all bits inverted";
+      case ErrorMode::InvertDecision: return "decision inverted";
+    }
+    util::panic("errorModeName: unknown mode %d", static_cast<int>(mode));
+}
+
+const std::vector<ErrorMode> &
+corruptionModes()
+{
+    static const std::vector<ErrorMode> modes = {
+        ErrorMode::StuckAt1All,  ErrorMode::StuckAt0All,
+        ErrorMode::StuckAt1High, ErrorMode::StuckAt0High,
+        ErrorMode::StuckAt1Low,  ErrorMode::StuckAt0Low,
+        ErrorMode::RandomFlip,   ErrorMode::Invert,
+    };
+    return modes;
+}
+
+FaultPlan::FaultPlan(ErrorMode mode, double fraction)
+    : mode_(mode), fraction_(fraction)
+{
+    if (fraction < 0.0 || fraction > 1.0)
+        util::fatal("FaultPlan: fraction %g not in [0,1]", fraction);
+}
+
+bool
+FaultPlan::infected(std::size_t thread, std::size_t num_threads) const
+{
+    if (none())
+        return false;
+    if (thread >= num_threads)
+        util::panic("FaultPlan::infected: thread %zu of %zu", thread,
+                    num_threads);
+    // Uniform spread across the index space: thread i is infected
+    // when the cumulative quota crosses an integer at i+1.
+    const double before =
+        std::floor(static_cast<double>(thread) * fraction_);
+    const double after =
+        std::floor(static_cast<double>(thread + 1) * fraction_);
+    return after > before;
+}
+
+std::size_t
+FaultPlan::infectedCount(std::size_t num_threads) const
+{
+    if (none())
+        return 0;
+    return static_cast<std::size_t>(
+        std::floor(static_cast<double>(num_threads) * fraction_));
+}
+
+namespace {
+
+std::uint64_t
+corruptBits(std::uint64_t bits, ErrorMode mode, util::Rng &rng)
+{
+    constexpr std::uint64_t high = 0xffffffff00000000ULL;
+    constexpr std::uint64_t low = 0x00000000ffffffffULL;
+    switch (mode) {
+      case ErrorMode::StuckAt1All:
+        return ~0ULL;
+      case ErrorMode::StuckAt0All:
+        return 0ULL;
+      case ErrorMode::StuckAt1High:
+        return bits | high;
+      case ErrorMode::StuckAt0High:
+        return bits & ~high;
+      case ErrorMode::StuckAt1Low:
+        return bits | low;
+      case ErrorMode::StuckAt0Low:
+        return bits & ~low;
+      case ErrorMode::RandomFlip: {
+        // Flip a handful of uniformly chosen bits.
+        std::uint64_t out = bits;
+        const std::uint64_t flips = 1 + rng.uniformInt(8);
+        for (std::uint64_t i = 0; i < flips; ++i)
+            out ^= 1ULL << rng.uniformInt(64);
+        return out;
+      }
+      case ErrorMode::Invert:
+        return ~bits;
+      default:
+        return bits;
+    }
+}
+
+} // namespace
+
+double
+corruptDouble(double value, ErrorMode mode, util::Rng &rng)
+{
+    switch (mode) {
+      case ErrorMode::None:
+      case ErrorMode::Drop:
+      case ErrorMode::InvertDecision:
+        return value;
+      default:
+        break;
+    }
+    const auto bits = std::bit_cast<std::uint64_t>(value);
+    return std::bit_cast<double>(corruptBits(bits, mode, rng));
+}
+
+std::int64_t
+corruptInt(std::int64_t value, ErrorMode mode, util::Rng &rng)
+{
+    switch (mode) {
+      case ErrorMode::None:
+      case ErrorMode::Drop:
+      case ErrorMode::InvertDecision:
+        return value;
+      default:
+        break;
+    }
+    const auto bits = static_cast<std::uint64_t>(value);
+    return static_cast<std::int64_t>(corruptBits(bits, mode, rng));
+}
+
+} // namespace accordion::fault

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Fault-injection plans for RMS kernels (Sections 6.2-6.3 of the
+ * paper). The paper's close-to-worst-case error manifestation is
+ * *Drop*: a uniformly chosen fraction of the parallel tasks never
+ * contributes to computation (Drop 1/4, Drop 1/2). For the error-
+ * model validation of Section 6.2, per-thread end results can
+ * instead be corrupted bit-wise: stuck-at-1/0 on all / high-order /
+ * low-order bits, random flips, or inversion.
+ */
+
+#ifndef ACCORDION_FAULT_FAULT_HPP
+#define ACCORDION_FAULT_FAULT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace accordion::fault {
+
+/** How an infected thread's contribution manifests. */
+enum class ErrorMode
+{
+    None, //!< fault-free execution
+    Drop, //!< infected threads contribute nothing (paper's default)
+    StuckAt1All, //!< end result bits all stuck at 1
+    StuckAt0All, //!< end result bits all stuck at 0
+    StuckAt1High, //!< high-order half stuck at 1
+    StuckAt0High, //!< high-order half stuck at 0
+    StuckAt1Low, //!< low-order half stuck at 1
+    StuckAt0Low, //!< low-order half stuck at 0
+    RandomFlip, //!< random bit flips in the end result
+    Invert, //!< all bits inverted
+    InvertDecision, //!< application decision logic inverted (canneal)
+};
+
+/** Human-readable name of an error mode. */
+std::string errorModeName(ErrorMode mode);
+
+/** All corruption modes of the Section 6.2 validation sweep. */
+const std::vector<ErrorMode> &corruptionModes();
+
+/**
+ * A deterministic fault plan: which threads are infected and how
+ * their contribution is altered.
+ */
+class FaultPlan
+{
+  public:
+    /** Fault-free plan. */
+    FaultPlan() = default;
+
+    /**
+     * Plan infecting a uniform @p fraction of threads with
+     * @p mode. Threads are infected uniformly across the index
+     * space exactly as the paper drops tasks.
+     */
+    FaultPlan(ErrorMode mode, double fraction);
+
+    /** The paper's Drop 1/4. */
+    static FaultPlan dropQuarter() { return {ErrorMode::Drop, 0.25}; }
+
+    /** The paper's Drop 1/2. */
+    static FaultPlan dropHalf() { return {ErrorMode::Drop, 0.5}; }
+
+    /** Is thread @p thread of @p num_threads infected? */
+    bool infected(std::size_t thread, std::size_t num_threads) const;
+
+    /** Number of infected threads out of @p num_threads. */
+    std::size_t infectedCount(std::size_t num_threads) const;
+
+    ErrorMode mode() const { return mode_; }
+    double fraction() const { return fraction_; }
+
+    /** True when the plan injects no faults at all. */
+    bool
+    none() const
+    {
+        return mode_ == ErrorMode::None || fraction_ <= 0.0;
+    }
+
+    /** True when infected threads should be dropped outright. */
+    bool
+    drops() const
+    {
+        return mode_ == ErrorMode::Drop;
+    }
+
+  private:
+    ErrorMode mode_ = ErrorMode::None;
+    double fraction_ = 0.0;
+};
+
+/**
+ * Corrupt a double-precision end result according to @p mode,
+ * operating on the IEEE-754 bit pattern. NaN/Inf outcomes are
+ * passed through — the application-side quality metric decides how
+ * bad they are, exactly as a real bit error would surface.
+ * ErrorMode::Drop/None/InvertDecision leave the value untouched
+ * (they are handled at a different level).
+ */
+double corruptDouble(double value, ErrorMode mode, util::Rng &rng);
+
+/**
+ * Corrupt an integer end result according to @p mode.
+ */
+std::int64_t corruptInt(std::int64_t value, ErrorMode mode,
+                        util::Rng &rng);
+
+} // namespace accordion::fault
+
+#endif // ACCORDION_FAULT_FAULT_HPP

@@ -1,0 +1,57 @@
+#include "event_queue.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace accordion::manycore {
+
+void
+EventQueue::schedule(SimTime when, Handler handler)
+{
+    if (when < now_)
+        util::panic("EventQueue: scheduling into the past (%g < %g)", when,
+                    now_);
+    heap_.push(Event{when, nextSequence_++, std::move(handler)});
+}
+
+void
+EventQueue::scheduleAfter(SimTime delay, Handler handler)
+{
+    schedule(now_ + delay, std::move(handler));
+}
+
+SimTime
+EventQueue::run()
+{
+    while (!heap_.empty()) {
+        // priority_queue::top returns const ref; move out via const
+        // cast is UB — copy the handler instead (cheap relative to
+        // the work an event does).
+        Event ev = heap_.top();
+        heap_.pop();
+        now_ = ev.when;
+        ev.handler(now_);
+    }
+    return now_;
+}
+
+SimTime
+FifoResource::acquire(SimTime now)
+{
+    const SimTime start = std::max(now, nextFree_);
+    nextFree_ = start + serviceNs_;
+    busyNs_ += serviceNs_;
+    ++served_;
+    return nextFree_;
+}
+
+double
+FifoResource::utilization(SimTime now) const
+{
+    if (now <= 0.0)
+        return 0.0;
+    return std::min(1.0, busyNs_ / now);
+}
+
+} // namespace accordion::manycore

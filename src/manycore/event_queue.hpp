@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Minimal discrete-event machinery for the manycore execution
+ * model: a time-ordered event queue and FIFO resources with
+ * deterministic service times (cluster buses, torus ports).
+ */
+
+#ifndef ACCORDION_MANYCORE_EVENT_QUEUE_HPP
+#define ACCORDION_MANYCORE_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace accordion::manycore {
+
+/** Simulated time in nanoseconds. */
+using SimTime = double;
+
+/**
+ * A classic discrete-event queue. Events scheduled at equal times
+ * fire in insertion order (stable), which keeps runs deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void(SimTime)>;
+
+    /** Schedule @p handler to fire at absolute time @p when. */
+    void schedule(SimTime when, Handler handler);
+
+    /** Schedule @p handler @p delay after the current time. */
+    void scheduleAfter(SimTime delay, Handler handler);
+
+    /** Run until the queue drains; returns the final time. */
+    SimTime run();
+
+    /** Current simulation time. */
+    SimTime now() const { return now_; }
+
+    /** Pending event count. */
+    std::size_t pending() const { return heap_.size(); }
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        std::uint64_t sequence;
+        Handler handler;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    SimTime now_ = 0.0;
+    std::uint64_t nextSequence_ = 0;
+};
+
+/**
+ * A FIFO server with a deterministic service time. acquire()
+ * returns the time at which the request's service *completes*;
+ * requests queue in arrival order. This models a cluster bus: each
+ * memory transaction occupies the bus for serviceNs.
+ */
+class FifoResource
+{
+  public:
+    explicit FifoResource(double service_ns) : serviceNs_(service_ns) {}
+
+    /**
+     * Submit a request at time @p now; returns the completion time
+     * (>= now + serviceNs).
+     */
+    SimTime acquire(SimTime now);
+
+    /** Total busy time accumulated so far [ns]. */
+    double busyNs() const { return busyNs_; }
+
+    /** Requests served so far. */
+    std::uint64_t served() const { return served_; }
+
+    /** Utilization over an observation window ending at @p now. */
+    double utilization(SimTime now) const;
+
+  private:
+    double serviceNs_;
+    SimTime nextFree_ = 0.0;
+    double busyNs_ = 0.0;
+    std::uint64_t served_ = 0;
+};
+
+} // namespace accordion::manycore
+
+#endif // ACCORDION_MANYCORE_EVENT_QUEUE_HPP

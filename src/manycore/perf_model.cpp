@@ -1,0 +1,306 @@
+#include "perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "event_queue.hpp"
+#include "util/log.hpp"
+
+namespace accordion::manycore {
+
+namespace {
+
+/**
+ * Exposed (non-overlapped) stall per private-memory access: the
+ * access latency beyond one pipelined cycle, reduced by the memory-
+ * level overlap the core supports.
+ */
+double
+privateExposedNs(const MemorySystemParams &mem,
+                 const WorkloadTraits &traits, double f_hz)
+{
+    const double cycle_ns = 1e9 / f_hz;
+    const double beyond = std::max(0.0, mem.privateAccessNs - cycle_ns);
+    return beyond * (1.0 - traits.overlapFactor);
+}
+
+/** Serial (control-core) tail after the parallel phase [s]. */
+double
+serialSeconds(const TaskSet &tasks, const WorkloadTraits &traits,
+              double f_hz)
+{
+    const double serial_instr = static_cast<double>(tasks.numTasks) *
+        tasks.instrPerTask * traits.serialFraction;
+    const double cc_f =
+        tasks.ccFrequencyHz > 0.0 ? tasks.ccFrequencyHz : f_hz;
+    return serial_instr * traits.cpiBase / cc_f;
+}
+
+} // namespace
+
+MemorySystemParams
+scaleLatencies(const MemorySystemParams &mem, double factor)
+{
+    MemorySystemParams scaled = mem;
+    scaled.privateAccessNs *= factor;
+    scaled.clusterAccessNs *= factor;
+    scaled.remoteRoundTripNs *= factor;
+    scaled.busServiceNs *= factor;
+    scaled.torusHopNs *= factor;
+    return scaled;
+}
+
+EventDrivenPerfModel::EventDrivenPerfModel(MemorySystemParams mem)
+    : mem_(mem)
+{
+}
+
+ExecutionEstimate
+EventDrivenPerfModel::estimate(const vartech::ChipGeometry &geometry,
+                               const std::vector<std::size_t> &cores,
+                               double f_hz, const TaskSet &tasks,
+                               const WorkloadTraits &base_traits,
+                               double latency_scale) const
+{
+    const MemorySystemParams mem_ = scaleLatencies(this->mem_,
+                                                   latency_scale);
+    WorkloadTraits traits = base_traits;
+    traits.syncNsPerTask *= latency_scale;
+    if (cores.empty())
+        util::fatal("EventDrivenPerfModel: no cores selected");
+    if (f_hz <= 0.0)
+        util::fatal("EventDrivenPerfModel: non-positive frequency");
+    if (tasks.numTasks == 0 || tasks.instrPerTask <= 0.0)
+        return {};
+
+    // Active clusters and their buses.
+    std::vector<std::size_t> core_cluster(cores.size());
+    std::map<std::size_t, std::size_t> cluster_slot;
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        const std::size_t cl = geometry.clusterOfCore(cores[i]);
+        auto [it, inserted] =
+            cluster_slot.try_emplace(cl, cluster_slot.size());
+        core_cluster[i] = it->second;
+        (void)inserted;
+    }
+    std::vector<std::size_t> active_clusters(cluster_slot.size());
+    for (const auto &[cl, slot] : cluster_slot)
+        active_clusters[slot] = cl;
+    std::vector<FifoResource> buses(active_clusters.size(),
+                                    FifoResource(mem_.busServiceNs));
+
+    // Round-robin task assignment: core i runs tasks i, i+N, ...
+    const std::size_t n = cores.size();
+    std::vector<std::size_t> tasks_of_core(n, tasks.numTasks / n);
+    for (std::size_t i = 0; i < tasks.numTasks % n; ++i)
+        ++tasks_of_core[i];
+
+    // Chunking: aim for ~1 cluster transaction per chunk so bus
+    // contention interleaves realistically.
+    const double cluster_rate =
+        traits.memOpsPerInstr * traits.privateMissRate;
+    const double chunk_instr = cluster_rate > 0.0
+        ? std::max(64.0, 1.0 / cluster_rate)
+        : 4096.0;
+    const double priv_exposed = privateExposedNs(mem_, traits, f_hz);
+    const double compute_ns_per_instr = traits.cpiBase * 1e9 / f_hz +
+        traits.memOpsPerInstr * (1.0 - traits.privateMissRate) *
+            priv_exposed;
+    const double exposed_factor = 1.0 - traits.overlapFactor;
+
+    struct CoreState
+    {
+        std::size_t tasksLeft = 0;
+        double instrLeftInTask = 0.0;
+        double clusterDebt = 0.0; //!< fractional pending bus accesses
+        double remoteDebt = 0.0;
+        double finish = 0.0;
+        double busy = 0.0;
+    };
+    std::vector<CoreState> state(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        state[i].tasksLeft = tasks_of_core[i];
+        state[i].instrLeftInTask =
+            tasks_of_core[i] > 0 ? tasks.instrPerTask : 0.0;
+    }
+
+    EventQueue queue;
+    // Each core advances one chunk per event; memory transactions
+    // acquire the (time-ordered) cluster buses inside the handler.
+    std::function<void(std::size_t, SimTime)> advance =
+        [&](std::size_t i, SimTime now) {
+            CoreState &cs = state[i];
+            if (cs.tasksLeft == 0) {
+                cs.finish = now;
+                return;
+            }
+            const double instr =
+                std::min(chunk_instr, cs.instrLeftInTask);
+            double t = now + instr * compute_ns_per_instr;
+            cs.busy += instr * compute_ns_per_instr;
+
+            // Cluster-memory transactions earned by this chunk.
+            cs.clusterDebt += instr * cluster_rate;
+            while (cs.clusterDebt >= 1.0) {
+                cs.clusterDebt -= 1.0;
+                cs.remoteDebt += traits.clusterMissRate;
+                const bool remote = cs.remoteDebt >= 1.0;
+                if (remote)
+                    cs.remoteDebt -= 1.0;
+                const SimTime granted = buses[core_cluster[i]].acquire(t);
+                const double wait = granted - t;
+                double latency = mem_.clusterAccessNs;
+                if (remote) {
+                    // Average remote trip; the target cluster's bus
+                    // is also occupied by the returning line.
+                    const std::size_t peer =
+                        (core_cluster[i] + 1 + buses.size() / 2) %
+                        buses.size();
+                    const SimTime remote_granted = buses[peer].acquire(
+                        granted + mem_.remoteRoundTripNs * 0.5);
+                    latency = mem_.remoteRoundTripNs +
+                        (remote_granted -
+                         (granted + mem_.remoteRoundTripNs * 0.5));
+                }
+                const double exposed = wait + latency * exposed_factor;
+                t += exposed;
+                cs.busy += exposed;
+            }
+
+            cs.instrLeftInTask -= instr;
+            if (cs.instrLeftInTask <= 0.5) {
+                --cs.tasksLeft;
+                t += traits.syncNsPerTask;
+                if (cs.tasksLeft > 0)
+                    cs.instrLeftInTask = tasks.instrPerTask;
+            }
+            queue.schedule(t, [&advance, i](SimTime when) {
+                advance(i, when);
+            });
+        };
+
+    for (std::size_t i = 0; i < n; ++i)
+        queue.schedule(0.0, [&advance, i](SimTime when) {
+            advance(i, when);
+        });
+    queue.run();
+
+    double makespan_ns = 0.0;
+    double busy_total = 0.0;
+    for (const CoreState &cs : state) {
+        makespan_ns = std::max(makespan_ns, cs.finish);
+        busy_total += cs.busy;
+    }
+    double max_bus_util = 0.0;
+    for (const FifoResource &bus : buses)
+        max_bus_util = std::max(max_bus_util,
+                                bus.utilization(makespan_ns));
+
+    ExecutionEstimate est;
+    const double parallel_s = makespan_ns * 1e-9;
+    est.seconds = parallel_s + serialSeconds(tasks, traits, f_hz);
+    est.totalInstructions = static_cast<double>(tasks.numTasks) *
+        tasks.instrPerTask * (1.0 + traits.serialFraction);
+    est.avgCoreUtilization = makespan_ns > 0.0
+        ? busy_total / (static_cast<double>(n) * makespan_ns)
+        : 0.0;
+    est.maxBusUtilization = max_bus_util;
+    return est;
+}
+
+AnalyticPerfModel::AnalyticPerfModel(MemorySystemParams mem) : mem_(mem) {}
+
+ExecutionEstimate
+AnalyticPerfModel::estimate(const vartech::ChipGeometry &geometry,
+                            const std::vector<std::size_t> &cores,
+                            double f_hz, const TaskSet &tasks,
+                            const WorkloadTraits &base_traits,
+                            double latency_scale) const
+{
+    const MemorySystemParams mem_ = scaleLatencies(this->mem_,
+                                                   latency_scale);
+    WorkloadTraits traits = base_traits;
+    traits.syncNsPerTask *= latency_scale;
+    if (cores.empty())
+        util::fatal("AnalyticPerfModel: no cores selected");
+    if (f_hz <= 0.0)
+        util::fatal("AnalyticPerfModel: non-positive frequency");
+    if (tasks.numTasks == 0 || tasks.instrPerTask <= 0.0)
+        return {};
+
+    // Worst-case bus population: the densest active cluster.
+    std::map<std::size_t, std::size_t> cluster_count;
+    for (std::size_t core : cores)
+        ++cluster_count[geometry.clusterOfCore(core)];
+    double avg_cores_per_cluster = 0.0;
+    std::size_t max_cores_per_cluster = 0;
+    for (const auto &[cl, cnt] : cluster_count) {
+        avg_cores_per_cluster += static_cast<double>(cnt);
+        max_cores_per_cluster = std::max(max_cores_per_cluster, cnt);
+    }
+    avg_cores_per_cluster /= static_cast<double>(cluster_count.size());
+
+    const double cluster_rate =
+        traits.memOpsPerInstr * traits.privateMissRate;
+    const double priv_exposed = privateExposedNs(mem_, traits, f_hz);
+    const double base_ns = traits.cpiBase * 1e9 / f_hz +
+        traits.memOpsPerInstr * (1.0 - traits.privateMissRate) *
+            priv_exposed;
+    const double exposed_factor = 1.0 - traits.overlapFactor;
+    const double s = mem_.busServiceNs;
+
+    // Fixed point: per-instruction time determines the bus arrival
+    // rate, whose M/D/1 wait feeds back into the per-instruction
+    // time. Converges in a handful of iterations.
+    double per_instr_ns = base_ns +
+        cluster_rate *
+            (s + mem_.clusterAccessNs * exposed_factor +
+             traits.clusterMissRate * mem_.remoteRoundTripNs *
+                 exposed_factor);
+    double rho = 0.0;
+    for (int iter = 0; iter < 60; ++iter) {
+        // Arrivals at the hottest bus: every transaction of every
+        // core in the cluster, plus one extra service for the remote
+        // share (the returning line occupies a peer bus, modeled as
+        // the same utilization by symmetry).
+        const double arrivals_per_ns = avg_cores_per_cluster *
+            cluster_rate * (1.0 + traits.clusterMissRate) / per_instr_ns;
+        rho = std::min(0.995, arrivals_per_ns * s);
+        const double wq = rho * s / (2.0 * (1.0 - rho));
+        const double next = base_ns +
+            cluster_rate *
+                ((wq + s) * (1.0 + traits.clusterMissRate) +
+                 mem_.clusterAccessNs * exposed_factor +
+                 traits.clusterMissRate * mem_.remoteRoundTripNs *
+                     exposed_factor);
+        if (std::abs(next - per_instr_ns) < 1e-9 * per_instr_ns) {
+            per_instr_ns = next;
+            break;
+        }
+        per_instr_ns = next;
+    }
+
+    const std::size_t n = cores.size();
+    const double rounds = std::ceil(static_cast<double>(tasks.numTasks) /
+                                    static_cast<double>(n));
+    const double per_task_ns =
+        tasks.instrPerTask * per_instr_ns + traits.syncNsPerTask;
+    const double parallel_s = rounds * per_task_ns * 1e-9;
+
+    ExecutionEstimate est;
+    est.seconds = parallel_s + serialSeconds(tasks, traits, f_hz);
+    est.totalInstructions = static_cast<double>(tasks.numTasks) *
+        tasks.instrPerTask * (1.0 + traits.serialFraction);
+    const double used_rounds = static_cast<double>(tasks.numTasks) /
+        static_cast<double>(n);
+    est.avgCoreUtilization = rounds > 0.0 ? used_rounds / rounds : 0.0;
+    est.maxBusUtilization = rho *
+        static_cast<double>(max_cores_per_cluster) /
+        std::max(1.0, avg_cores_per_cluster);
+    est.maxBusUtilization = std::min(est.maxBusUtilization, 1.0);
+    return est;
+}
+
+} // namespace accordion::manycore

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Execution-time models for the Table 2 manycore (the ESESC
+ * substitute). Both models answer the same question the paper asks
+ * its simulator: how long does a set of equal-sized parallel tasks
+ * take on N selected cores, all clocked at a common frequency f,
+ * with the cluster buses and the inter-cluster torus contended?
+ *
+ * Two implementations are provided and cross-validated in the test
+ * suite:
+ *  - EventDrivenPerfModel: discrete-event simulation of every
+ *    cluster-memory and remote transaction through FIFO buses.
+ *  - AnalyticPerfModel: closed-form M/D/1 approximation of the same
+ *    machine; ~1000x faster, used inside pareto sweeps.
+ */
+
+#ifndef ACCORDION_MANYCORE_PERF_MODEL_HPP
+#define ACCORDION_MANYCORE_PERF_MODEL_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "traits.hpp"
+#include "vartech/geometry.hpp"
+
+namespace accordion::manycore {
+
+/** A bag of identical parallel tasks. */
+struct TaskSet
+{
+    std::size_t numTasks = 0; //!< parallel tasks (threads)
+    double instrPerTask = 0.0; //!< dynamic instructions per task
+    /** Clock of the control core that executes the serial merge
+     *  tail (Section 4.1 reserves the fastest cores for control);
+     *  0 means the workers' common clock. */
+    double ccFrequencyHz = 0.0;
+};
+
+/** Result of a performance estimation. */
+struct ExecutionEstimate
+{
+    double seconds = 0.0; //!< makespan including serial merge
+    double totalInstructions = 0.0; //!< parallel + serial instructions
+    double avgCoreUtilization = 0.0; //!< busy fraction of worker cores
+    double maxBusUtilization = 0.0; //!< hottest cluster bus
+
+    /** Millions of instructions per second achieved. */
+    double
+    mips() const
+    {
+        return seconds > 0.0 ? totalInstructions / seconds / 1e6 : 0.0;
+    }
+};
+
+/** Interface shared by the event-driven and analytic models. */
+class PerfModel
+{
+  public:
+    virtual ~PerfModel() = default;
+
+    /**
+     * Estimate the makespan of @p tasks on @p cores.
+     *
+     * @param geometry Chip floorplan (maps cores to clusters).
+     * @param cores Global core ids engaged in computation; all run
+     *        at @p f_hz (Accordion clocks every engaged core at the
+     *        same frequency, Section 4).
+     * @param f_hz Common core clock [Hz].
+     * @param tasks The parallel work.
+     * @param traits How the workload exercises the machine.
+     * @param latency_scale Scales every memory/network latency.
+     *        Table 2 specifies latencies at the NTV nominal supply;
+     *        the memory system shares the voltage domain, so at STV
+     *        it speeds up by the technology delay factor (pass
+     *        Technology::relativeDelay(vdd, vthNom)).
+     */
+    virtual ExecutionEstimate estimate(
+        const vartech::ChipGeometry &geometry,
+        const std::vector<std::size_t> &cores, double f_hz,
+        const TaskSet &tasks, const WorkloadTraits &traits,
+        double latency_scale) const = 0;
+
+    /** Convenience overload at the NTV-nominal latency scale. */
+    ExecutionEstimate
+    estimate(const vartech::ChipGeometry &geometry,
+             const std::vector<std::size_t> &cores, double f_hz,
+             const TaskSet &tasks, const WorkloadTraits &traits) const
+    {
+        return estimate(geometry, cores, f_hz, tasks, traits, 1.0);
+    }
+};
+
+/** MemorySystemParams with every latency multiplied by a factor. */
+MemorySystemParams scaleLatencies(const MemorySystemParams &mem,
+                                  double factor);
+
+/** Discrete-event implementation. */
+class EventDrivenPerfModel : public PerfModel
+{
+  public:
+    explicit EventDrivenPerfModel(MemorySystemParams mem = {});
+
+    ExecutionEstimate estimate(const vartech::ChipGeometry &geometry,
+                               const std::vector<std::size_t> &cores,
+                               double f_hz, const TaskSet &tasks,
+                               const WorkloadTraits &traits,
+                               double latency_scale) const override;
+    using PerfModel::estimate;
+
+    const MemorySystemParams &memParams() const { return mem_; }
+
+  private:
+    MemorySystemParams mem_;
+};
+
+/** Closed-form M/D/1 implementation. */
+class AnalyticPerfModel : public PerfModel
+{
+  public:
+    explicit AnalyticPerfModel(MemorySystemParams mem = {});
+
+    ExecutionEstimate estimate(const vartech::ChipGeometry &geometry,
+                               const std::vector<std::size_t> &cores,
+                               double f_hz, const TaskSet &tasks,
+                               const WorkloadTraits &traits,
+                               double latency_scale) const override;
+    using PerfModel::estimate;
+
+    const MemorySystemParams &memParams() const { return mem_; }
+
+  private:
+    MemorySystemParams mem_;
+};
+
+} // namespace accordion::manycore
+
+#endif // ACCORDION_MANYCORE_PERF_MODEL_HPP

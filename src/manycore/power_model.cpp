@@ -1,0 +1,80 @@
+#include "power_model.hpp"
+
+#include <set>
+
+#include "util/log.hpp"
+
+namespace accordion::manycore {
+
+PowerModel::PowerModel(const vartech::Technology &tech,
+                       PowerModelParams params)
+    : tech_(&tech), params_(params)
+{
+}
+
+double
+PowerModel::corePowerNominal(double vdd, double f,
+                             double utilization) const
+{
+    return tech_->dynamicPower(vdd, f) * utilization +
+        tech_->staticPower(vdd, tech_->params().vthNom);
+}
+
+double
+PowerModel::corePower(const vartech::VariationChip &chip, std::size_t core,
+                      double vdd, double f, double utilization) const
+{
+    return tech_->dynamicPower(vdd, f) * utilization +
+        chip.coreStaticPower(core, vdd);
+}
+
+double
+PowerModel::uncoreScale(double vdd) const
+{
+    const double vth = tech_->params().vthNom;
+    const double vdd_stv = tech_->params().vddStv;
+    // Memory and network are leakage- and wire-dominated; scale
+    // their power like static power (the network clock is fixed).
+    return tech_->staticPower(vdd, vth) /
+        tech_->staticPower(vdd_stv, vth);
+}
+
+double
+PowerModel::uncorePowerPerCluster(double vdd) const
+{
+    return (params_.clusterMemStaticStvW + params_.networkPerClusterStvW) *
+        uncoreScale(vdd);
+}
+
+PowerBreakdown
+PowerModel::chipPower(const vartech::VariationChip &chip,
+                      const std::vector<std::size_t> &cores, double vdd,
+                      double f, double utilization) const
+{
+    PowerBreakdown sum;
+    std::set<std::size_t> clusters;
+    for (std::size_t core : cores) {
+        sum.coreDynamicW += tech_->dynamicPower(vdd, f) * utilization;
+        sum.coreStaticW += chip.coreStaticPower(core, vdd);
+        clusters.insert(chip.geometry().clusterOfCore(core));
+    }
+    sum.uncoreW = static_cast<double>(clusters.size()) *
+        uncorePowerPerCluster(vdd);
+    return sum;
+}
+
+std::size_t
+PowerModel::maxCoresAtStv(std::size_t cores_per_cluster) const
+{
+    const double vdd = tech_->params().vddStv;
+    const double per_core = corePowerNominal(vdd, tech_->fStv()) +
+        uncorePowerPerCluster(vdd) /
+            static_cast<double>(cores_per_cluster);
+    const auto n = static_cast<std::size_t>(params_.budgetW / per_core);
+    if (n == 0)
+        util::fatal("PowerModel: budget %g W fits no STV core (%g W each)",
+                    params_.budgetW, per_core);
+    return n;
+}
+
+} // namespace accordion::manycore

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Chip power model (the McPAT substitute, scaled to 11 nm). Power
+ * is accounted per engaged core (dynamic + variation-dependent
+ * static), per active cluster (cluster memory + network port), and
+ * checked against the fixed 100 W budget of Table 2. The model's
+ * two first-order properties drive the paper's conclusions and are
+ * asserted in the test suite:
+ *  - power is more sensitive to core count than to frequency
+ *    (cores add static AND dynamic power; f only dynamic), and
+ *  - the static share of power is larger at NTV operating points.
+ */
+
+#ifndef ACCORDION_MANYCORE_POWER_MODEL_HPP
+#define ACCORDION_MANYCORE_POWER_MODEL_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "vartech/technology.hpp"
+#include "vartech/variation_chip.hpp"
+
+namespace accordion::manycore {
+
+/** Uncore calibration knobs. */
+struct PowerModelParams
+{
+    double budgetW = 100.0; //!< Table 2: P_MAX
+    /** Cluster-memory (2 MB) static power at the STV corner [W]. */
+    double clusterMemStaticStvW = 0.30;
+    /** Network (bus + torus port) power per active cluster at the
+     *  STV corner [W]; the network clock is fixed at 0.8 GHz. */
+    double networkPerClusterStvW = 0.50;
+};
+
+/** Decomposed power of an operating point. */
+struct PowerBreakdown
+{
+    double coreDynamicW = 0.0;
+    double coreStaticW = 0.0;
+    double uncoreW = 0.0;
+
+    double total() const { return coreDynamicW + coreStaticW + uncoreW; }
+
+    /** Static share of core power. */
+    double
+    staticShare() const
+    {
+        const double core = coreDynamicW + coreStaticW;
+        return core > 0.0 ? coreStaticW / core : 0.0;
+    }
+};
+
+/**
+ * Evaluates chip power for a selected core set at an operating
+ * point (Vdd, f).
+ */
+class PowerModel
+{
+  public:
+    PowerModel(const vartech::Technology &tech,
+               PowerModelParams params = {});
+
+    /**
+     * Power of one engaged core with nominal Vth [W].
+     *
+     * @param utilization Busy fraction (scales dynamic power only).
+     */
+    double corePowerNominal(double vdd, double f,
+                            double utilization = 1.0) const;
+
+    /**
+     * Power of a specific core of a variation-afflicted chip [W];
+     * static power uses the core's actual (Vth, Leff).
+     */
+    double corePower(const vartech::VariationChip &chip, std::size_t core,
+                     double vdd, double f, double utilization = 1.0) const;
+
+    /** Uncore power per active cluster at supply @p vdd [W]. */
+    double uncorePowerPerCluster(double vdd) const;
+
+    /**
+     * Total chip power of a core set, all clocked at @p f with
+     * supply @p vdd. Uncore power is charged once per cluster that
+     * contains at least one selected core.
+     */
+    PowerBreakdown chipPower(const vartech::VariationChip &chip,
+                             const std::vector<std::size_t> &cores,
+                             double vdd, double f,
+                             double utilization = 1.0) const;
+
+    /**
+     * N_STV: the maximum number of cores (plus their uncore share)
+     * that fit in the budget at the STV corner, neglecting
+     * variation — the paper's STV baseline favors STV this way.
+     */
+    std::size_t maxCoresAtStv(std::size_t cores_per_cluster) const;
+
+    double budget() const { return params_.budgetW; }
+
+    const PowerModelParams &params() const { return params_; }
+
+  private:
+    /** Voltage scaling of uncore power relative to the STV corner. */
+    double uncoreScale(double vdd) const;
+
+    const vartech::Technology *tech_;
+    PowerModelParams params_;
+};
+
+} // namespace accordion::manycore
+
+#endif // ACCORDION_MANYCORE_POWER_MODEL_HPP

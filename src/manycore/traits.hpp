@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Workload execution traits and memory-system parameters consumed
+ * by the manycore performance model. A WorkloadTraits instance
+ * abstracts how one RMS kernel exercises the machine: instruction
+ * mix, locality, memory-level overlap, and synchronization cost.
+ * Each kernel in src/rms reports its own traits.
+ */
+
+#ifndef ACCORDION_MANYCORE_TRAITS_HPP
+#define ACCORDION_MANYCORE_TRAITS_HPP
+
+namespace accordion::manycore {
+
+/**
+ * Memory-system latencies and service rates of the Table 2 machine:
+ * 64 KB write-through private memory (2 ns), 2 MB write-back cluster
+ * memory (10 ns), bus inside the cluster, 2D torus across clusters,
+ * ~80 ns average uncontended remote round trip.
+ */
+struct MemorySystemParams
+{
+    double privateAccessNs = 2.0; //!< core-private memory access
+    double clusterAccessNs = 10.0; //!< cluster memory access
+    double remoteRoundTripNs = 80.0; //!< avg uncontended remote trip
+    double busServiceNs = 5.0; //!< cluster-bus occupancy per line
+    double torusHopNs = 6.25; //!< per-hop latency at f_network=0.8GHz
+    double networkFreqGhz = 0.8; //!< Table 2
+};
+
+/**
+ * How a kernel loads the machine. All rates are per dynamic
+ * instruction unless noted.
+ */
+struct WorkloadTraits
+{
+    /** Base CPI of the single-issue core with all accesses hitting
+     *  the private memory (private hits are pipelined). */
+    double cpiBase = 1.0;
+    /** Memory operations per instruction. */
+    double memOpsPerInstr = 0.25;
+    /** Fraction of memory ops missing the private memory and going
+     *  to the cluster memory. */
+    double privateMissRate = 0.03;
+    /** Fraction of cluster accesses that go to a remote cluster. */
+    double clusterMissRate = 0.10;
+    /** Fraction of miss latency hidden by overlap with computation
+     *  (memory accesses can be overlapped, Section 5.1). */
+    double overlapFactor = 0.4;
+    /** Fixed per-task synchronization/dispatch overhead [ns],
+     *  independent of the operating frequency (mailbox/queue work
+     *  runs at the network clock). */
+    double syncNsPerTask = 200.0;
+    /** Serial (control) work on the master core per parallel task,
+     *  as a fraction of one task's instructions — the CC-side merge
+     *  and housekeeping of Section 4.1. */
+    double serialFraction = 0.01;
+};
+
+} // namespace accordion::manycore
+
+#endif // ACCORDION_MANYCORE_TRAITS_HPP

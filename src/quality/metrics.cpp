@@ -1,0 +1,122 @@
+#include "metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/log.hpp"
+
+namespace accordion::quality {
+
+double
+distortion(const std::vector<double> &values,
+           const std::vector<double> &reference, double eps)
+{
+    if (values.size() != reference.size() || values.empty())
+        util::fatal("distortion: size mismatch (%zu vs %zu) or empty",
+                    values.size(), reference.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const double err = std::abs(values[i] - reference[i]);
+        const double denom = std::abs(reference[i]);
+        sum += denom > eps ? err / denom : err;
+    }
+    return sum / static_cast<double>(values.size());
+}
+
+double
+relativeQuality(const std::vector<double> &values,
+                const std::vector<double> &reference)
+{
+    return std::max(0.0, 1.0 - distortion(values, reference));
+}
+
+double
+ssd(const std::vector<double> &values, const std::vector<double> &reference)
+{
+    if (values.size() != reference.size() || values.empty())
+        util::fatal("ssd: size mismatch (%zu vs %zu) or empty",
+                    values.size(), reference.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const double d = values[i] - reference[i];
+        sum += d * d;
+    }
+    return sum;
+}
+
+double
+mse(const std::vector<double> &values, const std::vector<double> &reference)
+{
+    return ssd(values, reference) / static_cast<double>(values.size());
+}
+
+double
+psnr(const std::vector<double> &values,
+     const std::vector<double> &reference, double peak, double cap_db)
+{
+    const double m = mse(values, reference);
+    if (m <= 0.0)
+        return cap_db;
+    const double db = 10.0 * std::log10(peak * peak / m);
+    return std::min(db, cap_db);
+}
+
+double
+ssim(const util::Grid2D<double> &a, const util::Grid2D<double> &b,
+     double peak)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols() || a.size() == 0)
+        util::fatal("ssim: image shape mismatch or empty");
+    const double c1 = (0.01 * peak) * (0.01 * peak);
+    const double c2 = (0.03 * peak) * (0.03 * peak);
+    const std::size_t win = 8;
+    double total = 0.0;
+    std::size_t windows = 0;
+    for (std::size_t r0 = 0; r0 + win <= a.rows(); r0 += win) {
+        for (std::size_t c0 = 0; c0 + win <= a.cols(); c0 += win) {
+            double ma = 0, mb = 0;
+            for (std::size_t r = r0; r < r0 + win; ++r)
+                for (std::size_t c = c0; c < c0 + win; ++c) {
+                    ma += a.at(r, c);
+                    mb += b.at(r, c);
+                }
+            const double n = static_cast<double>(win * win);
+            ma /= n;
+            mb /= n;
+            double va = 0, vb = 0, cov = 0;
+            for (std::size_t r = r0; r < r0 + win; ++r)
+                for (std::size_t c = c0; c < c0 + win; ++c) {
+                    const double da = a.at(r, c) - ma;
+                    const double db = b.at(r, c) - mb;
+                    va += da * da;
+                    vb += db * db;
+                    cov += da * db;
+                }
+            va /= n - 1;
+            vb /= n - 1;
+            cov /= n - 1;
+            total += (2 * ma * mb + c1) * (2 * cov + c2) /
+                ((ma * ma + mb * mb + c1) * (va + vb + c2));
+            ++windows;
+        }
+    }
+    if (windows == 0)
+        util::fatal("ssim: image smaller than the 8x8 window");
+    return total / static_cast<double>(windows);
+}
+
+std::size_t
+commonCount(const std::vector<std::size_t> &a,
+            const std::vector<std::size_t> &b)
+{
+    const std::set<std::size_t> sa(a.begin(), a.end());
+    std::size_t common = 0;
+    std::set<std::size_t> counted;
+    for (std::size_t x : b)
+        if (sa.count(x) && counted.insert(x).second)
+            ++common;
+    return common;
+}
+
+} // namespace accordion::quality

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Application output-quality metrics (Section 5.2 of the paper).
+ * The generic metric is Misailovic et al.'s *distortion*: the
+ * average, across all output values, of the relative error per
+ * output value; relative quality = 1 - distortion. Benchmarks
+ * specialize how relative error is computed: SSD for bodytrack and
+ * hotspot, PSNR for srad, SSIM for x264, common-image count for
+ * ferret, relative routing cost for canneal.
+ */
+
+#ifndef ACCORDION_QUALITY_METRICS_HPP
+#define ACCORDION_QUALITY_METRICS_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "util/grid.hpp"
+
+namespace accordion::quality {
+
+/**
+ * Distortion (Misailovic et al.): mean over output values of
+ * |x_i - ref_i| / |ref_i|. Reference values with magnitude below
+ * @p eps contribute absolute error instead to avoid division blowup.
+ *
+ * @pre values.size() == reference.size(), both non-empty.
+ */
+double distortion(const std::vector<double> &values,
+                  const std::vector<double> &reference,
+                  double eps = 1e-12);
+
+/** Relative quality = 1 - distortion, clamped below at 0. */
+double relativeQuality(const std::vector<double> &values,
+                       const std::vector<double> &reference);
+
+/** Sum of squared differences. @pre equal non-empty sizes. */
+double ssd(const std::vector<double> &values,
+           const std::vector<double> &reference);
+
+/** Mean squared error. */
+double mse(const std::vector<double> &values,
+           const std::vector<double> &reference);
+
+/**
+ * Peak signal-to-noise ratio in dB against the given peak value;
+ * capped at @p cap_db so identical signals compare finitely.
+ */
+double psnr(const std::vector<double> &values,
+            const std::vector<double> &reference, double peak,
+            double cap_db = 60.0);
+
+/**
+ * Structural similarity index over two images, computed on 8x8
+ * windows with the standard SSIM constants; returns the mean SSIM
+ * across windows in [-1, 1] (1 = identical).
+ *
+ * @param peak Dynamic range of the pixel values.
+ */
+double ssim(const util::Grid2D<double> &a, const util::Grid2D<double> &b,
+            double peak);
+
+/**
+ * Number of common elements between two top-n result lists
+ * (order-insensitive) — ferret's quality basis.
+ */
+std::size_t commonCount(const std::vector<std::size_t> &a,
+                        const std::vector<std::size_t> &b);
+
+} // namespace accordion::quality
+
+#endif // ACCORDION_QUALITY_METRICS_HPP

@@ -1,0 +1,87 @@
+#include "bitmine.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace accordion::rms {
+
+Bitmine::Bitmine(BitmineConfig config) : config_(config) {}
+
+std::vector<double>
+Bitmine::inputSweep() const
+{
+    return {8192, 16384, 32768, 65536, 131072, 262144, 524288};
+}
+
+RunResult
+Bitmine::run(const RunConfig &config) const
+{
+    if (config.input < 1.0)
+        util::fatal("bitmine: nonces per thread must be >= 1");
+    const auto nonces =
+        static_cast<std::uint64_t>(config.input);
+    const auto target = static_cast<std::uint64_t>(
+        static_cast<double>(~0ULL) / config_.difficulty);
+
+    double shares = 0.0;
+    std::uint64_t best = ~0ULL;
+    for (std::size_t t = 0; t < config.threads; ++t) {
+        if (config.fault.infected(t, config.threads) &&
+            config.fault.drops())
+            continue; // the thread's range is never searched
+        // The "hash" is the splitmix-seeded PRNG keyed by the block
+        // header (seed) and the thread's nonce range.
+        std::uint64_t state = config.seed ^
+            (0xb17c011ULL * (t + 1));
+        for (std::uint64_t n = 0; n < nonces; ++n) {
+            const std::uint64_t h = util::splitMix64(state);
+            if (h < target)
+                shares += 1.0;
+            if (h < best)
+                best = h;
+        }
+    }
+
+    RunResult result;
+    result.output = {shares, static_cast<double>(best >> 32)};
+    result.problemSize = static_cast<double>(nonces) *
+        static_cast<double>(config.threads);
+    result.taskSet.numTasks = config.threads;
+    // ~8 dynamic instructions per hash evaluation.
+    result.taskSet.instrPerTask = static_cast<double>(nonces) * 8.0;
+    return result;
+}
+
+double
+Bitmine::quality(const RunResult &result,
+                 const RunResult &reference) const
+{
+    if (result.output.empty() || reference.output.empty())
+        util::fatal("bitmine: empty output");
+    const double ref = reference.output.front();
+    if (ref <= 0.0)
+        return result.output.front() > 0.0 ? 1.0 : 0.0;
+    // Shares found relative to the reference search: exactly
+    // proportional to the surviving work.
+    return result.output.front() / ref;
+}
+
+manycore::WorkloadTraits
+Bitmine::traits() const
+{
+    manycore::WorkloadTraits t;
+    // Pure compute: register-resident hashing, almost no memory
+    // traffic or synchronization.
+    t.cpiBase = 0.9;
+    t.memOpsPerInstr = 0.04;
+    t.privateMissRate = 0.005;
+    t.clusterMissRate = 0.02;
+    t.overlapFactor = 0.8;
+    t.syncNsPerTask = 100.0;
+    t.serialFraction = 0.0001;
+    return t;
+}
+
+} // namespace accordion::rms

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * bitmine: the strict-weak-scaling workload the paper's Discussion
+ * (Section 7) points to — "novel application domains such as
+ * bitcoin mining". A proof-of-work nonce search: each thread scans
+ * a private nonce range for hashes below a difficulty target. The
+ * Accordion input is the nonces searched per thread, so per-thread
+ * work stays *exactly* constant as the problem scales with the
+ * core count — weak scaling in the strict Gustafson sense, unlike
+ * the six PARSEC/Rodinia kernels whose per-thread work grows with
+ * problem size. Quality (shares found) is exactly proportional to
+ * the surviving work, making this the best-case Accordion
+ * workload: dropping tasks or compressing the problem trades
+ * quality for cores one-for-one.
+ *
+ * Not part of the paper's Table 3 six; exposed via
+ * extendedWorkloads().
+ */
+
+#ifndef ACCORDION_RMS_BITMINE_HPP
+#define ACCORDION_RMS_BITMINE_HPP
+
+#include "workload.hpp"
+
+namespace accordion::rms {
+
+/** Search shape. */
+struct BitmineConfig
+{
+    /** A share is found when hash < 2^64 / difficulty. */
+    double difficulty = 4096.0;
+};
+
+/** bitmine workload. */
+class Bitmine : public Workload
+{
+  public:
+    explicit Bitmine(BitmineConfig config = {});
+
+    std::string name() const override { return "bitmine"; }
+    std::string domain() const override
+    {
+        return "Proof-of-work search";
+    }
+    std::string qualityMetricName() const override
+    {
+        return "Valid shares found";
+    }
+    std::string accordionInputName() const override
+    {
+        return "Nonces per thread";
+    }
+    double defaultInput() const override { return 65536.0; }
+    std::vector<double> inputSweep() const override;
+    double hyperAccurateInput() const override { return 1048576.0; }
+    RunResult run(const RunConfig &config) const override;
+    double quality(const RunResult &result,
+                   const RunResult &reference) const override;
+    manycore::WorkloadTraits traits() const override;
+    Dependency problemSizeDependency() const override
+    {
+        return Dependency::Linear;
+    }
+    Dependency qualityDependency() const override
+    {
+        return Dependency::Linear;
+    }
+
+    const BitmineConfig &config() const { return config_; }
+
+  private:
+    BitmineConfig config_;
+};
+
+/** The Table 3 six plus the Section 7 extension workloads. */
+const std::vector<const Workload *> &extendedWorkloads();
+
+} // namespace accordion::rms
+
+#endif // ACCORDION_RMS_BITMINE_HPP

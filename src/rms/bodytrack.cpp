@@ -1,0 +1,275 @@
+#include "bodytrack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace accordion::rms {
+
+namespace {
+
+constexpr std::size_t kDims = 8; //!< torso x/y/angle, 4 limbs, scale
+
+/** Landmark positions of a body configuration. */
+void
+landmarksOf(const BodytrackConfig &cfg, const double *theta,
+            std::vector<double> &out)
+{
+    // theta: [0]=x, [1]=y, [2]=torso angle, [3..6]=limb angles,
+    // [7]=scale. Landmarks are spread along the torso axis and the
+    // four limbs.
+    out.resize(cfg.landmarks * 2);
+    const double x = theta[0], y = theta[1];
+    const double torso = theta[2];
+    const double scale = theta[7];
+    const std::size_t per_limb = cfg.landmarks / 8;
+    std::size_t idx = 0;
+    auto emit = [&](double px, double py) {
+        if (idx + 1 < out.size()) {
+            out[idx++] = px;
+            out[idx++] = py;
+        }
+    };
+    // Torso points (half the landmarks).
+    const std::size_t torso_points = cfg.landmarks - 4 * per_limb;
+    for (std::size_t i = 0; i < torso_points; ++i) {
+        const double t = static_cast<double>(i) /
+            static_cast<double>(torso_points);
+        emit(x + scale * t * std::cos(torso),
+             y + scale * t * std::sin(torso));
+    }
+    // Limbs attach at the torso ends.
+    for (std::size_t limb = 0; limb < 4; ++limb) {
+        const double attach = limb < 2 ? 0.0 : 1.0;
+        const double ax = x + scale * attach * std::cos(torso);
+        const double ay = y + scale * attach * std::sin(torso);
+        const double angle = torso + theta[3 + limb];
+        for (std::size_t i = 1; i <= per_limb; ++i) {
+            const double t = 0.6 * static_cast<double>(i) /
+                static_cast<double>(per_limb);
+            emit(ax + scale * t * std::cos(angle),
+                 ay + scale * t * std::sin(angle));
+        }
+    }
+    while (idx < out.size())
+        out[idx++] = 0.0;
+}
+
+} // namespace
+
+Bodytrack::Bodytrack(BodytrackConfig config) : config_(config) {}
+
+std::vector<double>
+Bodytrack::inputSweep() const
+{
+    return {1, 2, 3, 4, 5, 6, 8, 10};
+}
+
+RunResult
+Bodytrack::run(const RunConfig &config) const
+{
+    if (config.input < 1.0)
+        util::fatal("bodytrack: annealing layers must be >= 1");
+    const auto layers = static_cast<std::size_t>(config.input);
+    const std::size_t P = config_.particles;
+    util::Rng rng(config.seed, 0xb0d7);
+
+    // Ground-truth trajectory: smooth articulated motion.
+    std::vector<std::vector<double>> truth(config_.frames,
+                                           std::vector<double>(kDims));
+    std::vector<double> theta = {2.0, 2.0, 0.3, 0.5, -0.5, 0.9,
+                                 -0.9, 3.0};
+    for (std::size_t f = 0; f < config_.frames; ++f) {
+        const double t = static_cast<double>(f);
+        theta[0] += 0.4;
+        theta[1] += 0.25 * std::sin(0.7 * t);
+        theta[2] = 0.3 + 0.2 * std::sin(0.5 * t);
+        for (std::size_t l = 0; l < 4; ++l)
+            theta[3 + l] += 0.3 * std::sin(0.9 * t + 1.3 *
+                                           static_cast<double>(l));
+        truth[f] = theta;
+    }
+
+    // Noisy landmark observations per frame.
+    std::vector<std::vector<double>> observations(config_.frames);
+    std::vector<double> scratch;
+    for (std::size_t f = 0; f < config_.frames; ++f) {
+        landmarksOf(config_, truth[f].data(), scratch);
+        observations[f] = scratch;
+        for (double &v : observations[f])
+            v += config_.observationNoise * rng.normal();
+    }
+
+    // Landmark availability: "row and column filtering" is
+    // partitioned across threads; infected threads' landmarks are
+    // never extracted.
+    std::vector<bool> landmark_ok(config_.landmarks, true);
+    for (std::size_t k = 0; k < config_.landmarks; ++k) {
+        const std::size_t thread = k * config.threads /
+            config_.landmarks;
+        if (config.fault.infected(thread, config.threads) &&
+            config.fault.drops())
+            landmark_ok[k] = false;
+    }
+
+    auto energy = [&](const double *cand, std::size_t frame) {
+        landmarksOf(config_, cand, scratch);
+        double e = 0.0;
+        std::size_t used = 0;
+        for (std::size_t k = 0; k < config_.landmarks; ++k) {
+            if (!landmark_ok[k])
+                continue;
+            const double dx =
+                scratch[2 * k] - observations[frame][2 * k];
+            const double dy =
+                scratch[2 * k + 1] - observations[frame][2 * k + 1];
+            e += dx * dx + dy * dy;
+            ++used;
+        }
+        return used ? e / static_cast<double>(used) : 1e6;
+    };
+
+    // Particle ownership and weight-drop flags.
+    auto particle_dropped = [&](std::size_t p) {
+        const std::size_t thread = p * config.threads / P;
+        return config.fault.infected(thread, config.threads) &&
+            config.fault.drops();
+    };
+
+    // Annealed particle filter.
+    std::vector<std::vector<double>> particles(
+        P, std::vector<double>(kDims));
+    std::vector<double> init = truth[0];
+    for (std::size_t p = 0; p < P; ++p) {
+        particles[p] = init;
+        for (double &v : particles[p])
+            v += 0.5 * rng.normal();
+    }
+    std::vector<double> weights(P, 1.0 / static_cast<double>(P));
+    std::vector<std::vector<double>> estimates(
+        config_.frames, std::vector<double>(kDims, 0.0));
+    double work_units = 0.0;
+    std::vector<std::vector<double>> resampled(
+        P, std::vector<double>(kDims));
+    std::vector<double> cand(kDims);
+
+    for (std::size_t f = 0; f < config_.frames; ++f) {
+        for (std::size_t layer = 0; layer < layers; ++layer) {
+            const double beta = std::pow(
+                config_.annealRate,
+                static_cast<double>(layers - 1 - layer));
+            const double sigma = config_.processNoise *
+                std::pow(0.75, static_cast<double>(layer));
+            // Progressive refinement: later layers evaluate extra
+            // diffusion candidates per particle and keep the best.
+            const std::size_t cands = 1 + layer / 3;
+            double wsum = 0.0;
+            for (std::size_t p = 0; p < P; ++p) {
+                double best_e = 1e300;
+                for (std::size_t k = 0; k < cands; ++k) {
+                    for (std::size_t d = 0; d < kDims; ++d)
+                        cand[d] = particles[p][d] +
+                            sigma * rng.normal();
+                    const double e = energy(cand.data(), f);
+                    work_units += 1.0;
+                    if (e < best_e) {
+                        best_e = e;
+                        particles[p] = cand;
+                    }
+                }
+                if (particle_dropped(p)) {
+                    weights[p] = 0.0; // weight calc prevented
+                } else {
+                    weights[p] = std::exp(
+                        -beta * best_e /
+                        (2.0 * config_.weightSigma *
+                         config_.weightSigma));
+                }
+                wsum += weights[p];
+            }
+            if (wsum <= 0.0) {
+                // Every particle dropped: keep uniform weights so
+                // the run terminates (the CC would flag this).
+                std::fill(weights.begin(), weights.end(),
+                          1.0 / static_cast<double>(P));
+                wsum = 1.0;
+            }
+            // Systematic resampling.
+            const double step = wsum / static_cast<double>(P);
+            double mark = 0.5 * step;
+            double acc = weights[0];
+            std::size_t src = 0;
+            for (std::size_t p = 0; p < P; ++p) {
+                while (acc < mark && src + 1 < P)
+                    acc += weights[++src];
+                resampled[p] = particles[src];
+                mark += step;
+            }
+            particles.swap(resampled);
+        }
+        // Frame estimate: mean of the (resampled) particle cloud.
+        auto &est = estimates[f];
+        std::fill(est.begin(), est.end(), 0.0);
+        for (std::size_t p = 0; p < P; ++p)
+            for (std::size_t d = 0; d < kDims; ++d)
+                est[d] += particles[p][d];
+        for (double &v : est)
+            v /= static_cast<double>(P);
+        // Predict into the next frame with the (biased) constant-
+        // velocity motion model.
+        for (std::size_t p = 0; p < P; ++p) {
+            particles[p][0] += 0.4 - config_.predictionBias;
+            for (std::size_t d = 0; d < kDims; ++d)
+                particles[p][d] += config_.predictionNoise *
+                    rng.normal();
+        }
+    }
+
+    RunResult result;
+    result.output.reserve(config_.frames * kDims);
+    for (const auto &est : estimates)
+        result.output.insert(result.output.end(), est.begin(),
+                             est.end());
+    result.problemSize = work_units;
+    result.taskSet.numTasks = config.threads;
+    // ~80 dynamic instructions per particle-candidate evaluation
+    // (landmark projection + SSD over the landmark set).
+    result.taskSet.instrPerTask =
+        work_units / static_cast<double>(config.threads) * 80.0;
+    return result;
+}
+
+double
+Bodytrack::quality(const RunResult &result,
+                   const RunResult &reference) const
+{
+    if (result.output.size() != reference.output.size())
+        util::fatal("bodytrack: output size mismatch");
+    double ssd = 0.0;
+    for (std::size_t i = 0; i < result.output.size(); ++i) {
+        const double d = result.output[i] - reference.output[i];
+        ssd += d * d;
+    }
+    const double mse = ssd / static_cast<double>(result.output.size());
+    return 1.0 / (1.0 + mse);
+}
+
+manycore::WorkloadTraits
+Bodytrack::traits() const
+{
+    manycore::WorkloadTraits t;
+    // Compute-heavy likelihood evaluations over shared observation
+    // data.
+    t.cpiBase = 1.05;
+    t.memOpsPerInstr = 0.22;
+    t.privateMissRate = 0.03;
+    t.clusterMissRate = 0.20;
+    t.overlapFactor = 0.5;
+    t.syncNsPerTask = 500.0;
+    t.serialFraction = 0.002;
+    return t;
+}
+
+} // namespace accordion::rms

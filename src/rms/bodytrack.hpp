@@ -1,0 +1,94 @@
+/**
+ * @file
+ * bodytrack (PARSEC): tracking of an articulated body through a
+ * scene with an annealed particle filter. A synthetic 2D body
+ * (torso plus four limbs, an 8-dimensional configuration) moves
+ * over a sequence of frames; each frame yields noisy landmark
+ * observations. The filter anneals the observation likelihood over
+ * a number of layers — the Accordion input — resampling and
+ * diffusing particles per layer, with progressively more candidate
+ * evaluations in later layers (the refinement that makes problem
+ * size super-linear in the layer count; Table 3 classes both
+ * dependencies as complex). Output: the tracked configuration
+ * vector per frame; quality metric: SSD-based distortion.
+ *
+ * Drop semantics (paper footnote 1): infected threads neither
+ * filter their share of the observations (their landmarks are
+ * unavailable to everyone) nor calculate their particles' weights
+ * (those particles are ignored) — which is why bodytrack shows the
+ * highest sensitivity to Drop in the paper's Fig. 4.
+ */
+
+#ifndef ACCORDION_RMS_BODYTRACK_HPP
+#define ACCORDION_RMS_BODYTRACK_HPP
+
+#include "workload.hpp"
+
+namespace accordion::rms {
+
+/** Body model and filter shape. */
+struct BodytrackConfig
+{
+    std::size_t frames = 8;
+    std::size_t particles = 256;
+    std::size_t landmarks = 16; //!< observed body points per frame
+    double observationNoise = 0.5; //!< landmark noise [model units]
+    double processNoise = 0.7; //!< initial per-layer diffusion
+    double annealRate = 0.85; //!< layer-to-layer beta growth
+    /** Frame-to-frame prediction noise: the motion model is weak,
+     *  so the observations (and annealing depth) carry the
+     *  tracking. */
+    double predictionNoise = 0.45;
+    /** Sharpness of the weighting function: the effective sigma of
+     *  exp(-beta E / (2 sigma^2)). A peaky likelihood makes single-
+     *  layer filtering degenerate, which is precisely what annealed
+     *  layers fix. */
+    double weightSigma = 0.5;
+    /** The filter's motion model underestimates the true torso
+     *  velocity; observations (hence annealing depth) must make up
+     *  the difference — this is what gives the layer count its
+     *  accuracy leverage. */
+    double predictionBias = 0.3;
+};
+
+/** bodytrack workload. */
+class Bodytrack : public Workload
+{
+  public:
+    explicit Bodytrack(BodytrackConfig config = {});
+
+    std::string name() const override { return "bodytrack"; }
+    std::string domain() const override { return "Computer vision"; }
+    std::string qualityMetricName() const override
+    {
+        return "SSD based";
+    }
+    std::string accordionInputName() const override
+    {
+        return "Number of annealing layers";
+    }
+    double defaultInput() const override { return 4.0; }
+    std::vector<double> inputSweep() const override;
+    double hyperAccurateInput() const override { return 16.0; }
+    RunResult run(const RunConfig &config) const override;
+    double quality(const RunResult &result,
+                   const RunResult &reference) const override;
+    manycore::WorkloadTraits traits() const override;
+    Dependency problemSizeDependency() const override
+    {
+        return Dependency::Complex;
+    }
+    Dependency qualityDependency() const override
+    {
+        return Dependency::Complex;
+    }
+
+    const BodytrackConfig &config() const { return config_; }
+
+  private:
+    BodytrackConfig config_;
+};
+
+} // namespace accordion::rms
+
+#endif // ACCORDION_RMS_BODYTRACK_HPP

@@ -1,0 +1,209 @@
+#include "canneal.hpp"
+
+#include <cmath>
+#include <algorithm>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace accordion::rms {
+
+namespace {
+
+/** Synthetic netlist: elements with random nets, placed on a grid. */
+struct Netlist
+{
+    std::size_t gridSide;
+    std::vector<std::vector<std::size_t>> nets; //!< per element
+    std::vector<std::size_t> slotOf; //!< element -> grid slot
+
+    Netlist(const CannealConfig &cfg, util::Rng &rng)
+        : gridSide(cfg.gridSide), nets(cfg.elements),
+          slotOf(cfg.elements)
+    {
+        if (cfg.elements > cfg.gridSide * cfg.gridSide)
+            util::fatal("canneal: %zu elements exceed %zu slots",
+                        cfg.elements, cfg.gridSide * cfg.gridSide);
+        // Real netlists are local: elements mostly connect to
+        // latent neighbors. Lay elements on a latent grid, wire
+        // each to nearby peers, then scramble the initial
+        // placement — the annealer's job is to rediscover the
+        // latent locality.
+        const auto side = static_cast<std::size_t>(
+            std::ceil(std::sqrt(static_cast<double>(cfg.elements))));
+        for (std::size_t e = 0; e < cfg.elements; ++e) {
+            const long ex = static_cast<long>(e % side);
+            const long ey = static_cast<long>(e / side);
+            nets[e].reserve(cfg.fanout);
+            for (std::size_t k = 0; k < cfg.fanout; ++k) {
+                const long dx =
+                    static_cast<long>(std::lround(rng.normal(0, 2.0)));
+                const long dy =
+                    static_cast<long>(std::lround(rng.normal(0, 2.0)));
+                const long px = std::clamp<long>(
+                    ex + dx, 0, static_cast<long>(side) - 1);
+                const long py = std::clamp<long>(
+                    ey + dy, 0, static_cast<long>(side) - 1);
+                auto peer = static_cast<std::size_t>(
+                    py * static_cast<long>(side) + px);
+                if (peer >= cfg.elements || peer == e)
+                    peer = (e + 1 + k) % cfg.elements;
+                nets[e].push_back(peer);
+            }
+        }
+        // Random initial placement (Fisher-Yates).
+        for (std::size_t e = 0; e < cfg.elements; ++e)
+            slotOf[e] = e;
+        for (std::size_t e = cfg.elements - 1; e > 0; --e)
+            std::swap(slotOf[e], slotOf[rng.uniformInt(e + 1)]);
+    }
+
+    double
+    wireLength(std::size_t slot_a, std::size_t slot_b) const
+    {
+        const auto ax = slot_a % gridSide, ay = slot_a / gridSide;
+        const auto bx = slot_b % gridSide, by = slot_b / gridSide;
+        const double dx = ax > bx ? ax - bx : bx - ax;
+        const double dy = ay > by ? ay - by : by - ay;
+        return dx + dy;
+    }
+
+    /** Total routing cost (each directed net counted once). */
+    double
+    routingCost() const
+    {
+        double cost = 0.0;
+        for (std::size_t e = 0; e < nets.size(); ++e)
+            for (std::size_t peer : nets[e])
+                cost += wireLength(slotOf[e], slotOf[peer]);
+        return cost;
+    }
+
+    /** Cost change of swapping the slots of elements a and b. */
+    double
+    swapDelta(std::size_t a, std::size_t b) const
+    {
+        double delta = 0.0;
+        for (std::size_t peer : nets[a]) {
+            if (peer == a || peer == b)
+                continue;
+            delta += wireLength(slotOf[b], slotOf[peer]) -
+                wireLength(slotOf[a], slotOf[peer]);
+        }
+        for (std::size_t peer : nets[b]) {
+            if (peer == a || peer == b)
+                continue;
+            delta += wireLength(slotOf[a], slotOf[peer]) -
+                wireLength(slotOf[b], slotOf[peer]);
+        }
+        return delta;
+    }
+};
+
+} // namespace
+
+Canneal::Canneal(CannealConfig config) : config_(config) {}
+
+std::vector<double>
+Canneal::inputSweep() const
+{
+    return {48, 64, 96, 128, 192, 256, 384, 512, 768};
+}
+
+RunResult
+Canneal::run(const RunConfig &config) const
+{
+    if (config.input < 1.0)
+        util::fatal("canneal: swaps per temperature step must be >= 1");
+    const auto swaps_per_step =
+        static_cast<std::size_t>(config.input);
+    util::Rng data_rng(config.seed, 0xca22ea1);
+    Netlist netlist(config_, data_rng);
+
+    std::vector<util::Rng> thread_rng;
+    thread_rng.reserve(config.threads);
+    for (std::size_t t = 0; t < config.threads; ++t)
+        thread_rng.push_back(data_rng.fork(1000 + t));
+
+    util::Rng corrupt_rng(config.seed, 0xc044);
+    double temperature = config_.startTemperature;
+    std::size_t work_units = 0;
+    for (std::size_t step = 0; step < config_.tempSteps; ++step) {
+        for (std::size_t t = 0; t < config.threads; ++t) {
+            const bool infected =
+                config.fault.infected(t, config.threads);
+            if (infected && config.fault.drops())
+                continue; // swap() prevented (paper footnote 1)
+            for (std::size_t s = 0; s < swaps_per_step; ++s) {
+                util::Rng &rng = thread_rng[t];
+                const std::size_t a =
+                    rng.uniformInt(config_.elements);
+                std::size_t b = rng.uniformInt(config_.elements);
+                if (b == a)
+                    b = (b + 1) % config_.elements;
+                double delta = netlist.swapDelta(a, b);
+                ++work_units;
+                if (infected)
+                    delta = fault::corruptDouble(delta,
+                                                 config.fault.mode(),
+                                                 corrupt_rng);
+                bool accept = delta < 0.0 ||
+                    rng.uniform() < std::exp(-delta / temperature);
+                if (std::isnan(delta))
+                    accept = false;
+                if (infected &&
+                    config.fault.mode() ==
+                        fault::ErrorMode::InvertDecision)
+                    accept = !accept;
+                if (accept)
+                    std::swap(netlist.slotOf[a], netlist.slotOf[b]);
+            }
+        }
+        temperature *= config_.coolingRate;
+    }
+
+    RunResult result;
+    result.output = {netlist.routingCost()};
+    result.problemSize = static_cast<double>(config_.tempSteps) *
+        static_cast<double>(swaps_per_step) *
+        static_cast<double>(config.threads);
+    result.taskSet.numTasks = config.threads;
+    // ~50 dynamic instructions per swap attempt (two fanout-4 cost
+    // scans plus the Metropolis test).
+    result.taskSet.instrPerTask = static_cast<double>(config_.tempSteps) *
+        static_cast<double>(swaps_per_step) * 50.0;
+    (void)work_units;
+    return result;
+}
+
+double
+Canneal::quality(const RunResult &result, const RunResult &reference) const
+{
+    if (result.output.empty() || reference.output.empty())
+        util::fatal("canneal: empty output");
+    const double cost = result.output.front();
+    const double ref = reference.output.front();
+    if (cost <= 0.0)
+        return 0.0;
+    // Relative routing cost: hyper-accurate cost over achieved cost;
+    // 1.0 means the annealer matched the reference.
+    return ref / cost;
+}
+
+manycore::WorkloadTraits
+Canneal::traits() const
+{
+    manycore::WorkloadTraits t;
+    // Pointer-chasing over a large netlist: memory-bound, poor
+    // locality, little overlap.
+    t.cpiBase = 1.0;
+    t.memOpsPerInstr = 0.30;
+    t.privateMissRate = 0.08;
+    t.clusterMissRate = 0.25;
+    t.overlapFactor = 0.30;
+    t.syncNsPerTask = 400.0;
+    t.serialFraction = 0.0005;
+    return t;
+}
+
+} // namespace accordion::rms

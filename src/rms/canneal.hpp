@@ -1,0 +1,76 @@
+/**
+ * @file
+ * canneal (PARSEC): simulated-annealing minimization of the routing
+ * cost of a chip design. Elements of a synthetic netlist are placed
+ * on a grid; at each temperature step every thread attempts
+ * swaps-per-temperature-step random element swaps, accepting cost
+ * increases with Boltzmann probability. The Accordion input is the
+ * number of swaps per temperature step (per thread); both the
+ * problem size and the quality depend on it linearly (Table 3).
+ * Quality metric: relative routing cost.
+ *
+ * Drop semantics (paper footnote 1): an infected thread's swap()
+ * calls are prevented entirely. For the Section 6.2 validation the
+ * swap *decision variable* (the cost delta) can instead be
+ * bit-corrupted, or the accept/reject decision inverted.
+ */
+
+#ifndef ACCORDION_RMS_CANNEAL_HPP
+#define ACCORDION_RMS_CANNEAL_HPP
+
+#include "workload.hpp"
+
+namespace accordion::rms {
+
+/** Shape of the synthetic netlist. */
+struct CannealConfig
+{
+    std::size_t elements = 1024; //!< netlist elements
+    std::size_t gridSide = 36; //!< placement grid (gridSide^2 slots)
+    std::size_t fanout = 5; //!< nets per element
+    std::size_t tempSteps = 24; //!< annealing temperature steps
+    double startTemperature = 30.0;
+    double coolingRate = 0.7;
+};
+
+/** canneal workload. */
+class Canneal : public Workload
+{
+  public:
+    explicit Canneal(CannealConfig config = {});
+
+    std::string name() const override { return "canneal"; }
+    std::string domain() const override { return "Optimization"; }
+    std::string qualityMetricName() const override
+    {
+        return "Relative routing cost";
+    }
+    std::string accordionInputName() const override
+    {
+        return "Swaps per temperature step";
+    }
+    double defaultInput() const override { return 192.0; }
+    std::vector<double> inputSweep() const override;
+    double hyperAccurateInput() const override { return 1536.0; }
+    RunResult run(const RunConfig &config) const override;
+    double quality(const RunResult &result,
+                   const RunResult &reference) const override;
+    manycore::WorkloadTraits traits() const override;
+    Dependency problemSizeDependency() const override
+    {
+        return Dependency::Linear;
+    }
+    Dependency qualityDependency() const override
+    {
+        return Dependency::Linear;
+    }
+
+    const CannealConfig &config() const { return config_; }
+
+  private:
+    CannealConfig config_;
+};
+
+} // namespace accordion::rms
+
+#endif // ACCORDION_RMS_CANNEAL_HPP

@@ -1,0 +1,262 @@
+#include "ferret.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/grid.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace accordion::rms {
+
+namespace {
+
+/** Separable cosine basis indexed by descriptor dimension. */
+double
+basis(std::size_t k, double x, double y)
+{
+    const std::size_t a = 1 + k % 3;
+    const std::size_t b = 1 + k / 3;
+    return std::cos(M_PI * static_cast<double>(a) * x) *
+        std::cos(M_PI * static_cast<double>(b) * y);
+}
+
+/** Render an image from its latent descriptor plus noise. */
+util::Grid2D<double>
+render(const FerretConfig &cfg, const std::vector<double> &descriptor,
+       util::Rng &rng)
+{
+    util::Grid2D<double> img(cfg.imageSide, cfg.imageSide, 0.0);
+    for (std::size_t r = 0; r < cfg.imageSide; ++r) {
+        for (std::size_t c = 0; c < cfg.imageSide; ++c) {
+            const double x = (static_cast<double>(c) + 0.5) /
+                static_cast<double>(cfg.imageSide);
+            const double y = (static_cast<double>(r) + 0.5) /
+                static_cast<double>(cfg.imageSide);
+            double v = 0.0;
+            for (std::size_t k = 0; k < descriptor.size(); ++k)
+                v += descriptor[k] * basis(k, x, y);
+            img.at(r, c) = v + cfg.pixelNoise * rng.normal();
+        }
+    }
+    return img;
+}
+
+/**
+ * Region-based feature extraction: the image is tiled into regions
+ * of at least min_region_size pixels; each descriptor coefficient
+ * is the quadrature of image x basis over the region grid. Fewer
+ * (larger) regions mean a coarser quadrature and a noisier
+ * descriptor — exactly the accuracy lever the size factor pulls.
+ */
+std::vector<double>
+extractDescriptor(const FerretConfig &cfg,
+                  const util::Grid2D<double> &img,
+                  double min_region_size)
+{
+    const double pixels = static_cast<double>(img.size());
+    const double side = std::sqrt(std::max(1.0, min_region_size));
+    const auto tiles = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               static_cast<double>(cfg.imageSide) / side));
+    const std::size_t tile_px = (cfg.imageSide + tiles - 1) / tiles;
+
+    std::vector<double> desc(cfg.descriptorDims, 0.0);
+    for (std::size_t tr = 0; tr < tiles; ++tr) {
+        for (std::size_t tc = 0; tc < tiles; ++tc) {
+            const std::size_t r0 = tr * tile_px;
+            const std::size_t c0 = tc * tile_px;
+            if (r0 >= cfg.imageSide || c0 >= cfg.imageSide)
+                continue;
+            const std::size_t r1 =
+                std::min(cfg.imageSide, r0 + tile_px);
+            const std::size_t c1 =
+                std::min(cfg.imageSide, c0 + tile_px);
+            double mean = 0.0;
+            for (std::size_t r = r0; r < r1; ++r)
+                for (std::size_t c = c0; c < c1; ++c)
+                    mean += img.at(r, c);
+            const double area =
+                static_cast<double>((r1 - r0) * (c1 - c0));
+            mean /= area;
+            const double cx =
+                (static_cast<double>(c0 + c1)) * 0.5 /
+                static_cast<double>(cfg.imageSide);
+            const double cy =
+                (static_cast<double>(r0 + r1)) * 0.5 /
+                static_cast<double>(cfg.imageSide);
+            for (std::size_t k = 0; k < desc.size(); ++k)
+                desc[k] += mean * basis(k, cx, cy) * area;
+        }
+    }
+    // Basis functions have L2 norm^2 of pixels/4 on the grid.
+    for (double &d : desc)
+        d /= pixels / 4.0;
+    return desc;
+}
+
+double
+l2sq(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        sum += d * d;
+    }
+    return sum;
+}
+
+} // namespace
+
+Ferret::Ferret(FerretConfig config) : config_(config) {}
+
+std::vector<double>
+Ferret::inputSweep() const
+{
+    // Ordered by increasing problem size: smaller size factor means
+    // more regions. Factors are chosen just below 1/k^2 so each
+    // sweep point lands on a distinct k x k region tiling.
+    return {0.24, 0.105, 0.06, 0.039, 0.026, 0.019, 0.0145, 0.0115,
+            0.0094};
+}
+
+RunResult
+Ferret::run(const RunConfig &config) const
+{
+    if (config.input <= 0.0 || config.input > 1.0)
+        util::fatal("ferret: size factor %g not in (0,1]", config.input);
+    const double pixels = static_cast<double>(config_.imageSide) *
+        static_cast<double>(config_.imageSide);
+    const double min_region_size = pixels * config.input;
+
+    // Latent database: clustered descriptors.
+    util::Rng rng(config.seed, 0xfe44e7);
+    std::vector<std::vector<double>> centers(config_.categories);
+    for (auto &center : centers) {
+        center.resize(config_.descriptorDims);
+        for (double &v : center)
+            v = rng.normal(0.0, 30.0);
+    }
+    std::vector<std::vector<double>> latent(config_.dbImages);
+    for (std::size_t i = 0; i < config_.dbImages; ++i) {
+        latent[i] = centers[i % config_.categories];
+        for (double &v : latent[i])
+            v += rng.normal(0.0, 8.0);
+    }
+
+    // Database-side extraction at the configured granularity.
+    std::vector<std::vector<double>> db_desc(config_.dbImages);
+    double regions_per_image = 0.0;
+    {
+        const double side =
+            std::sqrt(std::max(1.0, min_region_size));
+        const auto tiles = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   static_cast<double>(config_.imageSide) / side));
+        regions_per_image = static_cast<double>(tiles * tiles);
+    }
+    for (std::size_t i = 0; i < config_.dbImages; ++i) {
+        util::Rng img_rng = rng.fork(i);
+        const auto img = render(config_, latent[i], img_rng);
+        db_desc[i] = extractDescriptor(config_, img, min_region_size);
+    }
+
+    // Queries: noisy re-renders of random database images.
+    std::vector<std::size_t> query_truth(config_.queries);
+    std::vector<std::vector<double>> query_desc(config_.queries);
+    for (std::size_t q = 0; q < config_.queries; ++q) {
+        query_truth[q] = rng.uniformInt(config_.dbImages);
+        util::Rng img_rng = rng.fork(100000 + q);
+        const auto img =
+            render(config_, latent[query_truth[q]], img_rng);
+        query_desc[q] = extractDescriptor(config_, img,
+                                          min_region_size);
+    }
+
+    // Ranking, partitioned as (query, database slice) tasks.
+    const std::size_t slices =
+        std::max<std::size_t>(1, config.threads / config_.queries);
+    const std::size_t slice_len =
+        (config_.dbImages + slices - 1) / slices;
+    RunResult result;
+    result.output.reserve(config_.queries * config_.topN);
+    for (std::size_t q = 0; q < config_.queries; ++q) {
+        std::vector<std::pair<double, std::size_t>> ranked;
+        ranked.reserve(config_.dbImages);
+        for (std::size_t s = 0; s < slices; ++s) {
+            const std::size_t thread = q * slices + s;
+            if (thread < config.threads &&
+                config.fault.infected(thread, config.threads) &&
+                config.fault.drops())
+                continue; // slice contributes no candidates
+            const std::size_t lo = s * slice_len;
+            const std::size_t hi =
+                std::min(config_.dbImages, lo + slice_len);
+            for (std::size_t i = lo; i < hi; ++i)
+                ranked.emplace_back(l2sq(query_desc[q], db_desc[i]),
+                                    i);
+        }
+        std::sort(ranked.begin(), ranked.end());
+        for (std::size_t k = 0; k < config_.topN; ++k)
+            result.output.push_back(
+                k < ranked.size()
+                    ? static_cast<double>(ranked[k].second)
+                    : -1.0);
+    }
+
+    const double extraction_work =
+        static_cast<double>(config_.dbImages + config_.queries) *
+        regions_per_image * static_cast<double>(config_.descriptorDims);
+    result.problemSize = extraction_work;
+    result.taskSet.numTasks = config.threads;
+    // ~30 dynamic instructions per region-coefficient quadrature
+    // plus the ranking work amortized in.
+    result.taskSet.instrPerTask = extraction_work /
+        static_cast<double>(config.threads) * 30.0;
+    return result;
+}
+
+double
+Ferret::quality(const RunResult &result, const RunResult &reference) const
+{
+    if (result.output.size() != reference.output.size() ||
+        result.output.empty())
+        util::fatal("ferret: output size mismatch");
+    const std::size_t n = config_.topN;
+    const std::size_t queries = result.output.size() / n;
+    double total = 0.0;
+    for (std::size_t q = 0; q < queries; ++q) {
+        std::size_t common = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double mine = result.output[q * n + i];
+            if (mine < 0.0)
+                continue;
+            for (std::size_t j = 0; j < n; ++j)
+                if (reference.output[q * n + j] == mine) {
+                    ++common;
+                    break;
+                }
+        }
+        // relative error per query = 1 - common/n; quality is its
+        // complement.
+        total += static_cast<double>(common) / static_cast<double>(n);
+    }
+    return total / static_cast<double>(queries);
+}
+
+manycore::WorkloadTraits
+Ferret::traits() const
+{
+    manycore::WorkloadTraits t;
+    // Streaming image scans with modest sharing of the database.
+    t.cpiBase = 1.0;
+    t.memOpsPerInstr = 0.32;
+    t.privateMissRate = 0.05;
+    t.clusterMissRate = 0.30;
+    t.overlapFactor = 0.45;
+    t.syncNsPerTask = 350.0;
+    t.serialFraction = 0.0012;
+    return t;
+}
+
+} // namespace accordion::rms

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * ferret (PARSEC): content-based similarity search in an image
+ * database. Images are partitioned into regions and processed
+ * region by region; the number of regions — and hence the work per
+ * thread and the fidelity of the extracted feature descriptor —
+ * follows from the minimum region size, computed as
+ * pixels x size_factor. The size factor is the Accordion input: a
+ * smaller factor means more regions, more work, and a more accurate
+ * descriptor (problem size and quality both depend on it in a
+ * complex, super-linear way). The output is a pre-set number n of
+ * similar images per query; per-query relative error is
+ * 1 - common_image_count / n against the reference outcome.
+ *
+ * Drop semantics: a thread owns (query, database-slice) ranking
+ * work; an infected thread's slice never reports distances, so its
+ * images cannot appear in the query's top-n.
+ */
+
+#ifndef ACCORDION_RMS_FERRET_HPP
+#define ACCORDION_RMS_FERRET_HPP
+
+#include "workload.hpp"
+
+namespace accordion::rms {
+
+/** Database and query shape. */
+struct FerretConfig
+{
+    std::size_t dbImages = 192; //!< database size
+    std::size_t categories = 16; //!< latent semantic clusters
+    std::size_t queries = 16; //!< queries per run
+    std::size_t imageSide = 32; //!< pixels per image edge
+    std::size_t descriptorDims = 12; //!< feature dimensionality
+    std::size_t topN = 8; //!< output images per query
+    double pixelNoise = 6.0; //!< additive render noise
+};
+
+/** ferret workload. */
+class Ferret : public Workload
+{
+  public:
+    explicit Ferret(FerretConfig config = {});
+
+    std::string name() const override { return "ferret"; }
+    std::string domain() const override { return "Similarity search"; }
+    std::string qualityMetricName() const override
+    {
+        return "Based on number of common images";
+    }
+    std::string accordionInputName() const override
+    {
+        return "Size factor";
+    }
+    double defaultInput() const override { return 0.026; }
+    std::vector<double> inputSweep() const override;
+    double hyperAccurateInput() const override { return 0.004; }
+    RunResult run(const RunConfig &config) const override;
+    double quality(const RunResult &result,
+                   const RunResult &reference) const override;
+    manycore::WorkloadTraits traits() const override;
+    Dependency problemSizeDependency() const override
+    {
+        return Dependency::Complex;
+    }
+    Dependency qualityDependency() const override
+    {
+        return Dependency::Complex;
+    }
+
+    const FerretConfig &config() const { return config_; }
+
+  private:
+    FerretConfig config_;
+};
+
+} // namespace accordion::rms
+
+#endif // ACCORDION_RMS_FERRET_HPP

@@ -1,0 +1,149 @@
+#include "hotspot.hpp"
+
+#include <cmath>
+
+#include "util/grid.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace accordion::rms {
+
+namespace {
+
+/** Synthetic floorplan power map: a few hot functional blocks. */
+util::Grid2D<double>
+makePowerMap(const HotspotConfig &cfg, util::Rng &rng)
+{
+    util::Grid2D<double> power(cfg.rows, cfg.cols, 0.05);
+    const std::size_t blocks = 6;
+    for (std::size_t b = 0; b < blocks; ++b) {
+        const std::size_t r0 = rng.uniformInt(cfg.rows * 3 / 4);
+        const std::size_t c0 = rng.uniformInt(cfg.cols * 3 / 4);
+        const std::size_t h = 4 + rng.uniformInt(cfg.rows / 4);
+        const std::size_t w = 4 + rng.uniformInt(cfg.cols / 4);
+        const double level = cfg.maxPower *
+            (0.3 + 0.7 * rng.uniform());
+        for (std::size_t r = r0; r < std::min(cfg.rows, r0 + h); ++r)
+            for (std::size_t c = c0; c < std::min(cfg.cols, c0 + w); ++c)
+                power.at(r, c) += level;
+    }
+    return power;
+}
+
+} // namespace
+
+Hotspot::Hotspot(HotspotConfig config) : config_(config) {}
+
+std::vector<double>
+Hotspot::inputSweep() const
+{
+    return {12, 16, 24, 32, 48, 64, 96, 128};
+}
+
+RunResult
+Hotspot::run(const RunConfig &config) const
+{
+    if (config.input < 1.0)
+        util::fatal("hotspot: iteration count must be >= 1");
+    const auto iterations = static_cast<std::size_t>(config.input);
+    util::Rng rng(config.seed, 0x407590);
+    const util::Grid2D<double> power = makePowerMap(config_, rng);
+
+    // Initial temperatures: a plausible local estimate (ambient plus
+    // the cell's own dissipation through the sink), as Rodinia's
+    // input files provide.
+    util::Grid2D<double> temp(config_.rows, config_.cols, 0.0);
+    for (std::size_t r = 0; r < config_.rows; ++r)
+        for (std::size_t c = 0; c < config_.cols; ++c)
+            temp.at(r, c) = config_.ambient +
+                power.at(r, c) * config_.rz * 0.6;
+
+    // Row ownership: contiguous row bands per thread.
+    auto owner = [&](std::size_t row) {
+        return row * config.threads / config_.rows;
+    };
+
+    util::Grid2D<double> next = temp;
+    for (std::size_t it = 0; it < iterations; ++it) {
+        for (std::size_t r = 0; r < config_.rows; ++r) {
+            const std::size_t t = owner(r);
+            if (config.fault.infected(t, config.threads) &&
+                config.fault.drops())
+                continue; // temperature equation skipped
+            for (std::size_t c = 0; c < config_.cols; ++c) {
+                const double here = temp.at(r, c);
+                const double north =
+                    r > 0 ? temp.at(r - 1, c) : here;
+                const double south =
+                    r + 1 < config_.rows ? temp.at(r + 1, c) : here;
+                const double west =
+                    c > 0 ? temp.at(r, c - 1) : here;
+                const double east =
+                    c + 1 < config_.cols ? temp.at(r, c + 1) : here;
+                const double delta = config_.step *
+                    (power.at(r, c) +
+                     (north + south - 2.0 * here) / config_.ry +
+                     (east + west - 2.0 * here) / config_.rx +
+                     (config_.ambient - here) / config_.rz);
+                next.at(r, c) = here + delta;
+            }
+        }
+        std::swap(temp, next);
+        // Rows skipped this iteration keep their previous values in
+        // `next` too (they were copied on the prior swap), matching
+        // "prevent update of the corresponding cell temperature".
+        for (std::size_t r = 0; r < config_.rows; ++r) {
+            const std::size_t t = owner(r);
+            if (config.fault.infected(t, config.threads) &&
+                config.fault.drops())
+                for (std::size_t c = 0; c < config_.cols; ++c)
+                    next.at(r, c) = temp.at(r, c);
+        }
+    }
+
+    RunResult result;
+    result.output = temp.data();
+    result.problemSize = static_cast<double>(iterations) *
+        static_cast<double>(config_.rows * config_.cols);
+    result.taskSet.numTasks = config.threads;
+    // ~14 dynamic instructions per stencil cell update.
+    result.taskSet.instrPerTask = result.problemSize /
+        static_cast<double>(config.threads) * 14.0;
+    return result;
+}
+
+double
+Hotspot::quality(const RunResult &result, const RunResult &reference) const
+{
+    if (result.output.size() != reference.output.size())
+        util::fatal("hotspot: output size mismatch");
+    double ssd = 0.0;
+    for (std::size_t i = 0; i < result.output.size(); ++i) {
+        const double d = result.output[i] - reference.output[i];
+        ssd += d * d;
+    }
+    const double mse = ssd / static_cast<double>(result.output.size());
+    // SSD-based distortion: larger temperature deviation, lower
+    // quality; errors are scored against the acceptable tolerance
+    // and mapped into (0, 1].
+    const double tol2 = config_.toleranceC * config_.toleranceC;
+    return 1.0 / (1.0 + mse / tol2);
+}
+
+manycore::WorkloadTraits
+Hotspot::traits() const
+{
+    manycore::WorkloadTraits t;
+    // Regular stencil: streaming accesses, good locality, high
+    // overlap.
+    t.cpiBase = 1.0;
+    t.memOpsPerInstr = 0.35;
+    t.privateMissRate = 0.02;
+    t.clusterMissRate = 0.10;
+    t.overlapFactor = 0.6;
+    t.syncNsPerTask = 250.0;
+    t.serialFraction = 0.0004;
+    return t;
+}
+
+} // namespace accordion::rms

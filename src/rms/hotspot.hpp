@@ -1,0 +1,77 @@
+/**
+ * @file
+ * hotspot (Rodinia): transient thermal simulation that iteratively
+ * solves the heat-transfer differential equations over a grid
+ * super-imposed on a floorplan. The Accordion input is the number
+ * of iterations; problem size and quality both depend on it
+ * linearly (Table 3). The output is the temperature at each grid
+ * point; the quality metric is SSD-based distortion against a
+ * hyper-accurate (near-converged) execution.
+ *
+ * Drop semantics (paper footnote 1): infected threads skip the
+ * solution of the temperature equation and the update of their
+ * rows' cell temperatures, leaving the initial estimates in place.
+ */
+
+#ifndef ACCORDION_RMS_HOTSPOT_HPP
+#define ACCORDION_RMS_HOTSPOT_HPP
+
+#include "workload.hpp"
+
+namespace accordion::rms {
+
+/** Thermal-grid shape and physical constants. */
+struct HotspotConfig
+{
+    std::size_t rows = 64;
+    std::size_t cols = 64;
+    double ambient = 80.0; //!< ambient temperature [C]
+    double maxPower = 12.0; //!< hottest functional unit [W-equiv]
+    double rx = 1.0; //!< lateral thermal resistance (east-west)
+    double ry = 1.0; //!< lateral thermal resistance (north-south)
+    double rz = 4.0; //!< vertical resistance to the heat sink
+    double step = 0.1; //!< time step x inverse heat capacity
+    double toleranceC = 3.0; //!< temperature error scale for quality
+};
+
+/** hotspot workload. */
+class Hotspot : public Workload
+{
+  public:
+    explicit Hotspot(HotspotConfig config = {});
+
+    std::string name() const override { return "hotspot"; }
+    std::string domain() const override { return "Physics simulation"; }
+    std::string qualityMetricName() const override
+    {
+        return "SSD based";
+    }
+    std::string accordionInputName() const override
+    {
+        return "Number of iterations";
+    }
+    double defaultInput() const override { return 32.0; }
+    std::vector<double> inputSweep() const override;
+    double hyperAccurateInput() const override { return 1024.0; }
+    RunResult run(const RunConfig &config) const override;
+    double quality(const RunResult &result,
+                   const RunResult &reference) const override;
+    manycore::WorkloadTraits traits() const override;
+    Dependency problemSizeDependency() const override
+    {
+        return Dependency::Linear;
+    }
+    Dependency qualityDependency() const override
+    {
+        return Dependency::Linear;
+    }
+
+    const HotspotConfig &config() const { return config_; }
+
+  private:
+    HotspotConfig config_;
+};
+
+} // namespace accordion::rms
+
+#endif // ACCORDION_RMS_HOTSPOT_HPP

@@ -1,0 +1,179 @@
+#include "srad.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quality/metrics.hpp"
+#include "util/grid.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace accordion::rms {
+
+namespace {
+
+/** Clean synthetic ultrasound-like scene: smooth blobs and edges. */
+util::Grid2D<double>
+makeScene(const SradConfig &cfg)
+{
+    util::Grid2D<double> scene(cfg.rows, cfg.cols, 0.0);
+    for (std::size_t r = 0; r < cfg.rows; ++r) {
+        for (std::size_t c = 0; c < cfg.cols; ++c) {
+            const double x = static_cast<double>(c) /
+                static_cast<double>(cfg.cols);
+            const double y = static_cast<double>(r) /
+                static_cast<double>(cfg.rows);
+            double v = 90.0 + 60.0 * std::sin(3.0 * x) *
+                std::cos(2.0 * y);
+            if ((x - 0.35) * (x - 0.35) + (y - 0.4) * (y - 0.4) < 0.04)
+                v += 80.0; // bright lesion
+            if (x > 0.7 && y > 0.6)
+                v -= 50.0; // dark quadrant
+            scene.at(r, c) = std::max(10.0, v);
+        }
+    }
+    return scene;
+}
+
+} // namespace
+
+Srad::Srad(SradConfig config) : config_(config) {}
+
+std::vector<double>
+Srad::inputSweep() const
+{
+    return {8, 12, 16, 24, 32, 48, 64, 96};
+}
+
+RunResult
+Srad::run(const RunConfig &config) const
+{
+    if (config.input < 1.0)
+        util::fatal("srad: iteration count must be >= 1");
+    const auto iterations = static_cast<std::size_t>(config.input);
+    const std::size_t rows = config_.rows, cols = config_.cols;
+
+    // Speckle-corrupted observation of the clean scene.
+    util::Rng rng(config.seed, 0x54ad);
+    util::Grid2D<double> image = makeScene(config_);
+    for (std::size_t i = 0; i < image.size(); ++i)
+        image.flat(i) *= std::max(
+            0.05, 1.0 + config_.speckleSigma * rng.normal());
+
+    auto owner = [&](std::size_t row) {
+        return row * config.threads / rows;
+    };
+    auto dropped = [&](std::size_t row) {
+        const std::size_t t = owner(row);
+        return config.fault.infected(t, config.threads) &&
+            config.fault.drops();
+    };
+
+    util::Grid2D<double> coeff(rows, cols, 0.0);
+    util::Grid2D<double> dn(rows, cols, 0.0), ds(rows, cols, 0.0),
+        dw(rows, cols, 0.0), de(rows, cols, 0.0);
+    for (std::size_t it = 0; it < iterations; ++it) {
+        // ROI statistics (the whole image) give the speckle scale.
+        double sum = 0.0, sum2 = 0.0;
+        for (std::size_t i = 0; i < image.size(); ++i) {
+            sum += image.flat(i);
+            sum2 += image.flat(i) * image.flat(i);
+        }
+        const double n = static_cast<double>(image.size());
+        const double mean = sum / n;
+        const double var = std::max(1e-12, sum2 / n - mean * mean);
+        const double q0sqr = var / (mean * mean);
+
+        // Phase 1: directional derivatives, ICOV, diffusion
+        // coefficient.
+        for (std::size_t r = 0; r < rows; ++r) {
+            if (dropped(r))
+                continue;
+            for (std::size_t c = 0; c < cols; ++c) {
+                const double here = image.at(r, c);
+                const double north =
+                    r > 0 ? image.at(r - 1, c) : here;
+                const double south =
+                    r + 1 < rows ? image.at(r + 1, c) : here;
+                const double west = c > 0 ? image.at(r, c - 1) : here;
+                const double east =
+                    c + 1 < cols ? image.at(r, c + 1) : here;
+                dn.at(r, c) = north - here;
+                ds.at(r, c) = south - here;
+                dw.at(r, c) = west - here;
+                de.at(r, c) = east - here;
+                const double g2 =
+                    (dn.at(r, c) * dn.at(r, c) +
+                     ds.at(r, c) * ds.at(r, c) +
+                     dw.at(r, c) * dw.at(r, c) +
+                     de.at(r, c) * de.at(r, c)) /
+                    (here * here + 1e-12);
+                const double l =
+                    (dn.at(r, c) + ds.at(r, c) + dw.at(r, c) +
+                     de.at(r, c)) /
+                    (here + 1e-12);
+                const double num = 0.5 * g2 - 0.0625 * l * l;
+                const double den = 1.0 + 0.25 * l;
+                const double qsqr =
+                    std::max(0.0, num / (den * den + 1e-12));
+                const double cval = 1.0 /
+                    (1.0 +
+                     (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr) + 1e-12));
+                coeff.at(r, c) = std::clamp(cval, 0.0, 1.0);
+            }
+        }
+
+        // Phase 2: divergence and image update.
+        for (std::size_t r = 0; r < rows; ++r) {
+            if (dropped(r))
+                continue;
+            for (std::size_t c = 0; c < cols; ++c) {
+                const double c_here = coeff.at(r, c);
+                const double c_south =
+                    r + 1 < rows ? coeff.at(r + 1, c) : c_here;
+                const double c_east =
+                    c + 1 < cols ? coeff.at(r, c + 1) : c_here;
+                const double div = c_here * dn.at(r, c) +
+                    c_south * ds.at(r, c) + c_here * dw.at(r, c) +
+                    c_east * de.at(r, c);
+                image.at(r, c) += 0.25 * config_.lambda * div;
+            }
+        }
+    }
+
+    RunResult result;
+    result.output = image.data();
+    result.problemSize = static_cast<double>(iterations) *
+        static_cast<double>(rows * cols);
+    result.taskSet.numTasks = config.threads;
+    // ~40 dynamic instructions per pixel per iteration across both
+    // phases.
+    result.taskSet.instrPerTask = result.problemSize /
+        static_cast<double>(config.threads) * 40.0;
+    return result;
+}
+
+double
+Srad::quality(const RunResult &result, const RunResult &reference) const
+{
+    // PSNR of the produced image against the hyper-accurate
+    // execution, over the scene's dynamic range.
+    return quality::psnr(result.output, reference.output, 230.0, 60.0);
+}
+
+manycore::WorkloadTraits
+Srad::traits() const
+{
+    manycore::WorkloadTraits t;
+    // Two streaming stencil phases per iteration.
+    t.cpiBase = 1.1;
+    t.memOpsPerInstr = 0.38;
+    t.privateMissRate = 0.025;
+    t.clusterMissRate = 0.12;
+    t.overlapFactor = 0.55;
+    t.syncNsPerTask = 300.0;
+    t.serialFraction = 0.0006;
+    return t;
+}
+
+} // namespace accordion::rms

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * srad (Rodinia): Speckle Reducing Anisotropic Diffusion, an
+ * iterative PDE solver that removes correlated (multiplicative)
+ * noise from imaging applications. The Accordion input is the
+ * number of iterations (linear in both problem size and quality,
+ * Table 3); the quality metric is PSNR-based distortion against a
+ * hyper-accurate execution. The paper profiles srad at 32 threads.
+ *
+ * Drop semantics (paper footnote 1): infected threads skip the
+ * calculation of directional derivatives, ICOV and diffusion
+ * coefficients, along with divergence and image update, for their
+ * rows in each iteration.
+ */
+
+#ifndef ACCORDION_RMS_SRAD_HPP
+#define ACCORDION_RMS_SRAD_HPP
+
+#include "workload.hpp"
+
+namespace accordion::rms {
+
+/** Image shape and diffusion constants. */
+struct SradConfig
+{
+    std::size_t rows = 64;
+    std::size_t cols = 64;
+    double lambda = 0.5; //!< diffusion update rate
+    double speckleSigma = 0.25; //!< multiplicative noise level
+};
+
+/** srad workload. */
+class Srad : public Workload
+{
+  public:
+    explicit Srad(SradConfig config = {});
+
+    std::string name() const override { return "srad"; }
+    std::string domain() const override { return "Image processing"; }
+    std::string qualityMetricName() const override
+    {
+        return "PSNR based";
+    }
+    std::string accordionInputName() const override
+    {
+        return "Number of iterations";
+    }
+    double defaultInput() const override { return 24.0; }
+    std::vector<double> inputSweep() const override;
+    double hyperAccurateInput() const override { return 256.0; }
+    std::size_t defaultThreads() const override { return 32; }
+    RunResult run(const RunConfig &config) const override;
+    double quality(const RunResult &result,
+                   const RunResult &reference) const override;
+    manycore::WorkloadTraits traits() const override;
+    Dependency problemSizeDependency() const override
+    {
+        return Dependency::Linear;
+    }
+    Dependency qualityDependency() const override
+    {
+        return Dependency::Linear;
+    }
+
+    const SradConfig &config() const { return config_; }
+
+  private:
+    SradConfig config_;
+};
+
+} // namespace accordion::rms
+
+#endif // ACCORDION_RMS_SRAD_HPP

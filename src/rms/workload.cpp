@@ -1,0 +1,73 @@
+#include "workload.hpp"
+
+#include "bitmine.hpp"
+#include "bodytrack.hpp"
+#include "canneal.hpp"
+#include "ferret.hpp"
+#include "hotspot.hpp"
+#include "srad.hpp"
+#include "util/log.hpp"
+#include "x264.hpp"
+
+namespace accordion::rms {
+
+std::string
+dependencyName(Dependency dep)
+{
+    return dep == Dependency::Linear ? "linear" : "complex";
+}
+
+RunResult
+Workload::runReference(std::uint64_t seed) const
+{
+    RunConfig config;
+    config.input = hyperAccurateInput();
+    config.threads = defaultThreads();
+    config.seed = seed;
+    return run(config);
+}
+
+double
+Workload::qualityOf(const RunConfig &config,
+                    const RunResult &reference) const
+{
+    return quality(run(config), reference);
+}
+
+const std::vector<const Workload *> &
+allWorkloads()
+{
+    static const Canneal canneal;
+    static const Ferret ferret;
+    static const Bodytrack bodytrack;
+    static const X264 x264;
+    static const Hotspot hotspot;
+    static const Srad srad;
+    static const std::vector<const Workload *> workloads = {
+        &canneal, &ferret, &bodytrack, &x264, &hotspot, &srad,
+    };
+    return workloads;
+}
+
+const std::vector<const Workload *> &
+extendedWorkloads()
+{
+    static const Bitmine bitmine;
+    static const std::vector<const Workload *> workloads = [] {
+        std::vector<const Workload *> all = allWorkloads();
+        all.push_back(&bitmine);
+        return all;
+    }();
+    return workloads;
+}
+
+const Workload &
+findWorkload(const std::string &name)
+{
+    for (const Workload *w : extendedWorkloads())
+        if (w->name() == name)
+            return *w;
+    util::fatal("findWorkload: unknown benchmark '%s'", name.c_str());
+}
+
+} // namespace accordion::rms

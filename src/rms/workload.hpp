@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Common interface of the six RMS kernels (Table 3 of the paper).
+ * Each kernel is a faithful, self-contained implementation of the
+ * PARSEC/Rodinia algorithm it stands in for, exposing:
+ *  - the *Accordion input*: the single application parameter that
+ *    governs both the problem size and the output accuracy,
+ *  - a parallel task decomposition (threads == tasks) whose
+ *    per-thread work can be Dropped or corrupted at exactly the
+ *    code sites the paper's footnote 1 lists,
+ *  - the application-specific quality metric, evaluated against a
+ *    hyper-accurate execution, and
+ *  - execution traits for the manycore performance model.
+ *
+ * Kernels run single-threaded but partition work by thread index
+ * with per-thread RNG streams, so executions are deterministic and
+ * dropping a thread is well-defined.
+ */
+
+#ifndef ACCORDION_RMS_WORKLOAD_HPP
+#define ACCORDION_RMS_WORKLOAD_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "manycore/traits.hpp"
+#include "manycore/perf_model.hpp"
+
+namespace accordion::rms {
+
+/** One kernel execution request. */
+struct RunConfig
+{
+    double input = 0.0; //!< Accordion input value
+    std::size_t threads = 64; //!< parallel tasks (srad profiles at 32)
+    fault::FaultPlan fault; //!< drop/corruption plan
+    std::uint64_t seed = 42; //!< input-data seed
+};
+
+/** One kernel execution outcome. */
+struct RunResult
+{
+    /** Numeric output values the quality metric is computed over. */
+    std::vector<double> output;
+    /** Problem size in the kernel's own work units (the paper
+     *  normalizes it to the default input downstream). */
+    double problemSize = 0.0;
+    /** Work shape for the manycore performance model. */
+    manycore::TaskSet taskSet;
+};
+
+/** How a quantity depends on the Accordion input (Table 3). */
+enum class Dependency
+{
+    Linear,
+    Complex,
+};
+
+/** Name of a dependency class. */
+std::string dependencyName(Dependency dep);
+
+/** Abstract RMS kernel. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name, e.g. "canneal". */
+    virtual std::string name() const = 0;
+
+    /** Application domain (Table 3), e.g. "Optimization". */
+    virtual std::string domain() const = 0;
+
+    /** Quality-metric label (Table 3). */
+    virtual std::string qualityMetricName() const = 0;
+
+    /** Accordion input label (Table 3). */
+    virtual std::string accordionInputName() const = 0;
+
+    /** Default Accordion input (the paper's simsmall/as-provided). */
+    virtual double defaultInput() const = 0;
+
+    /**
+     * Accordion input sweep ordered by *increasing problem size*
+     * (for ferret and x264 the raw input decreases along the
+     * sweep).
+     */
+    virtual std::vector<double> inputSweep() const = 0;
+
+    /** Input of the hyper-accurate reference execution. */
+    virtual double hyperAccurateInput() const = 0;
+
+    /** Thread count the paper profiles this kernel with. */
+    virtual std::size_t defaultThreads() const { return 64; }
+
+    /** Execute the kernel. */
+    virtual RunResult run(const RunConfig &config) const = 0;
+
+    /**
+     * Application-specific quality of @p result against the
+     * hyper-accurate @p reference; higher is better. The paper
+     * normalizes this to the default-input quality downstream.
+     */
+    virtual double quality(const RunResult &result,
+                           const RunResult &reference) const = 0;
+
+    /** Machine-load traits for the performance model. */
+    virtual manycore::WorkloadTraits traits() const = 0;
+
+    /** Table 3 dependency class of the problem size on the input. */
+    virtual Dependency problemSizeDependency() const = 0;
+
+    /** Table 3 dependency class of the quality on the input. */
+    virtual Dependency qualityDependency() const = 0;
+
+    /**
+     * Convenience: run the hyper-accurate reference execution.
+     */
+    RunResult runReference(std::uint64_t seed = 42) const;
+
+    /**
+     * Convenience: quality of a configuration, computed against a
+     * caller-supplied reference.
+     */
+    double qualityOf(const RunConfig &config,
+                     const RunResult &reference) const;
+};
+
+/** All registered kernels (canneal, ferret, bodytrack, x264,
+ *  hotspot, srad), in the paper's Table 3 order. */
+const std::vector<const Workload *> &allWorkloads();
+
+/** Find a kernel by name; fatal() if unknown. */
+const Workload &findWorkload(const std::string &name);
+
+} // namespace accordion::rms
+
+#endif // ACCORDION_RMS_WORKLOAD_HPP

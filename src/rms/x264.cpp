@@ -1,0 +1,285 @@
+#include "x264.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quality/metrics.hpp"
+#include "util/grid.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace accordion::rms {
+
+namespace {
+
+using Frame = util::Grid2D<double>;
+
+/** Synthetic luma sequence: textured background + moving objects. */
+std::vector<Frame>
+makeSequence(const X264Config &cfg, util::Rng &rng)
+{
+    std::vector<Frame> frames;
+    frames.reserve(cfg.frames);
+    // Static textured background.
+    Frame background(cfg.height, cfg.width, 0.0);
+    for (std::size_t r = 0; r < cfg.height; ++r)
+        for (std::size_t c = 0; c < cfg.width; ++c) {
+            const double x = static_cast<double>(c);
+            const double y = static_cast<double>(r);
+            background.at(r, c) = 110.0 + 40.0 * std::sin(0.21 * x) *
+                    std::cos(0.17 * y) +
+                8.0 * rng.normal();
+        }
+    for (std::size_t f = 0; f < cfg.frames; ++f) {
+        Frame frame = background;
+        // A bright square panning right and a dark disc panning down.
+        const double t = static_cast<double>(f);
+        const double sq_x = 6.0 + 3.0 * t;
+        const double sq_y = 12.0 + 1.0 * t;
+        const double disc_x = 40.0 - 1.5 * t;
+        const double disc_y = 8.0 + 4.0 * t;
+        for (std::size_t r = 0; r < cfg.height; ++r)
+            for (std::size_t c = 0; c < cfg.width; ++c) {
+                const double x = static_cast<double>(c);
+                const double y = static_cast<double>(r);
+                if (x >= sq_x && x < sq_x + 14 && y >= sq_y &&
+                    y < sq_y + 14)
+                    frame.at(r, c) = 225.0;
+                const double dx = x - disc_x, dy = y - disc_y;
+                if (dx * dx + dy * dy < 64.0)
+                    frame.at(r, c) = 35.0;
+                frame.at(r, c) = std::clamp(frame.at(r, c), 0.0,
+                                            255.0);
+            }
+        frames.push_back(std::move(frame));
+    }
+    return frames;
+}
+
+/** 8x8 orthonormal DCT-II, straightforward O(n^4). */
+void
+dct8x8(const double *in, double *out, bool inverse)
+{
+    constexpr std::size_t n = 8;
+    auto alpha = [](std::size_t k) {
+        return k == 0 ? std::sqrt(1.0 / n) : std::sqrt(2.0 / n);
+    };
+    for (std::size_t u = 0; u < n; ++u) {
+        for (std::size_t v = 0; v < n; ++v) {
+            double sum = 0.0;
+            for (std::size_t r = 0; r < n; ++r) {
+                for (std::size_t c = 0; c < n; ++c) {
+                    if (!inverse) {
+                        sum += in[r * n + c] *
+                            std::cos((2 * r + 1) * u * M_PI /
+                                     (2.0 * n)) *
+                            std::cos((2 * c + 1) * v * M_PI /
+                                     (2.0 * n));
+                    } else {
+                        sum += alpha(r) * alpha(c) * in[r * n + c] *
+                            std::cos((2 * u + 1) * r * M_PI /
+                                     (2.0 * n)) *
+                            std::cos((2 * v + 1) * c * M_PI /
+                                     (2.0 * n));
+                    }
+                }
+            }
+            out[u * n + v] = inverse ? sum : alpha(u) * alpha(v) * sum;
+        }
+    }
+}
+
+/** H.264-style quantization step for a QP. */
+double
+qstep(double qp)
+{
+    return 0.625 * std::pow(2.0, qp / 6.0);
+}
+
+} // namespace
+
+X264::X264(X264Config config) : config_(config) {}
+
+std::vector<double>
+X264::inputSweep() const
+{
+    // Ordered by increasing problem size: smaller QP keeps more
+    // coefficients.
+    return {40, 36, 32, 28, 24, 20, 16, 12};
+}
+
+RunResult
+X264::run(const RunConfig &config) const
+{
+    if (config.input < 1.0 || config.input > 51.0)
+        util::fatal("x264: QP %g outside [1, 51]", config.input);
+    const double qp = config.input;
+    const std::size_t bs = config_.blockSize;
+    util::Rng rng(config.seed, 0x264);
+    const std::vector<Frame> sequence = makeSequence(config_, rng);
+
+    const std::size_t block_rows = config_.height / bs;
+    const std::size_t block_cols = config_.width / bs;
+    // Thread ownership: (frame, macroblock row) stripes, the
+    // x264_slice_write granularity.
+    auto owner = [&](std::size_t frame, std::size_t brow) {
+        const std::size_t stripe = frame * block_rows + brow;
+        return stripe * config.threads /
+            (config_.frames * block_rows);
+    };
+
+    std::vector<Frame> recon(
+        config_.frames, Frame(config_.height, config_.width, 128.0));
+    double coded_coeffs = 0.0;
+    double block_work = 0.0;
+    double in_block[64], coef[64], rec[64], pred[64];
+
+    for (std::size_t f = 0; f < config_.frames; ++f) {
+        for (std::size_t br = 0; br < block_rows; ++br) {
+            const bool dropped =
+                config.fault.infected(owner(f, br), config.threads) &&
+                config.fault.drops();
+            for (std::size_t bc = 0; bc < block_cols; ++bc) {
+                const std::size_t r0 = br * bs, c0 = bc * bs;
+                if (dropped) {
+                    // Macroblock never encoded: repeat the
+                    // co-located reconstructed block of the
+                    // previous frame (128-gray for frame 0).
+                    if (f > 0)
+                        for (std::size_t r = 0; r < bs; ++r)
+                            for (std::size_t c = 0; c < bs; ++c)
+                                recon[f].at(r0 + r, c0 + c) =
+                                    recon[f - 1].at(r0 + r, c0 + c);
+                    continue;
+                }
+                // Prediction: motion search on the previous
+                // reconstructed frame (intra DC for frame 0).
+                if (f == 0) {
+                    double dc = 0.0;
+                    for (std::size_t r = 0; r < bs; ++r)
+                        for (std::size_t c = 0; c < bs; ++c)
+                            dc += sequence[f].at(r0 + r, c0 + c);
+                    dc /= static_cast<double>(bs * bs);
+                    std::fill(pred, pred + 64, dc);
+                    block_work += 64.0;
+                } else {
+                    double best_sad = 1e300;
+                    int best_dx = 0, best_dy = 0;
+                    for (int dy = -config_.searchRange;
+                         dy <= config_.searchRange;
+                         dy += config_.searchStep) {
+                        for (int dx = -config_.searchRange;
+                             dx <= config_.searchRange;
+                             dx += config_.searchStep) {
+                            double sad = 0.0;
+                            for (std::size_t r = 0; r < bs; ++r) {
+                                for (std::size_t c = 0; c < bs; ++c) {
+                                    const auto rr = std::clamp<long>(
+                                        static_cast<long>(r0 + r) + dy,
+                                        0, config_.height - 1);
+                                    const auto cc = std::clamp<long>(
+                                        static_cast<long>(c0 + c) + dx,
+                                        0, config_.width - 1);
+                                    sad += std::abs(
+                                        sequence[f].at(r0 + r, c0 + c) -
+                                        recon[f - 1].at(rr, cc));
+                                }
+                            }
+                            block_work += static_cast<double>(bs * bs);
+                            if (sad < best_sad) {
+                                best_sad = sad;
+                                best_dx = dx;
+                                best_dy = dy;
+                            }
+                        }
+                    }
+                    for (std::size_t r = 0; r < bs; ++r)
+                        for (std::size_t c = 0; c < bs; ++c) {
+                            const auto rr = std::clamp<long>(
+                                static_cast<long>(r0 + r) + best_dy, 0,
+                                config_.height - 1);
+                            const auto cc = std::clamp<long>(
+                                static_cast<long>(c0 + c) + best_dx, 0,
+                                config_.width - 1);
+                            pred[r * bs + c] = recon[f - 1].at(rr, cc);
+                        }
+                }
+
+                // Residual transform coding.
+                for (std::size_t r = 0; r < bs; ++r)
+                    for (std::size_t c = 0; c < bs; ++c)
+                        in_block[r * bs + c] =
+                            sequence[f].at(r0 + r, c0 + c) -
+                            pred[r * bs + c];
+                dct8x8(in_block, coef, false);
+                block_work += 512.0;
+                const double step = qstep(qp);
+                for (double &v : coef) {
+                    v = std::round(v / step);
+                    if (v != 0.0)
+                        coded_coeffs += 1.0;
+                    v *= step;
+                }
+                dct8x8(coef, rec, true);
+                block_work += 512.0;
+                for (std::size_t r = 0; r < bs; ++r)
+                    for (std::size_t c = 0; c < bs; ++c)
+                        recon[f].at(r0 + r, c0 + c) = std::clamp(
+                            rec[r * bs + c] + pred[r * bs + c], 0.0,
+                            255.0);
+            }
+        }
+    }
+
+    RunResult result;
+    result.output.reserve(config_.frames * config_.height *
+                          config_.width);
+    for (const Frame &frame : recon)
+        result.output.insert(result.output.end(),
+                             frame.data().begin(), frame.data().end());
+    // Encoding work: fixed per-block search/transform cost plus
+    // entropy coding proportional to surviving coefficients (CABAC
+    // context modeling costs a few hundred ops per coded level).
+    result.problemSize = block_work + 220.0 * coded_coeffs;
+    result.taskSet.numTasks = config.threads;
+    result.taskSet.instrPerTask =
+        result.problemSize / static_cast<double>(config.threads) * 4.0;
+    return result;
+}
+
+double
+X264::quality(const RunResult &result, const RunResult &reference) const
+{
+    if (result.output.size() != reference.output.size())
+        util::fatal("x264: output size mismatch");
+    const std::size_t frame_px = config_.height * config_.width;
+    const std::size_t frames = result.output.size() / frame_px;
+    double total = 0.0;
+    for (std::size_t f = 0; f < frames; ++f) {
+        Frame a(config_.height, config_.width, 0.0);
+        Frame b(config_.height, config_.width, 0.0);
+        for (std::size_t i = 0; i < frame_px; ++i) {
+            a.flat(i) = result.output[f * frame_px + i];
+            b.flat(i) = reference.output[f * frame_px + i];
+        }
+        total += quality::ssim(a, b, 255.0);
+    }
+    return total / static_cast<double>(frames);
+}
+
+manycore::WorkloadTraits
+X264::traits() const
+{
+    manycore::WorkloadTraits t;
+    // Block-local compute with neighbor-frame references.
+    t.cpiBase = 0.95;
+    t.memOpsPerInstr = 0.28;
+    t.privateMissRate = 0.035;
+    t.clusterMissRate = 0.18;
+    t.overlapFactor = 0.5;
+    t.syncNsPerTask = 450.0;
+    t.serialFraction = 0.0015;
+    return t;
+}
+
+} // namespace accordion::rms

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * x264 (PARSEC): H.264-style video encoding. A synthetic moving
+ * scene is encoded with motion-compensated prediction, an 8x8
+ * floating-point DCT, and uniform quantization controlled by the
+ * quantizer QP — the Accordion input. A smaller QP keeps more
+ * coefficients (more coding work: complex problem-size dependency)
+ * and yields higher fidelity (quality measured with SSIM, which
+ * tracks human perception better than PSNR; near-linear in QP over
+ * the operating range). The hyper-accurate reference encodes at a
+ * tiny QP.
+ *
+ * Drop semantics (paper footnote 1, x264_slice_write): infected
+ * threads' macroblock stripes are never encoded; the decoder-side
+ * reconstruction repeats the co-located blocks of the previous
+ * reconstructed frame.
+ */
+
+#ifndef ACCORDION_RMS_X264_HPP
+#define ACCORDION_RMS_X264_HPP
+
+#include "workload.hpp"
+
+namespace accordion::rms {
+
+/** Sequence and encoder shape. */
+struct X264Config
+{
+    std::size_t frames = 8;
+    std::size_t width = 64;
+    std::size_t height = 64;
+    std::size_t blockSize = 8;
+    int searchRange = 4; //!< motion search window (+/- pixels)
+    int searchStep = 2; //!< full-search stride
+};
+
+/** x264 workload. */
+class X264 : public Workload
+{
+  public:
+    explicit X264(X264Config config = {});
+
+    std::string name() const override { return "x264"; }
+    std::string domain() const override { return "Multimedia"; }
+    std::string qualityMetricName() const override
+    {
+        return "SSIM based";
+    }
+    std::string accordionInputName() const override
+    {
+        return "Quantizer";
+    }
+    double defaultInput() const override { return 24.0; }
+    std::vector<double> inputSweep() const override;
+    double hyperAccurateInput() const override { return 4.0; }
+    RunResult run(const RunConfig &config) const override;
+    double quality(const RunResult &result,
+                   const RunResult &reference) const override;
+    manycore::WorkloadTraits traits() const override;
+    Dependency problemSizeDependency() const override
+    {
+        return Dependency::Complex;
+    }
+    Dependency qualityDependency() const override
+    {
+        return Dependency::Linear;
+    }
+
+    const X264Config &config() const { return config_; }
+
+  private:
+    X264Config config_;
+};
+
+} // namespace accordion::rms
+
+#endif // ACCORDION_RMS_X264_HPP

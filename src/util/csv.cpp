@@ -1,0 +1,56 @@
+#include "csv.hpp"
+
+#include "log.hpp"
+#include "table.hpp"
+
+namespace accordion::util {
+
+CsvWriter::CsvWriter(const std::string &path,
+                     std::vector<std::string> header)
+    : out_(path), columns_(header.size())
+{
+    if (!out_)
+        fatal("CsvWriter: cannot open '%s' for writing", path.c_str());
+    addRow(header);
+}
+
+std::string
+CsvWriter::quote(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &cells)
+{
+    if (cells.size() != columns_)
+        panic("CsvWriter::addRow: %zu cells, expected %zu", cells.size(),
+              columns_);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        out_ << quote(cells[i]);
+        if (i + 1 < cells.size())
+            out_ << ',';
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::addRow(const std::vector<double> &cells)
+{
+    std::vector<std::string> formatted;
+    formatted.reserve(cells.size());
+    for (double v : cells)
+        formatted.push_back(format("%.8g", v));
+    addRow(formatted);
+}
+
+} // namespace accordion::util

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * CSV emission for bench harnesses. Each figure reproduction can dump
+ * its series to a CSV file next to the human-readable table so the
+ * figures can be re-plotted externally.
+ */
+
+#ifndef ACCORDION_UTIL_CSV_HPP
+#define ACCORDION_UTIL_CSV_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace accordion::util {
+
+/** Streaming CSV writer with RFC-4180 quoting. */
+class CsvWriter
+{
+  public:
+    /**
+     * Open `path` for writing and emit the header row.
+     * fatal()s if the file cannot be opened.
+     */
+    CsvWriter(const std::string &path, std::vector<std::string> header);
+
+    /** Append a row of preformatted cells. */
+    void addRow(const std::vector<std::string> &cells);
+
+    /** Append a row of doubles (formatted with %.8g). */
+    void addRow(const std::vector<double> &cells);
+
+  private:
+    static std::string quote(const std::string &cell);
+
+    std::ofstream out_;
+    std::size_t columns_;
+};
+
+} // namespace accordion::util
+
+#endif // ACCORDION_UTIL_CSV_HPP

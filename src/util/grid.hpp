@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A small 2D grid container shared by the variation-field sampler,
+ * the hotspot thermal solver, and the srad image kernel.
+ */
+
+#ifndef ACCORDION_UTIL_GRID_HPP
+#define ACCORDION_UTIL_GRID_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace accordion::util {
+
+/** Row-major 2D grid of T. */
+template <typename T>
+class Grid2D
+{
+  public:
+    Grid2D() : rows_(0), cols_(0) {}
+
+    /** Construct a rows x cols grid filled with `fill`. */
+    Grid2D(std::size_t rows, std::size_t cols, T fill = T{})
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    T &at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    const T &at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Flat element access in row-major order. */
+    T &flat(std::size_t i) { return data_[i]; }
+    const T &flat(std::size_t i) const { return data_[i]; }
+
+    /** Underlying storage, row-major. */
+    std::vector<T> &data() { return data_; }
+    const std::vector<T> &data() const { return data_; }
+
+    bool operator==(const Grid2D &other) const = default;
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<T> data_;
+};
+
+} // namespace accordion::util
+
+#endif // ACCORDION_UTIL_GRID_HPP

@@ -1,0 +1,57 @@
+#include "interp.hpp"
+
+#include <algorithm>
+
+#include "log.hpp"
+
+namespace accordion::util {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs,
+                                 std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys))
+{
+    if (xs_.size() != ys_.size())
+        panic("PiecewiseLinear: %zu xs vs %zu ys", xs_.size(), ys_.size());
+    if (xs_.empty())
+        panic("PiecewiseLinear: need at least one knot");
+    for (std::size_t i = 1; i < xs_.size(); ++i)
+        if (xs_[i] <= xs_[i - 1])
+            panic("PiecewiseLinear: knots must strictly increase "
+                  "(x[%zu]=%g, x[%zu]=%g)",
+                  i - 1, xs_[i - 1], i, xs_[i]);
+}
+
+double
+PiecewiseLinear::operator()(double x) const
+{
+    if (x <= xs_.front())
+        return ys_.front();
+    if (x >= xs_.back())
+        return ys_.back();
+    const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+    const auto hi = static_cast<std::size_t>(it - xs_.begin());
+    const auto lo = hi - 1;
+    const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+    return ys_[lo] * (1.0 - t) + ys_[hi] * t;
+}
+
+double
+PiecewiseLinear::inverse(double target) const
+{
+    double lo = xs_.front();
+    double hi = xs_.back();
+    if (target <= (*this)(lo))
+        return lo;
+    if (target >= (*this)(hi))
+        return hi;
+    for (int iter = 0; iter < 80; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if ((*this)(mid) < target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace accordion::util

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Piecewise-linear interpolation over sampled curves. Quality
+ * profiles (Q vs. problem size) and error-rate curves (Perr vs. f)
+ * are sampled at discrete points and interrogated at arbitrary
+ * abscissae during pareto-front extraction.
+ */
+
+#ifndef ACCORDION_UTIL_INTERP_HPP
+#define ACCORDION_UTIL_INTERP_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace accordion::util {
+
+/**
+ * Piecewise-linear curve y(x) over strictly increasing knots.
+ * Evaluation clamps outside the knot range (flat extrapolation).
+ */
+class PiecewiseLinear
+{
+  public:
+    PiecewiseLinear() = default;
+
+    /**
+     * Construct from paired samples.
+     * @pre xs strictly increasing, xs.size() == ys.size() >= 1.
+     */
+    PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+    /** Evaluate at x with clamping extrapolation. */
+    double operator()(double x) const;
+
+    /** Number of knots. */
+    std::size_t size() const { return xs_.size(); }
+
+    /** True if the curve has no knots. */
+    bool empty() const { return xs_.empty(); }
+
+    /** Smallest knot abscissa. @pre !empty(). */
+    double minX() const { return xs_.front(); }
+
+    /** Largest knot abscissa. @pre !empty(). */
+    double maxX() const { return xs_.back(); }
+
+    /**
+     * Solve y(x) = target for x on a monotonically increasing curve
+     * by bisection over the knot span; clamps to the span if the
+     * target lies outside the curve's range.
+     */
+    double inverse(double target) const;
+
+    const std::vector<double> &xs() const { return xs_; }
+    const std::vector<double> &ys() const { return ys_; }
+
+  private:
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+};
+
+} // namespace accordion::util
+
+#endif // ACCORDION_UTIL_INTERP_HPP

@@ -1,0 +1,72 @@
+#include "log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace accordion::util {
+
+namespace {
+bool verboseFlag = true;
+
+void
+vreport(const char *tag, const char *fmt, std::va_list args)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+} // namespace
+
+void
+setVerbose(bool v)
+{
+    verboseFlag = v;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!verboseFlag)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    vreport("info", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    vreport("warn", fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    vreport("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    vreport("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+} // namespace accordion::util

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Status-message and error-handling helpers in the gem5 tradition:
+ * inform() for status, warn() for suspicious-but-survivable
+ * conditions, fatal() for user errors (clean exit), panic() for
+ * internal invariant violations (abort).
+ */
+
+#ifndef ACCORDION_UTIL_LOG_HPP
+#define ACCORDION_UTIL_LOG_HPP
+
+#include <cstdarg>
+
+namespace accordion::util {
+
+/** Global verbosity control; inform() is silent when false. */
+void setVerbose(bool verbose);
+
+/** Whether inform() currently prints. */
+bool verbose();
+
+/** Print an informational printf-style message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning printf-style message to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-level error and exit(1).
+ * Use for bad configuration or invalid arguments.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation and abort().
+ * Use for conditions that indicate a bug in this library.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace accordion::util
+
+#endif // ACCORDION_UTIL_LOG_HPP

@@ -1,0 +1,68 @@
+#include "matrix.hpp"
+
+#include <cmath>
+
+#include "log.hpp"
+
+namespace accordion::util {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+std::vector<double>
+Matrix::multiply(const std::vector<double> &v) const
+{
+    if (v.size() != cols_)
+        panic("Matrix::multiply: dimension mismatch (%zu vs %zu)", v.size(),
+              cols_);
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        const double *row = &data_[r * cols_];
+        for (std::size_t c = 0; c < cols_; ++c)
+            acc += row[c] * v[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+Matrix
+choleskyFactor(const Matrix &a)
+{
+    if (a.rows() != a.cols())
+        panic("choleskyFactor: matrix must be square");
+    const std::size_t n = a.rows();
+    Matrix l(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a.at(j, j);
+        for (std::size_t k = 0; k < j; ++k)
+            diag -= l.at(j, k) * l.at(j, k);
+        if (diag < -1e-6)
+            panic("choleskyFactor: matrix not PSD (pivot %g at %zu)", diag,
+                  j);
+        // PSD inputs can produce tiny negative pivots from rounding.
+        diag = std::max(diag, 1e-12);
+        const double ljj = std::sqrt(diag);
+        l.at(j, j) = ljj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double sum = a.at(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                sum -= l.at(i, k) * l.at(j, k);
+            l.at(i, j) = sum / ljj;
+        }
+    }
+    return l;
+}
+
+} // namespace accordion::util

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal dense linear algebra: a row-major matrix plus the Cholesky
+ * factorization used to sample correlated Gaussian variation fields
+ * (VARIUS methodology, Section 3.2 of DESIGN.md).
+ */
+
+#ifndef ACCORDION_UTIL_MATRIX_HPP
+#define ACCORDION_UTIL_MATRIX_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace accordion::util {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Construct a rows x cols zero matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** Element access (unchecked in release builds). */
+    double &at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    double at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    /** Matrix-vector product. @pre v.size() == cols(). */
+    std::vector<double> multiply(const std::vector<double> &v) const;
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<double> data_;
+};
+
+/**
+ * Cholesky factorization A = L L^T of a symmetric positive
+ * (semi-)definite matrix.
+ *
+ * A tiny jitter is added to the diagonal when a pivot dips slightly
+ * negative from rounding — correlation matrices built from the
+ * spherical model are PSD but can lose definiteness numerically.
+ *
+ * @param a Symmetric input matrix (only the lower triangle is read).
+ * @return Lower-triangular factor L.
+ */
+Matrix choleskyFactor(const Matrix &a);
+
+} // namespace accordion::util
+
+#endif // ACCORDION_UTIL_MATRIX_HPP

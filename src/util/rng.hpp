@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for all stochastic
+ * components of the Accordion stack.
+ *
+ * Every model in the repository draws randomness through Rng so that
+ * experiments are reproducible bit-for-bit. Streams are keyed by
+ * (seed, stream id) pairs; distinct structures (chips, cores, memory
+ * blocks, workload threads) derive independent streams.
+ */
+
+#ifndef ACCORDION_UTIL_RNG_HPP
+#define ACCORDION_UTIL_RNG_HPP
+
+#include <array>
+#include <cstdint>
+
+namespace accordion::util {
+
+/**
+ * SplitMix64 mixer used to expand seeds into xoshiro state.
+ *
+ * @param x State to advance and mix (advanced in place).
+ * @return A well-mixed 64-bit value.
+ */
+std::uint64_t splitMix64(std::uint64_t &x);
+
+/**
+ * xoshiro256** generator.
+ *
+ * Small, fast, high-quality, and trivially seedable from a (seed,
+ * stream) pair. Not cryptographic; plenty for Monte Carlo.
+ */
+class Rng
+{
+  public:
+    /** Construct from a master seed and a stream identifier. */
+    explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Standard normal draw (Box-Muller with caching). */
+    double normal();
+
+    /** Normal draw with the given mean and standard deviation. */
+    double normal(double mean, double sigma);
+
+    /** Bernoulli draw with success probability p. */
+    bool bernoulli(double p);
+
+    /**
+     * Derive a child generator for a named substructure.
+     *
+     * The child stream is a deterministic function of this
+     * generator's identity and the key; it does not perturb the
+     * parent state.
+     */
+    Rng fork(std::uint64_t key) const;
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+    std::uint64_t seed_;
+    std::uint64_t stream_;
+    double cachedNormal_;
+    bool hasCachedNormal_;
+};
+
+} // namespace accordion::util
+
+#endif // ACCORDION_UTIL_RNG_HPP

@@ -1,0 +1,277 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "log.hpp"
+
+namespace accordion::util {
+
+void
+OnlineStats::add(double x)
+{
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+OnlineStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        fatal("percentile: empty sample set");
+    std::sort(values.begin(), values.end());
+    if (p <= 0.0)
+        return values.front();
+    if (p >= 100.0)
+        return values.back();
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= values.size())
+        return values.back();
+    return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    OnlineStats s;
+    for (double v : values)
+        s.add(v);
+    return s.stddev();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum_log = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("geomean: non-positive value %g", v);
+        sum_log += std::log(v);
+    }
+    return std::exp(sum_log / static_cast<double>(values.size()));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (hi <= lo)
+        fatal("Histogram: hi (%g) must exceed lo (%g)", hi, lo);
+    if (bins == 0)
+        fatal("Histogram: need at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    const double span = hi_ - lo_;
+    double t = (x - lo_) / span * static_cast<double>(counts_.size());
+    auto idx = static_cast<std::ptrdiff_t>(std::floor(t));
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binLo(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+        static_cast<double>(counts_.size());
+}
+
+double
+Histogram::binHi(std::size_t i) const
+{
+    return binLo(i + 1);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::size_t peak = 1;
+    for (std::size_t c : counts_)
+        peak = std::max(peak, c);
+    std::ostringstream out;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "[%6.3f,%6.3f) %4zu ",
+                      binLo(i), binHi(i), counts_[i]);
+        out << label;
+        const auto bar = counts_[i] * width / peak;
+        for (std::size_t j = 0; j < bar; ++j)
+            out << '#';
+        out << '\n';
+    }
+    return out.str();
+}
+
+LinearFit
+fitLinear(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size() || xs.size() < 2)
+        fatal("fitLinear: need >= 2 paired samples");
+    const double n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    LinearFit fit;
+    if (std::abs(denom) < 1e-300) {
+        fit.intercept = sy / n;
+        return fit;
+    }
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    double ss_res = 0.0;
+    const double ybar = sy / n;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double pred = fit.intercept + fit.slope * xs[i];
+        ss_res += (ys[i] - pred) * (ys[i] - pred);
+        ss_tot += (ys[i] - ybar) * (ys[i] - ybar);
+    }
+    fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+LinearFit
+fitPowerLaw(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    std::vector<double> lx, ly;
+    lx.reserve(xs.size());
+    ly.reserve(ys.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (xs[i] <= 0.0 || ys[i] <= 0.0)
+            fatal("fitPowerLaw: non-positive sample at index %zu", i);
+        lx.push_back(std::log(xs[i]));
+        ly.push_back(std::log(ys[i]));
+    }
+    return fitLinear(lx, ly);
+}
+
+double
+normalCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double
+normalQuantile(double p)
+{
+    if (p <= 0.0 || p >= 1.0)
+        fatal("normalQuantile: p (%g) must lie in (0, 1)", p);
+    // Acklam's rational approximation, |error| < 1.15e-9.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00, 2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double plow = 0.02425;
+    const double phigh = 1.0 - plow;
+    double q, r;
+    if (p < plow) {
+        q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > phigh) {
+        q = std::sqrt(-2.0 * std::log(1.0 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                 c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double
+logNormalCdf(double x)
+{
+    if (x >= 0.0) {
+        // log(1 - Q(x)) via log1p: Q(x) = erfc(x/sqrt(2))/2 is tiny
+        // and exact for positive x, where Phi(x) = 1 - Q(x) would
+        // cancel catastrophically.
+        const double q = 0.5 * std::erfc(x / std::sqrt(2.0));
+        return std::log1p(-q);
+    }
+    if (x > -8.0)
+        return std::log(normalCdf(x));
+    // Asymptotic expansion of the Mills ratio:
+    // Phi(x) ~ phi(x)/|x| * (1 - 1/x^2 + 3/x^4 - ...), x -> -inf.
+    const double x2 = x * x;
+    const double series = 1.0 - 1.0 / x2 + 3.0 / (x2 * x2);
+    return -0.5 * x2 - 0.5 * std::log(2.0 * M_PI) - std::log(-x) +
+        std::log(series);
+}
+
+} // namespace accordion::util

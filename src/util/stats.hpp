@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Streaming and batch statistics helpers used throughout the
+ * Accordion evaluation stack: online moments, percentiles,
+ * histograms, and simple linear/log-log fits for the Table 3
+ * dependency-class characterization.
+ */
+
+#ifndef ACCORDION_UTIL_STATS_HPP
+#define ACCORDION_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace accordion::util {
+
+/**
+ * Numerically stable online mean/variance accumulator (Welford).
+ */
+class OnlineStats
+{
+  public:
+    OnlineStats() = default;
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples accumulated. */
+    std::size_t count() const { return count_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample seen; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const OnlineStats &other);
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 1e308;
+    double max_ = -1e308;
+};
+
+/**
+ * Percentile of a sample set using linear interpolation between
+ * order statistics.
+ *
+ * @param values Sample set (copied and sorted internally).
+ * @param p Percentile in [0, 100].
+ */
+double percentile(std::vector<double> values, double p);
+
+/** Arithmetic mean of a vector; 0 when empty. */
+double mean(const std::vector<double> &values);
+
+/** Sample standard deviation of a vector; 0 with < 2 elements. */
+double stddev(const std::vector<double> &values);
+
+/** Geometric mean of strictly positive values; 0 when empty. */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Fixed-bin histogram over [lo, hi); values outside the range clamp
+ * into the first/last bin. Used for the Fig. 5a VddMIN histogram.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin. @pre hi > lo.
+     * @param bins Number of bins. @pre bins > 0.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one sample (clamped into range). */
+    void add(double x);
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Count in bin i. */
+    std::size_t countAt(std::size_t i) const { return counts_.at(i); }
+
+    /** Lower edge of bin i. */
+    double binLo(std::size_t i) const;
+
+    /** Upper edge of bin i. */
+    double binHi(std::size_t i) const;
+
+    /** Total samples added. */
+    std::size_t total() const { return total_; }
+
+    /** Render a simple ASCII bar chart, one line per bin. */
+    std::string render(std::size_t width = 40) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/** Result of an ordinary least-squares fit y = a + b x. */
+struct LinearFit
+{
+    double intercept = 0.0; //!< a
+    double slope = 0.0; //!< b
+    double r2 = 0.0; //!< coefficient of determination
+};
+
+/**
+ * Ordinary least-squares fit of y against x.
+ *
+ * @pre xs.size() == ys.size() and xs.size() >= 2.
+ */
+LinearFit fitLinear(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+/**
+ * Fit y = c * x^k via OLS in log-log space; used to classify
+ * problem-size and quality dependencies as linear vs. complex
+ * (Table 3). @pre all xs, ys strictly positive.
+ */
+LinearFit fitPowerLaw(const std::vector<double> &xs,
+                      const std::vector<double> &ys);
+
+/** Standard normal CDF. */
+double normalCdf(double x);
+
+/** Inverse standard normal CDF (Acklam's rational approximation). */
+double normalQuantile(double p);
+
+/**
+ * log(Phi(x)) evaluated accurately for very negative x, where
+ * Phi(x) underflows double precision. Needed by the timing-error
+ * model which multiplies millions of per-path survival
+ * probabilities (Perr down to 1e-16 and far below).
+ */
+double logNormalCdf(double x);
+
+} // namespace accordion::util
+
+#endif // ACCORDION_UTIL_STATS_HPP

@@ -1,0 +1,76 @@
+#include "table.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+#include "log.hpp"
+
+namespace accordion::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    if (header_.empty())
+        panic("Table: header must not be empty");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != header_.size())
+        panic("Table::addRow: %zu cells, expected %zu", cells.size(),
+              header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    emit_row(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string result(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(result.data(), result.size() + 1, fmt, args);
+    va_end(args);
+    return result;
+}
+
+std::string
+formatG(double v)
+{
+    return format("%.4g", v);
+}
+
+} // namespace accordion::util

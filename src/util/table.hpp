@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII table rendering for bench harness output. Every figure/table
+ * reproduction prints its rows through this so that bench output is
+ * uniform and diffable.
+ */
+
+#ifndef ACCORDION_UTIL_TABLE_HPP
+#define ACCORDION_UTIL_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace accordion::util {
+
+/**
+ * Column-aligned ASCII table with a header row.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Vdd (V)", "f (GHz)", "Power (W)"});
+ *   t.addRow({format("%.2f", vdd), ...});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with the header cells. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a data row. @pre cells.size() == header size. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render the table, ready to print. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format a double with %.4g — the bench harness default. */
+std::string formatG(double v);
+
+} // namespace accordion::util
+
+#endif // ACCORDION_UTIL_TABLE_HPP

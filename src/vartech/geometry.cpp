@@ -1,0 +1,127 @@
+#include "geometry.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace accordion::vartech {
+
+double
+distance(const Point &a, const Point &b)
+{
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+ChipGeometry::ChipGeometry() : ChipGeometry(Params{}) {}
+
+ChipGeometry::ChipGeometry(Params params) : params_(params)
+{
+    if (params_.clustersX == 0 || params_.clustersY == 0 ||
+        params_.coresPerClusterX == 0 || params_.coresPerClusterY == 0)
+        util::fatal("ChipGeometry: degenerate shape");
+}
+
+std::size_t
+ChipGeometry::numClusters() const
+{
+    return params_.clustersX * params_.clustersY;
+}
+
+std::size_t
+ChipGeometry::coresPerCluster() const
+{
+    return params_.coresPerClusterX * params_.coresPerClusterY;
+}
+
+std::size_t
+ChipGeometry::numCores() const
+{
+    return numClusters() * coresPerCluster();
+}
+
+std::size_t
+ChipGeometry::clusterOfCore(std::size_t core) const
+{
+    if (core >= numCores())
+        util::panic("clusterOfCore: core %zu out of range", core);
+    return core / coresPerCluster();
+}
+
+std::vector<std::size_t>
+ChipGeometry::coresOfCluster(std::size_t cluster) const
+{
+    if (cluster >= numClusters())
+        util::panic("coresOfCluster: cluster %zu out of range", cluster);
+    std::vector<std::size_t> cores(coresPerCluster());
+    for (std::size_t i = 0; i < cores.size(); ++i)
+        cores[i] = cluster * coresPerCluster() + i;
+    return cores;
+}
+
+std::pair<std::size_t, std::size_t>
+ChipGeometry::clusterCoords(std::size_t cluster) const
+{
+    return {cluster % params_.clustersX, cluster / params_.clustersX};
+}
+
+Point
+ChipGeometry::corePosition(std::size_t core) const
+{
+    const std::size_t cluster = clusterOfCore(core);
+    const auto [cx, cy] = clusterCoords(cluster);
+    const std::size_t within = core % coresPerCluster();
+    const std::size_t wx = within % params_.coresPerClusterX;
+    const std::size_t wy = within / params_.coresPerClusterX;
+
+    const double cluster_w = 1.0 / static_cast<double>(params_.clustersX);
+    const double cluster_h = 1.0 / static_cast<double>(params_.clustersY);
+    // Cores occupy the left ~70% of the cluster tile; the cluster
+    // memory block sits on the right.
+    const double core_region_w = 0.7 * cluster_w;
+    const double x = static_cast<double>(cx) * cluster_w +
+        (static_cast<double>(wx) + 0.5) * core_region_w /
+            static_cast<double>(params_.coresPerClusterX);
+    const double y = static_cast<double>(cy) * cluster_h +
+        (static_cast<double>(wy) + 0.5) * cluster_h /
+            static_cast<double>(params_.coresPerClusterY);
+    return {x, y};
+}
+
+Point
+ChipGeometry::privateMemPosition(std::size_t core) const
+{
+    // The private memory sits immediately below its core within the
+    // core tile (offset by a quarter of the core pitch).
+    Point p = corePosition(core);
+    const double pitch_y = 1.0 /
+        static_cast<double>(params_.clustersY *
+                            params_.coresPerClusterY);
+    p.y += 0.25 * pitch_y;
+    return p;
+}
+
+Point
+ChipGeometry::clusterMemPosition(std::size_t cluster) const
+{
+    const auto [cx, cy] = clusterCoords(cluster);
+    const double cluster_w = 1.0 / static_cast<double>(params_.clustersX);
+    const double cluster_h = 1.0 / static_cast<double>(params_.clustersY);
+    return {(static_cast<double>(cx) + 0.85) * cluster_w,
+            (static_cast<double>(cy) + 0.5) * cluster_h};
+}
+
+std::size_t
+ChipGeometry::torusHops(std::size_t a, std::size_t b) const
+{
+    const auto [ax, ay] = clusterCoords(a);
+    const auto [bx, by] = clusterCoords(b);
+    auto wrap = [](std::size_t p, std::size_t q, std::size_t n) {
+        const std::size_t d = p > q ? p - q : q - p;
+        return std::min(d, n - d);
+    };
+    return wrap(ax, bx, params_.clustersX) + wrap(ay, by, params_.clustersY);
+}
+
+} // namespace accordion::vartech

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Floorplan geometry of the hypothetical 288-core NTV chip of the
+ * paper's Table 2: 36 clusters in a 6x6 arrangement, 8 cores per
+ * cluster (4x2) plus one shared cluster memory block. Positions are
+ * normalized to a unit chip edge (the physical edge is ~20 mm) so
+ * that the variation correlation range phi is expressed as a
+ * fraction of the chip edge, as in VARIUS.
+ */
+
+#ifndef ACCORDION_VARTECH_GEOMETRY_HPP
+#define ACCORDION_VARTECH_GEOMETRY_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace accordion::vartech {
+
+/** A 2D point in normalized chip coordinates ([0,1] x [0,1]). */
+struct Point
+{
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/** Euclidean distance between two points. */
+double distance(const Point &a, const Point &b);
+
+/**
+ * Chip geometry: cluster grid, cores per cluster, and the derived
+ * site positions for every core and memory block.
+ */
+class ChipGeometry
+{
+  public:
+    /** Shape parameters. */
+    struct Params
+    {
+        std::size_t clustersX = 6; //!< cluster grid columns
+        std::size_t clustersY = 6; //!< cluster grid rows
+        std::size_t coresPerClusterX = 4; //!< core grid inside a cluster
+        std::size_t coresPerClusterY = 2;
+        double chipEdgeMm = 20.0; //!< physical edge (Table 2)
+    };
+
+    /** Construct the default Table 2 shape (6x6 clusters of 4x2). */
+    ChipGeometry();
+
+    explicit ChipGeometry(Params params);
+
+    const Params &params() const { return params_; }
+
+    /** Total cluster count. */
+    std::size_t numClusters() const;
+
+    /** Cores per cluster. */
+    std::size_t coresPerCluster() const;
+
+    /** Total core count (288 for the default shape). */
+    std::size_t numCores() const;
+
+    /** Cluster that owns a core. */
+    std::size_t clusterOfCore(std::size_t core) const;
+
+    /** Cores belonging to a cluster, in core-index order. */
+    std::vector<std::size_t> coresOfCluster(std::size_t cluster) const;
+
+    /** Normalized position of a core's center. */
+    Point corePosition(std::size_t core) const;
+
+    /**
+     * Normalized position of a core's private memory block
+     * (adjacent to the core).
+     */
+    Point privateMemPosition(std::size_t core) const;
+
+    /** Normalized position of a cluster's shared memory block. */
+    Point clusterMemPosition(std::size_t cluster) const;
+
+    /** Cluster grid coordinates (x, y) of a cluster index. */
+    std::pair<std::size_t, std::size_t>
+    clusterCoords(std::size_t cluster) const;
+
+    /**
+     * Manhattan hop distance between two clusters on the 2D torus
+     * that connects clusters (Table 2's network).
+     */
+    std::size_t torusHops(std::size_t a, std::size_t b) const;
+
+  private:
+    Params params_;
+};
+
+} // namespace accordion::vartech
+
+#endif // ACCORDION_VARTECH_GEOMETRY_HPP

@@ -1,0 +1,17 @@
+#include "guardband.hpp"
+
+namespace accordion::vartech {
+
+double
+timingGuardbandPercent(const Technology &tech, double vdd, double k_sigma)
+{
+    const auto &p = tech.params();
+    const double vth_worst =
+        p.vthNom * (1.0 + k_sigma * p.sigmaVthTotal);
+    const double leff_worst = k_sigma * p.sigmaLeffTotal;
+    const double d_nom = tech.relativeDelay(vdd, p.vthNom, 0.0);
+    const double d_worst = tech.relativeDelay(vdd, vth_worst, leff_worst);
+    return 100.0 * (d_worst / d_nom - 1.0);
+}
+
+} // namespace accordion::vartech

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Worst-case timing guardband vs. Vdd (the paper's Fig. 1c). The
+ * guardband is the extra clock-period margin, relative to the
+ * nominal path delay, needed to cover a +k-sigma excursion of the
+ * total (systematic + random) Vth and Leff variation. It explodes
+ * as Vdd approaches Vth — the reason the paper argues worst-case
+ * guardbanding is untenable at NTV — and is larger at 11 nm than at
+ * 22 nm because variation grows each generation.
+ */
+
+#ifndef ACCORDION_VARTECH_GUARDBAND_HPP
+#define ACCORDION_VARTECH_GUARDBAND_HPP
+
+#include "technology.hpp"
+
+namespace accordion::vartech {
+
+/**
+ * Timing guardband in percent at supply @p vdd for technology
+ * @p tech, covering a +@p k_sigma excursion of total Vth and Leff
+ * variation:
+ *
+ *   GB(vdd) = 100 * (delay(vdd, vth + k sigma_vth,
+ *                          +k sigma_leff) / delay(vdd, vth) - 1)
+ */
+double timingGuardbandPercent(const Technology &tech, double vdd,
+                              double k_sigma = 3.0);
+
+} // namespace accordion::vartech
+
+#endif // ACCORDION_VARTECH_GUARDBAND_HPP

@@ -1,0 +1,37 @@
+#include "sram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace accordion::vartech {
+
+SramBlockModel::SramBlockModel(const SramParams &params, std::size_t bits,
+                               double vth_dev_volts, double leff_dev)
+    : params_(params), bits_(bits)
+{
+    if (bits == 0)
+        util::fatal("SramBlockModel: zero-capacity block");
+    meanVmin_ = params_.vminBase + params_.kVth * vth_dev_volts +
+        params_.kLeff * leff_dev;
+
+    // The block is functional while the expected number of failing
+    // cells stays within the redundancy budget.
+    const double mbits = static_cast<double>(bits_) / (1024.0 * 1024.0);
+    const double repairable =
+        std::max(1.0, params_.redundancyPerSqrtMbit * std::sqrt(mbits));
+    const double p_max = repairable / static_cast<double>(bits_);
+    // p_cell(vdd) = Phi((mean - vdd)/sigma) <= p_max
+    //   <=>  vdd >= mean - sigma * Phi^{-1}(p_max).
+    vddMin_ = meanVmin_ - params_.sigmaCell * util::normalQuantile(p_max);
+}
+
+double
+SramBlockModel::cellFailureProbability(double vdd) const
+{
+    return util::normalCdf((meanVmin_ - vdd) / params_.sigmaCell);
+}
+
+} // namespace accordion::vartech

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * SRAM low-voltage functionality model (the VARIUS-NTV memory-side
+ * model). At near-threshold voltages SRAM cells begin to fail to
+ * hold or flip state; each cell has a minimum functional voltage
+ * drawn from a normal distribution whose mean tracks the block's
+ * systematic (Vth, Leff) deviation and whose spread comes from local
+ * mismatch. A block with column redundancy is functional at Vdd as
+ * long as the per-cell failure probability stays below the level the
+ * redundancy can repair, which defines the block's VddMIN.
+ *
+ * Per-cluster VddMIN (Fig. 5a) is the maximum VddMIN across the
+ * cluster's memory blocks; the chip-wide NTV supply VddNTV is the
+ * maximum per-cluster VddMIN.
+ */
+
+#ifndef ACCORDION_VARTECH_SRAM_HPP
+#define ACCORDION_VARTECH_SRAM_HPP
+
+#include <cstddef>
+
+namespace accordion::vartech {
+
+/** Knobs of the SRAM failure model (calibrated to Fig. 5a's range). */
+struct SramParams
+{
+    /** Mean minimum functional voltage of a nominal cell [V]. */
+    double vminBase = 0.375;
+    /** Local-mismatch spread of per-cell vmin [V]. */
+    double sigmaCell = 0.022;
+    /** Shift of mean vmin per volt of systematic Vth deviation. */
+    double kVth = 1.0;
+    /** Shift of mean vmin per unit fractional Leff deviation [V]. */
+    double kLeff = 0.12;
+    /** Repairable failing cells per block, per sqrt(Mbit): column
+     *  redundancy grows with the array's column count, i.e. with
+     *  the square root of capacity, so larger blocks tolerate a
+     *  lower failure *rate* and need a higher VddMIN. */
+    double redundancyPerSqrtMbit = 24.0;
+};
+
+/**
+ * One SRAM block (a core-private 64 KB array or a 2 MB cluster
+ * array) placed on a variation-afflicted die.
+ */
+class SramBlockModel
+{
+  public:
+    /**
+     * @param params Model knobs.
+     * @param bits Capacity in bits.
+     * @param vth_dev_volts Systematic Vth deviation at the block's
+     *        site, in volts (fraction x nominal Vth).
+     * @param leff_dev Systematic fractional Leff deviation.
+     */
+    SramBlockModel(const SramParams &params, std::size_t bits,
+                   double vth_dev_volts, double leff_dev);
+
+    /** Per-cell failure probability at supply @p vdd. */
+    double cellFailureProbability(double vdd) const;
+
+    /**
+     * Minimum supply at which the block stays functional given its
+     * redundancy budget [V].
+     */
+    double vddMin() const { return vddMin_; }
+
+    /** Mean per-cell minimum functional voltage [V]. */
+    double meanCellVmin() const { return meanVmin_; }
+
+    /** Capacity in bits. */
+    std::size_t bits() const { return bits_; }
+
+  private:
+    SramParams params_;
+    std::size_t bits_;
+    double meanVmin_;
+    double vddMin_;
+};
+
+} // namespace accordion::vartech
+
+#endif // ACCORDION_VARTECH_SRAM_HPP

@@ -1,0 +1,154 @@
+#include "technology.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace accordion::vartech {
+
+Technology::Technology(Params params) : params_(std::move(params))
+{
+    if (params_.vddNom <= params_.vthNom)
+        util::fatal("Technology %s: vddNom (%g) must exceed vthNom (%g)",
+                    params_.name.c_str(), params_.vddNom, params_.vthNom);
+
+    // Calibrate the frequency constant so that f(vddNom, vthNom)
+    // equals the nominal NTV frequency of Table 2.
+    const double g_nom = driveFactor(params_.vddNom, params_.vthNom);
+    freqConstant_ = params_.fNom * params_.vddNom / g_nom;
+
+    // Calibrate power so the per-core STV corner matches the
+    // requested dynamic/static split.
+    const double f_stv = freqConstant_ *
+        driveFactor(params_.vddStv, params_.vthNom) / params_.vddStv;
+    ceff_ = params_.dynPowerStv /
+        (params_.vddStv * params_.vddStv * f_stv);
+    const double leak_exp = std::exp(
+        (-params_.vthNom + params_.dibl * params_.vddStv) /
+        (params_.leakN * params_.thermalVoltage));
+    ileak0_ = params_.statPowerStv / (params_.vddStv * leak_exp);
+    fStv_ = f_stv;
+}
+
+Technology
+Technology::makeItrs11nm()
+{
+    Params p;
+    p.name = "11nm";
+    p.vddNom = 0.55;
+    p.vthNom = 0.33;
+    p.fNom = 1.0e9;
+    p.vddStv = 1.0;
+    p.thermalVoltage = 0.026;
+    p.ekvN = 1.5;
+    // Fitted so that f(1.0 V)/f(0.55 V) ~ 3.3 (Table 2's STV
+    // equivalence: 0.55 V / 1 GHz <-> 1 V / 3.3 GHz).
+    p.ekvTheta = 0.82;
+    p.leakN = 1.54; // n_leak * phi_t = 0.040 V (~92 mV/dec slope)
+    p.dibl = 0.10;
+    // 6.25 W per core at STV => N_STV = 16 in the 100 W budget.
+    p.dynPowerStv = 5.0;
+    p.statPowerStv = 1.25;
+    p.sigmaVthTotal = 0.15; // Table 2
+    p.sigmaLeffTotal = 0.075; // Table 2
+    return Technology(std::move(p));
+}
+
+Technology
+Technology::makeItrs22nm()
+{
+    Params p;
+    p.name = "22nm";
+    p.vddNom = 0.60;
+    p.vthNom = 0.32;
+    p.fNom = 1.1e9;
+    p.vddStv = 1.0;
+    p.thermalVoltage = 0.026;
+    p.ekvN = 1.5;
+    p.ekvTheta = 0.85;
+    p.leakN = 1.45;
+    p.dibl = 0.08;
+    p.dynPowerStv = 4.5;
+    p.statPowerStv = 0.5;
+    // Variation is milder one generation earlier.
+    p.sigmaVthTotal = 0.09;
+    p.sigmaLeffTotal = 0.05;
+    return Technology(std::move(p));
+}
+
+double
+Technology::driveFactor(double vdd, double vth) const
+{
+    const double denom = 2.0 * params_.ekvN * params_.thermalVoltage;
+    const double u = (vdd - vth) / denom;
+    // log1p(exp(u)) evaluated without overflow for large u.
+    const double lse = u > 30.0 ? u : std::log1p(std::exp(u));
+    return std::pow(lse, 2.0 * params_.ekvTheta);
+}
+
+double
+Technology::relativeDelay(double vdd, double vth, double leff_dev) const
+{
+    const double g = driveFactor(vdd, vth);
+    const double g_nom = driveFactor(params_.vddNom, params_.vthNom);
+    // delay ~ Vdd / Ids; Leff deviation scales delay linearly.
+    return (vdd / g) / (params_.vddNom / g_nom) * (1.0 + leff_dev);
+}
+
+double
+Technology::frequency(double vdd, double vth, double leff_dev) const
+{
+    return freqConstant_ * driveFactor(vdd, vth) / vdd /
+        (1.0 + leff_dev);
+}
+
+double
+Technology::frequencyAtNominalVth(double vdd) const
+{
+    return frequency(vdd, params_.vthNom);
+}
+
+double
+Technology::dynamicPower(double vdd, double f) const
+{
+    return ceff_ * vdd * vdd * f;
+}
+
+double
+Technology::staticPower(double vdd, double vth, double leff_dev) const
+{
+    const double exponent = (-vth + params_.dibl * vdd) /
+        (params_.leakN * params_.thermalVoltage);
+    // Shorter channels (negative deviation) leak more.
+    return vdd * ileak0_ * std::exp(exponent) / (1.0 + 2.0 * leff_dev);
+}
+
+double
+Technology::totalPowerAtMaxF(double vdd, double vth) const
+{
+    return dynamicPower(vdd, frequency(vdd, vth)) +
+        staticPower(vdd, vth);
+}
+
+double
+Technology::energyPerOp(double vdd) const
+{
+    const double f = frequencyAtNominalVth(vdd);
+    if (f <= 0.0)
+        util::panic("energyPerOp: non-positive frequency at Vdd=%g", vdd);
+    return (dynamicPower(vdd, f) + staticPower(vdd, params_.vthNom)) / f;
+}
+
+double
+Technology::delayVthSensitivity(double vdd, double vth) const
+{
+    const double denom = 2.0 * params_.ekvN * params_.thermalVoltage;
+    const double u = (vdd - vth) / denom;
+    const double sigmoid = 1.0 / (1.0 + std::exp(-u));
+    const double lse = u > 30.0 ? u : std::log1p(std::exp(u));
+    // d(ln delay)/d(vth) = -d(ln g)/d(vth)
+    //                    = 2 theta sigmoid / (denom lse)
+    return 2.0 * params_.ekvTheta * sigmoid / (denom * lse);
+}
+
+} // namespace accordion::vartech

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Technology model: drive current, delay, frequency, power, and
+ * energy per operation as functions of (Vdd, Vth), spanning the
+ * sub-, near-, and super-threshold regimes.
+ *
+ * The drive current uses the EKV all-region approximation with a
+ * velocity-saturation exponent theta:
+ *
+ *   Ids = I0 * ( ln(1 + exp((Vdd - Vth) / (2 n phi_t))) )^(2 theta)
+ *
+ * which is smooth through Vth and is the same functional form the
+ * VARIUS-NTV model family builds on (theta < 1 captures short-
+ * channel velocity saturation at super-threshold while keeping a
+ * physical ~95 mV/dec sub-threshold slope). Gate delay is Vdd / Ids
+ * (up to a constant), so frequency is k_f * Ids / Vdd. The constant
+ * k_f is calibrated so the nominal 11 nm corner of the paper's
+ * Table 2 holds: f(VddNom = 0.55 V, VthNom = 0.33 V) = 1.0 GHz,
+ * with f(1.0 V) coming out near 3.3 GHz — the paper's STV
+ * equivalent.
+ *
+ * Power per core is
+ *
+ *   P = Ceff * Vdd^2 * f  +  Vdd * I_leak0 * exp((-Vth + dibl*Vdd)
+ *                                                / (n_leak phi_t))
+ *
+ * calibrated so one core at the STV corner draws ~6.25 W (hence
+ * N_STV = 16 cores fit the 100 W budget of Table 2) and so the
+ * static share of power grows as Vdd drops toward Vth, as Section
+ * 6.2 of the paper requires.
+ */
+
+#ifndef ACCORDION_VARTECH_TECHNOLOGY_HPP
+#define ACCORDION_VARTECH_TECHNOLOGY_HPP
+
+#include <string>
+
+namespace accordion::vartech {
+
+/**
+ * Parameter set for one technology node plus the analytic device
+ * models evaluated on it. Immutable after construction.
+ */
+class Technology
+{
+  public:
+    /** Named parameters; see makeItrs11nm()/makeItrs22nm(). */
+    struct Params
+    {
+        std::string name; //!< node label, e.g. "11nm"
+        double vddNom; //!< nominal NTV supply [V] (Table 2: 0.55)
+        double vthNom; //!< nominal threshold [V] (Table 2: 0.33)
+        double fNom; //!< frequency at (vddNom, vthNom) [Hz]
+        double vddStv; //!< conventional super-threshold supply [V]
+        double thermalVoltage; //!< phi_t [V] (~0.026 at 300 K)
+        double ekvN; //!< EKV slope factor n (~1.5, physical)
+        double ekvTheta; //!< velocity-saturation exponent on Ids
+        double leakN; //!< subthreshold-slope factor for leakage
+        double dibl; //!< DIBL coefficient [V/V]
+        double dynPowerStv; //!< per-core dynamic power at STV corner [W]
+        double statPowerStv; //!< per-core static power at STV corner [W]
+        double sigmaVthTotal; //!< total (sigma/mu) of Vth (0.15 @ 11nm)
+        double sigmaLeffTotal; //!< total (sigma/mu) of Leff (0.075)
+    };
+
+    explicit Technology(Params params);
+
+    /** ITRS-derived 11 nm node per the paper's Table 2. */
+    static Technology makeItrs11nm();
+
+    /** 22 nm node used for the Fig. 1c guardband comparison. */
+    static Technology makeItrs22nm();
+
+    const Params &params() const { return params_; }
+
+    /** Node label. */
+    const std::string &name() const { return params_.name; }
+
+    /**
+     * EKV drive-current shape factor (dimensionless):
+     * (ln(1 + exp((vdd - vth)/(2 n phi_t))))^(2 theta).
+     */
+    double driveFactor(double vdd, double vth) const;
+
+    /**
+     * Gate/path delay relative to the nominal corner
+     * (vddNom, vthNom); 1.0 at nominal, grows as vdd falls or vth
+     * rises. Scales linearly with effective channel length deviation
+     * via @p leff_dev (fractional, 0 = nominal).
+     */
+    double relativeDelay(double vdd, double vth,
+                         double leff_dev = 0.0) const;
+
+    /**
+     * Maximum switching frequency of a nominal-critical-path core at
+     * the given operating point [Hz].
+     */
+    double frequency(double vdd, double vth, double leff_dev = 0.0) const;
+
+    /** frequency() at the node's nominal Vth. */
+    double frequencyAtNominalVth(double vdd) const;
+
+    /** The STV frequency (at vddStv, vthNom) [Hz]. */
+    double fStv() const { return fStv_; }
+
+    /** The NTV nominal frequency [Hz]. */
+    double fNtv() const { return params_.fNom; }
+
+    /**
+     * Per-core dynamic power [W] at supply @p vdd and clock @p f.
+     */
+    double dynamicPower(double vdd, double f) const;
+
+    /**
+     * Per-core static (leakage) power [W]. Leakage rises when a
+     * core's threshold is low (fast core) and falls when it is high:
+     * pass the core's actual @p vth. @p leff_dev shortens/lengthens
+     * the channel, scaling leakage inversely.
+     */
+    double staticPower(double vdd, double vth,
+                       double leff_dev = 0.0) const;
+
+    /** dynamicPower + staticPower at the core's own maximum f. */
+    double totalPowerAtMaxF(double vdd, double vth) const;
+
+    /**
+     * Energy per operation [J] for a core running flat-out at
+     * @p vdd: total power divided by (f * ops-per-cycle == f).
+     * Reproduces the U-shape of Fig. 1a with the minimum in the
+     * sub-threshold region.
+     */
+    double energyPerOp(double vdd) const;
+
+    /**
+     * Sensitivity of log-delay to Vth [1/V] at an operating point:
+     * d(ln delay)/d(vth). Grows as Vdd approaches Vth, which is the
+     * physical root of NTC's amplified vulnerability to variation.
+     */
+    double delayVthSensitivity(double vdd, double vth) const;
+
+  private:
+    Params params_;
+    double freqConstant_; //!< k_f, calibrated at construction
+    double ceff_; //!< effective switched capacitance [F]
+    double ileak0_; //!< leakage pre-factor [A]
+    double fStv_; //!< cached frequency at the STV corner
+};
+
+} // namespace accordion::vartech
+
+#endif // ACCORDION_VARTECH_TECHNOLOGY_HPP

@@ -1,0 +1,82 @@
+#include "timing.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace accordion::vartech {
+
+CoreTimingModel::CoreTimingModel(const Technology &tech,
+                                 const TimingModelParams &params,
+                                 double vth_dev, double leff_dev,
+                                 double sigma_vth_random)
+    : tech_(tech), params_(params), leffDev_(leff_dev)
+{
+    const double vth_nom = tech.params().vthNom;
+    vth_ = vth_nom * (1.0 + vth_dev);
+    // A path of G gates averages G independent random Vth draws, so
+    // the path-effective random sigma shrinks by sqrt(G).
+    sigmaVthRandomVolts_ = sigma_vth_random * vth_nom /
+        std::sqrt(params_.gatesPerPath);
+}
+
+double
+CoreTimingModel::pathDelayMean(double vdd) const
+{
+    return tech_.relativeDelay(vdd, vth_, leffDev_) /
+        tech_.params().fNom;
+}
+
+double
+CoreTimingModel::pathDelaySigmaLn(double vdd) const
+{
+    return tech_.delayVthSensitivity(vdd, vth_) * sigmaVthRandomVolts_;
+}
+
+double
+CoreTimingModel::meanPathFrequency(double vdd) const
+{
+    return 1.0 / pathDelayMean(vdd);
+}
+
+double
+CoreTimingModel::errorRate(double vdd, double f) const
+{
+    if (f <= 0.0)
+        util::panic("errorRate: non-positive frequency %g", f);
+    const double period = 1.0 / f;
+    const double z = (std::log(period) - std::log(pathDelayMean(vdd))) /
+        pathDelaySigmaLn(vdd);
+    const double log_survive_all =
+        params_.pathsPerCycle * util::logNormalCdf(z);
+    return -std::expm1(log_survive_all);
+}
+
+double
+CoreTimingModel::safeFrequency(double vdd) const
+{
+    return frequencyForErrorRate(vdd, params_.perrSafe);
+}
+
+double
+CoreTimingModel::frequencyForErrorRate(double vdd, double perr) const
+{
+    if (perr <= 0.0 || perr >= 1.0)
+        util::fatal("frequencyForErrorRate: perr %g not in (0,1)", perr);
+    // errorRate is monotonically increasing in f; bracket and bisect.
+    double lo = 0.01 * meanPathFrequency(vdd);
+    double hi = 4.0 * meanPathFrequency(vdd);
+    if (errorRate(vdd, lo) > perr)
+        return lo; // pathological: even crawl speed errors out
+    for (int iter = 0; iter < 100; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (errorRate(vdd, mid) <= perr)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace accordion::vartech

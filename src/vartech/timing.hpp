@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Logic-side timing model of a variation-afflicted core
+ * (VARIUS-NTV's logic model). A core's critical-path population is
+ * log-normal around the EKV delay at the core's systematic
+ * (Vth, Leff) point; the log-delay spread comes from the random
+ * (within-core) Vth component averaged over the gates of a path,
+ * amplified by the delay-vs-Vth sensitivity, which grows sharply as
+ * Vdd approaches Vth.
+ *
+ * Per-cycle timing error probability:
+ *
+ *   Perr(f) = 1 - P(all exercised paths meet 1/f)
+ *           = -expm1( N_paths * log Phi( (ln(1/f) - ln mu) / sigma ) )
+ *
+ * evaluated in log space so that Perr is accurate from ~1e-300 up
+ * to 1. This produces the steep S-curves of the paper's Fig. 5b.
+ */
+
+#ifndef ACCORDION_VARTECH_TIMING_HPP
+#define ACCORDION_VARTECH_TIMING_HPP
+
+#include "technology.hpp"
+
+namespace accordion::vartech {
+
+/** Knobs of the timing-error model. */
+struct TimingModelParams
+{
+    /** Logic depth: gates per critical path (averages the random
+     *  Vth component by sqrt(gatesPerPath)). */
+    double gatesPerPath = 24.0;
+    /** Effective number of near-critical paths exercised per cycle. */
+    double pathsPerCycle = 5000.0;
+    /** Error-rate ceiling that still counts as "safe" operation. */
+    double perrSafe = 1e-14;
+};
+
+/**
+ * Timing model of one core at a fixed systematic variation point.
+ */
+class CoreTimingModel
+{
+  public:
+    /**
+     * @param tech Technology node.
+     * @param params Model knobs.
+     * @param vth_dev Systematic Vth deviation (fraction of nominal).
+     * @param leff_dev Systematic Leff deviation (fraction).
+     * @param sigma_vth_random Random Vth component (fraction).
+     */
+    CoreTimingModel(const Technology &tech, const TimingModelParams &params,
+                    double vth_dev, double leff_dev,
+                    double sigma_vth_random);
+
+    /** The core's actual threshold voltage [V]. */
+    double vth() const { return vth_; }
+
+    /** Systematic Leff deviation (fraction). */
+    double leffDev() const { return leffDev_; }
+
+    /** Mean critical-path delay at @p vdd [s]. */
+    double pathDelayMean(double vdd) const;
+
+    /** Log-delay sigma of the path population at @p vdd. */
+    double pathDelaySigmaLn(double vdd) const;
+
+    /**
+     * Frequency at which the *mean* path exactly meets timing [Hz];
+     * the variation-free (guardband-free) speed of this core.
+     */
+    double meanPathFrequency(double vdd) const;
+
+    /** Per-cycle timing error probability at (vdd, f). */
+    double errorRate(double vdd, double f) const;
+
+    /**
+     * Highest frequency with errorRate <= params.perrSafe [Hz]
+     * (bisection).
+     */
+    double safeFrequency(double vdd) const;
+
+    /**
+     * Frequency at which errorRate == @p perr [Hz]. Used by the
+     * Speculative modes, which pick an error-rate budget first and
+     * derive the clock from it (Section 6.3). @pre perr in (0, 1).
+     */
+    double frequencyForErrorRate(double vdd, double perr) const;
+
+    const TimingModelParams &params() const { return params_; }
+
+  private:
+    const Technology &tech_;
+    TimingModelParams params_;
+    double vth_; //!< core threshold [V]
+    double leffDev_;
+    double sigmaVthRandomVolts_; //!< per-path random Vth sigma [V]
+};
+
+} // namespace accordion::vartech
+
+#endif // ACCORDION_VARTECH_TIMING_HPP

@@ -1,0 +1,95 @@
+#include "variation.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace accordion::vartech {
+
+double
+sphericalCorrelation(double r, double phi)
+{
+    if (r <= 0.0)
+        return 1.0;
+    if (r >= phi)
+        return 0.0;
+    const double t = r / phi;
+    return 1.0 - 1.5 * t + 0.5 * t * t * t;
+}
+
+CorrelatedFieldSampler::CorrelatedFieldSampler(std::vector<Point> positions,
+                                               double phi)
+    : positions_(std::move(positions)), cholesky_(1, 1)
+{
+    if (positions_.empty())
+        util::fatal("CorrelatedFieldSampler: no sites");
+    const std::size_t n = positions_.size();
+    util::Matrix corr(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            const double rho = sphericalCorrelation(
+                distance(positions_[i], positions_[j]), phi);
+            corr.at(i, j) = rho;
+            corr.at(j, i) = rho;
+        }
+        // Small nugget keeps the matrix comfortably positive
+        // definite without visibly changing the field.
+        corr.at(i, i) += 1e-9;
+    }
+    cholesky_ = util::choleskyFactor(corr);
+}
+
+std::vector<double>
+CorrelatedFieldSampler::sample(util::Rng &rng) const
+{
+    std::vector<double> iid(size());
+    for (auto &v : iid)
+        v = rng.normal();
+    return cholesky_.multiply(iid);
+}
+
+std::vector<double>
+CorrelatedFieldSampler::sampleCorrelatedWith(const std::vector<double> &base,
+                                             double rho,
+                                             util::Rng &rng) const
+{
+    if (base.size() != size())
+        util::panic("sampleCorrelatedWith: base size %zu != %zu",
+                    base.size(), size());
+    std::vector<double> fresh = sample(rng);
+    const double mix = std::sqrt(1.0 - rho * rho);
+    for (std::size_t i = 0; i < fresh.size(); ++i)
+        fresh[i] = rho * base[i] + mix * fresh[i];
+    return fresh;
+}
+
+VariationRealization::VariationRealization(
+    const CorrelatedFieldSampler &sampler, const VariationParams &params,
+    util::Rng &rng)
+{
+    const double sys_frac = params.systematicFraction;
+    if (sys_frac < 0.0 || sys_frac > 1.0)
+        util::fatal("VariationRealization: systematicFraction %g not in "
+                    "[0,1]", sys_frac);
+    const double sigma_vth_sys =
+        params.sigmaVthTotal * std::sqrt(sys_frac);
+    const double sigma_leff_sys =
+        params.sigmaLeffTotal * std::sqrt(sys_frac);
+    sigmaVthRandom_ = params.sigmaVthTotal * std::sqrt(1.0 - sys_frac);
+    sigmaLeffRandom_ = params.sigmaLeffTotal * std::sqrt(1.0 - sys_frac);
+
+    const std::vector<double> vth_field = sampler.sample(rng);
+    const std::vector<double> leff_field = sampler.sampleCorrelatedWith(
+        vth_field, params.vthLeffCorrelation, rng);
+
+    vthDev_.resize(vth_field.size());
+    leffDev_.resize(leff_field.size());
+    pathSigmaScale_.resize(vth_field.size());
+    for (std::size_t i = 0; i < vth_field.size(); ++i) {
+        vthDev_[i] = sigma_vth_sys * vth_field[i];
+        leffDev_[i] = sigma_leff_sys * leff_field[i];
+        pathSigmaScale_[i] = rng.uniform(0.7, 1.3);
+    }
+}
+
+} // namespace accordion::vartech

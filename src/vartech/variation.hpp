@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Process-variation modeling following the VARIUS / VARIUS-NTV
+ * methodology: each transistor parameter (Vth, Leff) deviates from
+ * its design value by the sum of a *systematic* component — a
+ * Gaussian random field over the die with spherical spatial
+ * correlation of range phi — and a *random* (white) component.
+ * Total variation is split equally in variance between the two, and
+ * the Leff field is correlated with the Vth field.
+ */
+
+#ifndef ACCORDION_VARTECH_VARIATION_HPP
+#define ACCORDION_VARTECH_VARIATION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace accordion::vartech {
+
+/** Knobs of the variation model (defaults per the paper's Table 2). */
+struct VariationParams
+{
+    double phi = 0.1; //!< correlation range, fraction of chip edge
+    double sigmaVthTotal = 0.15; //!< total (sigma/mu) of Vth
+    double sigmaLeffTotal = 0.075; //!< total (sigma/mu) of Leff
+    double systematicFraction = 0.40; //!< variance share of systematic
+    double vthLeffCorrelation = 0.9; //!< corr(Vth_sys, Leff_sys)
+};
+
+/**
+ * Spherical correlation: rho(r) = 1 - 1.5 (r/phi) + 0.5 (r/phi)^3
+ * for r < phi, else 0. The standard VARIUS choice.
+ */
+double sphericalCorrelation(double r, double phi);
+
+/**
+ * Samples correlated zero-mean unit-variance Gaussian fields at a
+ * fixed set of die positions. The correlation matrix is factorized
+ * once (Cholesky); each sample() is then a cheap matrix-vector
+ * product, which makes 100-chip Monte Carlo batches fast.
+ */
+class CorrelatedFieldSampler
+{
+  public:
+    /**
+     * @param positions Sites at which to sample the field.
+     * @param phi Correlation range (fraction of chip edge).
+     */
+    CorrelatedFieldSampler(std::vector<Point> positions, double phi);
+
+    /** Number of sites. */
+    std::size_t size() const { return positions_.size(); }
+
+    /**
+     * Draw one field realization: a vector of standard-normal
+     * values with the spherical spatial correlation structure.
+     */
+    std::vector<double> sample(util::Rng &rng) const;
+
+    /**
+     * Draw a second field correlated with a previously drawn one:
+     * result = rho * base + sqrt(1-rho^2) * fresh, where `fresh` has
+     * the same spatial structure. Used to tie Leff to Vth.
+     */
+    std::vector<double> sampleCorrelatedWith(
+        const std::vector<double> &base, double rho,
+        util::Rng &rng) const;
+
+    /** Sites the field is sampled at. */
+    const std::vector<Point> &positions() const { return positions_; }
+
+  private:
+    std::vector<Point> positions_;
+    util::Matrix cholesky_;
+};
+
+/**
+ * Per-structure variation realization for a whole die: systematic
+ * Vth and Leff deviations (in fractions of the nominal value) for
+ * every site handed to the constructor.
+ */
+class VariationRealization
+{
+  public:
+    /**
+     * Generate a realization.
+     *
+     * @param sampler Field sampler over the die sites.
+     * @param params Variation knobs.
+     * @param rng Random stream (one per chip).
+     */
+    VariationRealization(const CorrelatedFieldSampler &sampler,
+                         const VariationParams &params, util::Rng &rng);
+
+    /** Systematic Vth deviation at site i, fraction of nominal Vth. */
+    double vthDev(std::size_t i) const { return vthDev_.at(i); }
+
+    /** Systematic Leff deviation at site i, fraction of nominal. */
+    double leffDev(std::size_t i) const { return leffDev_.at(i); }
+
+    /** Standard deviation of the *random* Vth component (fraction). */
+    double sigmaVthRandom() const { return sigmaVthRandom_; }
+
+    /**
+     * Per-site scale on the path-level random component. Different
+     * cores are dominated by critical structures of different logic
+     * depth, so the within-core delay spread differs from core to
+     * core; this is what makes Speculative frequency gains span a
+     * wide band across the chip (Section 6.3's 8-41%).
+     */
+    double pathSigmaScale(std::size_t i) const
+    {
+        return pathSigmaScale_.at(i);
+    }
+
+    /** Standard deviation of the *random* Leff component (fraction). */
+    double sigmaLeffRandom() const { return sigmaLeffRandom_; }
+
+    std::size_t size() const { return vthDev_.size(); }
+
+  private:
+    std::vector<double> vthDev_;
+    std::vector<double> leffDev_;
+    std::vector<double> pathSigmaScale_;
+    double sigmaVthRandom_;
+    double sigmaLeffRandom_;
+};
+
+} // namespace accordion::vartech
+
+#endif // ACCORDION_VARTECH_VARIATION_HPP

@@ -1,0 +1,200 @@
+#include "variation_chip.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace accordion::vartech {
+
+VariationChip::VariationChip(const Technology &tech,
+                             const ChipGeometry &geometry,
+                             const TimingModelParams &timing_params,
+                             const SramParams &sram_params,
+                             const VariationRealization &realization,
+                             std::uint64_t chip_id,
+                             std::size_t private_mem_bits,
+                             std::size_t cluster_mem_bits)
+    : tech_(&tech), geometry_(geometry), chipId_(chip_id)
+{
+    const std::size_t n_cores = geometry_.numCores();
+    const std::size_t n_clusters = geometry_.numClusters();
+    // Site layout (fixed by ChipFactory): cores, then private
+    // memories, then cluster memories.
+    if (realization.size() != 2 * n_cores + n_clusters)
+        util::panic("VariationChip: realization has %zu sites, expected "
+                    "%zu", realization.size(), 2 * n_cores + n_clusters);
+
+    coreVthDev_.resize(n_cores);
+    coreLeffDev_.resize(n_cores);
+    coreTiming_.reserve(n_cores);
+    privateMemVddMin_.resize(n_cores);
+    for (std::size_t c = 0; c < n_cores; ++c) {
+        coreVthDev_[c] = realization.vthDev(c);
+        coreLeffDev_[c] = realization.leffDev(c);
+        coreTiming_.emplace_back(tech, timing_params, coreVthDev_[c],
+                                 coreLeffDev_[c],
+                                 realization.sigmaVthRandom() *
+                                     realization.pathSigmaScale(c));
+    }
+
+    const double vth_nom = tech.params().vthNom;
+    const std::size_t private_bits = private_mem_bits;
+    const std::size_t cluster_bits = cluster_mem_bits;
+    for (std::size_t c = 0; c < n_cores; ++c) {
+        const std::size_t site = n_cores + c;
+        SramBlockModel block(sram_params, private_bits,
+                             realization.vthDev(site) * vth_nom,
+                             realization.leffDev(site));
+        privateMemVddMin_[c] = block.vddMin();
+    }
+    clusterMemVddMin_.resize(n_clusters);
+    for (std::size_t k = 0; k < n_clusters; ++k) {
+        const std::size_t site = 2 * n_cores + k;
+        SramBlockModel block(sram_params, cluster_bits,
+                             realization.vthDev(site) * vth_nom,
+                             realization.leffDev(site));
+        clusterMemVddMin_[k] = block.vddMin();
+    }
+
+    clusterVddMin_.resize(n_clusters);
+    for (std::size_t k = 0; k < n_clusters; ++k) {
+        double vmin = clusterMemVddMin_[k];
+        for (std::size_t core : geometry_.coresOfCluster(k))
+            vmin = std::max(vmin, privateMemVddMin_[core]);
+        clusterVddMin_[k] = vmin;
+    }
+    vddNtv_ = *std::max_element(clusterVddMin_.begin(),
+                                clusterVddMin_.end());
+    coreSafeF_.assign(n_cores, -1.0);
+}
+
+double
+VariationChip::coreVthDev(std::size_t core) const
+{
+    return coreVthDev_.at(core);
+}
+
+double
+VariationChip::coreLeffDev(std::size_t core) const
+{
+    return coreLeffDev_.at(core);
+}
+
+const CoreTimingModel &
+VariationChip::coreTiming(std::size_t core) const
+{
+    return coreTiming_.at(core);
+}
+
+double
+VariationChip::privateMemVddMin(std::size_t core) const
+{
+    return privateMemVddMin_.at(core);
+}
+
+double
+VariationChip::clusterMemVddMin(std::size_t cluster) const
+{
+    return clusterMemVddMin_.at(cluster);
+}
+
+double
+VariationChip::clusterVddMin(std::size_t cluster) const
+{
+    return clusterVddMin_.at(cluster);
+}
+
+double
+VariationChip::coreSafeF(std::size_t core) const
+{
+    double &cached = coreSafeF_.at(core);
+    if (cached < 0.0)
+        cached = coreTiming_[core].safeFrequency(vddNtv_);
+    return cached;
+}
+
+double
+VariationChip::clusterSafeF(std::size_t cluster) const
+{
+    double f = 1e300;
+    for (std::size_t core : geometry_.coresOfCluster(cluster))
+        f = std::min(f, coreSafeF(core));
+    return f;
+}
+
+std::size_t
+VariationChip::slowestCoreOfCluster(std::size_t cluster) const
+{
+    const auto cores = geometry_.coresOfCluster(cluster);
+    std::size_t slowest = cores.front();
+    for (std::size_t core : cores)
+        if (coreSafeF(core) < coreSafeF(slowest))
+            slowest = core;
+    return slowest;
+}
+
+double
+VariationChip::coreSafeFAt(std::size_t core, double vdd) const
+{
+    return coreTiming_.at(core).safeFrequency(vdd);
+}
+
+double
+VariationChip::coreErrorRate(std::size_t core, double f) const
+{
+    return coreTiming_.at(core).errorRate(vddNtv_, f);
+}
+
+double
+VariationChip::coreFrequencyForErrorRate(std::size_t core,
+                                         double perr) const
+{
+    return coreTiming_.at(core).frequencyForErrorRate(vddNtv_, perr);
+}
+
+double
+VariationChip::coreStaticPower(std::size_t core, double vdd) const
+{
+    return tech_->staticPower(vdd, coreTiming_.at(core).vth(),
+                              coreLeffDev_.at(core));
+}
+
+ChipFactory::ChipFactory(const Technology &tech, Params params,
+                         std::uint64_t seed)
+    : tech_(&tech), params_(std::move(params)),
+      geometry_(params_.geometry), seed_(seed)
+{
+    std::vector<Point> sites;
+    const std::size_t n_cores = geometry_.numCores();
+    sites.reserve(2 * n_cores + geometry_.numClusters());
+    for (std::size_t c = 0; c < n_cores; ++c)
+        sites.push_back(geometry_.corePosition(c));
+    for (std::size_t c = 0; c < n_cores; ++c)
+        sites.push_back(geometry_.privateMemPosition(c));
+    for (std::size_t k = 0; k < geometry_.numClusters(); ++k)
+        sites.push_back(geometry_.clusterMemPosition(k));
+    sampler_ = std::make_unique<CorrelatedFieldSampler>(
+        std::move(sites), params_.variation.phi);
+}
+
+VariationChip
+ChipFactory::make(std::uint64_t chip_id) const
+{
+    util::Rng rng(seed_, chip_id);
+    VariationRealization realization(*sampler_, params_.variation, rng);
+    return VariationChip(*tech_, geometry_, params_.timing, params_.sram,
+                         realization, chip_id, params_.privateMemBits,
+                         params_.clusterMemBits);
+}
+
+std::vector<VariationChip>
+ChipFactory::makeSample(std::size_t count) const
+{
+    std::vector<VariationChip> chips;
+    chips.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        chips.push_back(make(i));
+    return chips;
+}
+
+} // namespace accordion::vartech

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * A complete variation-afflicted die: per-core timing models,
+ * per-memory-block VddMIN, per-cluster VddMIN and safe frequencies,
+ * and the chip-wide near-threshold supply VddNTV (the maximum
+ * per-cluster VddMIN, exactly as Section 6.1 of the paper
+ * designates it). A ChipFactory shares the expensive Cholesky
+ * factorization across the 100-chip Monte Carlo sample.
+ */
+
+#ifndef ACCORDION_VARTECH_VARIATION_CHIP_HPP
+#define ACCORDION_VARTECH_VARIATION_CHIP_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geometry.hpp"
+#include "sram.hpp"
+#include "technology.hpp"
+#include "timing.hpp"
+#include "variation.hpp"
+
+namespace accordion::vartech {
+
+/**
+ * One manufactured chip instance with its full variation
+ * realization and derived reliability quantities.
+ */
+class VariationChip
+{
+  public:
+    /** Built by ChipFactory. */
+    VariationChip(const Technology &tech, const ChipGeometry &geometry,
+                  const TimingModelParams &timing_params,
+                  const SramParams &sram_params,
+                  const VariationRealization &realization,
+                  std::uint64_t chip_id,
+                  std::size_t private_mem_bits = 64ull * 1024 * 8,
+                  std::size_t cluster_mem_bits = 2ull * 1024 * 1024 * 8);
+
+    /** Manufacturing sample index. */
+    std::uint64_t chipId() const { return chipId_; }
+
+    const ChipGeometry &geometry() const { return geometry_; }
+    const Technology &technology() const { return *tech_; }
+
+    /** Systematic Vth deviation of a core (fraction of nominal). */
+    double coreVthDev(std::size_t core) const;
+
+    /** Systematic Leff deviation of a core (fraction). */
+    double coreLeffDev(std::size_t core) const;
+
+    /** Timing model of a core. */
+    const CoreTimingModel &coreTiming(std::size_t core) const;
+
+    /** VddMIN of a core's private memory block [V]. */
+    double privateMemVddMin(std::size_t core) const;
+
+    /** VddMIN of a cluster's shared memory block [V]. */
+    double clusterMemVddMin(std::size_t cluster) const;
+
+    /**
+     * Per-cluster VddMIN: the maximum across the cluster's memory
+     * blocks (Fig. 5a's histogram variable) [V].
+     */
+    double clusterVddMin(std::size_t cluster) const;
+
+    /** Chip-wide NTV supply: max per-cluster VddMIN [V]. */
+    double vddNtv() const { return vddNtv_; }
+
+    /** Safe frequency of a core at the chip's VddNTV [Hz]. */
+    double coreSafeF(std::size_t core) const;
+
+    /**
+     * Safe frequency of a cluster at VddNTV: the slowest core in
+     * the cluster sets the domain clock (Section 6.1) [Hz].
+     */
+    double clusterSafeF(std::size_t cluster) const;
+
+    /** Index of the slowest (most error-prone) core of a cluster. */
+    std::size_t slowestCoreOfCluster(std::size_t cluster) const;
+
+    /** Safe frequency of a core at an arbitrary supply [Hz]. */
+    double coreSafeFAt(std::size_t core, double vdd) const;
+
+    /** Per-cycle error rate of a core at (VddNTV, f). */
+    double coreErrorRate(std::size_t core, double f) const;
+
+    /**
+     * Frequency of a core at VddNTV for a target per-cycle error
+     * rate (Speculative operation) [Hz].
+     */
+    double coreFrequencyForErrorRate(std::size_t core, double perr) const;
+
+    /** Core static power at a supply [W] (uses the core's Vth). */
+    double coreStaticPower(std::size_t core, double vdd) const;
+
+    /** Number of cores. */
+    std::size_t numCores() const { return coreTiming_.size(); }
+
+    /** Number of clusters. */
+    std::size_t numClusters() const { return geometry_.numClusters(); }
+
+  private:
+    const Technology *tech_;
+    ChipGeometry geometry_;
+    std::uint64_t chipId_;
+    std::vector<double> coreVthDev_;
+    std::vector<double> coreLeffDev_;
+    std::vector<CoreTimingModel> coreTiming_;
+    std::vector<double> privateMemVddMin_;
+    std::vector<double> clusterMemVddMin_;
+    std::vector<double> clusterVddMin_;
+    double vddNtv_;
+    mutable std::vector<double> coreSafeF_; //!< lazily filled cache
+};
+
+/**
+ * Builds VariationChip instances; owns the field sampler so the
+ * Cholesky factorization is shared by all chips of a sample.
+ */
+class ChipFactory
+{
+  public:
+    /** Model knobs for a batch of chips. */
+    struct Params
+    {
+        VariationParams variation;
+        TimingModelParams timing;
+        SramParams sram;
+        ChipGeometry::Params geometry;
+        std::size_t privateMemBits = 64ull * 1024 * 8; //!< 64 KB
+        std::size_t clusterMemBits = 2ull * 1024 * 1024 * 8; //!< 2 MB
+    };
+
+    ChipFactory(const Technology &tech, Params params,
+                std::uint64_t seed);
+
+    /** Manufacture chip number @p chip_id (deterministic in id). */
+    VariationChip make(std::uint64_t chip_id) const;
+
+    /** Manufacture a batch of @p count chips (ids 0..count-1). */
+    std::vector<VariationChip> makeSample(std::size_t count) const;
+
+    const Params &params() const { return params_; }
+    const ChipGeometry &geometry() const { return geometry_; }
+    const Technology &technology() const { return *tech_; }
+
+  private:
+    const Technology *tech_;
+    Params params_;
+    ChipGeometry geometry_;
+    std::uint64_t seed_;
+    std::unique_ptr<CorrelatedFieldSampler> sampler_;
+};
+
+} // namespace accordion::vartech
+
+#endif // ACCORDION_VARTECH_VARIATION_CHIP_HPP

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Tests of the Accordion framework: modes, quality profiles, core
+ * selection, and the iso-execution-time pareto extraction whose
+ * outputs are Figures 6 and 7.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/accordion.hpp"
+#include "core/core_selection.hpp"
+#include "core/modes.hpp"
+#include "core/pareto.hpp"
+#include "core/quality_profile.hpp"
+
+using namespace accordion;
+using namespace accordion::core;
+
+TEST(Modes, Classification)
+{
+    EXPECT_EQ(classifySizeMode(0.5), SizeMode::Compress);
+    EXPECT_EQ(classifySizeMode(1.0), SizeMode::Still);
+    EXPECT_EQ(classifySizeMode(2.0), SizeMode::Expand);
+    EXPECT_EQ(classifySizeMode(1.005, 0.01), SizeMode::Still);
+}
+
+TEST(Modes, Names)
+{
+    EXPECT_EQ(sizeModeName(SizeMode::Compress), "Compress");
+    EXPECT_EQ(sizeModeName(SizeMode::Still), "Still");
+    EXPECT_EQ(sizeModeName(SizeMode::Expand), "Expand");
+    EXPECT_EQ(flavorName(Flavor::Safe), "Safe");
+    EXPECT_EQ(flavorName(Flavor::Speculative), "Speculative");
+}
+
+namespace {
+
+/** Shared, lazily-built system (profiles are expensive). */
+AccordionSystem &
+sys()
+{
+    static AccordionSystem system;
+    return system;
+}
+
+const QualityProfile &
+hotspotProfile()
+{
+    return sys().profile("hotspot");
+}
+
+} // namespace
+
+TEST(QualityProfile, DefaultPointIsUnityOnBothAxes)
+{
+    const QualityProfile &p = hotspotProfile();
+    // The default input is inside the sweep, so the normalized
+    // curve passes through (1, 1).
+    EXPECT_NEAR(p.defaultCurve().interp()(1.0), 1.0, 1e-9);
+    EXPECT_GT(p.defaultProblemSize(), 0.0);
+    EXPECT_GT(p.defaultQuality(), 0.0);
+    EXPECT_GT(p.defaultInstrPerTask(), 0.0);
+    EXPECT_EQ(p.threads(), 64u);
+}
+
+TEST(QualityProfile, KnotsStrictlyIncrease)
+{
+    const QualityProfile &p = hotspotProfile();
+    for (const ProfileCurve *curve :
+         {&p.defaultCurve(), &p.dropQuarterCurve(), &p.dropHalfCurve()})
+        for (std::size_t i = 1; i < curve->psRatio.size(); ++i)
+            EXPECT_GT(curve->psRatio[i], curve->psRatio[i - 1]);
+}
+
+TEST(QualityProfile, DropCurvesBelowDefault)
+{
+    const QualityProfile &p = hotspotProfile();
+    for (double ps : {0.5, 1.0, 2.0}) {
+        EXPECT_GE(p.qualityAt(ps, 0.0), p.qualityAt(ps, 0.25) - 0.02);
+        EXPECT_GE(p.qualityAt(ps, 0.25), p.qualityAt(ps, 0.5) - 0.02);
+    }
+}
+
+TEST(QualityProfile, InterpolatesBetweenDropFractions)
+{
+    const QualityProfile &p = hotspotProfile();
+    const double q0 = p.qualityAt(1.0, 0.0);
+    const double q125 = p.qualityAt(1.0, 0.125);
+    const double q25 = p.qualityAt(1.0, 0.25);
+    EXPECT_NEAR(q125, 0.5 * (q0 + q25), 1e-9);
+    // Clamps beyond one half.
+    EXPECT_DOUBLE_EQ(p.qualityAt(1.0, 0.8), p.qualityAt(1.0, 0.5));
+}
+
+TEST(QualityProfile, QualityGrowsWithProblemSize)
+{
+    const QualityProfile &p = hotspotProfile();
+    EXPECT_LT(p.qualityAt(0.5), p.qualityAt(1.0));
+    EXPECT_LT(p.qualityAt(1.0), p.qualityAt(2.0));
+}
+
+TEST(QualityProfile, SpeculativeDropFractionRule)
+{
+    // hotspot degrades visibly under Drop 1/4 => analysis uses 1/4;
+    // canneal barely degrades => the conservative 1/2.
+    EXPECT_DOUBLE_EQ(hotspotProfile().speculativeDropFraction(), 0.25);
+    EXPECT_DOUBLE_EQ(sys().profile("canneal").speculativeDropFraction(),
+                     0.5);
+}
+
+TEST(CoreSelector, RankingIsSortedByEfficiency)
+{
+    const CoreSelector &sel = sys().pareto().selector();
+    const auto &ranking = sel.rankedClusters();
+    ASSERT_EQ(ranking.size(), 36u);
+    for (std::size_t i = 1; i < ranking.size(); ++i)
+        EXPECT_GE(ranking[i - 1].efficiency, ranking[i].efficiency);
+}
+
+TEST(CoreSelector, SelectionIsClusterGranular)
+{
+    const CoreSelector &sel = sys().pareto().selector();
+    const auto cores = sel.selectCores(24);
+    ASSERT_EQ(cores.size(), 24u);
+    std::set<std::size_t> clusters;
+    for (std::size_t c : cores)
+        clusters.insert(sys().chip().geometry().clusterOfCore(c));
+    EXPECT_EQ(clusters.size(), 3u); // 24 cores == 3 whole clusters
+}
+
+TEST(CoreSelector, SelectionPrefersEfficientClusters)
+{
+    const CoreSelector &sel = sys().pareto().selector();
+    const auto cores = sel.selectCores(8);
+    const std::size_t best = sel.rankedClusters().front().cluster;
+    for (std::size_t c : cores)
+        EXPECT_EQ(sys().chip().geometry().clusterOfCore(c), best);
+}
+
+TEST(CoreSelector, CommonFrequencyIsSlowestSelected)
+{
+    const CoreSelector &sel = sys().pareto().selector();
+    const auto cores = sel.selectCores(48);
+    double f_min = 1e300;
+    for (std::size_t c : cores)
+        f_min = std::min(f_min, sys().chip().coreSafeF(c));
+    EXPECT_DOUBLE_EQ(sel.safeFrequency(cores), f_min);
+}
+
+TEST(CoreSelector, FrequencyDropsAsSelectionGrows)
+{
+    const CoreSelector &sel = sys().pareto().selector();
+    double prev = 1e300;
+    for (std::size_t n : {8u, 80u, 160u, 288u}) {
+        const double f = sel.safeFrequency(sel.selectCores(n));
+        EXPECT_LE(f, prev);
+        prev = f;
+    }
+}
+
+TEST(CoreSelector, SpeculativeAboveSafe)
+{
+    const CoreSelector &sel = sys().pareto().selector();
+    const auto cores = sel.selectCores(64);
+    EXPECT_GT(sel.speculativeFrequency(cores, 1e-6),
+              sel.safeFrequency(cores));
+}
+
+TEST(CoreSelector, ControlCoresAreTheFastest)
+{
+    const CoreSelector &sel = sys().pareto().selector();
+    const auto ccs = sel.selectControlCores(4);
+    ASSERT_EQ(ccs.size(), 4u);
+    const double slowest_cc = sys().chip().coreSafeF(ccs.back());
+    // No non-CC core may beat the slowest CC.
+    std::set<std::size_t> cc_set(ccs.begin(), ccs.end());
+    for (std::size_t c = 0; c < sys().chip().numCores(); ++c) {
+        if (!cc_set.count(c)) {
+            EXPECT_LE(sys().chip().coreSafeF(c), slowest_cc);
+        }
+    }
+}
+
+class ParetoTest : public ::testing::TestWithParam<Flavor>
+{
+};
+
+TEST_P(ParetoTest, FrontPropertiesHotspot)
+{
+    const auto &w = rms::findWorkload("hotspot");
+    const QualityProfile &prof = hotspotProfile();
+    const StvBaseline base = sys().pareto().baseline(w, prof);
+    EXPECT_GT(base.n, 0u);
+    EXPECT_GT(base.seconds, 0.0);
+    EXPECT_LE(base.powerW, sys().powerModel().budget());
+
+    const auto front = sys().pareto().extract(w, prof, GetParam());
+    ASSERT_FALSE(front.empty());
+    double prev_ps = 0.0;
+    std::size_t prev_n = 0;
+    for (const OperatingPoint &p : front) {
+        EXPECT_GT(p.psRatio, prev_ps); // one point per size, ordered
+        prev_ps = p.psRatio;
+        if (p.feasible) {
+            // Iso-execution time holds within tolerance.
+            EXPECT_LE(p.execSeconds, base.seconds * 1.03);
+            // Larger problems need at least as many cores.
+            EXPECT_GE(p.n, prev_n);
+            prev_n = p.n;
+        }
+        EXPECT_GT(p.fHz, 0.0);
+        EXPECT_LT(p.fHz, 1.0e9); // below the NTV nominal
+        EXPECT_GT(p.qualityRatio, 0.0);
+        EXPECT_EQ(p.flavor, GetParam());
+        EXPECT_EQ(p.sizeMode, classifySizeMode(p.psRatio, 1e-6));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFlavors, ParetoTest,
+                         ::testing::Values(Flavor::Safe,
+                                           Flavor::Speculative),
+                         [](const auto &info) {
+                             return flavorName(info.param);
+                         });
+
+TEST(Pareto, SpeculativeNeedsFewerCoresThanSafe)
+{
+    // Section 6.3: the higher speculative f releases pressure on N.
+    const auto &w = rms::findWorkload("hotspot");
+    const QualityProfile &prof = hotspotProfile();
+    const auto safe = sys().pareto().extract(w, prof, Flavor::Safe);
+    const auto spec =
+        sys().pareto().extract(w, prof, Flavor::Speculative);
+    ASSERT_EQ(safe.size(), spec.size());
+    for (std::size_t i = 0; i < safe.size(); ++i) {
+        if (!safe[i].feasible || !spec[i].feasible)
+            continue;
+        EXPECT_LE(spec[i].n, safe[i].n) << "ps=" << safe[i].psRatio;
+        EXPECT_GE(spec[i].fHz, safe[i].fHz * 0.99);
+    }
+}
+
+TEST(Pareto, SpeculativeTradesQualityForEfficiency)
+{
+    const auto &w = rms::findWorkload("hotspot");
+    const QualityProfile &prof = hotspotProfile();
+    const auto safe = sys().pareto().extract(w, prof, Flavor::Safe);
+    const auto spec =
+        sys().pareto().extract(w, prof, Flavor::Speculative);
+    const StvBaseline base = sys().pareto().baseline(w, prof);
+    for (std::size_t i = 0; i < safe.size(); ++i) {
+        if (!safe[i].feasible || !spec[i].feasible)
+            continue;
+        EXPECT_LE(spec[i].qualityRatio, safe[i].qualityRatio);
+        EXPECT_GE(spec[i].efficiencyRatio(base),
+                  safe[i].efficiencyRatio(base) * 0.98);
+    }
+}
+
+TEST(Pareto, EfficiencyDegradesWithCoreCount)
+{
+    // First column of Figs. 6-7: MIPS/W falls from left to right.
+    const auto &w = rms::findWorkload("hotspot");
+    const QualityProfile &prof = hotspotProfile();
+    const StvBaseline base = sys().pareto().baseline(w, prof);
+    const auto front = sys().pareto().extract(w, prof, Flavor::Safe);
+    double prev_eff = 1e300;
+    for (const OperatingPoint &p : front) {
+        if (!p.feasible)
+            continue;
+        const double eff = p.efficiencyRatio(base);
+        EXPECT_LE(eff, prev_eff * 1.05) << "ps=" << p.psRatio;
+        prev_eff = eff;
+    }
+}
+
+TEST(Pareto, SafeExpandQualityTracksProblemSize)
+{
+    // Fourth column: under Safe the quality trends track problem
+    // size exactly (no errors).
+    const auto &w = rms::findWorkload("hotspot");
+    const QualityProfile &prof = hotspotProfile();
+    const auto front = sys().pareto().extract(w, prof, Flavor::Safe);
+    for (const OperatingPoint &p : front)
+        EXPECT_DOUBLE_EQ(p.qualityRatio, prof.qualityAt(p.psRatio, 0.0));
+}
+
+TEST(Pareto, SpeculativeTargetsOneErrorPerTask)
+{
+    const auto &w = rms::findWorkload("hotspot");
+    const QualityProfile &prof = hotspotProfile();
+    const auto spec =
+        sys().pareto().extract(w, prof, Flavor::Speculative);
+    for (const OperatingPoint &p : spec) {
+        EXPECT_GT(p.perr, 0.0);
+        EXPECT_GT(p.dropFraction, 0.0);
+    }
+}
+
+TEST(AccordionSystem, ProfileIsCached)
+{
+    const QualityProfile &a = sys().profile("hotspot");
+    const QualityProfile &b = sys().profile("hotspot");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(AccordionSystem, HeadlineEfficiencyGainAboveOne)
+{
+    // Section 9: 1.61-1.87x more energy-efficient at the STV
+    // execution time. Our substrate lands in the same >1x regime.
+    const double gain = sys().bestEfficiencyGain("hotspot");
+    EXPECT_GT(gain, 1.2);
+    EXPECT_LT(gain, 4.0);
+}
+
+TEST(AccordionSystem, EventDrivenBackendAgrees)
+{
+    AccordionSystem::Config config;
+    config.eventDrivenPerf = true;
+    AccordionSystem event_sys(config);
+    const auto &w = rms::findWorkload("hotspot");
+    const auto &prof = event_sys.profile("hotspot");
+    const StvBaseline a = event_sys.pareto().baseline(w, prof);
+    const StvBaseline b = sys().pareto().baseline(w, prof);
+    EXPECT_NEAR(a.seconds / b.seconds, 1.0, 0.3);
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests of the dynamic orchestration extension (Section 7): phase
+ * accounting, event application, and the adaptive-vs-static
+ * contrast under temporal resiliency changes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/accordion.hpp"
+#include "core/dynamic.hpp"
+
+using namespace accordion;
+using namespace accordion::core;
+
+namespace {
+
+AccordionSystem &
+sys()
+{
+    static AccordionSystem system;
+    return system;
+}
+
+const rms::Workload &
+work()
+{
+    return rms::findWorkload("hotspot");
+}
+
+const QualityProfile &
+prof()
+{
+    return sys().profile("hotspot");
+}
+
+StvBaseline
+base()
+{
+    static const StvBaseline b = sys().pareto().baseline(work(),
+                                                         prof());
+    return b;
+}
+
+DynamicOrchestrator
+makeOrchestrator(bool adaptive, std::size_t phases = 8)
+{
+    DynamicOrchestrator::Params params;
+    params.adaptive = adaptive;
+    params.phases = phases;
+    return DynamicOrchestrator(sys().chip(), sys().powerModel(),
+                               sys().perfModel(), params);
+}
+
+} // namespace
+
+TEST(Dynamic, NoEventsMatchesStaticOperation)
+{
+    const auto report = makeOrchestrator(true).run(work(), prof(),
+                                                   base(), {});
+    ASSERT_EQ(report.phases.size(), 8u);
+    // One initial selection, no further churn.
+    EXPECT_EQ(report.reselections, 1u);
+    for (const PhaseOutcome &phase : report.phases) {
+        EXPECT_EQ(phase.n, report.phases.front().n);
+        EXPECT_DOUBLE_EQ(phase.fHz, report.phases.front().fHz);
+    }
+    // Iso-execution time holds without perturbation.
+    EXPECT_LE(report.totalSeconds, base().seconds * 1.05);
+    EXPECT_GT(report.energyJ, 0.0);
+}
+
+TEST(Dynamic, EventsOnUnusedClustersAreFree)
+{
+    // Degrade the least efficient cluster — the selection never
+    // includes it, so the adaptive run is unaffected.
+    const auto &ranking = sys().pareto().selector().rankedClusters();
+    const std::size_t victim = ranking.back().cluster;
+    const auto clean = makeOrchestrator(true).run(work(), prof(),
+                                                  base(), {});
+    const auto hit = makeOrchestrator(true).run(
+        work(), prof(), base(), {{2, victim, 0.5}});
+    EXPECT_NEAR(hit.totalSeconds, clean.totalSeconds,
+                clean.totalSeconds * 0.02);
+}
+
+TEST(Dynamic, StaticAllocationSuffersUnderDegradation)
+{
+    // Degrade the clusters the initial selection uses: the static
+    // scheme rides the slower clock; the adaptive one re-selects.
+    const auto &ranking = sys().pareto().selector().rankedClusters();
+    std::vector<ResilienceEvent> events;
+    for (std::size_t i = 0; i < 4; ++i)
+        events.push_back({2, ranking[i].cluster, 0.6});
+
+    const auto still = makeOrchestrator(false).run(work(), prof(),
+                                                   base(), events);
+    const auto adaptive = makeOrchestrator(true).run(
+        work(), prof(), base(), events);
+
+    EXPECT_GT(still.totalSeconds, base().seconds * 1.05);
+    EXPECT_LE(adaptive.totalSeconds, base().seconds * 1.05);
+    EXPECT_LT(adaptive.totalSeconds, still.totalSeconds);
+    EXPECT_GT(adaptive.reselections, 1u);
+}
+
+TEST(Dynamic, RecoveryRestoresTheOriginalAllocation)
+{
+    const auto &ranking = sys().pareto().selector().rankedClusters();
+    std::vector<ResilienceEvent> events = {
+        {2, ranking[0].cluster, 0.5}, {5, ranking[0].cluster, 1.0}};
+    const auto report = makeOrchestrator(true).run(work(), prof(),
+                                                   base(), events);
+    // After recovery the controller converges back to the
+    // unperturbed selection.
+    const auto clean = makeOrchestrator(true).run(work(), prof(),
+                                                  base(), {});
+    EXPECT_EQ(report.phases.back().n, clean.phases.back().n);
+    EXPECT_DOUBLE_EQ(report.phases.back().fHz,
+                     clean.phases.back().fHz);
+}
+
+TEST(Dynamic, PhaseAccountingAddsUp)
+{
+    const auto report = makeOrchestrator(true).run(work(), prof(),
+                                                   base(), {});
+    double sum_s = 0.0, sum_j = 0.0;
+    for (const PhaseOutcome &phase : report.phases) {
+        sum_s += phase.seconds;
+        sum_j += phase.seconds * phase.powerW;
+    }
+    EXPECT_NEAR(report.totalSeconds, sum_s, 1e-12);
+    EXPECT_NEAR(report.energyJ, sum_j, 1e-12);
+    EXPECT_NEAR(report.avgPowerW(), sum_j / sum_s, 1e-9);
+}
+
+TEST(Dynamic, RejectsBadInputs)
+{
+    DynamicOrchestrator::Params params;
+    params.phases = 0;
+    EXPECT_EXIT(DynamicOrchestrator(sys().chip(), sys().powerModel(),
+                                    sys().perfModel(), params),
+                ::testing::ExitedWithCode(1), "phase");
+    EXPECT_EXIT(makeOrchestrator(true).run(work(), prof(), base(),
+                                           {{0, 999, 0.5}}),
+                ::testing::ExitedWithCode(1), "out of range");
+}

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests of the extension modules: the strict-weak-scaling bitmine
+ * workload (Section 7), the Monte Carlo sample evaluator, the
+ * Booster/EnergySmart baselines, and the checkpoint/recovery model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/accordion.hpp"
+#include "core/baselines.hpp"
+#include "core/checkpoint.hpp"
+#include "core/montecarlo.hpp"
+#include "rms/bitmine.hpp"
+
+using namespace accordion;
+using namespace accordion::core;
+
+TEST(Bitmine, RegisteredAsExtensionOnly)
+{
+    EXPECT_EQ(rms::allWorkloads().size(), 6u);
+    ASSERT_EQ(rms::extendedWorkloads().size(), 7u);
+    EXPECT_EQ(rms::extendedWorkloads().back()->name(), "bitmine");
+    EXPECT_EQ(rms::findWorkload("bitmine").name(), "bitmine");
+}
+
+TEST(Bitmine, StrictWeakScaling)
+{
+    // Per-thread work is exactly the Accordion input, regardless of
+    // thread count — strict Gustafson weak scaling.
+    const auto &w = rms::findWorkload("bitmine");
+    rms::RunConfig a;
+    a.input = 4096;
+    a.threads = 16;
+    rms::RunConfig b = a;
+    b.threads = 64;
+    const auto ra = w.run(a);
+    const auto rb = w.run(b);
+    EXPECT_DOUBLE_EQ(ra.taskSet.instrPerTask, rb.taskSet.instrPerTask);
+    EXPECT_DOUBLE_EQ(rb.problemSize, 4.0 * ra.problemSize);
+}
+
+TEST(Bitmine, QualityProportionalToWork)
+{
+    const auto &w = rms::findWorkload("bitmine");
+    const auto ref = w.runReference();
+    rms::RunConfig c;
+    c.input = w.defaultInput();
+    const double q_full = w.qualityOf(c, ref);
+    c.fault = fault::FaultPlan::dropHalf();
+    const double q_half = w.qualityOf(c, ref);
+    // Drop 1/2 halves the search, so it halves the shares (up to
+    // Poisson noise in share counts).
+    EXPECT_NEAR(q_half / q_full, 0.5, 0.08);
+    // Doubling the input doubles the quality.
+    c.fault = fault::FaultPlan();
+    c.input = 2.0 * w.defaultInput();
+    EXPECT_NEAR(w.qualityOf(c, ref) / q_full, 2.0, 0.15);
+}
+
+TEST(Bitmine, DeterministicSearch)
+{
+    const auto &w = rms::findWorkload("bitmine");
+    rms::RunConfig c;
+    c.input = 8192;
+    const auto a = w.run(c);
+    const auto b = w.run(c);
+    EXPECT_EQ(a.output, b.output);
+}
+
+namespace {
+
+AccordionSystem &
+sys()
+{
+    static AccordionSystem system;
+    return system;
+}
+
+} // namespace
+
+TEST(MonteCarlo, StatisticsAreConsistent)
+{
+    const MonteCarloEvaluator mc(sys().factory(), 10);
+    const auto stats = mc.evaluate(
+        "vddntv", [](const vartech::VariationChip &chip) {
+            return chip.vddNtv();
+        });
+    EXPECT_EQ(stats.chips, 10u);
+    EXPECT_GE(stats.max, stats.p90);
+    EXPECT_GE(stats.p90, stats.mean - 1e-12);
+    EXPECT_GE(stats.mean, stats.p10 - 1e-12);
+    EXPECT_GE(stats.p10, stats.min);
+    EXPECT_GT(stats.stddev, 0.0);
+    // VddNTV stays in the near-threshold band on every chip.
+    EXPECT_GT(stats.min, 0.50);
+    EXPECT_LT(stats.max, 0.65);
+}
+
+TEST(MonteCarlo, ValuesAreDeterministicPerChipId)
+{
+    const MonteCarloEvaluator mc(sys().factory(), 5);
+    const auto metric = [](const vartech::VariationChip &chip) {
+        return chip.clusterSafeF(0);
+    };
+    EXPECT_EQ(mc.values(metric), mc.values(metric));
+}
+
+TEST(MonteCarlo, GainDistributionIsPositive)
+{
+    const MonteCarloEvaluator mc(sys().factory(), 4);
+    const auto &w = rms::findWorkload("hotspot");
+    const auto stats = mc.efficiencyGainDistribution(
+        w, sys().profile("hotspot"), sys().powerModel(),
+        sys().perfModel(), Flavor::Speculative);
+    EXPECT_GT(stats.min, 1.0);
+    EXPECT_LT(stats.max, 4.0);
+}
+
+TEST(Baselines, ReachIsoExecutionTime)
+{
+    const BaselineEvaluator baselines(
+        sys().chip(), sys().powerModel(), sys().perfModel());
+    const auto &w = rms::findWorkload("hotspot");
+    const auto &profile = sys().profile("hotspot");
+    const auto base = sys().pareto().baseline(w, profile);
+    for (const BaselineResult &r :
+         {baselines.booster(w, profile, base),
+          baselines.energySmart(w, profile, base)}) {
+        EXPECT_TRUE(r.feasible) << r.scheme;
+        EXPECT_LE(r.execSeconds, base.seconds * 1.03) << r.scheme;
+        EXPECT_TRUE(r.withinBudget) << r.scheme;
+        EXPECT_GT(r.efficiencyRatio(base), 1.0) << r.scheme;
+        EXPECT_GT(r.n, base.n) << r.scheme;
+    }
+}
+
+TEST(Baselines, BoosterClockExceedsSingleRailSafe)
+{
+    const BaselineEvaluator baselines(
+        sys().chip(), sys().powerModel(), sys().perfModel());
+    const auto &w = rms::findWorkload("hotspot");
+    const auto &profile = sys().profile("hotspot");
+    const auto base = sys().pareto().baseline(w, profile);
+    const auto boost = baselines.booster(w, profile, base);
+    const auto safe_still = sys().pareto().evaluateAt(
+        w, profile, Flavor::Safe, 1.0, base);
+    // The high rail buys frequency, so Booster needs fewer cores
+    // than Accordion Safe at the same (Still) problem size.
+    EXPECT_GT(boost.fHz, safe_still.fHz);
+    EXPECT_LT(boost.n, safe_still.n);
+}
+
+TEST(Baselines, AccordionSpeculativeBeatsBothOnEfficiency)
+{
+    // The comparison the related-work section implies: embracing
+    // errors (problem-size knob aside) already beats pure
+    // variation-mitigation schemes.
+    const BaselineEvaluator baselines(
+        sys().chip(), sys().powerModel(), sys().perfModel());
+    const auto &w = rms::findWorkload("hotspot");
+    const auto &profile = sys().profile("hotspot");
+    const auto base = sys().pareto().baseline(w, profile);
+    const auto spec = sys().pareto().evaluateAt(
+        w, profile, Flavor::Speculative, 1.0, base);
+    EXPECT_GT(spec.efficiencyRatio(base),
+              baselines.booster(w, profile, base)
+                  .efficiencyRatio(base));
+    EXPECT_GT(spec.efficiencyRatio(base),
+              baselines.energySmart(w, profile, base)
+                  .efficiencyRatio(base));
+}
+
+TEST(Checkpoint, OptimalIntervalFollowsYoungsFormula)
+{
+    CheckpointParams params;
+    const double lambda = 1e-8;
+    const auto plan = planCheckpoints(params, lambda, 1e9);
+    EXPECT_NEAR(plan.optimalIntervalCycles,
+                std::sqrt(2.0 * params.checkpointCostCycles / lambda),
+                1e-6);
+    // tau* minimizes the overhead: nearby intervals are worse.
+    auto overhead = [&](double tau) {
+        return params.checkpointCostCycles / tau +
+            lambda * (tau / 2.0 + params.recoveryCostCycles);
+    };
+    EXPECT_LE(plan.overheadFraction,
+              overhead(plan.optimalIntervalCycles * 1.3));
+    EXPECT_LE(plan.overheadFraction,
+              overhead(plan.optimalIntervalCycles * 0.7));
+}
+
+TEST(Checkpoint, ZeroErrorsNeverCheckpoints)
+{
+    const auto plan = planCheckpoints(CheckpointParams{}, 0.0, 1e9);
+    EXPECT_EQ(plan.overheadFraction, 0.0);
+    EXPECT_EQ(plan.checkpointsPerSecond, 0.0);
+}
+
+TEST(Checkpoint, AccordionCoverageCutsOverhead)
+{
+    const CheckpointParams params;
+    const double perr = 1e-6;
+    const auto full = planCheckpoints(params, perr, 1e9);
+    const auto acc = planCheckpoints(
+        params, accordionCoveredErrorRate(perr, 0.03), 1e9);
+    EXPECT_LT(acc.overheadFraction, 0.25 * full.overheadFraction);
+    EXPECT_LT(acc.checkpointsPerSecond, full.checkpointsPerSecond);
+}
+
+TEST(Checkpoint, CoverageValidation)
+{
+    EXPECT_DOUBLE_EQ(accordionCoveredErrorRate(1e-6, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(accordionCoveredErrorRate(1e-6, 1.0), 1e-6);
+    EXPECT_EXIT(accordionCoveredErrorRate(1e-6, 1.5),
+                ::testing::ExitedWithCode(1), "control fraction");
+}

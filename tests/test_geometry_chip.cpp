@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests of the chip floorplan and the manufactured VariationChip:
+ * topology invariants, Monte Carlo determinism, and the Fig. 5
+ * reliability ranges.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "vartech/variation_chip.hpp"
+
+using namespace accordion::vartech;
+
+namespace {
+
+const ChipFactory &
+factory()
+{
+    static const Technology tech = Technology::makeItrs11nm();
+    static const ChipFactory fac(tech, ChipFactory::Params{}, 777);
+    return fac;
+}
+
+const VariationChip &
+chip()
+{
+    static const VariationChip c = factory().make(0);
+    return c;
+}
+
+} // namespace
+
+TEST(Geometry, Table2Shape)
+{
+    const ChipGeometry geo;
+    EXPECT_EQ(geo.numClusters(), 36u);
+    EXPECT_EQ(geo.coresPerCluster(), 8u);
+    EXPECT_EQ(geo.numCores(), 288u);
+}
+
+TEST(Geometry, ClusterMembership)
+{
+    const ChipGeometry geo;
+    for (std::size_t k = 0; k < geo.numClusters(); ++k) {
+        const auto cores = geo.coresOfCluster(k);
+        ASSERT_EQ(cores.size(), 8u);
+        for (std::size_t core : cores)
+            EXPECT_EQ(geo.clusterOfCore(core), k);
+    }
+}
+
+TEST(Geometry, PositionsInsideUnitDie)
+{
+    const ChipGeometry geo;
+    for (std::size_t c = 0; c < geo.numCores(); ++c) {
+        const Point p = geo.corePosition(c);
+        EXPECT_GE(p.x, 0.0);
+        EXPECT_LE(p.x, 1.0);
+        EXPECT_GE(p.y, 0.0);
+        EXPECT_LE(p.y, 1.0);
+    }
+    for (std::size_t k = 0; k < geo.numClusters(); ++k) {
+        const Point p = geo.clusterMemPosition(k);
+        EXPECT_GE(p.x, 0.0);
+        EXPECT_LE(p.x, 1.0);
+    }
+}
+
+TEST(Geometry, CoresOfSameClusterAreClose)
+{
+    const ChipGeometry geo;
+    const auto cores = geo.coresOfCluster(7);
+    const double cluster_diag = std::sqrt(2.0) / 6.0;
+    for (std::size_t a : cores)
+        for (std::size_t b : cores)
+            EXPECT_LE(distance(geo.corePosition(a),
+                               geo.corePosition(b)),
+                      cluster_diag + 1e-9);
+}
+
+TEST(Geometry, TorusHopsProperties)
+{
+    const ChipGeometry geo;
+    for (std::size_t a = 0; a < geo.numClusters(); a += 5) {
+        EXPECT_EQ(geo.torusHops(a, a), 0u);
+        for (std::size_t b = 0; b < geo.numClusters(); b += 7) {
+            EXPECT_EQ(geo.torusHops(a, b), geo.torusHops(b, a));
+            // Max hop distance on a 6x6 torus is 3 + 3.
+            EXPECT_LE(geo.torusHops(a, b), 6u);
+        }
+    }
+}
+
+TEST(Geometry, TorusWrapsAround)
+{
+    const ChipGeometry geo;
+    // Clusters 0 and 5 are on the same row, 5 apart; the torus
+    // wraps to 1 hop.
+    EXPECT_EQ(geo.torusHops(0, 5), 1u);
+}
+
+TEST(VariationChip, Deterministic)
+{
+    const VariationChip a = factory().make(3);
+    const VariationChip b = factory().make(3);
+    EXPECT_DOUBLE_EQ(a.vddNtv(), b.vddNtv());
+    for (std::size_t c = 0; c < a.numCores(); c += 17)
+        EXPECT_DOUBLE_EQ(a.coreVthDev(c), b.coreVthDev(c));
+}
+
+TEST(VariationChip, ChipsDiffer)
+{
+    const VariationChip a = factory().make(1);
+    const VariationChip b = factory().make(2);
+    int same = 0;
+    for (std::size_t c = 0; c < a.numCores(); ++c)
+        same += a.coreVthDev(c) == b.coreVthDev(c);
+    EXPECT_LT(same, 3);
+}
+
+TEST(VariationChip, VddNtvIsMaxClusterVddMin)
+{
+    double max_vmin = 0.0;
+    for (std::size_t k = 0; k < chip().numClusters(); ++k)
+        max_vmin = std::max(max_vmin, chip().clusterVddMin(k));
+    EXPECT_DOUBLE_EQ(chip().vddNtv(), max_vmin);
+}
+
+TEST(VariationChip, ClusterVddMinCoversItsBlocks)
+{
+    for (std::size_t k = 0; k < chip().numClusters(); ++k) {
+        EXPECT_GE(chip().clusterVddMin(k), chip().clusterMemVddMin(k));
+        for (std::size_t core : chip().geometry().coresOfCluster(k))
+            EXPECT_GE(chip().clusterVddMin(k),
+                      chip().privateMemVddMin(core));
+    }
+}
+
+TEST(VariationChip, Fig5aVddMinRange)
+{
+    // Per-cluster VddMIN varies in a significant ~0.46-0.58 V range
+    // (representative chip).
+    double lo = 1e9, hi = 0.0;
+    for (std::size_t k = 0; k < chip().numClusters(); ++k) {
+        lo = std::min(lo, chip().clusterVddMin(k));
+        hi = std::max(hi, chip().clusterVddMin(k));
+    }
+    EXPECT_GT(lo, 0.42);
+    EXPECT_LT(hi, 0.60);
+    EXPECT_GT(hi - lo, 0.04); // significant spread
+}
+
+TEST(VariationChip, ClusterSafeFIsSlowestCore)
+{
+    for (std::size_t k = 0; k < chip().numClusters(); k += 5) {
+        double f_min = 1e300;
+        for (std::size_t core : chip().geometry().coresOfCluster(k))
+            f_min = std::min(f_min, chip().coreSafeF(core));
+        EXPECT_DOUBLE_EQ(chip().clusterSafeF(k), f_min);
+        EXPECT_DOUBLE_EQ(
+            chip().coreSafeF(chip().slowestCoreOfCluster(k)), f_min);
+    }
+}
+
+TEST(VariationChip, Fig5bSafeFrequencySpread)
+{
+    // Section 6.1: the slowest core per cluster supports maximum
+    // frequencies well below the 1 GHz NTV nominal, with a wide
+    // spread across clusters.
+    double lo = 1e300, hi = 0.0;
+    for (std::size_t k = 0; k < chip().numClusters(); ++k) {
+        const double f = chip().clusterSafeF(k);
+        lo = std::min(lo, f);
+        hi = std::max(hi, f);
+        EXPECT_LT(f, 1.0e9);
+    }
+    EXPECT_LT(lo, 0.45e9);
+    EXPECT_GT(hi / lo, 1.8); // ample speed differences
+}
+
+TEST(VariationChip, SpeculativeFrequencyAboveSafe)
+{
+    for (std::size_t core = 0; core < chip().numCores(); core += 31) {
+        const double f_safe = chip().coreSafeF(core);
+        const double f_spec =
+            chip().coreFrequencyForErrorRate(core, 1e-7);
+        EXPECT_GT(f_spec, f_safe);
+    }
+}
+
+TEST(VariationChip, StaticPowerTracksVth)
+{
+    // Find a notably fast (low Vth) and slow (high Vth) core; the
+    // fast one must leak more.
+    std::size_t fast = 0, slow = 0;
+    for (std::size_t c = 0; c < chip().numCores(); ++c) {
+        if (chip().coreVthDev(c) < chip().coreVthDev(fast))
+            fast = c;
+        if (chip().coreVthDev(c) > chip().coreVthDev(slow))
+            slow = c;
+    }
+    EXPECT_GT(chip().coreStaticPower(fast, 0.55),
+              chip().coreStaticPower(slow, 0.55));
+}
+
+TEST(ChipFactory, SampleGeneration)
+{
+    const auto sample = factory().makeSample(5);
+    ASSERT_EQ(sample.size(), 5u);
+    for (std::size_t i = 0; i < sample.size(); ++i)
+        EXPECT_EQ(sample[i].chipId(), i);
+    // Chip-to-chip VddNTV varies across the sample.
+    double lo = 1e9, hi = 0.0;
+    for (const auto &c : sample) {
+        lo = std::min(lo, c.vddNtv());
+        hi = std::max(hi, c.vddNtv());
+    }
+    EXPECT_GT(hi, lo);
+}

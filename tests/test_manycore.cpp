@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Tests of the manycore substrate: event queue, FIFO resources,
+ * both performance models (including cross-validation against each
+ * other), and the power model's paper-critical properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "manycore/event_queue.hpp"
+#include "manycore/perf_model.hpp"
+#include "manycore/power_model.hpp"
+#include "vartech/variation_chip.hpp"
+
+using namespace accordion::manycore;
+using accordion::vartech::ChipFactory;
+using accordion::vartech::ChipGeometry;
+using accordion::vartech::Technology;
+using accordion::vartech::VariationChip;
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5.0, [&](SimTime) { order.push_back(2); });
+    q.schedule(1.0, [&](SimTime) { order.push_back(0); });
+    q.schedule(3.0, [&](SimTime) { order.push_back(1); });
+    EXPECT_DOUBLE_EQ(q.run(), 5.0);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, StableAtEqualTimes)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(1.0, [&order, i](SimTime) { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersCanReschedule)
+{
+    EventQueue q;
+    int fires = 0;
+    std::function<void(SimTime)> tick = [&](SimTime) {
+        if (++fires < 4)
+            q.scheduleAfter(2.0, tick);
+    };
+    q.schedule(0.0, tick);
+    EXPECT_DOUBLE_EQ(q.run(), 6.0);
+    EXPECT_EQ(fires, 4);
+}
+
+TEST(FifoResource, QueuesBackToBackRequests)
+{
+    FifoResource bus(5.0);
+    EXPECT_DOUBLE_EQ(bus.acquire(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(bus.acquire(0.0), 10.0); // queued behind
+    EXPECT_DOUBLE_EQ(bus.acquire(20.0), 25.0); // idle gap
+    EXPECT_EQ(bus.served(), 3u);
+    EXPECT_DOUBLE_EQ(bus.busyNs(), 15.0);
+    EXPECT_NEAR(bus.utilization(30.0), 0.5, 1e-12);
+}
+
+namespace {
+
+std::vector<std::size_t>
+firstCores(std::size_t n)
+{
+    std::vector<std::size_t> cores(n);
+    std::iota(cores.begin(), cores.end(), 0);
+    return cores;
+}
+
+TaskSet
+makeTasks(std::size_t n, double instr)
+{
+    TaskSet t;
+    t.numTasks = n;
+    t.instrPerTask = instr;
+    return t;
+}
+
+} // namespace
+
+class PerfModelTest : public ::testing::Test
+{
+  protected:
+    ChipGeometry geometry_;
+    EventDrivenPerfModel event_;
+    AnalyticPerfModel analytic_;
+    WorkloadTraits traits_;
+};
+
+TEST_F(PerfModelTest, MoreCoresRunFaster)
+{
+    const TaskSet tasks = makeTasks(64, 50000);
+    const double t16 = analytic_
+                           .estimate(geometry_, firstCores(16), 1e9,
+                                     tasks, traits_)
+                           .seconds;
+    const double t64 = analytic_
+                           .estimate(geometry_, firstCores(64), 1e9,
+                                     tasks, traits_)
+                           .seconds;
+    EXPECT_LT(t64, t16);
+    EXPECT_GT(t64, t16 / 8.0); // not super-linear
+}
+
+TEST_F(PerfModelTest, HigherFrequencyRunsFaster)
+{
+    const TaskSet tasks = makeTasks(32, 50000);
+    const auto cores = firstCores(32);
+    const double slow =
+        analytic_.estimate(geometry_, cores, 0.3e9, tasks, traits_)
+            .seconds;
+    const double fast =
+        analytic_.estimate(geometry_, cores, 0.6e9, tasks, traits_)
+            .seconds;
+    EXPECT_LT(fast, slow);
+    // Memory latencies are fixed in ns here, so the speedup is
+    // sub-linear in f.
+    EXPECT_GT(fast, slow / 2.0);
+}
+
+TEST_F(PerfModelTest, CycleConstantLatencyGivesLinearFrequencyScaling)
+{
+    // When latencies scale as 1/f (one frequency domain), execution
+    // time must scale as 1/f exactly, modulo the serial tail.
+    TaskSet tasks = makeTasks(32, 50000);
+    const auto cores = firstCores(32);
+    const double t1 = analytic_
+                          .estimate(geometry_, cores, 0.25e9, tasks,
+                                    traits_, 1e9 / 0.25e9)
+                          .seconds;
+    const double t2 = analytic_
+                          .estimate(geometry_, cores, 0.5e9, tasks,
+                                    traits_, 1e9 / 0.5e9)
+                          .seconds;
+    EXPECT_NEAR(t1 / t2, 2.0, 0.02);
+}
+
+TEST_F(PerfModelTest, AnalyticMatchesEventDriven)
+{
+    // The two implementations must agree on the machine's behavior
+    // across core counts and frequencies.
+    const TaskSet tasks = makeTasks(64, 20000);
+    for (std::size_t n : {8u, 32u, 96u}) {
+        for (double f : {0.3e9, 1.0e9}) {
+            const double a = analytic_
+                                 .estimate(geometry_, firstCores(n), f,
+                                           tasks, traits_)
+                                 .seconds;
+            const double e = event_
+                                 .estimate(geometry_, firstCores(n), f,
+                                           tasks, traits_)
+                                 .seconds;
+            EXPECT_NEAR(a / e, 1.0, 0.25)
+                << "n=" << n << " f=" << f;
+        }
+    }
+}
+
+TEST_F(PerfModelTest, ContentionRaisesBusUtilization)
+{
+    WorkloadTraits heavy = traits_;
+    heavy.privateMissRate = 0.2; // hammer the cluster bus
+    const TaskSet tasks = makeTasks(8, 50000);
+    const auto est = event_.estimate(geometry_, firstCores(8), 1.0e9,
+                                     tasks, heavy);
+    EXPECT_GT(est.maxBusUtilization, 0.3);
+    const auto light = event_.estimate(geometry_, firstCores(8), 1.0e9,
+                                       tasks, traits_);
+    EXPECT_LT(light.maxBusUtilization, est.maxBusUtilization);
+}
+
+TEST_F(PerfModelTest, SerialTailRunsOnControlCore)
+{
+    WorkloadTraits traits = traits_;
+    traits.serialFraction = 0.05;
+    TaskSet slow_cc = makeTasks(32, 20000);
+    TaskSet fast_cc = slow_cc;
+    fast_cc.ccFrequencyHz = 1.0e9;
+    const auto cores = firstCores(32);
+    const double t_slow =
+        analytic_.estimate(geometry_, cores, 0.25e9, slow_cc, traits)
+            .seconds;
+    const double t_fast =
+        analytic_.estimate(geometry_, cores, 0.25e9, fast_cc, traits)
+            .seconds;
+    EXPECT_LT(t_fast, t_slow);
+}
+
+TEST_F(PerfModelTest, MipsAccountsSerialWork)
+{
+    const TaskSet tasks = makeTasks(16, 10000);
+    const auto est = analytic_.estimate(geometry_, firstCores(16), 1e9,
+                                        tasks, traits_);
+    EXPECT_NEAR(est.totalInstructions,
+                16 * 10000 * (1.0 + traits_.serialFraction), 1.0);
+    EXPECT_GT(est.mips(), 0.0);
+}
+
+TEST_F(PerfModelTest, EmptyTaskSetIsZero)
+{
+    const auto est = analytic_.estimate(geometry_, firstCores(8), 1e9,
+                                        TaskSet{}, traits_);
+    EXPECT_EQ(est.seconds, 0.0);
+}
+
+TEST_F(PerfModelTest, UtilizationDropsWithImbalance)
+{
+    // 9 tasks on 8 cores: one core does two rounds.
+    const auto est = analytic_.estimate(geometry_, firstCores(8), 1e9,
+                                        makeTasks(9, 10000), traits_);
+    EXPECT_LT(est.avgCoreUtilization, 0.75);
+}
+
+TEST(ScaleLatencies, ScalesEveryField)
+{
+    MemorySystemParams mem;
+    const MemorySystemParams scaled = scaleLatencies(mem, 2.0);
+    EXPECT_DOUBLE_EQ(scaled.privateAccessNs, 2.0 * mem.privateAccessNs);
+    EXPECT_DOUBLE_EQ(scaled.clusterAccessNs, 2.0 * mem.clusterAccessNs);
+    EXPECT_DOUBLE_EQ(scaled.remoteRoundTripNs,
+                     2.0 * mem.remoteRoundTripNs);
+    EXPECT_DOUBLE_EQ(scaled.busServiceNs, 2.0 * mem.busServiceNs);
+}
+
+class PowerModelTest : public ::testing::Test
+{
+  protected:
+    PowerModelTest()
+        : tech_(Technology::makeItrs11nm()),
+          factory_(tech_, ChipFactory::Params{}, 99),
+          chip_(factory_.make(0)), power_(tech_)
+    {
+    }
+
+    Technology tech_;
+    ChipFactory factory_;
+    VariationChip chip_;
+    PowerModel power_;
+};
+
+TEST_F(PowerModelTest, NstvMatchesBudget)
+{
+    // 100 W / ~6.35 W per core (incl. uncore share) => 15 cores.
+    const std::size_t n = power_.maxCoresAtStv(8);
+    EXPECT_GE(n, 14u);
+    EXPECT_LE(n, 16u);
+    const double per_core =
+        power_.corePowerNominal(1.0, tech_.fStv()) +
+        power_.uncorePowerPerCluster(1.0) / 8.0;
+    EXPECT_LE(per_core * static_cast<double>(n), power_.budget());
+    EXPECT_GT(per_core * static_cast<double>(n + 1), power_.budget());
+}
+
+TEST_F(PowerModelTest, PowerMoreSensitiveToCoresThanFrequency)
+{
+    // The paper's core argument: doubling N costs more power than
+    // doubling f, because N adds static AND dynamic power.
+    std::vector<std::size_t> cores_1(36), cores_2(72);
+    std::iota(cores_1.begin(), cores_1.end(), 0);
+    std::iota(cores_2.begin(), cores_2.end(), 0);
+    const double vdd = chip_.vddNtv();
+    const double base =
+        power_.chipPower(chip_, cores_1, vdd, 0.3e9).total();
+    const double double_n =
+        power_.chipPower(chip_, cores_2, vdd, 0.3e9).total();
+    const double double_f =
+        power_.chipPower(chip_, cores_1, vdd, 0.6e9).total();
+    EXPECT_GT(double_n - base, double_f - base);
+}
+
+TEST_F(PowerModelTest, StaticShareHigherAtNtv)
+{
+    std::vector<std::size_t> cores(16);
+    std::iota(cores.begin(), cores.end(), 0);
+    const auto ntv = power_.chipPower(chip_, cores, chip_.vddNtv(),
+                                      0.35e9);
+    const auto stv =
+        power_.chipPower(chip_, cores, 1.0, tech_.fStv());
+    EXPECT_GT(ntv.staticShare(), stv.staticShare());
+}
+
+TEST_F(PowerModelTest, BreakdownAddsUp)
+{
+    std::vector<std::size_t> cores = {0, 1, 2, 8, 9};
+    const auto b = power_.chipPower(chip_, cores, 0.55, 0.5e9, 0.9);
+    EXPECT_NEAR(b.total(), b.coreDynamicW + b.coreStaticW + b.uncoreW,
+                1e-12);
+    EXPECT_GT(b.coreDynamicW, 0.0);
+    EXPECT_GT(b.coreStaticW, 0.0);
+    // Two clusters active (cores 0-2 in cluster 0, 8-9 in cluster 1).
+    EXPECT_NEAR(b.uncoreW, 2.0 * power_.uncorePowerPerCluster(0.55),
+                1e-12);
+}
+
+TEST_F(PowerModelTest, UtilizationScalesDynamicOnly)
+{
+    std::vector<std::size_t> cores = {0, 1};
+    const auto busy = power_.chipPower(chip_, cores, 0.55, 0.5e9, 1.0);
+    const auto idle = power_.chipPower(chip_, cores, 0.55, 0.5e9, 0.5);
+    EXPECT_NEAR(idle.coreDynamicW, 0.5 * busy.coreDynamicW, 1e-12);
+    EXPECT_DOUBLE_EQ(idle.coreStaticW, busy.coreStaticW);
+}

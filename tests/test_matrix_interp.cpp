@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests of the dense-matrix/Cholesky helpers and piecewise-linear
+ * interpolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/interp.hpp"
+#include "util/matrix.hpp"
+
+using namespace accordion::util;
+
+TEST(Matrix, IdentityMultiply)
+{
+    const Matrix id = Matrix::identity(4);
+    const std::vector<double> v = {1, 2, 3, 4};
+    EXPECT_EQ(id.multiply(v), v);
+}
+
+TEST(Matrix, MultiplyKnown)
+{
+    Matrix m(2, 3);
+    m.at(0, 0) = 1;
+    m.at(0, 1) = 2;
+    m.at(0, 2) = 3;
+    m.at(1, 0) = 4;
+    m.at(1, 1) = 5;
+    m.at(1, 2) = 6;
+    const auto out = m.multiply({1, 1, 1});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[0], 6.0);
+    EXPECT_DOUBLE_EQ(out[1], 15.0);
+}
+
+TEST(Cholesky, ReconstructsInput)
+{
+    // A symmetric positive-definite matrix.
+    Matrix a(3, 3);
+    const double vals[3][3] = {
+        {4, 2, 1}, {2, 5, 3}, {1, 3, 6}};
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            a.at(i, j) = vals[i][j];
+    const Matrix l = choleskyFactor(a);
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            double sum = 0.0;
+            for (std::size_t k = 0; k < 3; ++k)
+                sum += l.at(i, k) * l.at(j, k);
+            EXPECT_NEAR(sum, vals[i][j], 1e-9)
+                << "(" << i << "," << j << ")";
+        }
+    }
+}
+
+TEST(Cholesky, LowerTriangular)
+{
+    Matrix a = Matrix::identity(4);
+    const Matrix l = choleskyFactor(a);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = i + 1; j < 4; ++j)
+            EXPECT_DOUBLE_EQ(l.at(i, j), 0.0);
+}
+
+TEST(Cholesky, HandlesSemiDefinite)
+{
+    // Rank-1 PSD matrix (all-ones correlation).
+    Matrix a(3, 3);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            a.at(i, j) = 1.0;
+    const Matrix l = choleskyFactor(a);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < 3; ++k)
+        sum += l.at(2, k) * l.at(1, k);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(PiecewiseLinear, InterpolatesAndClamps)
+{
+    PiecewiseLinear f({0.0, 1.0, 3.0}, {0.0, 10.0, 30.0});
+    EXPECT_DOUBLE_EQ(f(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(f(2.0), 20.0);
+    EXPECT_DOUBLE_EQ(f(-1.0), 0.0); // clamp left
+    EXPECT_DOUBLE_EQ(f(9.0), 30.0); // clamp right
+    EXPECT_DOUBLE_EQ(f(1.0), 10.0); // knot hit
+}
+
+TEST(PiecewiseLinear, SingleKnotIsConstant)
+{
+    PiecewiseLinear f({2.0}, {7.0});
+    EXPECT_DOUBLE_EQ(f(-100.0), 7.0);
+    EXPECT_DOUBLE_EQ(f(100.0), 7.0);
+}
+
+TEST(PiecewiseLinear, InverseOnMonotoneCurve)
+{
+    PiecewiseLinear f({0.0, 1.0, 2.0}, {0.0, 1.0, 4.0});
+    EXPECT_NEAR(f.inverse(0.5), 0.5, 1e-9);
+    EXPECT_NEAR(f.inverse(2.5), 1.5, 1e-9);
+    EXPECT_DOUBLE_EQ(f.inverse(-1.0), 0.0); // below range clamps
+    EXPECT_DOUBLE_EQ(f.inverse(9.0), 2.0); // above range clamps
+}
+
+TEST(PiecewiseLinear, AccessorsAndBounds)
+{
+    PiecewiseLinear f({1.0, 2.0}, {5.0, 6.0});
+    EXPECT_EQ(f.size(), 2u);
+    EXPECT_FALSE(f.empty());
+    EXPECT_DOUBLE_EQ(f.minX(), 1.0);
+    EXPECT_DOUBLE_EQ(f.maxX(), 2.0);
+}

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Cross-cutting property sweeps (TEST_P grids) over the model
+ * stack: technology invariants across the (Vdd, Vth) plane, timing
+ * invariants across operating voltages, performance-model
+ * consistency across trait corners, and fault-plan arithmetic
+ * across fractions and thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "fault/fault.hpp"
+#include "manycore/perf_model.hpp"
+#include "vartech/technology.hpp"
+#include "vartech/timing.hpp"
+
+using namespace accordion;
+using namespace accordion::vartech;
+
+namespace {
+const Technology &
+tech()
+{
+    static const Technology t = Technology::makeItrs11nm();
+    return t;
+}
+} // namespace
+
+// ---------------------------------------------------------------
+// Technology invariants across the (Vdd, Vth) grid.
+
+class TechGridTest
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+  protected:
+    double vdd() const { return std::get<0>(GetParam()); }
+    double vth() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(TechGridTest, DriveDelayFrequencyAreConsistent)
+{
+    const double f = tech().frequency(vdd(), vth());
+    const double d = tech().relativeDelay(vdd(), vth());
+    EXPECT_GT(f, 0.0);
+    EXPECT_GT(d, 0.0);
+    // frequency x relativeDelay is the nominal-corner frequency for
+    // every operating point: f = fNom / relativeDelay.
+    EXPECT_NEAR(f * d, tech().fNtv(), tech().fNtv() * 1e-9);
+}
+
+TEST_P(TechGridTest, PowerComponentsPositiveAndMonotone)
+{
+    const double f = tech().frequency(vdd(), vth());
+    EXPECT_GT(tech().dynamicPower(vdd(), f), 0.0);
+    EXPECT_GT(tech().staticPower(vdd(), vth()), 0.0);
+    // More voltage leaks more (DIBL), higher Vth leaks less.
+    EXPECT_GT(tech().staticPower(vdd() + 0.05, vth()),
+              tech().staticPower(vdd(), vth()));
+    EXPECT_LT(tech().staticPower(vdd(), vth() + 0.02),
+              tech().staticPower(vdd(), vth()));
+}
+
+TEST_P(TechGridTest, SensitivityPositiveAndGrowsTowardVth)
+{
+    const double s = tech().delayVthSensitivity(vdd(), vth());
+    EXPECT_GT(s, 0.0);
+    EXPECT_GT(tech().delayVthSensitivity(vdd() - 0.03, vth()), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TechGridTest,
+    ::testing::Combine(::testing::Values(0.45, 0.55, 0.7, 0.9, 1.1),
+                       ::testing::Values(0.28, 0.33, 0.38)),
+    [](const auto &info) {
+        return "vdd" +
+            std::to_string(static_cast<int>(
+                std::get<0>(info.param) * 100)) +
+            "_vth" +
+            std::to_string(static_cast<int>(
+                std::get<1>(info.param) * 100));
+    });
+
+// ---------------------------------------------------------------
+// Timing-model invariants across operating voltages.
+
+class TimingVddTest : public ::testing::TestWithParam<double>
+{
+  protected:
+    CoreTimingModel
+    core(double vth_dev = 0.05) const
+    {
+        return CoreTimingModel(tech(), TimingModelParams{}, vth_dev,
+                               0.02, 0.116);
+    }
+};
+
+TEST_P(TimingVddTest, SafeFrequencyBelowMeanPath)
+{
+    const double vdd = GetParam();
+    const auto c = core();
+    EXPECT_LT(c.safeFrequency(vdd), c.meanPathFrequency(vdd));
+    EXPECT_GT(c.safeFrequency(vdd), 0.0);
+}
+
+TEST_P(TimingVddTest, ErrorRateWithinProbabilityBounds)
+{
+    const double vdd = GetParam();
+    const auto c = core();
+    for (double f = 0.1e9; f <= 3.0e9; f += 0.29e9) {
+        const double perr = c.errorRate(vdd, f);
+        EXPECT_GE(perr, 0.0) << "f=" << f;
+        EXPECT_LE(perr, 1.0) << "f=" << f;
+    }
+}
+
+TEST_P(TimingVddTest, SpeculationOrderedByErrorBudget)
+{
+    const double vdd = GetParam();
+    const auto c = core();
+    double prev = 0.0;
+    for (double perr : {1e-12, 1e-9, 1e-6, 1e-3}) {
+        const double f = c.frequencyForErrorRate(vdd, perr);
+        EXPECT_GT(f, prev) << "perr=" << perr;
+        prev = f;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Vdd, TimingVddTest,
+                         ::testing::Values(0.50, 0.55, 0.60, 0.70),
+                         [](const auto &info) {
+                             return "v" +
+                                 std::to_string(static_cast<int>(
+                                     info.param * 100));
+                         });
+
+// ---------------------------------------------------------------
+// Performance-model consistency across trait corners.
+
+struct TraitCorner
+{
+    const char *name;
+    manycore::WorkloadTraits traits;
+};
+
+class PerfTraitsTest : public ::testing::TestWithParam<TraitCorner>
+{
+  protected:
+    vartech::ChipGeometry geometry_;
+    manycore::AnalyticPerfModel analytic_;
+    manycore::EventDrivenPerfModel event_;
+};
+
+TEST_P(PerfTraitsTest, ModelsAgreeAcrossCorners)
+{
+    manycore::TaskSet tasks;
+    tasks.numTasks = 32;
+    tasks.instrPerTask = 30000;
+    std::vector<std::size_t> cores(32);
+    std::iota(cores.begin(), cores.end(), 0);
+    const double a =
+        analytic_.estimate(geometry_, cores, 0.5e9, tasks,
+                           GetParam().traits)
+            .seconds;
+    const double e =
+        event_.estimate(geometry_, cores, 0.5e9, tasks,
+                        GetParam().traits)
+            .seconds;
+    EXPECT_GT(a, 0.0);
+    EXPECT_NEAR(a / e, 1.0, 0.3) << GetParam().name;
+}
+
+TEST_P(PerfTraitsTest, WorkScalesLinearlyAtFixedMachine)
+{
+    std::vector<std::size_t> cores(16);
+    std::iota(cores.begin(), cores.end(), 0);
+    manycore::TaskSet small;
+    small.numTasks = 16;
+    small.instrPerTask = 20000;
+    manycore::TaskSet big = small;
+    big.instrPerTask = 80000;
+    const double t_small =
+        analytic_.estimate(geometry_, cores, 0.6e9, small,
+                           GetParam().traits)
+            .seconds;
+    const double t_big =
+        analytic_.estimate(geometry_, cores, 0.6e9, big,
+                           GetParam().traits)
+            .seconds;
+    EXPECT_NEAR(t_big / t_small, 4.0, 0.2) << GetParam().name;
+}
+
+namespace {
+TraitCorner
+corner(const char *name, double mem, double miss, double overlap)
+{
+    TraitCorner c;
+    c.name = name;
+    c.traits.memOpsPerInstr = mem;
+    c.traits.privateMissRate = miss;
+    c.traits.overlapFactor = overlap;
+    return c;
+}
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, PerfTraitsTest,
+    // Corners stay inside the regime where the M/D/1 closed-form
+    // tracks the closed-loop event simulation; a fully saturated
+    // bus diverges by construction (queueing becomes unbounded in
+    // the open-loop approximation).
+    ::testing::Values(corner("compute_bound", 0.05, 0.005, 0.8),
+                      corner("balanced", 0.25, 0.03, 0.5),
+                      corner("memory_bound", 0.38, 0.06, 0.25)),
+    [](const auto &info) { return info.param.name; });
+
+// ---------------------------------------------------------------
+// Fault-plan arithmetic across fractions and thread counts.
+
+class FaultGridTest
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>>
+{
+};
+
+TEST_P(FaultGridTest, InfectedCountMatchesFraction)
+{
+    const double fraction = std::get<0>(GetParam());
+    const std::size_t threads = std::get<1>(GetParam());
+    const fault::FaultPlan plan(fault::ErrorMode::Drop, fraction);
+    std::size_t infected = 0;
+    for (std::size_t t = 0; t < threads; ++t)
+        infected += plan.infected(t, threads);
+    EXPECT_EQ(infected, plan.infectedCount(threads));
+    EXPECT_EQ(infected,
+              static_cast<std::size_t>(std::floor(
+                  fraction * static_cast<double>(threads))));
+}
+
+TEST_P(FaultGridTest, InfectionUniformAcrossHalves)
+{
+    const double fraction = std::get<0>(GetParam());
+    const std::size_t threads = std::get<1>(GetParam());
+    if (threads < 8)
+        GTEST_SKIP();
+    const fault::FaultPlan plan(fault::ErrorMode::Drop, fraction);
+    std::size_t first = 0, second = 0;
+    for (std::size_t t = 0; t < threads; ++t)
+        (t < threads / 2 ? first : second) +=
+            plan.infected(t, threads);
+    EXPECT_LE(first > second ? first - second : second - first, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FaultGridTest,
+    ::testing::Combine(::testing::Values(0.1, 0.25, 0.5, 0.75),
+                       ::testing::Values<std::size_t>(4, 32, 64,
+                                                      100)),
+    [](const auto &info) {
+        return "f" +
+            std::to_string(static_cast<int>(
+                std::get<0>(info.param) * 100)) +
+            "_t" + std::to_string(std::get<1>(info.param));
+    });

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests of the quality metrics (distortion, SSD, PSNR, SSIM,
+ * common-image count) and the fault-injection plans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/fault.hpp"
+#include "quality/metrics.hpp"
+#include "util/grid.hpp"
+#include "util/rng.hpp"
+
+using namespace accordion;
+using namespace accordion::quality;
+using namespace accordion::fault;
+
+TEST(Distortion, ZeroForIdentical)
+{
+    const std::vector<double> v = {1.0, -2.0, 3.5};
+    EXPECT_DOUBLE_EQ(distortion(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(relativeQuality(v, v), 1.0);
+}
+
+TEST(Distortion, MeanRelativeError)
+{
+    // Misailovic: average of per-value relative errors.
+    const std::vector<double> ref = {10.0, 100.0};
+    const std::vector<double> out = {11.0, 90.0};
+    EXPECT_NEAR(distortion(out, ref), (0.1 + 0.1) / 2.0, 1e-12);
+    EXPECT_NEAR(relativeQuality(out, ref), 0.9, 1e-12);
+}
+
+TEST(Distortion, TinyReferenceUsesAbsoluteError)
+{
+    const std::vector<double> ref = {0.0};
+    const std::vector<double> out = {0.25};
+    EXPECT_DOUBLE_EQ(distortion(out, ref), 0.25);
+}
+
+TEST(QualityMetrics, SsdAndMse)
+{
+    const std::vector<double> a = {1, 2, 3};
+    const std::vector<double> b = {2, 2, 5};
+    EXPECT_DOUBLE_EQ(ssd(a, b), 5.0);
+    EXPECT_NEAR(mse(a, b), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Psnr, CapsOnIdenticalSignals)
+{
+    const std::vector<double> v = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(psnr(v, v, 255.0), 60.0);
+    EXPECT_DOUBLE_EQ(psnr(v, v, 255.0, 80.0), 80.0);
+}
+
+TEST(Psnr, KnownValue)
+{
+    const std::vector<double> ref = {0.0, 0.0};
+    const std::vector<double> out = {10.0, 10.0}; // mse = 100
+    EXPECT_NEAR(psnr(out, ref, 255.0),
+                10.0 * std::log10(255.0 * 255.0 / 100.0), 1e-9);
+}
+
+TEST(Psnr, DecreasesWithNoise)
+{
+    util::Rng rng(1, 0);
+    std::vector<double> ref(100);
+    for (double &v : ref)
+        v = rng.uniform(0, 255);
+    auto noisy = [&](double sigma) {
+        util::Rng nrng(2, 0);
+        std::vector<double> out = ref;
+        for (double &v : out)
+            v += sigma * nrng.normal();
+        return psnr(out, ref, 255.0);
+    };
+    EXPECT_GT(noisy(1.0), noisy(10.0));
+}
+
+TEST(Ssim, OneForIdenticalImages)
+{
+    util::Grid2D<double> img(16, 16, 0.0);
+    util::Rng rng(3, 0);
+    for (std::size_t i = 0; i < img.size(); ++i)
+        img.flat(i) = rng.uniform(0, 255);
+    EXPECT_NEAR(ssim(img, img, 255.0), 1.0, 1e-9);
+}
+
+TEST(Ssim, DegradesWithDistortionMonotonically)
+{
+    util::Grid2D<double> img(16, 16, 0.0);
+    util::Rng rng(4, 0);
+    for (std::size_t i = 0; i < img.size(); ++i)
+        img.flat(i) = 128.0 + 60.0 * std::sin(0.3 * i);
+    double prev = 1.0;
+    for (double sigma : {2.0, 10.0, 40.0}) {
+        util::Rng nrng(5, 0);
+        util::Grid2D<double> noisy = img;
+        for (std::size_t i = 0; i < noisy.size(); ++i)
+            noisy.flat(i) += sigma * nrng.normal();
+        const double s = ssim(img, noisy, 255.0);
+        EXPECT_LT(s, prev);
+        prev = s;
+    }
+    EXPECT_LT(prev, 0.8);
+}
+
+TEST(CommonCount, CountsIntersection)
+{
+    EXPECT_EQ(commonCount({1, 2, 3}, {3, 4, 1}), 2u);
+    EXPECT_EQ(commonCount({1, 2}, {3, 4}), 0u);
+    EXPECT_EQ(commonCount({1, 1, 2}, {1, 1, 1}), 1u); // de-duplicated
+}
+
+TEST(FaultPlan, NonePlanInfectsNothing)
+{
+    const FaultPlan plan;
+    EXPECT_TRUE(plan.none());
+    for (std::size_t t = 0; t < 64; ++t)
+        EXPECT_FALSE(plan.infected(t, 64));
+    EXPECT_EQ(plan.infectedCount(64), 0u);
+}
+
+TEST(FaultPlan, DropQuarterInfectsExactQuarter)
+{
+    const FaultPlan plan = FaultPlan::dropQuarter();
+    std::size_t infected = 0;
+    for (std::size_t t = 0; t < 64; ++t)
+        infected += plan.infected(t, 64);
+    EXPECT_EQ(infected, 16u);
+    EXPECT_EQ(plan.infectedCount(64), 16u);
+    EXPECT_TRUE(plan.drops());
+}
+
+TEST(FaultPlan, DropHalfInfectsExactHalf)
+{
+    const FaultPlan plan = FaultPlan::dropHalf();
+    std::size_t infected = 0;
+    for (std::size_t t = 0; t < 64; ++t)
+        infected += plan.infected(t, 64);
+    EXPECT_EQ(infected, 32u);
+}
+
+TEST(FaultPlan, InfectionIsUniformlySpread)
+{
+    // "the tasks are uniformly dropped": no run of 4 consecutive
+    // threads may contain more than 2 infected under Drop 1/4.
+    const FaultPlan plan = FaultPlan::dropQuarter();
+    for (std::size_t start = 0; start + 4 <= 64; ++start) {
+        std::size_t infected = 0;
+        for (std::size_t t = start; t < start + 4; ++t)
+            infected += plan.infected(t, 64);
+        EXPECT_LE(infected, 2u) << "window at " << start;
+    }
+}
+
+TEST(FaultPlan, FractionOneInfectsAll)
+{
+    const FaultPlan plan(ErrorMode::Drop, 1.0);
+    for (std::size_t t = 0; t < 16; ++t)
+        EXPECT_TRUE(plan.infected(t, 16));
+}
+
+TEST(Corruption, StuckAtAllBits)
+{
+    util::Rng rng(6, 0);
+    const double v = 1234.5678;
+    const double all1 = corruptDouble(v, ErrorMode::StuckAt1All, rng);
+    EXPECT_TRUE(std::isnan(all1)); // all-ones IEEE-754 is a NaN
+    const double all0 = corruptDouble(v, ErrorMode::StuckAt0All, rng);
+    EXPECT_DOUBLE_EQ(all0, 0.0);
+}
+
+TEST(Corruption, LowBitsPerturbMantissaOnly)
+{
+    util::Rng rng(7, 0);
+    const double v = 1234.5678;
+    const double low0 = corruptDouble(v, ErrorMode::StuckAt0Low, rng);
+    // Clearing the low 32 bits leaves the exponent and top mantissa:
+    // small relative change.
+    EXPECT_NEAR(low0 / v, 1.0, 1e-6);
+    EXPECT_NE(low0, v);
+}
+
+TEST(Corruption, HighBitsAreCatastrophic)
+{
+    util::Rng rng(8, 0);
+    const double v = 1234.5678;
+    const double hi1 = corruptDouble(v, ErrorMode::StuckAt1High, rng);
+    // Exponent forced high: NaN or enormous.
+    EXPECT_TRUE(std::isnan(hi1) || std::abs(hi1) > 1e100);
+}
+
+TEST(Corruption, InvertIsInvolution)
+{
+    util::Rng rng(9, 0);
+    const double v = -7.25;
+    const double once = corruptDouble(v, ErrorMode::Invert, rng);
+    const double twice = corruptDouble(once, ErrorMode::Invert, rng);
+    EXPECT_DOUBLE_EQ(twice, v);
+}
+
+TEST(Corruption, RandomFlipChangesValue)
+{
+    util::Rng rng(10, 0);
+    const double v = 3.14159;
+    int changed = 0;
+    for (int i = 0; i < 50; ++i)
+        changed += corruptDouble(v, ErrorMode::RandomFlip, rng) != v;
+    EXPECT_GE(changed, 48);
+}
+
+TEST(Corruption, PassThroughModes)
+{
+    util::Rng rng(11, 0);
+    for (ErrorMode mode : {ErrorMode::None, ErrorMode::Drop,
+                           ErrorMode::InvertDecision}) {
+        EXPECT_DOUBLE_EQ(corruptDouble(42.0, mode, rng), 42.0);
+        EXPECT_EQ(corruptInt(42, mode, rng), 42);
+    }
+}
+
+TEST(Corruption, IntModes)
+{
+    util::Rng rng(12, 0);
+    EXPECT_EQ(corruptInt(5, ErrorMode::StuckAt0All, rng), 0);
+    EXPECT_EQ(corruptInt(5, ErrorMode::Invert, rng), ~5);
+    EXPECT_EQ(corruptInt(0, ErrorMode::StuckAt1Low, rng),
+              static_cast<std::int64_t>(0xffffffffULL));
+}
+
+TEST(Corruption, ModeNamesAndSweepList)
+{
+    EXPECT_EQ(errorModeName(ErrorMode::Drop), "drop");
+    EXPECT_EQ(corruptionModes().size(), 8u);
+    for (ErrorMode mode : corruptionModes())
+        EXPECT_FALSE(errorModeName(mode).empty());
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit and property tests of the deterministic PRNG layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+
+using accordion::util::Rng;
+using accordion::util::splitMix64;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42, 7), b(42, 7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DistinctSeedsDiffer)
+{
+    Rng a(42, 0), b(43, 0);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DistinctStreamsDiffer)
+{
+    Rng a(42, 0), b(42, 1);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(1, 0);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanAndVariance)
+{
+    Rng rng(2, 0);
+    double sum = 0, sum2 = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        sum += u;
+        sum2 += u * u;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 0.5, 0.01);
+    EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(3, 0);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-5.0, 11.0);
+        EXPECT_GE(u, -5.0);
+        EXPECT_LT(u, 11.0);
+    }
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage)
+{
+    Rng rng(4, 0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.uniformInt(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntOneAlwaysZero)
+{
+    Rng rng(5, 0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.uniformInt(1), 0u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(6, 0);
+    double sum = 0, sum2 = 0, sum3 = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum2 += x * x;
+        sum3 += x * x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+    EXPECT_NEAR(sum3 / n, 0.0, 0.1); // symmetry
+}
+
+TEST(Rng, NormalShiftScale)
+{
+    Rng rng(7, 0);
+    double sum = 0, sum2 = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(10.0, 3.0);
+        sum += x;
+        sum2 += x * x;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(std::sqrt(sum2 / n - mean * mean), 3.0, 0.1);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(8, 0);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(9, 0);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, ForkIsOrderIndependent)
+{
+    Rng parent(10, 3);
+    Rng child_before = parent.fork(99);
+    parent.next();
+    parent.next();
+    Rng child_after = parent.fork(99);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(child_before.next(), child_after.next());
+}
+
+TEST(Rng, ForkedChildrenAreIndependent)
+{
+    Rng parent(11, 0);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitMix64Advances)
+{
+    std::uint64_t s = 0;
+    const std::uint64_t a = splitMix64(s);
+    const std::uint64_t b = splitMix64(s);
+    EXPECT_NE(a, b);
+}

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests of the CC/DC master-slave runtime: watchdog detection and
+ * recovery, mailbox protection domains, quality limits, and the
+ * Fig. 3 organization trade-offs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/runtime.hpp"
+
+using namespace accordion::core;
+
+namespace {
+
+std::vector<WorkItem>
+makeItems(std::size_t n)
+{
+    std::vector<WorkItem> items(n);
+    for (std::size_t i = 0; i < n; ++i)
+        items[i] = {i, static_cast<double>(i)};
+    return items;
+}
+
+double
+square(const WorkItem &item)
+{
+    return item.input * item.input;
+}
+
+} // namespace
+
+TEST(Runtime, FaultFreeCompletesEverything)
+{
+    AccordionRuntime runtime{RuntimeParams{}};
+    const auto report = runtime.execute(makeItems(100), square);
+    EXPECT_EQ(report.completed, 100u);
+    EXPECT_EQ(report.recovered, 0u);
+    EXPECT_EQ(report.dropped, 0u);
+    EXPECT_EQ(report.watchdogFires, 0u);
+    ASSERT_EQ(report.results.size(), 100u);
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(*report.resultOf[i],
+                         static_cast<double>(i * i));
+}
+
+TEST(Runtime, ResultsPreserveItemOrder)
+{
+    AccordionRuntime runtime{RuntimeParams{}};
+    const auto report = runtime.execute(makeItems(20), square);
+    for (std::size_t i = 1; i < report.results.size(); ++i)
+        EXPECT_GT(report.results[i], report.results[i - 1]);
+}
+
+TEST(Runtime, WatchdogDetectsHangsAndRecovers)
+{
+    AccordionRuntime runtime{RuntimeParams{}};
+    DcFaultModel faults;
+    faults.hangProbability = 0.2;
+    faults.seed = 7;
+    const auto report = runtime.execute(makeItems(200), square, faults);
+    EXPECT_GT(report.watchdogFires, 10u);
+    EXPECT_GT(report.recovered, 0u);
+    // One retry swallows most single hangs.
+    EXPECT_LT(report.dropped, report.watchdogFires);
+    EXPECT_EQ(report.completed + report.recovered + report.dropped,
+              200u);
+}
+
+TEST(Runtime, ExhaustedRetriesBecomeDrops)
+{
+    RuntimeParams params;
+    params.maxRetries = 0;
+    AccordionRuntime runtime{params};
+    DcFaultModel faults;
+    faults.hangProbability = 0.3;
+    faults.seed = 8;
+    const auto report = runtime.execute(makeItems(200), square, faults);
+    EXPECT_EQ(report.dropped, report.watchdogFires);
+    EXPECT_EQ(report.recovered, 0u);
+    EXPECT_EQ(report.results.size(), 200u - report.dropped);
+}
+
+TEST(Runtime, HangsCostWatchdogTime)
+{
+    AccordionRuntime clean{RuntimeParams{}};
+    const double t_clean =
+        clean.execute(makeItems(100), square).virtualTime;
+    DcFaultModel faults;
+    faults.hangProbability = 0.3;
+    faults.seed = 9;
+    const double t_faulty =
+        clean.execute(makeItems(100), square, faults).virtualTime;
+    EXPECT_GT(t_faulty, t_clean);
+}
+
+TEST(Runtime, QualityLimitTreatsOffendersLikeCrashes)
+{
+    RuntimeParams params;
+    params.acceptable = [](double v) {
+        return std::isfinite(v) && std::abs(v) < 1e5;
+    };
+    params.maxRetries = 0;
+    AccordionRuntime runtime{params};
+    DcFaultModel faults;
+    faults.corruptProbability = 0.25;
+    faults.corruptMagnitude = 1e7;
+    faults.seed = 10;
+    const auto report = runtime.execute(makeItems(200), square, faults);
+    EXPECT_GT(report.qualityRejects, 20u);
+    EXPECT_EQ(report.dropped, report.qualityRejects);
+    // Survivors are untainted.
+    for (double v : report.results)
+        EXPECT_LT(std::abs(v), 1e5);
+}
+
+TEST(Runtime, CorruptionWithoutLimitReachesOutput)
+{
+    // Without a preset quality limit, corrupted end results surface
+    // in the merged output — outcome class (iii).
+    AccordionRuntime runtime{RuntimeParams{}};
+    DcFaultModel faults;
+    faults.corruptProbability = 0.25;
+    faults.seed = 11;
+    const auto report = runtime.execute(makeItems(100), square, faults);
+    EXPECT_EQ(report.dropped, 0u);
+    int corrupted = 0;
+    for (std::size_t i = 0; i < 100; ++i)
+        corrupted += std::abs(*report.resultOf[i] -
+                              static_cast<double>(i * i)) > 1.0;
+    EXPECT_GT(corrupted, 10);
+}
+
+TEST(Runtime, DeterministicGivenSeed)
+{
+    AccordionRuntime runtime{RuntimeParams{}};
+    DcFaultModel faults;
+    faults.hangProbability = 0.1;
+    faults.corruptProbability = 0.05;
+    faults.seed = 12;
+    const auto a = runtime.execute(makeItems(150), square, faults);
+    const auto b = runtime.execute(makeItems(150), square, faults);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.watchdogFires, b.watchdogFires);
+    EXPECT_DOUBLE_EQ(a.virtualTime, b.virtualTime);
+}
+
+TEST(Runtime, MoreDcsRunFaster)
+{
+    RuntimeParams small;
+    small.numDcs = 4;
+    RuntimeParams big;
+    big.numDcs = 16;
+    const auto items = makeItems(160);
+    const double t_small =
+        AccordionRuntime{small}.execute(items, square).virtualTime;
+    const double t_big =
+        AccordionRuntime{big}.execute(items, square).virtualTime;
+    EXPECT_LT(t_big, t_small);
+}
+
+TEST(Runtime, RejectsDegenerateConfigs)
+{
+    RuntimeParams no_dcs;
+    no_dcs.numDcs = 0;
+    EXPECT_EXIT(AccordionRuntime{no_dcs}, ::testing::ExitedWithCode(1),
+                "DC");
+    RuntimeParams no_ccs;
+    no_ccs.numCcs = 0;
+    EXPECT_EXIT(AccordionRuntime{no_ccs}, ::testing::ExitedWithCode(1),
+                "CC");
+}
+
+TEST(Mailbox, EnforcesProtectionDomains)
+{
+    Mailbox mailbox(4);
+    mailbox.post(2, 2, 1.5);
+    EXPECT_DOUBLE_EQ(*mailbox.collect(2), 1.5);
+    EXPECT_FALSE(mailbox.collect(2).has_value()); // cleared
+    EXPECT_FALSE(mailbox.collect(0).has_value());
+    // A DC writing a foreign slot is a protection violation.
+    EXPECT_DEATH(mailbox.post(1, 3, 0.0), "protection violation");
+}
+
+TEST(Organizations, TraitsMatchFig3)
+{
+    const auto spatial =
+        organizationTraits(Organization::HomogeneousSpatial);
+    const auto muxed =
+        organizationTraits(Organization::HomogeneousTimeMultiplexed);
+    const auto hetero =
+        organizationTraits(Organization::HeterogeneousClusters);
+    // (b) costs throughput; (a) and (c) do not.
+    EXPECT_GT(muxed.multiplexOverhead, 0.0);
+    EXPECT_EQ(spatial.multiplexOverhead, 0.0);
+    // (c) has faster but bigger, fixed-count CCs.
+    EXPECT_GT(hetero.ccSpeedFactor, spatial.ccSpeedFactor);
+    EXPECT_GT(hetero.ccAreaFactor, 1.0);
+    EXPECT_TRUE(hetero.ccCountFixed);
+    EXPECT_FALSE(spatial.ccCountFixed);
+}
+
+TEST(Organizations, TimeMultiplexedIsSlowerThanSpatial)
+{
+    RuntimeParams spatial;
+    spatial.organization = Organization::HomogeneousSpatial;
+    RuntimeParams muxed = spatial;
+    muxed.organization = Organization::HomogeneousTimeMultiplexed;
+    const auto items = makeItems(200);
+    EXPECT_LT(
+        AccordionRuntime{spatial}.execute(items, square).virtualTime,
+        AccordionRuntime{muxed}.execute(items, square).virtualTime);
+}
+
+TEST(Organizations, HeterogeneousMergesFaster)
+{
+    RuntimeParams spatial;
+    spatial.organization = Organization::HomogeneousSpatial;
+    spatial.mergeCostPerItem = 0.2; // make merge time visible
+    RuntimeParams hetero = spatial;
+    hetero.organization = Organization::HeterogeneousClusters;
+    const auto items = makeItems(200);
+    const auto rs = AccordionRuntime{spatial}.execute(items, square);
+    const auto rh = AccordionRuntime{hetero}.execute(items, square);
+    EXPECT_LT(rh.ccBusyTime, rs.ccBusyTime);
+}
+
+TEST(Organizations, Names)
+{
+    EXPECT_NE(organizationName(Organization::HomogeneousSpatial)
+                  .find("3a"),
+              std::string::npos);
+    EXPECT_NE(organizationName(Organization::HeterogeneousClusters)
+                  .find("3c"),
+              std::string::npos);
+}

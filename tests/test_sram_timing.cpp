@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests of the SRAM VddMIN model and the per-core timing-error
+ * model (the two halves of the VARIUS-NTV substitute).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vartech/sram.hpp"
+#include "vartech/technology.hpp"
+#include "vartech/timing.hpp"
+
+using namespace accordion::vartech;
+
+namespace {
+const Technology &
+tech()
+{
+    static const Technology t = Technology::makeItrs11nm();
+    return t;
+}
+
+CoreTimingModel
+makeCore(double vth_dev, double sigma_rand = 0.116)
+{
+    return CoreTimingModel(tech(), TimingModelParams{}, vth_dev, 0.0,
+                           sigma_rand);
+}
+} // namespace
+
+TEST(Sram, CellFailureDecreasesWithVdd)
+{
+    SramBlockModel block(SramParams{}, 1 << 20, 0.0, 0.0);
+    double prev = 1.0;
+    for (double vdd = 0.40; vdd <= 0.70; vdd += 0.05) {
+        const double p = block.cellFailureProbability(vdd);
+        EXPECT_LE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(Sram, VddMinIsFunctionalBoundary)
+{
+    SramParams params;
+    SramBlockModel block(params, 1 << 22, 0.0, 0.0);
+    const double vmin = block.vddMin();
+    // Exactly at VddMIN the expected failing cells equal the
+    // redundancy budget.
+    const double mbits = (1 << 22) / (1024.0 * 1024.0);
+    const double repairable =
+        params.redundancyPerSqrtMbit * std::sqrt(mbits);
+    const double expected_failures =
+        block.cellFailureProbability(vmin) * (1 << 22);
+    EXPECT_NEAR(expected_failures, repairable, repairable * 0.01);
+}
+
+TEST(Sram, HigherVthRaisesVddMin)
+{
+    SramBlockModel weak(SramParams{}, 1 << 20, 0.03, 0.0);
+    SramBlockModel nominal(SramParams{}, 1 << 20, 0.0, 0.0);
+    SramBlockModel strong(SramParams{}, 1 << 20, -0.03, 0.0);
+    EXPECT_GT(weak.vddMin(), nominal.vddMin());
+    EXPECT_GT(nominal.vddMin(), strong.vddMin());
+    // Shift tracks kVth linearly.
+    EXPECT_NEAR(weak.vddMin() - nominal.vddMin(),
+                SramParams{}.kVth * 0.03, 1e-9);
+}
+
+TEST(Sram, LargerBlocksNeedHigherVdd)
+{
+    // Same redundancy density but more cells -> tighter per-cell
+    // failure requirement -> higher VddMIN... per-Mbit redundancy
+    // keeps the required *rate* constant, so the shift comes from
+    // the quantile of the rate, which is equal; use an absolute
+    // redundancy contrast instead.
+    SramParams sparse;
+    sparse.redundancyPerSqrtMbit = 2.0;
+    SramParams dense;
+    dense.redundancyPerSqrtMbit = 200.0;
+    SramBlockModel tight(sparse, 1 << 24, 0.0, 0.0);
+    SramBlockModel loose(dense, 1 << 24, 0.0, 0.0);
+    EXPECT_GT(tight.vddMin(), loose.vddMin());
+}
+
+TEST(Sram, NominalVddMinInNearThresholdRange)
+{
+    // Fig. 5a: per-cluster VddMIN lands in 0.46-0.58 V; a nominal
+    // block sits near the bottom of that band.
+    SramBlockModel private_mem(SramParams{}, 64ull * 1024 * 8, 0.0,
+                               0.0);
+    SramBlockModel cluster_mem(SramParams{},
+                               2ull * 1024 * 1024 * 8, 0.0, 0.0);
+    EXPECT_GT(private_mem.vddMin(), 0.42);
+    EXPECT_LT(cluster_mem.vddMin(), 0.52);
+    EXPECT_GT(cluster_mem.vddMin(), private_mem.vddMin());
+}
+
+TEST(Timing, ErrorRateMonotoneInFrequency)
+{
+    const CoreTimingModel core = makeCore(0.0);
+    double prev = 0.0;
+    for (double f = 0.3e9; f <= 2.0e9; f += 0.1e9) {
+        const double perr = core.errorRate(0.55, f);
+        EXPECT_GE(perr, prev) << "f=" << f;
+        prev = perr;
+    }
+    EXPECT_GT(prev, 0.99); // saturates at 1 for fast clocks
+}
+
+TEST(Timing, ErrorRateSpansManyDecades)
+{
+    // Fig. 5b's y axis runs from below 1e-16 up to 1.
+    const CoreTimingModel core = makeCore(0.0);
+    EXPECT_LT(core.errorRate(0.55, 0.4e9), 1e-16);
+    EXPECT_GT(core.errorRate(0.55, 1.5e9), 0.9);
+}
+
+TEST(Timing, SafeFrequencyRespectsThreshold)
+{
+    const CoreTimingModel core = makeCore(0.0);
+    const double f_safe = core.safeFrequency(0.55);
+    EXPECT_LE(core.errorRate(0.55, f_safe),
+              core.params().perrSafe * 1.01);
+    EXPECT_GT(core.errorRate(0.55, f_safe * 1.1),
+              core.params().perrSafe);
+}
+
+TEST(Timing, SafeBelowMeanPathFrequency)
+{
+    const CoreTimingModel core = makeCore(0.0);
+    EXPECT_LT(core.safeFrequency(0.55), core.meanPathFrequency(0.55));
+}
+
+TEST(Timing, FrequencyForErrorRateInvertsErrorRate)
+{
+    const CoreTimingModel core = makeCore(0.05);
+    for (double perr : {1e-12, 1e-9, 1e-6, 1e-4}) {
+        const double f = core.frequencyForErrorRate(0.55, perr);
+        EXPECT_NEAR(std::log10(core.errorRate(0.55, f)),
+                    std::log10(perr), 0.05)
+            << "perr=" << perr;
+    }
+}
+
+TEST(Timing, SpeculationBuysFrequency)
+{
+    // Section 6.3: operating at a higher error rate buys 8-41% f.
+    const CoreTimingModel core = makeCore(0.1);
+    const double f_safe = core.safeFrequency(0.55);
+    const double f_spec = core.frequencyForErrorRate(0.55, 1e-6);
+    const double gain = f_spec / f_safe - 1.0;
+    EXPECT_GT(gain, 0.05);
+    EXPECT_LT(gain, 0.50);
+}
+
+TEST(Timing, SlowerAtLowerVdd)
+{
+    const CoreTimingModel core = makeCore(0.0);
+    EXPECT_LT(core.safeFrequency(0.50), core.safeFrequency(0.55));
+    EXPECT_LT(core.safeFrequency(0.55), core.safeFrequency(0.70));
+}
+
+TEST(Timing, HighVthCoreIsSlowerAndMoreErrorProne)
+{
+    const CoreTimingModel slow = makeCore(0.15);
+    const CoreTimingModel fast = makeCore(-0.15);
+    EXPECT_LT(slow.safeFrequency(0.55), fast.safeFrequency(0.55));
+    const double f = 0.6e9;
+    EXPECT_GT(slow.errorRate(0.55, f), fast.errorRate(0.55, f));
+}
+
+TEST(Timing, MostCoresCannotReachNominalFrequency)
+{
+    // Section 6.1: even at Perr in [1e-16, 1e-12] the majority of
+    // cores cannot run at the NTV nominal 1 GHz.
+    const CoreTimingModel core = makeCore(0.0);
+    EXPECT_GT(core.errorRate(0.55, 1.0e9), 1e-12);
+}
+
+TEST(Timing, RejectsDegenerateErrorTargets)
+{
+    const CoreTimingModel core = makeCore(0.0);
+    EXPECT_EXIT(core.frequencyForErrorRate(0.55, 0.0),
+                ::testing::ExitedWithCode(1), "perr");
+    EXPECT_EXIT(core.frequencyForErrorRate(0.55, 1.0),
+                ::testing::ExitedWithCode(1), "perr");
+}

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests of the statistics helpers: online moments, percentiles,
+ * histograms, fits, and the normal-distribution functions the
+ * timing-error model depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace accordion::util;
+
+TEST(OnlineStats, Empty)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments)
+{
+    OnlineStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombined)
+{
+    OnlineStats a, b, all;
+    Rng rng(1, 0);
+    for (int i = 0; i < 500; ++i) {
+        const double v = rng.normal(3.0, 2.0);
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(OnlineStats, MergeWithEmpty)
+{
+    OnlineStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, OrderStatistics)
+{
+    std::vector<double> v = {5, 1, 3, 2, 4};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> v = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
+}
+
+TEST(VectorStats, MeanStddevGeomean)
+{
+    std::vector<double> v = {1.0, 2.0, 4.0, 8.0};
+    EXPECT_DOUBLE_EQ(mean(v), 3.75);
+    EXPECT_NEAR(stddev(v), 3.095695936834452, 1e-12);
+    EXPECT_NEAR(geomean(v), 2.8284271247461903, 1e-12);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.99);
+    h.add(-5.0); // clamps into first bin
+    h.add(42.0); // clamps into last bin
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.countAt(0), 2u);
+    EXPECT_EQ(h.countAt(9), 2u);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHi(9), 10.0);
+}
+
+TEST(Histogram, RenderContainsBars)
+{
+    Histogram h(0.0, 1.0, 2);
+    for (int i = 0; i < 5; ++i)
+        h.add(0.25);
+    const std::string out = h.render(10);
+    EXPECT_NE(out.find('#'), std::string::npos);
+    EXPECT_NE(out.find('\n'), std::string::npos);
+}
+
+TEST(FitLinear, ExactLine)
+{
+    std::vector<double> xs = {1, 2, 3, 4};
+    std::vector<double> ys = {3, 5, 7, 9}; // y = 1 + 2x
+    const LinearFit fit = fitLinear(xs, ys);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLinear, NoisyLineHasLowerR2)
+{
+    std::vector<double> xs, ys;
+    Rng rng(2, 0);
+    for (int i = 0; i < 100; ++i) {
+        xs.push_back(i);
+        ys.push_back(2.0 * i + 10.0 * rng.normal());
+    }
+    const LinearFit fit = fitLinear(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.0, 0.2);
+    EXPECT_LT(fit.r2, 1.0);
+    EXPECT_GT(fit.r2, 0.8);
+}
+
+TEST(FitPowerLaw, RecoversExponent)
+{
+    std::vector<double> xs, ys;
+    for (double x = 1.0; x <= 32.0; x *= 2.0) {
+        xs.push_back(x);
+        ys.push_back(3.0 * std::pow(x, 1.7));
+    }
+    const LinearFit fit = fitPowerLaw(xs, ys);
+    EXPECT_NEAR(fit.slope, 1.7, 1e-9);
+    EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(NormalCdf, KnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.0), 0.8413447460685429, 1e-9);
+    EXPECT_NEAR(normalCdf(-1.0), 1.0 - 0.8413447460685429, 1e-9);
+}
+
+TEST(NormalQuantile, InvertsCdf)
+{
+    for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99,
+                     0.999}) {
+        EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-7)
+            << "p=" << p;
+    }
+}
+
+TEST(NormalQuantile, ExtremeTails)
+{
+    // The SRAM model uses quantiles around 1e-7.
+    const double z = normalQuantile(1e-7);
+    EXPECT_NEAR(normalCdf(z), 1e-7, 1e-9);
+    EXPECT_LT(z, -5.0);
+}
+
+TEST(LogNormalCdf, MatchesLogOfCdfInBody)
+{
+    for (double x : {-6.0, -3.0, -1.0, 0.0, 1.0, 3.0})
+        EXPECT_NEAR(logNormalCdf(x), std::log(normalCdf(x)), 1e-6)
+            << "x=" << x;
+}
+
+TEST(LogNormalCdf, DeepTailIsFiniteAndMonotone)
+{
+    // Far below where Phi underflows, log Phi must stay finite and
+    // decreasing — this is what lets Perr reach 1e-300 territory.
+    double prev = logNormalCdf(-10.0);
+    for (double x = -12.0; x >= -40.0; x -= 2.0) {
+        const double v = logNormalCdf(x);
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_LT(v, prev);
+        prev = v;
+    }
+    // Cross-check against the known asymptotic at -20.
+    EXPECT_NEAR(logNormalCdf(-20.0), -203.9172, 0.01);
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests of the bench-output helpers: ASCII tables and CSV emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace accordion::util;
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"a", "long-header", "c"});
+    t.addRow({"1", "2", "3"});
+    t.addRow({"wide-cell", "x", "y"});
+    const std::string out = t.render();
+    std::istringstream in(out);
+    std::string header, rule, row1, row2;
+    std::getline(in, header);
+    std::getline(in, rule);
+    std::getline(in, row1);
+    std::getline(in, row2);
+    EXPECT_NE(header.find("long-header"), std::string::npos);
+    EXPECT_EQ(rule.find_first_not_of('-'), std::string::npos);
+    // The second column starts at the same offset in every row.
+    EXPECT_EQ(header.find("long-header"), row1.find('2'));
+    EXPECT_EQ(header.find("long-header"), row2.find('x'));
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(formatG(0.125), "0.125");
+    EXPECT_EQ(formatG(1234567.0), "1.235e+06");
+}
+
+TEST(Csv, WritesQuotedRows)
+{
+    const std::string path = ::testing::TempDir() + "/accordion_test.csv";
+    {
+        CsvWriter csv(path, {"name", "value"});
+        csv.addRow(std::vector<std::string>{"plain", "1"});
+        csv.addRow(std::vector<std::string>{"with,comma", "quo\"te"});
+        csv.addRow(std::vector<double>{1.5, 2.25});
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "name,value");
+    std::getline(in, line);
+    EXPECT_EQ(line, "plain,1");
+    std::getline(in, line);
+    EXPECT_EQ(line, "\"with,comma\",\"quo\"\"te\"");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1.5,2.25");
+    std::remove(path.c_str());
+}

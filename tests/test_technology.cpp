@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests of the technology model against the paper's calibration
+ * anchors (Table 2 and Fig. 1a/1c).
+ */
+
+#include <gtest/gtest.h>
+
+#include "vartech/guardband.hpp"
+#include "vartech/technology.hpp"
+
+using accordion::vartech::Technology;
+using accordion::vartech::timingGuardbandPercent;
+
+namespace {
+const Technology &
+tech11()
+{
+    static const Technology t = Technology::makeItrs11nm();
+    return t;
+}
+} // namespace
+
+TEST(Technology, Table2NominalCorner)
+{
+    const auto &t = tech11();
+    EXPECT_DOUBLE_EQ(t.params().vddNom, 0.55);
+    EXPECT_DOUBLE_EQ(t.params().vthNom, 0.33);
+    EXPECT_NEAR(t.fNtv(), 1.0e9, 1e3);
+    EXPECT_NEAR(t.frequencyAtNominalVth(0.55), 1.0e9, 1e3);
+}
+
+TEST(Technology, StvEquivalenceRoughly3GHz)
+{
+    // Table 2: 0.55 V / 1 GHz approximately corresponds to
+    // 1 V / 3.3 GHz.
+    const double ratio = tech11().fStv() / tech11().fNtv();
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 3.7);
+}
+
+TEST(Technology, FrequencyMonotoneInVdd)
+{
+    const auto &t = tech11();
+    double prev = 0.0;
+    for (double vdd = 0.2; vdd <= 1.2; vdd += 0.05) {
+        const double f = t.frequencyAtNominalVth(vdd);
+        EXPECT_GT(f, prev) << "vdd=" << vdd;
+        prev = f;
+    }
+}
+
+TEST(Technology, FrequencyDecreasesWithVth)
+{
+    const auto &t = tech11();
+    EXPECT_LT(t.frequency(0.55, 0.40), t.frequency(0.55, 0.33));
+    EXPECT_LT(t.frequency(0.55, 0.33), t.frequency(0.55, 0.28));
+}
+
+TEST(Technology, LeffSlowsAndDelaysScale)
+{
+    const auto &t = tech11();
+    EXPECT_LT(t.frequency(0.55, 0.33, 0.1), t.frequency(0.55, 0.33));
+    EXPECT_GT(t.relativeDelay(0.55, 0.33, 0.1),
+              t.relativeDelay(0.55, 0.33));
+    EXPECT_NEAR(t.relativeDelay(0.55, 0.33), 1.0, 1e-9);
+}
+
+TEST(Technology, StvCorePowerFitsBudgetAs16thOf100W)
+{
+    // The STV corner is calibrated to ~6.25 W per core so that
+    // N_STV lands in the 15-16 range under the 100 W budget.
+    const auto &t = tech11();
+    const double p = t.dynamicPower(1.0, t.fStv()) +
+        t.staticPower(1.0, t.params().vthNom);
+    EXPECT_NEAR(p, 6.25, 0.01);
+}
+
+TEST(Technology, NtvPowerReductionInPaperBand)
+{
+    // Fig. 1a: power drops 10-50x from STV to NTV.
+    const auto &t = tech11();
+    const double p_stv = t.dynamicPower(1.0, t.fStv()) +
+        t.staticPower(1.0, 0.33);
+    const double p_ntv = t.dynamicPower(0.55, t.fNtv()) +
+        t.staticPower(0.55, 0.33);
+    const double reduction = p_stv / p_ntv;
+    EXPECT_GT(reduction, 8.0);
+    EXPECT_LT(reduction, 50.0);
+}
+
+TEST(Technology, EnergyPerOpImprovement2to5x)
+{
+    // Fig. 1a: energy/operation improves 2-5x at NTV.
+    const auto &t = tech11();
+    const double gain = t.energyPerOp(1.0) / t.energyPerOp(0.55);
+    EXPECT_GT(gain, 2.0);
+    EXPECT_LT(gain, 5.0);
+}
+
+TEST(Technology, EnergyMinimumBelowTheNtvOperatingPoint)
+{
+    // Fig. 1a places the minimum-energy point in the sub-threshold
+    // region. Our calibration (which also has to hit the headline
+    // power numbers) puts it at the near-threshold edge — still
+    // well below VddNOM, preserving the figure's shape: energy
+    // falls from STV to NTV and turns back up below it.
+    const auto &t = tech11();
+    double best_vdd = 0.0, best = 1e300;
+    for (double vdd = 0.15; vdd <= 1.1; vdd += 0.01) {
+        const double e = t.energyPerOp(vdd);
+        if (e < best) {
+            best = e;
+            best_vdd = vdd;
+        }
+    }
+    EXPECT_LT(best_vdd, t.params().vddNom - 0.10);
+    EXPECT_GT(best_vdd, t.params().vthNom - 0.10);
+}
+
+TEST(Technology, DelaySensitivityAmplifiedAtNtv)
+{
+    // Transistor speed is more sensitive to Vth variation at lower
+    // Vdd — the root of NTC's variation problem.
+    const auto &t = tech11();
+    const double s_ntv = t.delayVthSensitivity(0.55, 0.33);
+    const double s_stv = t.delayVthSensitivity(1.0, 0.33);
+    EXPECT_GT(s_ntv, 2.0 * s_stv);
+}
+
+TEST(Technology, StaticShareGrowsTowardNtv)
+{
+    // Section 6.2: the share of static power is higher at NTV.
+    const auto &t = tech11();
+    auto static_share = [&](double vdd, double f) {
+        const double dyn = t.dynamicPower(vdd, f);
+        const double stat = t.staticPower(vdd, 0.33);
+        return stat / (dyn + stat);
+    };
+    // Compare at the respective achievable frequencies.
+    EXPECT_GT(static_share(0.55, 0.4e9),
+              static_share(1.0, t.fStv()));
+}
+
+TEST(Technology, RejectsVddBelowVth)
+{
+    Technology::Params p = tech11().params();
+    p.vddNom = 0.3; // below vthNom = 0.33
+    EXPECT_EXIT(Technology{std::move(p)},
+                ::testing::ExitedWithCode(1), "vddNom");
+}
+
+TEST(Guardband, GrowsTowardThreshold)
+{
+    const auto &t = tech11();
+    double prev = 0.0;
+    for (double vdd : {1.2, 1.0, 0.8, 0.6, 0.5, 0.45}) {
+        const double gb = timingGuardbandPercent(t, vdd);
+        EXPECT_GT(gb, prev) << "vdd=" << vdd;
+        prev = gb;
+    }
+}
+
+TEST(Guardband, WorseAt11nmThan22nm)
+{
+    // Fig. 1c: variation grows each generation.
+    const Technology t22 = Technology::makeItrs22nm();
+    for (double vdd : {0.5, 0.6, 0.8, 1.0})
+        EXPECT_GT(timingGuardbandPercent(tech11(), vdd),
+                  timingGuardbandPercent(t22, vdd))
+            << "vdd=" << vdd;
+}
+
+TEST(Guardband, SubstantialAtNtv)
+{
+    // Fig. 1c shows hundreds of percent near 0.5 V at 11 nm.
+    EXPECT_GT(timingGuardbandPercent(tech11(), 0.5), 100.0);
+}
+
+TEST(Guardband, ScalesWithSigma)
+{
+    EXPECT_GT(timingGuardbandPercent(tech11(), 0.6, 3.0),
+              timingGuardbandPercent(tech11(), 0.6, 1.0));
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests of the correlated variation-field machinery (VARIUS
+ * methodology): spherical correlation, field statistics, and the
+ * systematic/random split.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+#include "vartech/variation.hpp"
+
+using namespace accordion::vartech;
+using accordion::util::OnlineStats;
+using accordion::util::Rng;
+
+TEST(SphericalCorrelation, Endpoints)
+{
+    EXPECT_DOUBLE_EQ(sphericalCorrelation(0.0, 0.1), 1.0);
+    EXPECT_DOUBLE_EQ(sphericalCorrelation(0.1, 0.1), 0.0);
+    EXPECT_DOUBLE_EQ(sphericalCorrelation(0.5, 0.1), 0.0);
+}
+
+TEST(SphericalCorrelation, MonotoneDecreasing)
+{
+    double prev = 1.0;
+    for (double r = 0.01; r < 0.1; r += 0.01) {
+        const double rho = sphericalCorrelation(r, 0.1);
+        EXPECT_LT(rho, prev);
+        EXPECT_GE(rho, 0.0);
+        prev = rho;
+    }
+}
+
+namespace {
+
+std::vector<Point>
+linePositions(std::size_t n, double spacing)
+{
+    std::vector<Point> pts;
+    for (std::size_t i = 0; i < n; ++i)
+        pts.push_back({static_cast<double>(i) * spacing, 0.5});
+    return pts;
+}
+
+} // namespace
+
+TEST(CorrelatedFieldSampler, UnitVarianceZeroMean)
+{
+    const CorrelatedFieldSampler sampler(linePositions(20, 0.05), 0.1);
+    Rng rng(1, 0);
+    OnlineStats stats;
+    for (int s = 0; s < 2000; ++s)
+        for (double v : sampler.sample(rng))
+            stats.add(v);
+    EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stats.variance(), 1.0, 0.05);
+}
+
+TEST(CorrelatedFieldSampler, NearbySitesCorrelated)
+{
+    // Sites at distance 0.02 (inside phi=0.1) should correlate
+    // strongly; sites at distance 0.5 should not.
+    const CorrelatedFieldSampler sampler(linePositions(11, 0.05), 0.1);
+    Rng rng(2, 0);
+    double close_cov = 0.0, far_cov = 0.0;
+    const int samples = 4000;
+    for (int s = 0; s < samples; ++s) {
+        const auto field = sampler.sample(rng);
+        close_cov += field[0] * field[1]; // distance 0.05
+        far_cov += field[0] * field[10]; // distance 0.5
+    }
+    close_cov /= samples;
+    far_cov /= samples;
+    EXPECT_NEAR(close_cov, sphericalCorrelation(0.05, 0.1), 0.06);
+    EXPECT_NEAR(far_cov, 0.0, 0.06);
+}
+
+TEST(CorrelatedFieldSampler, CorrelatedCompanionField)
+{
+    const CorrelatedFieldSampler sampler(linePositions(8, 0.05), 0.1);
+    Rng rng(3, 0);
+    double cov = 0.0, var_a = 0.0, var_b = 0.0;
+    const int samples = 4000;
+    for (int s = 0; s < samples; ++s) {
+        const auto a = sampler.sample(rng);
+        const auto b = sampler.sampleCorrelatedWith(a, 0.9, rng);
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            cov += a[i] * b[i];
+            var_a += a[i] * a[i];
+            var_b += b[i] * b[i];
+        }
+    }
+    const double rho = cov / std::sqrt(var_a * var_b);
+    EXPECT_NEAR(rho, 0.9, 0.03);
+}
+
+TEST(VariationRealization, VarianceSplitRespectsTotals)
+{
+    VariationParams params;
+    const CorrelatedFieldSampler sampler(linePositions(16, 0.07), 0.1);
+    Rng rng(4, 0);
+    OnlineStats vth;
+    for (int s = 0; s < 3000; ++s) {
+        VariationRealization real(sampler, params, rng);
+        for (std::size_t i = 0; i < real.size(); ++i)
+            vth.add(real.vthDev(i));
+        // Systematic^2 + random^2 == total^2, every realization.
+        const double sys_var = params.sigmaVthTotal *
+            params.sigmaVthTotal * params.systematicFraction;
+        EXPECT_NEAR(real.sigmaVthRandom() * real.sigmaVthRandom(),
+                    params.sigmaVthTotal * params.sigmaVthTotal -
+                        sys_var,
+                    1e-12);
+    }
+    const double sys_sigma =
+        params.sigmaVthTotal * std::sqrt(params.systematicFraction);
+    EXPECT_NEAR(vth.stddev(), sys_sigma, 0.005);
+    EXPECT_NEAR(vth.mean(), 0.0, 0.005);
+}
+
+TEST(VariationRealization, LeffTracksVth)
+{
+    VariationParams params;
+    const CorrelatedFieldSampler sampler(linePositions(16, 0.07), 0.1);
+    Rng rng(5, 0);
+    double cov = 0, va = 0, vb = 0;
+    for (int s = 0; s < 3000; ++s) {
+        VariationRealization real(sampler, params, rng);
+        for (std::size_t i = 0; i < real.size(); ++i) {
+            cov += real.vthDev(i) * real.leffDev(i);
+            va += real.vthDev(i) * real.vthDev(i);
+            vb += real.leffDev(i) * real.leffDev(i);
+        }
+    }
+    EXPECT_NEAR(cov / std::sqrt(va * vb),
+                params.vthLeffCorrelation, 0.03);
+}
+
+TEST(VariationRealization, PathSigmaScaleBounded)
+{
+    VariationParams params;
+    const CorrelatedFieldSampler sampler(linePositions(16, 0.07), 0.1);
+    Rng rng(6, 0);
+    VariationRealization real(sampler, params, rng);
+    for (std::size_t i = 0; i < real.size(); ++i) {
+        EXPECT_GE(real.pathSigmaScale(i), 0.7);
+        EXPECT_LE(real.pathSigmaScale(i), 1.3);
+    }
+}
+
+TEST(VariationRealization, Deterministic)
+{
+    VariationParams params;
+    const CorrelatedFieldSampler sampler(linePositions(8, 0.05), 0.1);
+    Rng rng_a(7, 3), rng_b(7, 3);
+    VariationRealization a(sampler, params, rng_a);
+    VariationRealization b(sampler, params, rng_b);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.vthDev(i), b.vthDev(i));
+        EXPECT_DOUBLE_EQ(a.leffDev(i), b.leffDev(i));
+    }
+}
