@@ -11,14 +11,40 @@
 #define ACCORDION_BENCH_COMMON_HPP
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 
 #include "util/csv.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace accordion::bench {
+
+/**
+ * Size the global thread pool from a `--threads N` argument
+ * (falling back to ACCORDION_THREADS / hardware_concurrency via
+ * ThreadPool::defaultThreads()). Call first thing in main(); sweeps
+ * produce bit-identical output at every thread count, so the knob
+ * only moves wall-clock.
+ */
+inline void
+initThreads(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0) {
+            const long n = std::strtol(argv[i + 1], nullptr, 10);
+            if (n <= 0)
+                util::fatal("--threads wants a positive integer, "
+                            "got '%s'", argv[i + 1]);
+            util::ThreadPool::setGlobalThreads(
+                static_cast<std::size_t>(n));
+            return;
+        }
+    }
+}
 
 /** Print the standard bench banner. */
 inline void

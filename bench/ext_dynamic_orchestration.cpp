@@ -18,9 +18,10 @@ using namespace accordion;
 using namespace accordion::core;
 
 int
-main()
+main(int argc, char **argv)
 {
     util::setVerbose(false);
+    bench::initThreads(argc, argv);
     bench::banner("Extension — dynamic orchestration (Section 7)",
                   "N can change midst-execution (the problem size "
                   "cannot); re-selection rides out temporal "

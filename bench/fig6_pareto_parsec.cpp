@@ -7,9 +7,9 @@
 #include "pareto_bench.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     accordion::bench::runParetoBench(
-        "6", {"canneal", "ferret", "bodytrack", "x264"});
+        "6", {"canneal", "ferret", "bodytrack", "x264"}, argc, argv);
     return 0;
 }

@@ -7,8 +7,9 @@
 #include "pareto_bench.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    accordion::bench::runParetoBench("7", {"hotspot", "srad"});
+    accordion::bench::runParetoBench("7", {"hotspot", "srad"}, argc,
+                                     argv);
     return 0;
 }

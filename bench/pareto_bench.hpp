@@ -21,9 +21,11 @@ namespace accordion::bench {
 /** Run and print the pareto fronts of the given kernels. */
 inline void
 runParetoBench(const std::string &figure,
-               const std::vector<std::string> &kernels)
+               const std::vector<std::string> &kernels,
+               int argc = 0, char **argv = nullptr)
 {
     util::setVerbose(false);
+    initThreads(argc, argv);
     core::AccordionSystem system;
     auto csv = csvFor(
         "fig" + figure + "_pareto",

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace accordion::core {
 
@@ -199,6 +200,32 @@ DynamicOrchestrator::run(const rms::Workload &workload,
         report.reselections += reselected ? 1 : 0;
     }
     return report;
+}
+
+std::vector<DynamicReport>
+runOverSample(const vartech::ChipFactory &factory, std::size_t chips,
+              const manycore::PowerModel &power,
+              const manycore::PerfModel &perf,
+              const DynamicOrchestrator::Params &params,
+              const rms::Workload &workload,
+              const QualityProfile &profile,
+              const std::vector<ResilienceEvent> &events)
+{
+    if (chips == 0)
+        util::fatal("runOverSample: empty sample");
+    std::vector<DynamicReport> reports(chips);
+    util::parallelFor(0, chips, [&](std::size_t id) {
+        const vartech::VariationChip chip =
+            factory.make(static_cast<std::uint64_t>(id));
+        const ParetoExtractor extractor(chip, power, perf);
+        const StvBaseline base =
+            extractor.baseline(workload, profile);
+        const DynamicOrchestrator orchestrator(chip, power, perf,
+                                               params);
+        reports[id] =
+            orchestrator.run(workload, profile, base, events);
+    });
+    return reports;
 }
 
 } // namespace accordion::core

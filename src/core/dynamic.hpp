@@ -118,6 +118,23 @@ class DynamicOrchestrator
     Params params_;
 };
 
+/**
+ * Run the dynamic orchestrator on every chip of a manufacturing
+ * sample (chip ids 0..chips-1), one report per chip in id order.
+ *
+ * Each chip gets its own STV baseline (extracted with
+ * ParetoExtractor on that chip) and its own orchestrator, so the
+ * per-chip evaluations are independent and run on the global thread
+ * pool; reports land in pre-sized slots and are bit-identical at
+ * any thread count.
+ */
+std::vector<DynamicReport> runOverSample(
+    const vartech::ChipFactory &factory, std::size_t chips,
+    const manycore::PowerModel &power, const manycore::PerfModel &perf,
+    const DynamicOrchestrator::Params &params,
+    const rms::Workload &workload, const QualityProfile &profile,
+    const std::vector<ResilienceEvent> &events);
+
 } // namespace accordion::core
 
 #endif // ACCORDION_CORE_DYNAMIC_HPP

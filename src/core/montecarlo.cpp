@@ -4,6 +4,7 @@
 
 #include "util/log.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace accordion::core {
 
@@ -18,12 +19,16 @@ MonteCarloEvaluator::MonteCarloEvaluator(
 std::vector<double>
 MonteCarloEvaluator::values(const ChipMetric &metric) const
 {
-    std::vector<double> out;
-    out.reserve(chips_);
-    for (std::uint64_t id = 0; id < chips_; ++id) {
-        const vartech::VariationChip chip = factory_->make(id);
-        out.push_back(metric(chip));
-    }
+    // Chips are independent (the factory derives each chip's
+    // randomness from its id alone) and every evaluation writes
+    // only its own slot, so the sample parallelizes with
+    // bit-identical results at any thread count.
+    std::vector<double> out(chips_);
+    util::parallelFor(0, chips_, [&](std::size_t id) {
+        const vartech::VariationChip chip =
+            factory_->make(static_cast<std::uint64_t>(id));
+        out[id] = metric(chip);
+    });
     return out;
 }
 

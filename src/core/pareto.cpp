@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace accordion::core {
 
@@ -163,11 +164,15 @@ ParetoExtractor::extract(const rms::Workload &workload,
                          Flavor flavor) const
 {
     const StvBaseline base = baseline(workload, profile);
-    std::vector<OperatingPoint> front;
-    front.reserve(profile.defaultCurve().psRatio.size());
-    for (double ps_ratio : profile.defaultCurve().psRatio)
-        front.push_back(
-            evaluateAt(workload, profile, flavor, ps_ratio, base));
+    const std::vector<double> &ratios = profile.defaultCurve().psRatio;
+    // Problem sizes are independent given the (precomputed)
+    // baseline; each index fills its own pre-sized slot, so the
+    // front is bit-identical at any thread count.
+    std::vector<OperatingPoint> front(ratios.size());
+    util::parallelFor(0, ratios.size(), [&](std::size_t i) {
+        front[i] =
+            evaluateAt(workload, profile, flavor, ratios[i], base);
+    });
     return front;
 }
 

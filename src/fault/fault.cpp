@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/log.hpp"
@@ -46,6 +47,21 @@ FaultPlan::FaultPlan(ErrorMode mode, double fraction)
         util::fatal("FaultPlan: fraction %g not in [0,1]", fraction);
 }
 
+std::size_t
+FaultPlan::quota(std::size_t k) const
+{
+    // floor(k * fraction), nudged upward by a few ulps first: when
+    // k * fraction should be an exact integer but rounds just
+    // below it (0.7 * 10 = 6.999...9), the unnudged floor loses a
+    // whole infection. The nudge is relative, so genuinely
+    // non-integral products (off by far more than a few ulps) are
+    // unaffected.
+    const double x = static_cast<double>(k) * fraction_;
+    const double nudged =
+        x * (1.0 + 8.0 * std::numeric_limits<double>::epsilon());
+    return static_cast<std::size_t>(std::floor(nudged));
+}
+
 bool
 FaultPlan::infected(std::size_t thread, std::size_t num_threads) const
 {
@@ -55,12 +71,11 @@ FaultPlan::infected(std::size_t thread, std::size_t num_threads) const
         util::panic("FaultPlan::infected: thread %zu of %zu", thread,
                     num_threads);
     // Uniform spread across the index space: thread i is infected
-    // when the cumulative quota crosses an integer at i+1.
-    const double before =
-        std::floor(static_cast<double>(thread) * fraction_);
-    const double after =
-        std::floor(static_cast<double>(thread + 1) * fraction_);
-    return after > before;
+    // when the cumulative quota crosses an integer at i+1. The
+    // quotas telescope, so the number of infected indices in
+    // [0, n) is exactly quota(n) == infectedCount(n) for every
+    // fraction.
+    return quota(thread + 1) > quota(thread);
 }
 
 std::size_t
@@ -68,8 +83,7 @@ FaultPlan::infectedCount(std::size_t num_threads) const
 {
     if (none())
         return 0;
-    return static_cast<std::size_t>(
-        std::floor(static_cast<double>(num_threads) * fraction_));
+    return quota(num_threads);
 }
 
 namespace {

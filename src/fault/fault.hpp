@@ -89,6 +89,9 @@ class FaultPlan
     }
 
   private:
+    /** Cumulative infection quota after the first @p k threads. */
+    std::size_t quota(std::size_t k) const;
+
     ErrorMode mode_ = ErrorMode::None;
     double fraction_ = 0.0;
 };

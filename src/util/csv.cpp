@@ -53,4 +53,76 @@ CsvWriter::addRow(const std::vector<double> &cells)
     addRow(formatted);
 }
 
+std::size_t
+CsvFile::column(const std::string &name) const
+{
+    for (std::size_t i = 0; i < header.size(); ++i)
+        if (header[i] == name)
+            return i;
+    fatal("CsvFile: no column named '%s'", name.c_str());
+}
+
+namespace {
+
+std::vector<std::string>
+parseCsvLine(const std::string &line, const std::string &path)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char ch = line[i];
+        if (quoted) {
+            if (ch == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cell += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cell += ch;
+            }
+        } else if (ch == '"') {
+            quoted = true;
+        } else if (ch == ',') {
+            cells.push_back(std::move(cell));
+            cell.clear();
+        } else {
+            cell += ch;
+        }
+    }
+    if (quoted)
+        fatal("readCsv: unterminated quote in '%s'", path.c_str());
+    cells.push_back(std::move(cell));
+    return cells;
+}
+
+} // namespace
+
+CsvFile
+readCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("readCsv: cannot open '%s'", path.c_str());
+    CsvFile file;
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty() && in.peek() == EOF)
+            break; // trailing newline
+        auto cells = parseCsvLine(line, path);
+        if (first) {
+            file.header = std::move(cells);
+            first = false;
+        } else {
+            file.rows.push_back(std::move(cells));
+        }
+    }
+    return file;
+}
+
 } // namespace accordion::util

@@ -37,6 +37,24 @@ class CsvWriter
     std::size_t columns_;
 };
 
+/** A parsed CSV file: header row plus data rows. */
+struct CsvFile
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+
+    /** Index of a header column; fatal()s when absent. */
+    std::size_t column(const std::string &name) const;
+};
+
+/**
+ * Read a CSV written by CsvWriter (RFC-4180 quoting, first row is
+ * the header). fatal()s if the file cannot be opened or a quoted
+ * cell is left unterminated. Used by the golden-value regression
+ * tests to load checked-in reference series.
+ */
+CsvFile readCsv(const std::string &path);
+
 } // namespace accordion::util
 
 #endif // ACCORDION_UTIL_CSV_HPP

@@ -109,6 +109,18 @@ Rng::bernoulli(double p)
 }
 
 Rng
+Rng::streamAt(std::uint64_t seed, std::uint64_t index)
+{
+    // Mix the counter so that consecutive indices land on
+    // uncorrelated streams; the seed half stays untouched, keeping
+    // streamAt(seed, i) disjoint from the Rng(seed, stream)
+    // constructor's plain-stream keying only through the mix.
+    std::uint64_t x = index ^ 0x6a09e667f3bcc908ULL;
+    const std::uint64_t stream = splitMix64(x);
+    return Rng(seed, stream);
+}
+
+Rng
 Rng::fork(std::uint64_t key) const
 {
     // Children are keyed off the parent identity, not its state, so

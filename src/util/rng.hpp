@@ -67,6 +67,20 @@ class Rng
      */
     Rng fork(std::uint64_t key) const;
 
+    /**
+     * Counter-based stream split: the @p index-th parallel stream
+     * of a master @p seed.
+     *
+     * A pure function of (seed, index) — no shared state, no
+     * sequencing — so parallel sweeps can draw per-element
+     * randomness from any thread and still be bit-identical at any
+     * thread count: iteration i of a parallelFor uses
+     * streamAt(seed, i) regardless of which worker runs it.
+     * Distinct indices yield uncorrelated streams (the index is
+     * SplitMix64-mixed before keying the stream).
+     */
+    static Rng streamAt(std::uint64_t seed, std::uint64_t index);
+
   private:
     std::array<std::uint64_t, 4> state_;
     std::uint64_t seed_;

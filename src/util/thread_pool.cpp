@@ -1,0 +1,216 @@
+#include "thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+#include "log.hpp"
+
+namespace accordion::util {
+
+namespace {
+
+/** Set while the thread is executing inside a worker loop. */
+thread_local bool t_in_worker = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t n = std::max<std::size_t>(1, threads);
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_in_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return shutdown_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // shutdown with a drained queue
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> fn)
+{
+    auto task = std::make_shared<std::packaged_task<void()>>(
+        std::move(fn));
+    std::future<void> future = task->get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shutdown_)
+            panic("ThreadPool::submit: pool is shutting down");
+        queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (end <= begin)
+        return;
+    const std::size_t count = end - begin;
+    // Serial fast paths: trivial ranges, a one-worker pool, and
+    // nested calls from inside a worker (running inline avoids
+    // deadlocking the pool on itself). The iteration set is the
+    // same either way, so results do not change.
+    if (count == 1 || size() <= 1 || inWorker()) {
+        for (std::size_t i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+
+    struct Shared
+    {
+        std::atomic<std::size_t> next{0};
+        std::size_t end = 0;
+        std::size_t grain = 1;
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::atomic<bool> failed{false};
+        std::exception_ptr error;
+        std::mutex errorMutex;
+        std::atomic<std::size_t> pending{0};
+        std::mutex doneMutex;
+        std::condition_variable doneCv;
+    };
+    auto shared = std::make_shared<Shared>();
+    shared->next = begin;
+    shared->end = end;
+    shared->fn = &fn;
+
+    const std::size_t helpers = std::min(size(), count) - 1;
+    // Chunked claiming bounds the shared-counter traffic; the chunk
+    // size only affects scheduling, never results (each index still
+    // writes its own slot).
+    shared->grain =
+        std::max<std::size_t>(1, count / ((helpers + 1) * 8));
+    shared->pending = helpers;
+
+    auto body = [](const std::shared_ptr<Shared> &s) {
+        while (!s->failed.load(std::memory_order_relaxed)) {
+            const std::size_t lo =
+                s->next.fetch_add(s->grain, std::memory_order_relaxed);
+            if (lo >= s->end)
+                break;
+            const std::size_t hi = std::min(s->end, lo + s->grain);
+            try {
+                for (std::size_t i = lo; i < hi; ++i) {
+                    if (s->failed.load(std::memory_order_relaxed))
+                        break;
+                    (*s->fn)(i);
+                }
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(s->errorMutex);
+                if (!s->error)
+                    s->error = std::current_exception();
+                s->failed = true;
+            }
+        }
+    };
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shutdown_)
+            panic("ThreadPool::parallelFor: pool is shutting down");
+        for (std::size_t h = 0; h < helpers; ++h)
+            queue_.emplace_back([shared, body] {
+                body(shared);
+                if (shared->pending.fetch_sub(1) == 1) {
+                    std::lock_guard<std::mutex> done(shared->doneMutex);
+                    shared->doneCv.notify_all();
+                }
+            });
+    }
+    cv_.notify_all();
+
+    // The caller works the range too, then waits for the helpers.
+    body(shared);
+    {
+        std::unique_lock<std::mutex> done(shared->doneMutex);
+        shared->doneCv.wait(done,
+                            [&] { return shared->pending == 0; });
+    }
+    if (shared->error)
+        std::rethrow_exception(shared->error);
+}
+
+bool
+ThreadPool::inWorker()
+{
+    return t_in_worker;
+}
+
+std::size_t
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("ACCORDION_THREADS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return static_cast<std::size_t>(n);
+        warn("ACCORDION_THREADS='%s' is not a positive integer; "
+             "ignoring", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool> g_pool;
+std::mutex g_pool_mutex;
+
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(defaultThreads());
+    return *g_pool;
+}
+
+void
+ThreadPool::setGlobalThreads(std::size_t threads)
+{
+    std::unique_ptr<ThreadPool> fresh =
+        std::make_unique<ThreadPool>(threads);
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    g_pool = std::move(fresh);
+}
+
+void
+parallelFor(std::size_t begin, std::size_t end,
+            const std::function<void(std::size_t)> &fn)
+{
+    ThreadPool::global().parallelFor(begin, end, fn);
+}
+
+} // namespace accordion::util

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Fixed-size thread pool for the embarrassingly parallel sweep
+ * layer: Monte Carlo chip samples, per-problem-size operating-point
+ * searches, and design-space ablations.
+ *
+ * Design rules (all in service of bit-identical results at any
+ * thread count):
+ *  - No work stealing and no per-thread accumulation: parallelFor()
+ *    hands out index ranges from a shared counter and every
+ *    iteration writes only to its own pre-sized output slot, so
+ *    aggregation order never depends on thread scheduling.
+ *  - Randomness inside an iteration must come from a stream keyed
+ *    by the iteration index (Rng::streamAt), never from a shared
+ *    generator.
+ *  - Nested parallelFor() calls from inside a worker run the inner
+ *    range serially inline — the pool never deadlocks on itself and
+ *    the iteration set is identical either way.
+ *
+ * The global pool is sized by the ACCORDION_THREADS environment
+ * variable (or std::thread::hardware_concurrency() when unset);
+ * benches additionally expose a --threads flag via
+ * bench::initThreads().
+ */
+
+#ifndef ACCORDION_UTIL_THREAD_POOL_HPP
+#define ACCORDION_UTIL_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace accordion::util {
+
+/**
+ * Fixed-size pool of worker threads with a FIFO task queue.
+ *
+ * Threads are spawned once at construction and joined at
+ * destruction; there is no dynamic resizing and no work stealing.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 is clamped to 1. A pool of
+     *        size 1 still spawns one worker for submit(), but
+     *        parallelFor() short-circuits to an inline serial loop.
+     */
+    explicit ThreadPool(std::size_t threads);
+
+    /** Drains nothing: pending tasks are completed before join. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Enqueue one task; the future reports completion and
+     * propagates any exception the task throws.
+     *
+     * Submitting from inside a worker thread is allowed (the task
+     * is queued normally), but blocking on the returned future from
+     * a worker of the *same* pool can deadlock once all workers
+     * wait on each other — prefer parallelFor(), which runs nested
+     * work inline instead.
+     */
+    std::future<void> submit(std::function<void()> fn);
+
+    /**
+     * Apply @p fn to every index of [begin, end), spread across the
+     * pool; the calling thread participates. Blocks until the whole
+     * range is done.
+     *
+     * Exception policy: the first exception thrown by any iteration
+     * is captured and rethrown on the calling thread; remaining
+     * un-started iterations are abandoned (the range is not
+     * guaranteed to be fully visited on failure).
+     *
+     * Determinism: iterations may run in any order and on any
+     * thread, so @p fn must write only to state owned by its index
+     * (e.g. `out[i] = ...` into a pre-sized vector). Under that
+     * contract results are bit-identical for every pool size.
+     *
+     * Called from inside a worker thread (a nested parallelFor), the
+     * range runs serially inline on that worker.
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** True when the calling thread is one of this pool's workers. */
+    static bool inWorker();
+
+    /**
+     * Pool size requested by the environment: ACCORDION_THREADS if
+     * set to a positive integer, else hardware_concurrency(), else 1.
+     */
+    static std::size_t defaultThreads();
+
+    /**
+     * The process-wide pool used by the sweep layer. Created on
+     * first use with defaultThreads() workers.
+     */
+    static ThreadPool &global();
+
+    /**
+     * Replace the global pool with one of @p threads workers (the
+     * bench --threads knob and the determinism tests). Must not be
+     * called while work is in flight on the global pool.
+     */
+    static void setGlobalThreads(std::size_t threads);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool shutdown_ = false;
+};
+
+/**
+ * parallelFor on the global pool — the entry point the sweep loops
+ * use. Serial when the global pool has one worker.
+ */
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace accordion::util
+
+#endif // ACCORDION_UTIL_THREAD_POOL_HPP

@@ -65,7 +65,13 @@ VariationChip::VariationChip(const Technology &tech,
     }
     vddNtv_ = *std::max_element(clusterVddMin_.begin(),
                                 clusterVddMin_.end());
-    coreSafeF_.assign(n_cores, -1.0);
+    // Filled eagerly: every downstream path (core selection, CC
+    // ranking, pareto scans) reads all of it anyway, and a
+    // write-once table keeps concurrent pareto sweeps over the same
+    // chip free of data races.
+    coreSafeF_.resize(n_cores);
+    for (std::size_t c = 0; c < n_cores; ++c)
+        coreSafeF_[c] = coreTiming_[c].safeFrequency(vddNtv_);
 }
 
 double
@@ -107,10 +113,7 @@ VariationChip::clusterVddMin(std::size_t cluster) const
 double
 VariationChip::coreSafeF(std::size_t core) const
 {
-    double &cached = coreSafeF_.at(core);
-    if (cached < 0.0)
-        cached = coreTiming_[core].safeFrequency(vddNtv_);
-    return cached;
+    return coreSafeF_.at(core);
 }
 
 double

@@ -113,7 +113,9 @@ class VariationChip
     std::vector<double> clusterMemVddMin_;
     std::vector<double> clusterVddMin_;
     double vddNtv_;
-    mutable std::vector<double> coreSafeF_; //!< lazily filled cache
+    /** Safe f of every core at VddNTV, computed at construction so
+     *  concurrent readers never mutate chip state. */
+    std::vector<double> coreSafeF_;
 };
 
 /**

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Shared switch between the golden-value tests and the custom test
+ * main: when set (via --update-golden or ACCORDION_UPDATE_GOLDEN=1),
+ * golden tests regenerate their checked-in CSVs instead of
+ * comparing against them.
+ */
+
+#ifndef ACCORDION_TESTS_GOLDEN_MODE_HPP
+#define ACCORDION_TESTS_GOLDEN_MODE_HPP
+
+namespace accordion::test {
+
+/** Mutable process-wide flag; defaults to compare mode. */
+inline bool &
+updateGoldenFlag()
+{
+    static bool flag = false;
+    return flag;
+}
+
+} // namespace accordion::test
+
+#endif // ACCORDION_TESTS_GOLDEN_MODE_HPP

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Golden-value regression tests: the paper-figure numbers the repo
+ * currently produces are frozen into checked-in CSVs under
+ * tests/golden/, and every run recomputes them and compares at
+ * 1e-9 relative tolerance. Any change that moves a Fig. 6/7 pareto
+ * front, a Table 1 mode demonstration, a Table 3 characterization
+ * fit, or a Monte Carlo summary fails here — parallelism,
+ * refactors, and optimizations must all be number-preserving.
+ *
+ * Refreshing the goldens after an *intentional* model change:
+ *
+ *     ./accordion_tests --update-golden \
+ *         --gtest_filter='GoldenFigures.*'
+ *
+ * (or ACCORDION_UPDATE_GOLDEN=1 in the environment). The CSVs are
+ * rewritten in the source tree at tests/golden/; review and commit
+ * the diff together with the change that caused it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/accordion.hpp"
+#include "core/montecarlo.hpp"
+#include "golden_mode.hpp"
+#include "rms/workload.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace accordion;
+
+namespace {
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(ACCORDION_GOLDEN_DIR) + "/" + name + ".csv";
+}
+
+/** Full double precision so compare tolerance is the only slack. */
+std::string
+cell(double v)
+{
+    return util::format("%.17g", v);
+}
+
+bool
+parseNumber(const std::string &s, double *out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    *out = std::strtod(s.c_str(), &end);
+    return end == s.c_str() + s.size();
+}
+
+/**
+ * Compare freshly computed rows against the checked-in golden CSV —
+ * or rewrite the CSV when running under --update-golden. Numeric
+ * cells compare at 1e-9 relative tolerance; everything else must
+ * match exactly.
+ */
+void
+checkOrUpdate(const std::string &name,
+              const std::vector<std::string> &header,
+              const std::vector<std::vector<std::string>> &rows)
+{
+    const std::string path = goldenPath(name);
+    if (accordion::test::updateGoldenFlag()) {
+        std::filesystem::create_directories(ACCORDION_GOLDEN_DIR);
+        util::CsvWriter csv(path, header);
+        for (const auto &row : rows)
+            csv.addRow(row);
+        GTEST_SKIP() << "rewrote " << path;
+    }
+
+    ASSERT_TRUE(std::filesystem::exists(path))
+        << path << " is missing; run with --update-golden once to "
+        << "create it, then commit the file";
+    const util::CsvFile golden = util::readCsv(path);
+    ASSERT_EQ(golden.header, header) << name;
+    ASSERT_EQ(golden.rows.size(), rows.size()) << name;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        ASSERT_EQ(golden.rows[r].size(), rows[r].size())
+            << name << " row " << r;
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            double want = 0.0, got = 0.0;
+            if (parseNumber(golden.rows[r][c], &want) &&
+                parseNumber(rows[r][c], &got)) {
+                const double tol =
+                    std::max(1e-12, std::abs(want) * 1e-9);
+                EXPECT_NEAR(got, want, tol)
+                    << name << " row " << r << " col " << header[c];
+            } else {
+                EXPECT_EQ(rows[r][c], golden.rows[r][c])
+                    << name << " row " << r << " col " << header[c];
+            }
+        }
+    }
+}
+
+class GoldenFigures : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        util::setVerbose(false);
+        system_ = new core::AccordionSystem();
+    }
+
+    static void TearDownTestSuite()
+    {
+        delete system_;
+        system_ = nullptr;
+    }
+
+    static core::AccordionSystem *system_;
+};
+
+core::AccordionSystem *GoldenFigures::system_ = nullptr;
+
+/** The pareto-front rows of one figure's kernel set. */
+std::vector<std::vector<std::string>>
+frontRows(core::AccordionSystem &system,
+          const std::vector<std::string> &kernels)
+{
+    std::vector<std::vector<std::string>> rows;
+    for (const std::string &name : kernels) {
+        const rms::Workload &w = rms::findWorkload(name);
+        const core::QualityProfile &profile = system.profile(name);
+        const core::StvBaseline base =
+            system.pareto().baseline(w, profile);
+        for (core::Flavor flavor :
+             {core::Flavor::Safe, core::Flavor::Speculative}) {
+            for (const core::OperatingPoint &p :
+                 system.pareto().extract(w, profile, flavor)) {
+                rows.push_back(
+                    {name, core::flavorName(flavor),
+                     cell(p.psRatio), util::format("%zu", p.n),
+                     cell(p.fHz), cell(p.efficiencyRatio(base)),
+                     cell(p.powerRatio(base)), cell(p.qualityRatio),
+                     p.feasible ? "1" : "0",
+                     p.withinBudget ? "1" : "0"});
+            }
+        }
+    }
+    return rows;
+}
+
+const std::vector<std::string> kFrontHeader = {
+    "benchmark", "flavor",      "ps_ratio",    "n",       "f_hz",
+    "mipsw_ratio", "power_ratio", "q_ratio", "feasible",
+    "within_budget"};
+
+TEST_F(GoldenFigures, Fig6ParetoFrontsParsec)
+{
+    checkOrUpdate(
+        "fig6_pareto", kFrontHeader,
+        frontRows(*system_,
+                  {"canneal", "ferret", "bodytrack", "x264"}));
+}
+
+TEST_F(GoldenFigures, Fig7ParetoFrontsRodinia)
+{
+    checkOrUpdate("fig7_pareto", kFrontHeader,
+                  frontRows(*system_, {"hotspot", "srad"}));
+}
+
+TEST_F(GoldenFigures, Table1ModeDemonstration)
+{
+    const rms::Workload &w = rms::findWorkload("canneal");
+    const core::QualityProfile &profile = system_->profile("canneal");
+    const core::StvBaseline base =
+        system_->pareto().baseline(w, profile);
+    std::vector<std::vector<std::string>> rows;
+    for (double ps : {0.5, 1.0, 1.33}) {
+        const auto p = system_->pareto().evaluateAt(
+            w, profile, core::Flavor::Safe, ps, base);
+        rows.push_back({cell(ps), core::sizeModeName(p.sizeMode),
+                        cell(p.nRatio(base)), cell(p.fHz),
+                        cell(p.qualityRatio)});
+    }
+    checkOrUpdate("table1_modes",
+                  {"ps_ratio", "mode", "n_ratio", "f_hz", "q_ratio"},
+                  rows);
+}
+
+TEST_F(GoldenFigures, Table3CharacterizationFits)
+{
+    std::vector<std::vector<std::string>> rows;
+    for (const rms::Workload *w : rms::allWorkloads()) {
+        const rms::RunResult ref = w->runReference();
+        std::vector<double> inputs, sizes, qualities;
+        for (double input : w->inputSweep()) {
+            rms::RunConfig c;
+            c.input = input;
+            c.threads = w->defaultThreads();
+            const rms::RunResult r = w->run(c);
+            inputs.push_back(input);
+            sizes.push_back(r.problemSize);
+            qualities.push_back(w->quality(r, ref));
+        }
+        const auto ps_fit = util::fitPowerLaw(inputs, sizes);
+        const auto q_fit = util::fitPowerLaw(inputs, qualities);
+        rows.push_back({w->name(), cell(ps_fit.slope),
+                        cell(q_fit.slope), cell(q_fit.r2)});
+    }
+    checkOrUpdate("table3_characterization",
+                  {"benchmark", "ps_exponent", "q_exponent", "q_r2"},
+                  rows);
+}
+
+TEST_F(GoldenFigures, MonteCarloSampleSummaries)
+{
+    const core::MonteCarloEvaluator mc(system_->factory(), 100);
+    std::vector<std::vector<std::string>> rows;
+    auto add = [&](const core::SampleStatistics &s) {
+        rows.push_back({s.metric, cell(s.mean), cell(s.stddev),
+                        cell(s.min), cell(s.p10), cell(s.p90),
+                        cell(s.max)});
+    };
+    add(mc.evaluate("vdd_ntv", [](const vartech::VariationChip &c) {
+        return c.vddNtv();
+    }));
+    add(mc.evaluate("slowest_cluster_safe_f",
+                    [](const vartech::VariationChip &c) {
+                        double f = 1e300;
+                        for (std::size_t k = 0; k < c.numClusters();
+                             ++k)
+                            f = std::min(f, c.clusterSafeF(k));
+                        return f;
+                    }));
+    add(mc.evaluate("fastest_cluster_safe_f",
+                    [](const vartech::VariationChip &c) {
+                        double f = 0.0;
+                        for (std::size_t k = 0; k < c.numClusters();
+                             ++k)
+                            f = std::max(f, c.clusterSafeF(k));
+                        return f;
+                    }));
+
+    // The headline: hotspot's best Speculative MIPS/W gain over a
+    // 20-chip subsample (the montecarlo_sample bench's Table 2
+    // companion number).
+    const core::MonteCarloEvaluator mc20(system_->factory(), 20);
+    add(mc20.efficiencyGainDistribution(
+        rms::findWorkload("hotspot"), system_->profile("hotspot"),
+        system_->powerModel(), system_->perfModel(),
+        core::Flavor::Speculative, 0.0));
+
+    checkOrUpdate("montecarlo_stats",
+                  {"metric", "mean", "stddev", "min", "p10", "p90",
+                   "max"},
+                  rows);
+}
+
+} // namespace

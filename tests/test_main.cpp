@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Custom gtest entry point: identical to gtest_main plus the
+ * `--update-golden` flag (or ACCORDION_UPDATE_GOLDEN=1 in the
+ * environment), which makes the golden-value regression tests
+ * rewrite their checked-in CSVs from the current build instead of
+ * comparing against them. See test_golden_figures.cpp.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "golden_mode.hpp"
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--update-golden") == 0)
+            accordion::test::updateGoldenFlag() = true;
+    if (const char *env = std::getenv("ACCORDION_UPDATE_GOLDEN"))
+        if (env[0] != '\0' && env[0] != '0')
+            accordion::test::updateGoldenFlag() = true;
+    return RUN_ALL_TESTS();
+}

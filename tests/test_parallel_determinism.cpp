@@ -1,0 +1,268 @@
+/**
+ * @file
+ * The parallel sweep layer's hard guarantee: every parallelized
+ * sweep — Monte Carlo chip statistics, iso-execution-time pareto
+ * fronts, dynamic orchestration over a chip sample — produces
+ * bit-identical results at 1 thread, 2 threads, and
+ * hardware_concurrency() threads, and across repeated runs at the
+ * same seed. Parallelism must never be able to silently change a
+ * paper number.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "core/accordion.hpp"
+#include "core/dynamic.hpp"
+#include "core/montecarlo.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace accordion;
+using accordion::util::ThreadPool;
+
+namespace {
+
+/** 1, 2, and the machine's own width (deduplicated, sorted). */
+std::vector<std::size_t>
+threadCounts()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::vector<std::size_t> counts = {1, 2,
+                                       hw > 0 ? hw : 4};
+    std::sort(counts.begin(), counts.end());
+    counts.erase(std::unique(counts.begin(), counts.end()),
+                 counts.end());
+    return counts;
+}
+
+/** Run @p fn with the global pool sized to @p threads. */
+template <typename Fn>
+auto
+withThreads(std::size_t threads, Fn &&fn)
+{
+    ThreadPool::setGlobalThreads(threads);
+    auto result = fn();
+    ThreadPool::setGlobalThreads(ThreadPool::defaultThreads());
+    return result;
+}
+
+void
+expectSameStatistics(const core::SampleStatistics &a,
+                     const core::SampleStatistics &b,
+                     const std::string &label)
+{
+    EXPECT_EQ(a.metric, b.metric) << label;
+    EXPECT_EQ(a.chips, b.chips) << label;
+    // Bitwise equality, not tolerance: aggregation happens in chip-
+    // id order from pre-sized slots, so scheduling cannot reorder
+    // the floating-point reductions.
+    EXPECT_EQ(a.mean, b.mean) << label;
+    EXPECT_EQ(a.stddev, b.stddev) << label;
+    EXPECT_EQ(a.min, b.min) << label;
+    EXPECT_EQ(a.max, b.max) << label;
+    EXPECT_EQ(a.p10, b.p10) << label;
+    EXPECT_EQ(a.p90, b.p90) << label;
+}
+
+void
+expectSameFront(const std::vector<core::OperatingPoint> &a,
+                const std::vector<core::OperatingPoint> &b,
+                const std::string &label)
+{
+    ASSERT_EQ(a.size(), b.size()) << label;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].psRatio, b[i].psRatio) << label << " #" << i;
+        EXPECT_EQ(a[i].n, b[i].n) << label << " #" << i;
+        EXPECT_EQ(a[i].fHz, b[i].fHz) << label << " #" << i;
+        EXPECT_EQ(a[i].perr, b[i].perr) << label << " #" << i;
+        EXPECT_EQ(a[i].execSeconds, b[i].execSeconds)
+            << label << " #" << i;
+        EXPECT_EQ(a[i].powerW, b[i].powerW) << label << " #" << i;
+        EXPECT_EQ(a[i].mips, b[i].mips) << label << " #" << i;
+        EXPECT_EQ(a[i].mipsPerWatt, b[i].mipsPerWatt)
+            << label << " #" << i;
+        EXPECT_EQ(a[i].qualityRatio, b[i].qualityRatio)
+            << label << " #" << i;
+        EXPECT_EQ(a[i].feasible, b[i].feasible) << label << " #" << i;
+        EXPECT_EQ(a[i].withinBudget, b[i].withinBudget)
+            << label << " #" << i;
+    }
+}
+
+void
+expectSameReports(const std::vector<core::DynamicReport> &a,
+                  const std::vector<core::DynamicReport> &b,
+                  const std::string &label)
+{
+    ASSERT_EQ(a.size(), b.size()) << label;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].totalSeconds, b[i].totalSeconds)
+            << label << " chip " << i;
+        EXPECT_EQ(a[i].energyJ, b[i].energyJ)
+            << label << " chip " << i;
+        EXPECT_EQ(a[i].reselections, b[i].reselections)
+            << label << " chip " << i;
+        ASSERT_EQ(a[i].phases.size(), b[i].phases.size())
+            << label << " chip " << i;
+        for (std::size_t p = 0; p < a[i].phases.size(); ++p) {
+            EXPECT_EQ(a[i].phases[p].n, b[i].phases[p].n)
+                << label << " chip " << i << " phase " << p;
+            EXPECT_EQ(a[i].phases[p].fHz, b[i].phases[p].fHz)
+                << label << " chip " << i << " phase " << p;
+            EXPECT_EQ(a[i].phases[p].seconds, b[i].phases[p].seconds)
+                << label << " chip " << i << " phase " << p;
+            EXPECT_EQ(a[i].phases[p].powerW, b[i].phases[p].powerW)
+                << label << " chip " << i << " phase " << p;
+        }
+    }
+}
+
+class ParallelDeterminism : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        util::setVerbose(false);
+        system_ = new core::AccordionSystem();
+        // Profiles are measured lazily and cached on the system;
+        // warm them on the main thread so the parallel regions only
+        // ever read them.
+        system_->profile("canneal");
+        system_->profile("hotspot");
+    }
+
+    static void TearDownTestSuite()
+    {
+        delete system_;
+        system_ = nullptr;
+    }
+
+    static core::AccordionSystem *system_;
+};
+
+core::AccordionSystem *ParallelDeterminism::system_ = nullptr;
+
+TEST_F(ParallelDeterminism, MonteCarloValuesIdenticalAcrossThreadCounts)
+{
+    auto run = [&] {
+        const core::MonteCarloEvaluator mc(system_->factory(), 12);
+        return mc.values([](const vartech::VariationChip &chip) {
+            double f = 1e300;
+            for (std::size_t k = 0; k < chip.numClusters(); ++k)
+                f = std::min(f, chip.clusterSafeF(k));
+            return f * chip.vddNtv();
+        });
+    };
+    const auto ref = withThreads(1, run);
+    ASSERT_EQ(ref.size(), 12u);
+    for (std::size_t threads : threadCounts()) {
+        const auto got = withThreads(threads, run);
+        EXPECT_EQ(got, ref) << threads << " threads";
+    }
+}
+
+TEST_F(ParallelDeterminism, MonteCarloStatisticsIdenticalAcrossThreadCounts)
+{
+    auto run = [&] {
+        const core::MonteCarloEvaluator mc(system_->factory(), 12);
+        return mc.evaluate("vddNtv",
+                           [](const vartech::VariationChip &chip) {
+                               return chip.vddNtv();
+                           });
+    };
+    const auto ref = withThreads(1, run);
+    for (std::size_t threads : threadCounts())
+        expectSameStatistics(
+            withThreads(threads, run), ref,
+            "stats @" + std::to_string(threads) + " threads");
+}
+
+TEST_F(ParallelDeterminism, ParetoFrontIdenticalAcrossThreadCounts)
+{
+    const rms::Workload &w = rms::findWorkload("canneal");
+    const core::QualityProfile &profile = system_->profile("canneal");
+    for (core::Flavor flavor :
+         {core::Flavor::Safe, core::Flavor::Speculative}) {
+        auto run = [&] {
+            return system_->pareto().extract(w, profile, flavor);
+        };
+        const auto ref = withThreads(1, run);
+        ASSERT_FALSE(ref.empty());
+        for (std::size_t threads : threadCounts())
+            expectSameFront(withThreads(threads, run), ref,
+                            core::flavorName(flavor) + " @" +
+                                std::to_string(threads));
+    }
+}
+
+TEST_F(ParallelDeterminism, DynamicSampleIdenticalAcrossThreadCounts)
+{
+    const rms::Workload &w = rms::findWorkload("hotspot");
+    const core::QualityProfile &profile = system_->profile("hotspot");
+    const std::vector<core::ResilienceEvent> events = {{2, 0, 0.6},
+                                                       {5, 0, 1.0}};
+    auto run = [&] {
+        return core::runOverSample(
+            system_->factory(), 3, system_->powerModel(),
+            system_->perfModel(), core::DynamicOrchestrator::Params{},
+            w, profile, events);
+    };
+    const auto ref = withThreads(1, run);
+    for (std::size_t threads : threadCounts())
+        expectSameReports(withThreads(threads, run), ref,
+                          "dynamic @" + std::to_string(threads));
+}
+
+TEST_F(ParallelDeterminism, RepeatedRunsAtSameSeedIdentical)
+{
+    // Two runs of the same parallel sweep in the same process must
+    // match bit for bit: no hidden shared RNG state, no
+    // order-dependent caches.
+    auto run = [&] {
+        const core::MonteCarloEvaluator mc(system_->factory(), 12);
+        return mc.values([](const vartech::VariationChip &chip) {
+            return chip.clusterSafeF(0);
+        });
+    };
+    const auto first = withThreads(2, run);
+    const auto second = withThreads(2, run);
+    EXPECT_EQ(first, second);
+}
+
+TEST_F(ParallelDeterminism, SeparatelyBuiltSystemsAgree)
+{
+    // A fresh AccordionSystem at the default seed reproduces the
+    // shared fixture's chip exactly — manufacturing is a pure
+    // function of (seed, chip id).
+    core::AccordionSystem fresh;
+    EXPECT_EQ(fresh.chip().vddNtv(), system_->chip().vddNtv());
+    EXPECT_EQ(fresh.chip().coreSafeF(0), system_->chip().coreSafeF(0));
+}
+
+TEST(ParallelDeterminismRng, StreamAtIsPureAndIndexKeyed)
+{
+    // streamAt is a pure function of (seed, index)...
+    auto a = util::Rng::streamAt(42, 7);
+    auto b = util::Rng::streamAt(42, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    // ...with uncorrelated neighbours...
+    auto c = util::Rng::streamAt(42, 8);
+    auto d = util::Rng::streamAt(43, 7);
+    int same_c = 0, same_d = 0;
+    auto e = util::Rng::streamAt(42, 7);
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t x = e.next();
+        same_c += x == c.next();
+        same_d += x == d.next();
+    }
+    EXPECT_LT(same_c, 3);
+    EXPECT_LT(same_d, 3);
+}
+
+} // namespace

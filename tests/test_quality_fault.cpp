@@ -163,6 +163,56 @@ TEST(FaultPlan, FractionOneInfectsAll)
         EXPECT_TRUE(plan.infected(t, 16));
 }
 
+TEST(FaultPlan, CountMatchesMarkedIndicesForAdversarialFractions)
+{
+    // Regression for floating-point rounding at fraction
+    // boundaries: for every fraction, the per-index marks and the
+    // aggregate count must agree — they derive from the same
+    // cumulative quota, which telescopes exactly.
+    for (double fraction : {1.0 / 3.0, 0.1, 0.25, 0.3, 0.7, 0.999,
+                            1e-9, 1.0 - 1e-12}) {
+        const FaultPlan plan(ErrorMode::Drop, fraction);
+        for (std::size_t n : {1u, 7u, 288u}) {
+            std::size_t marked = 0;
+            for (std::size_t t = 0; t < n; ++t)
+                marked += plan.infected(t, n);
+            EXPECT_EQ(marked, plan.infectedCount(n))
+                << "fraction " << fraction << ", n " << n;
+        }
+    }
+}
+
+TEST(FaultPlan, ExactProductsRoundUpNotDown)
+{
+    // 0.7 * 10 rounds to 6.999...9 in double; the unnudged floor
+    // used to lose a whole infection. n * fraction that is an
+    // integer in exact arithmetic must count exactly.
+    EXPECT_EQ(FaultPlan(ErrorMode::Drop, 0.7).infectedCount(10), 7u);
+    EXPECT_EQ(FaultPlan(ErrorMode::Drop, 0.1).infectedCount(10), 1u);
+    EXPECT_EQ(FaultPlan(ErrorMode::Drop, 0.3).infectedCount(10), 3u);
+    EXPECT_EQ(FaultPlan(ErrorMode::Drop, 1.0 / 3.0).infectedCount(3),
+              1u);
+    EXPECT_EQ(FaultPlan(ErrorMode::Drop, 2.0 / 3.0).infectedCount(3),
+              2u);
+    // Genuinely fractional quotas still floor.
+    EXPECT_EQ(FaultPlan(ErrorMode::Drop, 0.999).infectedCount(1), 0u);
+    EXPECT_EQ(FaultPlan(ErrorMode::Drop, 1.0 / 3.0).infectedCount(7),
+              2u);
+}
+
+TEST(FaultPlan, InfectedCountIsMonotoneInN)
+{
+    const FaultPlan plan(ErrorMode::Drop, 1.0 / 3.0);
+    std::size_t prev = 0;
+    for (std::size_t n = 1; n <= 288; ++n) {
+        const std::size_t count = plan.infectedCount(n);
+        EXPECT_GE(count, prev) << "n " << n;
+        EXPECT_LE(count - prev, 1u) << "n " << n;
+        prev = count;
+    }
+    EXPECT_EQ(plan.infectedCount(288), 96u);
+}
+
 TEST(Corruption, StuckAtAllBits)
 {
     util::Rng rng(6, 0);

@@ -62,3 +62,24 @@ TEST(Csv, WritesQuotedRows)
     EXPECT_EQ(line, "1.5,2.25");
     std::remove(path.c_str());
 }
+
+TEST(Csv, ReadRoundTripsWriter)
+{
+    const std::string path =
+        ::testing::TempDir() + "/accordion_roundtrip.csv";
+    {
+        CsvWriter csv(path, {"name", "value"});
+        csv.addRow(std::vector<std::string>{"plain", "1"});
+        csv.addRow(std::vector<std::string>{"with,comma", "quo\"te"});
+    }
+    const CsvFile file = readCsv(path);
+    ASSERT_EQ(file.header,
+              (std::vector<std::string>{"name", "value"}));
+    ASSERT_EQ(file.rows.size(), 2u);
+    EXPECT_EQ(file.rows[0],
+              (std::vector<std::string>{"plain", "1"}));
+    EXPECT_EQ(file.rows[1],
+              (std::vector<std::string>{"with,comma", "quo\"te"}));
+    EXPECT_EQ(file.column("value"), 1u);
+    std::remove(path.c_str());
+}
