@@ -1,84 +1,18 @@
 /**
  * @file
- * Ablation A3 — the Fig. 3 design space. Runs the same faulty
- * workload through the CC/DC runtime under the three organizations
- * (homogeneous spatio-temporal, homogeneous time-multiplexed,
- * heterogeneous clusters) across CC:DC ratios, reporting virtual
- * time, CC busy time, and the area cost of specialized CCs.
+ * Compatibility shim. The experiment itself now lives in
+ * src/harness/experiments/ablation_design_space.cpp; this binary keeps the legacy
+ * invocation (`bench/ablation_design_space [--threads N]`) working with
+ * byte-identical output. New code should use `accordion run
+ * ablation_design_space`.
  */
 
-#include <cmath>
-
 #include "common.hpp"
-#include "core/runtime.hpp"
-
-using namespace accordion;
-using namespace accordion::core;
+#include "harness/cli.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::banner("Ablation A3 — Fig. 3 design-space organizations",
-                  "(a) flexible and simple; (b) better HW use but "
-                  "multiplexing overhead; (c) fastest CCs, more area, "
-                  "fixed CC count");
-
-    std::vector<WorkItem> items(512);
-    for (std::size_t i = 0; i < items.size(); ++i)
-        items[i] = {i, static_cast<double>(i % 97)};
-    const ItemFn work = [](const WorkItem &item) {
-        // A small but real computation: iterated logistic map.
-        double x = 0.25 + item.input / 200.0;
-        for (int i = 0; i < 64; ++i)
-            x = 3.6 * x * (1.0 - x);
-        return x;
-    };
-    DcFaultModel faults;
-    faults.hangProbability = 0.03;
-    faults.corruptProbability = 0.02;
-    faults.seed = 4242;
-
-    util::Table table({"organization", "CCs", "DCs", "virtual time",
-                       "CC busy", "dropped", "watchdog fires",
-                       "CC area (DC-equiv)"});
-    auto csv = bench::csvFor("ablation_design_space",
-                             {"organization", "ccs", "dcs",
-                              "virtual_time", "dropped"});
-    for (Organization org :
-         {Organization::HomogeneousSpatial,
-          Organization::HomogeneousTimeMultiplexed,
-          Organization::HeterogeneousClusters}) {
-        const OrganizationTraits traits = organizationTraits(org);
-        for (std::size_t ccs : {1u, 2u, 4u}) {
-            if (traits.ccCountFixed && ccs != 1)
-                continue; // (c): one CC per cluster by design
-            RuntimeParams params;
-            params.organization = org;
-            params.numCcs = ccs;
-            params.numDcs = 16 - ccs;
-            params.mergeCostPerItem = 0.05;
-            params.acceptable = [](double v) {
-                return std::isfinite(v) && std::abs(v) < 1e3;
-            };
-            const auto report = AccordionRuntime{params}.execute(
-                items, work, faults);
-            table.addRow(
-                {organizationName(org), util::format("%zu", ccs),
-                 util::format("%zu", params.numDcs),
-                 util::format("%.1f", report.virtualTime),
-                 util::format("%.1f", report.ccBusyTime),
-                 util::format("%zu", report.dropped),
-                 util::format("%zu", report.watchdogFires),
-                 util::format("%.1f",
-                              traits.ccAreaFactor *
-                                  static_cast<double>(ccs))});
-            csv.addRow({organizationName(org),
-                        util::format("%zu", ccs),
-                        util::format("%zu", params.numDcs),
-                        util::format("%.4f", report.virtualTime),
-                        util::format("%zu", report.dropped)});
-        }
-    }
-    std::printf("%s", table.render().c_str());
-    return 0;
+    accordion::bench::initThreads(argc, argv);
+    return accordion::harness::runLegacy("ablation_design_space");
 }

@@ -16,6 +16,7 @@
 #include <filesystem>
 #include <string>
 
+#include "harness/args.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -35,12 +36,11 @@ initThreads(int argc, char **argv)
 {
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0) {
-            const long n = std::strtol(argv[i + 1], nullptr, 10);
-            if (n <= 0)
+            std::size_t n = 0;
+            if (!harness::parsePositiveCount(argv[i + 1], &n))
                 util::fatal("--threads wants a positive integer, "
                             "got '%s'", argv[i + 1]);
-            util::ThreadPool::setGlobalThreads(
-                static_cast<std::size_t>(n));
+            util::ThreadPool::setGlobalThreads(n);
             return;
         }
     }

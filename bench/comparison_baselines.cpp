@@ -1,90 +1,18 @@
 /**
  * @file
- * Baseline comparison (Section 8 related work): Accordion vs
- * Booster [25] (dual-rail effective-frequency equalization) and
- * EnergySmart [21] (single-rail, per-cluster variation-aware
- * scheduling) on the same chip, at the default problem size and
- * iso-execution-time. Accordion's Speculative flavor — and its
- * unique problem-size knob, shown as the Expand point — should win
- * on MIPS/W; the baselines bracket its Safe flavor.
+ * Compatibility shim. The experiment itself now lives in
+ * src/harness/experiments/comparison_baselines.cpp; this binary keeps the legacy
+ * invocation (`bench/comparison_baselines [--threads N]`) working with
+ * byte-identical output. New code should use `accordion run
+ * comparison_baselines`.
  */
 
 #include "common.hpp"
-#include "core/accordion.hpp"
-#include "core/baselines.hpp"
-
-using namespace accordion;
+#include "harness/cli.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    util::setVerbose(false);
-    bench::banner("Comparison — Accordion vs Booster vs EnergySmart",
-                  "no prior NTC proposal exploits weak scaling or RMS "
-                  "fault tolerance; Accordion adds the problem-size "
-                  "knob on top of variation-aware operation");
-
-    core::AccordionSystem system;
-    core::BaselineEvaluator baselines(system.chip(),
-                                      system.powerModel(),
-                                      system.perfModel());
-    auto csv = bench::csvFor("comparison_baselines",
-                             {"benchmark", "scheme", "n", "f_ghz",
-                              "power_w", "mipsw_ratio", "feasible"});
-
-    for (const char *name : {"canneal", "hotspot", "srad"}) {
-        const rms::Workload &w = rms::findWorkload(name);
-        const auto &profile = system.profile(name);
-        const auto base = system.pareto().baseline(w, profile);
-
-        util::Table table({"scheme", "N", "f (GHz)", "Power (W)",
-                           "MIPS/W x STV", "Q/Qstv", "status"});
-        auto add = [&](const std::string &scheme, std::size_t n,
-                       double f, double p, double eff, double q,
-                       bool feasible, bool budget) {
-            std::string status = feasible ? "ok" : "infeasible";
-            if (!budget)
-                status += ",over-budget";
-            table.addRow({scheme, util::format("%zu", n),
-                          util::format("%.2f", f / 1e9),
-                          util::format("%.1f", p),
-                          util::format("%.2f", eff),
-                          util::format("%.3f", q), status});
-            csv.addRow({name, scheme, util::format("%zu", n),
-                        util::format("%.4f", f / 1e9),
-                        util::format("%.4f", p),
-                        util::format("%.4f", eff),
-                        feasible ? "1" : "0"});
-        };
-
-        // Accordion Still (Safe and Speculative).
-        for (core::Flavor flavor :
-             {core::Flavor::Safe, core::Flavor::Speculative}) {
-            const auto p = system.pareto().evaluateAt(
-                w, profile, flavor, 1.0, base);
-            add("Accordion " + core::flavorName(flavor) + " Still",
-                p.n, p.fHz, p.powerW, p.efficiencyRatio(base),
-                p.qualityRatio, p.feasible, p.withinBudget);
-        }
-        // Accordion's unique capability: the problem-size knob.
-        const auto expand = system.pareto().evaluateAt(
-            w, profile, core::Flavor::Speculative, 1.33, base);
-        add("Accordion Spec Expand 1.33x", expand.n, expand.fHz,
-            expand.powerW, expand.efficiencyRatio(base),
-            expand.qualityRatio, expand.feasible,
-            expand.withinBudget);
-
-        const auto boost = baselines.booster(w, profile, base);
-        add(boost.scheme, boost.n, boost.fHz, boost.powerW,
-            boost.efficiencyRatio(base), 1.0, boost.feasible,
-            boost.withinBudget);
-        const auto esmart = baselines.energySmart(w, profile, base);
-        add(esmart.scheme, esmart.n, esmart.fHz, esmart.powerW,
-            esmart.efficiencyRatio(base), 1.0, esmart.feasible,
-            esmart.withinBudget);
-
-        std::printf("%s (STV: %zu cores, %.1f W)\n%s\n", name,
-                    base.n, base.powerW, table.render().c_str());
-    }
-    return 0;
+    accordion::bench::initThreads(argc, argv);
+    return accordion::harness::runLegacy("comparison_baselines");
 }

@@ -1,80 +1,18 @@
 /**
  * @file
- * Extension (Section 7 — Discussion): dynamic orchestration under
- * fine-grain temporal resiliency changes. Mid-execution, thermal
- * emergencies degrade some engaged clusters' safe frequencies (and
- * later recover). A static allocation rides the degraded common
- * clock and blows the iso-execution-time target; the dynamic
- * orchestrator re-selects cores at phase boundaries — swapping the
- * afflicted clusters out while they are hot — and holds the
- * target at a modest energy cost.
+ * Compatibility shim. The experiment itself now lives in
+ * src/harness/experiments/ext_dynamic_orchestration.cpp; this binary keeps the legacy
+ * invocation (`bench/ext_dynamic_orchestration [--threads N]`) working with
+ * byte-identical output. New code should use `accordion run
+ * ext_dynamic_orchestration`.
  */
 
 #include "common.hpp"
-#include "core/accordion.hpp"
-#include "core/dynamic.hpp"
-
-using namespace accordion;
-using namespace accordion::core;
+#include "harness/cli.hpp"
 
 int
 main(int argc, char **argv)
 {
-    util::setVerbose(false);
-    bench::initThreads(argc, argv);
-    bench::banner("Extension — dynamic orchestration (Section 7)",
-                  "N can change midst-execution (the problem size "
-                  "cannot); re-selection rides out temporal "
-                  "resiliency changes");
-
-    AccordionSystem system;
-    const rms::Workload &w = rms::findWorkload("hotspot");
-    const auto &profile = system.profile("hotspot");
-    const auto base = system.pareto().baseline(w, profile);
-
-    // Thermal emergencies: at phase 2, the four most efficient
-    // clusters (the ones the initial selection certainly uses) lose
-    // 40% of their safe frequency; they recover at phase 6.
-    std::vector<ResilienceEvent> events;
-    const auto &ranking = system.pareto().selector().rankedClusters();
-    for (std::size_t i = 0; i < 4; ++i) {
-        events.push_back({2, ranking[i].cluster, 0.6});
-        events.push_back({6, ranking[i].cluster, 1.0});
-    }
-
-    auto csv = bench::csvFor("ext_dynamic",
-                             {"scheme", "phase", "n", "f_ghz",
-                              "seconds", "power_w"});
-    util::Table table({"scheme", "T_total/T_STV", "energy (mJ)",
-                       "avg power (W)", "re-selections",
-                       "iso-time held?"});
-    for (bool adaptive : {false, true}) {
-        DynamicOrchestrator::Params params;
-        params.adaptive = adaptive;
-        const DynamicOrchestrator orchestrator(
-            system.chip(), system.powerModel(), system.perfModel(),
-            params);
-        const DynamicReport report =
-            orchestrator.run(w, profile, base, events);
-        const char *scheme =
-            adaptive ? "dynamic (re-select at boundaries)"
-                     : "static (initial allocation)";
-        for (const PhaseOutcome &phase : report.phases)
-            csv.addRow({scheme, util::format("%zu", phase.phase),
-                        util::format("%zu", phase.n),
-                        util::format("%.4f", phase.fHz / 1e9),
-                        util::format("%.6g", phase.seconds),
-                        util::format("%.4f", phase.powerW)});
-        const double ratio = report.totalSeconds / base.seconds;
-        table.addRow({scheme, util::format("%.3f", ratio),
-                      util::format("%.3f", report.energyJ * 1e3),
-                      util::format("%.1f", report.avgPowerW()),
-                      util::format("%zu", report.reselections),
-                      ratio <= 1.05 ? "yes" : "NO"});
-    }
-    std::printf("%s", table.render().c_str());
-    std::printf("\nphase trace of the dynamic scheme is in "
-                "bench_out/ext_dynamic.csv — watch N and f move at "
-                "phases 2 and 6\n");
-    return 0;
+    accordion::bench::initThreads(argc, argv);
+    return accordion::harness::runLegacy("ext_dynamic_orchestration");
 }

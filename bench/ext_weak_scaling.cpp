@@ -1,77 +1,18 @@
 /**
  * @file
- * Extension (Section 7 — Discussion): strict weak scaling. The
- * paper notes its six kernels only approximate weak scaling
- * (per-thread work grows with problem size) and that applications
- * strictly conforming to it — e.g. bitcoin mining — "would benefit
- * most from Accordion operation". This bench adds the bitmine
- * proof-of-work kernel and compares its quality-vs-problem-size
- * behavior and pareto headroom against a representative Table 3
- * kernel.
+ * Compatibility shim. The experiment itself now lives in
+ * src/harness/experiments/ext_weak_scaling.cpp; this binary keeps the legacy
+ * invocation (`bench/ext_weak_scaling [--threads N]`) working with
+ * byte-identical output. New code should use `accordion run
+ * ext_weak_scaling`.
  */
 
 #include "common.hpp"
-#include "core/accordion.hpp"
-#include "rms/bitmine.hpp"
-
-using namespace accordion;
+#include "harness/cli.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    util::setVerbose(false);
-    bench::banner("Extension — strict weak scaling (bitmine)",
-                  "Section 7: strictly weak-scaling applications "
-                  "(e.g. bitcoin mining) benefit most from Accordion");
-
-    // Quality front: for bitmine, quality == surviving work, so the
-    // Default curve is the identity and Drop costs exactly the
-    // dropped share — the ideal Accordion trade.
-    const rms::Workload &mine = rms::findWorkload("bitmine");
-    const auto profile = core::QualityProfile::measure(mine);
-    util::Table front({"problem size (norm)", "Q default",
-                       "Q drop 1/4", "Q drop 1/2"});
-    const auto &def = profile.defaultCurve();
-    const auto q14 = profile.dropQuarterCurve().interp();
-    const auto q12 = profile.dropHalfCurve().interp();
-    auto csv = bench::csvFor("ext_weak_scaling",
-                             {"ps_ratio", "q_default", "q_drop14",
-                              "q_drop12"});
-    for (std::size_t i = 0; i < def.psRatio.size(); ++i) {
-        const double ps = def.psRatio[i];
-        front.addRow({util::format("%.3f", ps),
-                      util::format("%.3f", def.qRatio[i]),
-                      util::format("%.3f", q14(ps)),
-                      util::format("%.3f", q12(ps))});
-        csv.addRow(std::vector<double>{ps, def.qRatio[i], q14(ps),
-                                       q12(ps)});
-    }
-    std::printf("%s", front.render().c_str());
-    std::printf("\nmeasured: the Default curve is the identity "
-                "(Q == PS) and Drop 1/2 costs exactly half the "
-                "shares — quality trades for cores one-for-one\n");
-
-    // Pareto comparison against canneal: the strictly weak-scaling
-    // kernel keeps its efficiency flat as the problem expands.
-    core::AccordionSystem system;
-    util::Table pareto({"benchmark", "PS", "N/Nstv", "MIPS/W x",
-                        "Q/Qstv", "status"});
-    for (const char *name : {"bitmine", "canneal"}) {
-        const rms::Workload &w = rms::findWorkload(name);
-        const auto &prof = system.profile(name);
-        const auto base = system.pareto().baseline(w, prof);
-        for (double ps : {1.0, 1.33, 2.0}) {
-            const auto p = system.pareto().evaluateAt(
-                w, prof, core::Flavor::Speculative, ps, base);
-            pareto.addRow(
-                {name, util::format("%.2f", ps),
-                 util::format("%.1f", p.nRatio(base)),
-                 util::format("%.2f", p.efficiencyRatio(base)),
-                 util::format("%.3f", p.qualityRatio),
-                 p.feasible ? (p.withinBudget ? "ok" : "over-budget")
-                            : "infeasible"});
-        }
-    }
-    std::printf("\n%s", pareto.render().c_str());
-    return 0;
+    accordion::bench::initThreads(argc, argv);
+    return accordion::harness::runLegacy("ext_weak_scaling");
 }

@@ -1,44 +1,18 @@
 /**
  * @file
- * Reproduces Fig. 1b: variation-induced timing error rate vs Vdd at
- * a fixed clock. The paper shows the error rate climbing from ~0
- * to ~1 over a narrow 0.45-0.60 V window — the cliff that makes
- * worst-case operation at NTV untenable.
+ * Compatibility shim. The experiment itself now lives in
+ * src/harness/experiments/fig1b_error_rate.cpp; this binary keeps the legacy
+ * invocation (`bench/fig1b_error_rate [--threads N]`) working with
+ * byte-identical output. New code should use `accordion run
+ * fig1b_error_rate`.
  */
 
 #include "common.hpp"
-#include "vartech/technology.hpp"
-#include "vartech/timing.hpp"
-
-using namespace accordion;
+#include "harness/cli.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::banner("Figure 1b — timing error rate vs Vdd",
-                  "error rate rises from ~0 to ~1 across the "
-                  "0.45-0.60 V window at a fixed clock");
-
-    const auto tech = vartech::Technology::makeItrs11nm();
-    // A nominal core clocked at the frequency that is just safe at
-    // 0.60 V; lowering Vdd from there walks up the error cliff.
-    const vartech::CoreTimingModel core(tech,
-                                        vartech::TimingModelParams{},
-                                        0.0, 0.0, 0.116);
-    const double f = core.safeFrequency(0.60);
-
-    util::Table table({"Vdd (V)", "error rate / cycle"});
-    auto csv = bench::csvFor("fig1b_error_rate", {"vdd", "perr"});
-    for (double vdd = 0.45; vdd <= 0.60 + 1e-9; vdd += 0.01) {
-        const double perr = core.errorRate(vdd, f);
-        table.addRow({util::format("%.2f", vdd),
-                      util::format("%.3g", perr)});
-        csv.addRow(std::vector<double>{vdd, perr});
-    }
-    std::printf("%s", table.render().c_str());
-    std::printf("\nmeasured: Perr(0.45 V) = %.3g, Perr(0.60 V) = %.3g "
-                "at f = %.2f GHz\n",
-                core.errorRate(0.45, f), core.errorRate(0.60, f),
-                f / 1e9);
-    return 0;
+    accordion::bench::initThreads(argc, argv);
+    return accordion::harness::runLegacy("fig1b_error_rate");
 }

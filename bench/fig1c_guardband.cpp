@@ -1,41 +1,18 @@
 /**
  * @file
- * Reproduces Fig. 1c: worst-case timing guardband vs Vdd for the
- * 22 nm and 11 nm nodes. The paper shows guardbands exploding as
- * Vdd approaches Vth (hundreds of percent near 0.4-0.5 V) and the
- * newer node suffering more at every voltage.
+ * Compatibility shim. The experiment itself now lives in
+ * src/harness/experiments/fig1c_guardband.cpp; this binary keeps the legacy
+ * invocation (`bench/fig1c_guardband [--threads N]`) working with
+ * byte-identical output. New code should use `accordion run
+ * fig1c_guardband`.
  */
 
 #include "common.hpp"
-#include "vartech/guardband.hpp"
-
-using namespace accordion;
+#include "harness/cli.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::banner("Figure 1c — timing guardband vs Vdd (22 vs 11 nm)",
-                  "guardband grows toward Vth, exceeding ~250% near "
-                  "0.4-0.5 V at 11 nm; 11 nm > 22 nm everywhere");
-
-    const auto t22 = vartech::Technology::makeItrs22nm();
-    const auto t11 = vartech::Technology::makeItrs11nm();
-
-    util::Table table({"Vdd (V)", "GB 22nm (%)", "GB 11nm (%)"});
-    auto csv = bench::csvFor("fig1c_guardband",
-                             {"vdd", "gb22_pct", "gb11_pct"});
-    for (double vdd = 0.40; vdd <= 1.20 + 1e-9; vdd += 0.05) {
-        const double gb22 = vartech::timingGuardbandPercent(t22, vdd);
-        const double gb11 = vartech::timingGuardbandPercent(t11, vdd);
-        table.addRow({util::format("%.2f", vdd),
-                      util::format("%.1f", gb22),
-                      util::format("%.1f", gb11)});
-        csv.addRow(std::vector<double>{vdd, gb22, gb11});
-    }
-    std::printf("%s", table.render().c_str());
-    std::printf("\nmeasured: at 0.45 V the guardband is %.0f%% (11 nm) "
-                "vs %.0f%% (22 nm)\n",
-                vartech::timingGuardbandPercent(t11, 0.45),
-                vartech::timingGuardbandPercent(t22, 0.45));
-    return 0;
+    accordion::bench::initThreads(argc, argv);
+    return accordion::harness::runLegacy("fig1c_guardband");
 }

@@ -1,65 +1,18 @@
 /**
  * @file
- * Reproduces Figures 2 and 4: application output quality vs problem
- * size under Default, Drop 1/4 and Drop 1/2 for all six RMS
- * benchmarks (Fig. 2: canneal and hotspot; Fig. 4: ferret,
- * bodytrack, x264, srad). Both axes are normalized to the default
- * Accordion-input point, exactly as Section 6.2 prescribes.
- *
- * Paper behaviors to hold: Q increases monotonically with problem
- * size; even Drop 1/2 does not cause excessive degradation (except
- * bodytrack, the most drop-sensitive kernel, whose curves may also
- * break monotonicity due to non-determinism); hotspot and ferret
- * show higher sensitivity to problem size than canneal and srad.
+ * Compatibility shim. The experiment itself now lives in
+ * src/harness/experiments/fig2_fig4_quality_fronts.cpp; this binary keeps the legacy
+ * invocation (`bench/fig2_fig4_quality_fronts [--threads N]`) working with
+ * byte-identical output. New code should use `accordion run
+ * fig2_fig4_quality_fronts`.
  */
 
 #include "common.hpp"
-#include "core/quality_profile.hpp"
-#include "rms/workload.hpp"
-
-using namespace accordion;
+#include "harness/cli.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    util::setVerbose(false);
-    auto csv = bench::csvFor(
-        "fig2_fig4_quality_fronts",
-        {"benchmark", "ps_ratio", "q_default", "q_drop14", "q_drop12"});
-
-    for (const rms::Workload *w : rms::allWorkloads()) {
-        const bool fig2 =
-            w->name() == "canneal" || w->name() == "hotspot";
-        bench::banner(
-            util::format("Figure %s — %s: quality vs problem size",
-                         fig2 ? "2" : "4", w->name().c_str()),
-            "Q rises monotonically with problem size; Drop "
-            "degradation stays moderate (bodytrack excepted)");
-
-        const auto profile = core::QualityProfile::measure(*w);
-        const auto &def = profile.defaultCurve();
-        const auto q14 = profile.dropQuarterCurve().interp();
-        const auto q12 = profile.dropHalfCurve().interp();
-
-        util::Table table({"problem size (norm)", "Q default",
-                           "Q drop 1/4", "Q drop 1/2"});
-        for (std::size_t i = 0; i < def.psRatio.size(); ++i) {
-            const double ps = def.psRatio[i];
-            table.addRow({util::format("%.3f", ps),
-                          util::format("%.3f", def.qRatio[i]),
-                          util::format("%.3f", q14(ps)),
-                          util::format("%.3f", q12(ps))});
-            csv.addRow({w->name(), util::format("%.6g", ps),
-                        util::format("%.6g", def.qRatio[i]),
-                        util::format("%.6g", q14(ps)),
-                        util::format("%.6g", q12(ps))});
-        }
-        std::printf("%s", table.render().c_str());
-        std::printf("\nmeasured: Q span %.2f-%.2f across the sweep; "
-                    "Drop 1/2 at default size keeps %.0f%% of nominal "
-                    "quality\n",
-                    def.qRatio.front(), def.qRatio.back(),
-                    100.0 * q12(1.0));
-    }
-    return 0;
+    accordion::bench::initThreads(argc, argv);
+    return accordion::harness::runLegacy("fig2_fig4_quality_fronts");
 }

@@ -1,98 +1,18 @@
 /**
  * @file
- * Reproduces Fig. 5: the impact of parametric variation on one
- * representative chip of the 100-chip sample.
- *  - Fig. 5a: histogram of per-cluster VddMIN (paper: a significant
- *    0.46-0.58 V spread; the chip-wide maximum becomes VddNTV).
- *  - Fig. 5b: per-cycle timing error rate vs frequency at VddNTV
- *    for the slowest core of each of the 36 clusters (paper: steep
- *    S-curves; most cores cannot reach the 1 GHz NTV nominal even
- *    at Perr of 1e-16..1e-12; the slowest cores support maximum
- *    frequencies with a 0.14-0.72x slowdown band).
+ * Compatibility shim. The experiment itself now lives in
+ * src/harness/experiments/fig5_variation.cpp; this binary keeps the legacy
+ * invocation (`bench/fig5_variation [--threads N]`) working with
+ * byte-identical output. New code should use `accordion run
+ * fig5_variation`.
  */
 
-#include <algorithm>
-
 #include "common.hpp"
-#include "util/stats.hpp"
-#include "vartech/variation_chip.hpp"
-
-using namespace accordion;
+#include "harness/cli.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto tech = vartech::Technology::makeItrs11nm();
-    const vartech::ChipFactory factory(
-        tech, vartech::ChipFactory::Params{}, 12345);
-    // Chip 0 of the sample is the representative instance; the
-    // 100-chip statistics close out the bench.
-    const auto chip = factory.make(0);
-
-    bench::banner("Figure 5a — per-cluster VddMIN histogram",
-                  "per-cluster VddMIN varies across ~0.46-0.58 V; "
-                  "chip-wide max becomes VddNTV");
-    util::Histogram hist(0.44, 0.60, 16);
-    double lo = 1e9, hi = 0.0;
-    auto csv_a = bench::csvFor("fig5a_vddmin",
-                               {"cluster", "vddmin_v"});
-    for (std::size_t k = 0; k < chip.numClusters(); ++k) {
-        const double v = chip.clusterVddMin(k);
-        hist.add(v);
-        lo = std::min(lo, v);
-        hi = std::max(hi, v);
-        csv_a.addRow(std::vector<double>{static_cast<double>(k), v});
-    }
-    std::printf("%s", hist.render().c_str());
-    std::printf("\nmeasured: per-cluster VddMIN in [%.3f, %.3f] V; "
-                "VddNTV = %.3f V\n", lo, hi, chip.vddNtv());
-
-    bench::banner("Figure 5b — Perr vs f, slowest core per cluster",
-                  "steep S-curves; majority of cores below 1 GHz even "
-                  "at Perr 1e-16..1e-12");
-    util::Table table({"f (GHz)", "min Perr", "median Perr",
-                       "max Perr", "#clusters Perr>1e-12"});
-    auto csv_b = bench::csvFor("fig5b_perr",
-                               {"f_ghz", "cluster", "perr"});
-    for (double f = 0.2e9; f <= 1.5e9 + 1e-3; f += 0.1e9) {
-        std::vector<double> rates;
-        std::size_t above = 0;
-        for (std::size_t k = 0; k < chip.numClusters(); ++k) {
-            const std::size_t core = chip.slowestCoreOfCluster(k);
-            const double perr = chip.coreErrorRate(core, f);
-            rates.push_back(perr);
-            above += perr > 1e-12;
-            csv_b.addRow(std::vector<double>{
-                f / 1e9, static_cast<double>(k), perr});
-        }
-        std::sort(rates.begin(), rates.end());
-        table.addRow({util::format("%.1f", f / 1e9),
-                      util::format("%.3g", rates.front()),
-                      util::format("%.3g", rates[rates.size() / 2]),
-                      util::format("%.3g", rates.back()),
-                      util::format("%zu", above)});
-    }
-    std::printf("%s", table.render().c_str());
-
-    double f_lo = 1e300, f_hi = 0.0;
-    for (std::size_t k = 0; k < chip.numClusters(); ++k) {
-        const double f = chip.clusterSafeF(k);
-        f_lo = std::min(f_lo, f);
-        f_hi = std::max(f_hi, f);
-    }
-    std::printf("\nmeasured: slowest-core safe f per cluster spans "
-                "[%.2f, %.2f] GHz (%.2f-%.2fx slowdown vs the 1 GHz "
-                "NTV nominal)\n",
-                f_lo / 1e9, f_hi / 1e9, 1.0 - f_hi / 1e9,
-                1.0 - f_lo / 1e9);
-
-    // 100-chip Monte Carlo statistics (the paper's sample size).
-    util::OnlineStats vddntv;
-    for (std::uint64_t id = 0; id < 100; ++id)
-        vddntv.add(factory.make(id).vddNtv());
-    std::printf("100-chip sample: VddNTV mean %.3f V, sigma %.3f V, "
-                "range [%.3f, %.3f] V\n",
-                vddntv.mean(), vddntv.stddev(), vddntv.min(),
-                vddntv.max());
-    return 0;
+    accordion::bench::initThreads(argc, argv);
+    return accordion::harness::runLegacy("fig5_variation");
 }

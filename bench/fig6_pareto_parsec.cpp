@@ -1,15 +1,18 @@
 /**
  * @file
- * Reproduces Fig. 6: iso-execution-time pareto fronts for the four
- * PARSEC kernels — canneal, ferret, bodytrack, x264.
+ * Compatibility shim. The experiment itself now lives in
+ * src/harness/experiments/fig6_pareto_parsec.cpp; this binary keeps the legacy
+ * invocation (`bench/fig6_pareto_parsec [--threads N]`) working with
+ * byte-identical output. New code should use `accordion run
+ * fig6_pareto_parsec`.
  */
 
-#include "pareto_bench.hpp"
+#include "common.hpp"
+#include "harness/cli.hpp"
 
 int
 main(int argc, char **argv)
 {
-    accordion::bench::runParetoBench(
-        "6", {"canneal", "ferret", "bodytrack", "x264"}, argc, argv);
-    return 0;
+    accordion::bench::initThreads(argc, argv);
+    return accordion::harness::runLegacy("fig6_pareto_parsec");
 }

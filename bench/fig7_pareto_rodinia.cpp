@@ -1,15 +1,18 @@
 /**
  * @file
- * Reproduces Fig. 7: iso-execution-time pareto fronts for the two
- * Rodinia kernels — hotspot and srad.
+ * Compatibility shim. The experiment itself now lives in
+ * src/harness/experiments/fig7_pareto_rodinia.cpp; this binary keeps the legacy
+ * invocation (`bench/fig7_pareto_rodinia [--threads N]`) working with
+ * byte-identical output. New code should use `accordion run
+ * fig7_pareto_rodinia`.
  */
 
-#include "pareto_bench.hpp"
+#include "common.hpp"
+#include "harness/cli.hpp"
 
 int
 main(int argc, char **argv)
 {
-    accordion::bench::runParetoBench("7", {"hotspot", "srad"}, argc,
-                                     argv);
-    return 0;
+    accordion::bench::initThreads(argc, argv);
+    return accordion::harness::runLegacy("fig7_pareto_rodinia");
 }

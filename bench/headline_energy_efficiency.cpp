@@ -1,84 +1,18 @@
 /**
  * @file
- * Reproduces the paper's headline (Section 9): across the RMS
- * benchmarks, Accordion achieves the STV execution time while
- * operating 1.61-1.87x more energy efficiently. This bench reports,
- * per kernel, the most energy-efficient feasible within-budget
- * operating point at (a) any quality and (b) near-STV quality
- * (Q >= 0.95), under both flavors.
+ * Compatibility shim. The experiment itself now lives in
+ * src/harness/experiments/headline_energy_efficiency.cpp; this binary keeps the legacy
+ * invocation (`bench/headline_energy_efficiency [--threads N]`) working with
+ * byte-identical output. New code should use `accordion run
+ * headline_energy_efficiency`.
  */
 
-#include <algorithm>
-
 #include "common.hpp"
-#include "core/accordion.hpp"
-
-using namespace accordion;
+#include "harness/cli.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    util::setVerbose(false);
-    bench::banner("Headline — energy efficiency at the STV "
-                  "execution time",
-                  "Accordion runs 1.61-1.87x more energy-efficiently "
-                  "at iso-execution-time");
-
-    core::AccordionSystem system;
-    util::Table table({"benchmark", "Safe best x", "Spec best x",
-                       "Spec best x (Q>=0.95)", "at N/Nstv",
-                       "mode"});
-    auto csv = bench::csvFor("headline",
-                             {"benchmark", "safe_best", "spec_best",
-                              "spec_best_isoq"});
-
-    std::vector<double> iso_q_gains;
-    for (const rms::Workload *w : rms::allWorkloads()) {
-        const auto &profile = system.profile(w->name());
-        const auto base = system.pareto().baseline(*w, profile);
-        double safe_best = 0.0, spec_best = 0.0, iso_q_best = 0.0;
-        double best_n_ratio = 0.0;
-        std::string best_mode = "-";
-        for (core::Flavor flavor :
-             {core::Flavor::Safe, core::Flavor::Speculative}) {
-            for (const auto &p :
-                 system.pareto().extract(*w, profile, flavor)) {
-                if (!p.feasible || !p.withinBudget)
-                    continue;
-                const double eff = p.efficiencyRatio(base);
-                if (flavor == core::Flavor::Safe)
-                    safe_best = std::max(safe_best, eff);
-                else
-                    spec_best = std::max(spec_best, eff);
-                if (flavor == core::Flavor::Speculative &&
-                    p.qualityRatio >= 0.95 && eff > iso_q_best) {
-                    iso_q_best = eff;
-                    best_n_ratio = p.nRatio(base);
-                    best_mode = core::sizeModeName(p.sizeMode);
-                }
-            }
-        }
-        if (iso_q_best > 0.0)
-            iso_q_gains.push_back(iso_q_best);
-        table.addRow({w->name(), util::format("%.2f", safe_best),
-                      util::format("%.2f", spec_best),
-                      iso_q_best > 0.0
-                          ? util::format("%.2f", iso_q_best)
-                          : "-",
-                      iso_q_best > 0.0
-                          ? util::format("%.1f", best_n_ratio)
-                          : "-",
-                      best_mode});
-        csv.addRow({w->name(), util::format("%.4f", safe_best),
-                    util::format("%.4f", spec_best),
-                    util::format("%.4f", iso_q_best)});
-    }
-    std::printf("%s", table.render().c_str());
-    if (!iso_q_gains.empty()) {
-        std::sort(iso_q_gains.begin(), iso_q_gains.end());
-        std::printf("\nmeasured iso-quality Speculative gains span "
-                    "%.2f-%.2fx (paper: 1.61-1.87x)\n",
-                    iso_q_gains.front(), iso_q_gains.back());
-    }
-    return 0;
+    accordion::bench::initThreads(argc, argv);
+    return accordion::harness::runLegacy("headline_energy_efficiency");
 }

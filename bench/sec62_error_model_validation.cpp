@@ -1,75 +1,18 @@
 /**
  * @file
- * Reproduces the Section 6.2/6.3 error-model validation: instead of
- * dropping infected threads, their end results (canneal's swap
- * decision variables) are corrupted bit-wise — all/high/low bits
- * stuck at 1/0, random flips, inversion — at a quarter and half of
- * the threads. The paper observes that corruption generally does
- * not fall below Drop, except decision inversion, which degrades
- * quality to 77%/69% of nominal where Drop keeps 98%/96%.
+ * Compatibility shim. The experiment itself now lives in
+ * src/harness/experiments/sec62_error_model_validation.cpp; this binary keeps the legacy
+ * invocation (`bench/sec62_error_model_validation [--threads N]`) working with
+ * byte-identical output. New code should use `accordion run
+ * sec62_error_model_validation`.
  */
 
 #include "common.hpp"
-#include "rms/workload.hpp"
-
-using namespace accordion;
+#include "harness/cli.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    util::setVerbose(false);
-    bench::banner("Section 6.2/6.3 — error-model validation (canneal)",
-                  "corruption modes >= Drop in quality; inverted "
-                  "decisions (77%/69%) << Drop (98%/96%)");
-
-    const rms::Workload &w = rms::findWorkload("canneal");
-    const rms::RunResult ref = w.runReference();
-    rms::RunConfig base;
-    base.input = w.defaultInput();
-    const double q_nominal = w.qualityOf(base, ref);
-
-    util::Table table({"error mode", "Q/Qnom (1/4 infected)",
-                       "Q/Qnom (1/2 infected)", "outcome class"});
-    auto csv = bench::csvFor("sec62_error_model",
-                             {"mode", "q_quarter", "q_half"});
-
-    std::vector<fault::ErrorMode> modes = {fault::ErrorMode::Drop};
-    for (fault::ErrorMode mode : fault::corruptionModes())
-        modes.push_back(mode);
-    modes.push_back(fault::ErrorMode::InvertDecision);
-
-    double q_drop_quarter = 0.0, q_drop_half = 0.0;
-    for (fault::ErrorMode mode : modes) {
-        rms::RunConfig c = base;
-        c.fault = fault::FaultPlan(mode, 0.25);
-        const double q25 = w.qualityOf(c, ref) / q_nominal;
-        c.fault = fault::FaultPlan(mode, 0.5);
-        const double q50 = w.qualityOf(c, ref) / q_nominal;
-        if (mode == fault::ErrorMode::Drop) {
-            q_drop_quarter = q25;
-            q_drop_half = q50;
-        }
-        // Section 6.3's binning: executions whose corruption falls
-        // well below Drop would be caught by the CCs' preset
-        // quality limits — outcome class (ii), treated exactly as
-        // Drop. Everything else terminates acceptably (iii).
-        const bool excessive = q25 < 0.9 * q_drop_quarter ||
-            q50 < 0.9 * q_drop_half;
-        table.addRow({fault::errorModeName(mode),
-                      util::format("%.3f", q25),
-                      util::format("%.3f", q50),
-                      mode == fault::ErrorMode::Drop
-                          ? "(i) as perceived"
-                          : (excessive ? "(ii) -> treated as Drop"
-                                       : "(iii) acceptable")});
-        csv.addRow({fault::errorModeName(mode),
-                    util::format("%.4f", q25),
-                    util::format("%.4f", q50)});
-    }
-    std::printf("%s", table.render().c_str());
-    std::printf("\nmeasured: Drop keeps %.0f%%/%.0f%% of nominal "
-                "(paper: 98%%/96%%); inverted decisions are the "
-                "worst mode, as the paper reports (77%%/69%%)\n",
-                100.0 * q_drop_quarter, 100.0 * q_drop_half);
-    return 0;
+    accordion::bench::initThreads(argc, argv);
+    return accordion::harness::runLegacy("sec62_error_model_validation");
 }

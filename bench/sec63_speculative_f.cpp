@@ -1,58 +1,18 @@
 /**
  * @file
- * Reproduces the Section 6.3 speculative-frequency observation:
- * operating at the error rate implied by "one timing error per
- * infected task" (Perr = 1/e for a task of e cycles) instead of the
- * safe rate buys 8-41% frequency across the chip's clusters.
+ * Compatibility shim. The experiment itself now lives in
+ * src/harness/experiments/sec63_speculative_f.cpp; this binary keeps the legacy
+ * invocation (`bench/sec63_speculative_f [--threads N]`) working with
+ * byte-identical output. New code should use `accordion run
+ * sec63_speculative_f`.
  */
 
-#include <algorithm>
-
 #include "common.hpp"
-#include "util/stats.hpp"
-#include "vartech/variation_chip.hpp"
-
-using namespace accordion;
+#include "harness/cli.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::banner("Section 6.3 — speculative frequency gain",
-                  "8-41% f increase across chip from embracing "
-                  "timing errors (Perr = 1/e per task)");
-
-    const auto tech = vartech::Technology::makeItrs11nm();
-    const vartech::ChipFactory factory(
-        tech, vartech::ChipFactory::Params{}, 12345);
-    const auto chip = factory.make(0);
-
-    util::Table table({"task length e (cycles)", "Perr target",
-                       "min gain (%)", "median gain (%)",
-                       "max gain (%)"});
-    auto csv = bench::csvFor("sec63_spec_f",
-                             {"e_cycles", "cluster", "gain_pct"});
-    for (double e : {1e5, 1e6, 1e7, 1e8}) {
-        const double perr = 1.0 / e;
-        std::vector<double> gains;
-        for (std::size_t k = 0; k < chip.numClusters(); ++k) {
-            const std::size_t core = chip.slowestCoreOfCluster(k);
-            const double gain = 100.0 *
-                (chip.coreFrequencyForErrorRate(core, perr) /
-                     chip.coreSafeF(core) -
-                 1.0);
-            gains.push_back(gain);
-            csv.addRow(std::vector<double>{
-                e, static_cast<double>(k), gain});
-        }
-        std::sort(gains.begin(), gains.end());
-        table.addRow({util::format("%.0e", e),
-                      util::format("%.0e", perr),
-                      util::format("%.1f", gains.front()),
-                      util::format("%.1f", gains[gains.size() / 2]),
-                      util::format("%.1f", gains.back())});
-    }
-    std::printf("%s", table.render().c_str());
-    std::printf("\npaper band: 8-41%% across chip; shorter tasks "
-                "tolerate higher Perr and gain more\n");
-    return 0;
+    accordion::bench::initThreads(argc, argv);
+    return accordion::harness::runLegacy("sec63_speculative_f");
 }

@@ -1,61 +1,18 @@
 /**
  * @file
- * Reproduces Table 1: the basic Accordion modes of operation, and
- * demonstrates their arithmetic on the default chip — Still keeps
- * the problem size and grows N by >= fSTV/fNTV; Compress shrinks
- * both; Expand grows N faster than the problem size.
+ * Compatibility shim. The experiment itself now lives in
+ * src/harness/experiments/table1_modes.cpp; this binary keeps the legacy
+ * invocation (`bench/table1_modes [--threads N]`) working with
+ * byte-identical output. New code should use `accordion run
+ * table1_modes`.
  */
 
 #include "common.hpp"
-#include "core/accordion.hpp"
-
-using namespace accordion;
+#include "harness/cli.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    util::setVerbose(false);
-    bench::banner("Table 1 — basic Accordion modes of operation",
-                  "Still: PS fixed, N x fSTV/fNTV; Compress: smaller "
-                  "PS, fewer cores, Q loss; Expand: larger PS, N "
-                  "grows faster than PS");
-
-    util::Table semantics({"Mode", "Problem size", "Core count",
-                           "Quality", "Flavors"});
-    semantics.addRow({"Still", "PS_NTV = PS_STV",
-                      "N_NTV >= N_STV x f_STV/f_NTV", "Q_NTV = Q_STV",
-                      "Safe / Speculative"});
-    semantics.addRow({"Compress", "PS_NTV < PS_STV",
-                      "no restriction (can be < N_STV)",
-                      "Q_NTV <= Q_STV", "Safe / Speculative"});
-    semantics.addRow({"Expand", "PS_NTV > PS_STV",
-                      "N_NTV > N_STV (faster than PS)",
-                      "Q_NTV >= Q_STV (Safe)", "Safe / Speculative"});
-    std::printf("%s\n", semantics.render().c_str());
-
-    core::AccordionSystem system;
-    const rms::Workload &w = rms::findWorkload("canneal");
-    const core::QualityProfile &profile = system.profile("canneal");
-    const core::StvBaseline base = system.pareto().baseline(w, profile);
-
-    util::Table demo({"PS/PSstv", "mode", "N/Nstv",
-                      "per-core work x", "f (GHz)", "Q/Qstv"});
-    for (double ps : {0.5, 1.0, 1.33}) {
-        const auto p = system.pareto().evaluateAt(
-            w, profile, core::Flavor::Safe, ps, base);
-        demo.addRow({util::format("%.2f", ps),
-                     core::sizeModeName(p.sizeMode),
-                     util::format("%.2f", p.nRatio(base)),
-                     util::format("%.2f",
-                                  ps / p.nRatio(base)),
-                     util::format("%.2f", p.fHz / 1e9),
-                     util::format("%.3f", p.qualityRatio)});
-    }
-    std::printf("measured on the default chip (canneal, Safe):\n%s",
-                demo.render().c_str());
-    std::printf("\nnote: per-core work (PS/N normalized to STV) stays "
-                "<= f_NTV/f_STV = %.2f in every feasible mode, as "
-                "Table 1 requires\n",
-                0.35e9 / base.fHz);
-    return 0;
+    accordion::bench::initThreads(argc, argv);
+    return accordion::harness::runLegacy("table1_modes");
 }

@@ -1,70 +1,18 @@
 /**
  * @file
- * Reproduces Table 3: the RMS benchmark characterization — domain,
- * quality metric, Accordion input, and the measured dependency
- * class (linear vs complex) of problem size and quality on the
- * Accordion input, recovered by power-law fits over the sweep.
+ * Compatibility shim. The experiment itself now lives in
+ * src/harness/experiments/table3_characterization.cpp; this binary keeps the legacy
+ * invocation (`bench/table3_characterization [--threads N]`) working with
+ * byte-identical output. New code should use `accordion run
+ * table3_characterization`.
  */
 
-#include <cmath>
-
 #include "common.hpp"
-#include "rms/workload.hpp"
-#include "util/stats.hpp"
-
-using namespace accordion;
+#include "harness/cli.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    util::setVerbose(false);
-    bench::banner("Table 3 — RMS benchmark characterization",
-                  "six PARSEC/Rodinia kernels; problem size and "
-                  "quality dependencies per Accordion input");
-
-    util::Table table({"Benchmark", "Domain", "Quality metric",
-                       "Accordion input", "PS dep (fit)",
-                       "Q dep (fit)"});
-    auto csv = bench::csvFor("table3_characterization",
-                             {"benchmark", "ps_exponent",
-                              "q_exponent", "ps_class", "q_class"});
-
-    for (const rms::Workload *w : rms::allWorkloads()) {
-        const rms::RunResult ref = w->runReference();
-        std::vector<double> inputs, sizes, qualities;
-        for (double input : w->inputSweep()) {
-            rms::RunConfig c;
-            c.input = input;
-            c.threads = w->defaultThreads();
-            const rms::RunResult r = w->run(c);
-            inputs.push_back(input);
-            sizes.push_back(r.problemSize);
-            qualities.push_back(w->quality(r, ref));
-        }
-        const auto ps_fit = util::fitPowerLaw(inputs, sizes);
-        const auto q_fit = util::fitPowerLaw(inputs, qualities);
-        // Linear: the quantity tracks the input proportionally
-        // (exponent ~ +1 and a clean fit). Quality saturates, so
-        // its linear band is judged against a shallow exponent with
-        // high R^2 instead.
-        const bool ps_linear = std::abs(ps_fit.slope - 1.0) < 0.15;
-        const bool q_linear = q_fit.slope > 0.0 && q_fit.r2 > 0.9;
-        const std::string ps_class = ps_linear ? "linear" : "complex";
-        const std::string q_class = q_linear ? "linear" : "complex";
-        table.addRow({w->name(), w->domain(), w->qualityMetricName(),
-                      w->accordionInputName(),
-                      util::format("%s (x^%.2f)", ps_class.c_str(),
-                                   ps_fit.slope),
-                      util::format("%s (x^%.2f, R2=%.2f)",
-                                   q_class.c_str(), q_fit.slope,
-                                   q_fit.r2)});
-        csv.addRow({w->name(), util::format("%.4f", ps_fit.slope),
-                    util::format("%.4f", q_fit.slope), ps_class,
-                    q_class});
-    }
-    std::printf("%s", table.render().c_str());
-    std::printf("\nnote: declared classes live in each kernel's "
-                "problemSizeDependency()/qualityDependency() and are "
-                "checked against these fits by the test suite\n");
-    return 0;
+    accordion::bench::initThreads(argc, argv);
+    return accordion::harness::runLegacy("table3_characterization");
 }

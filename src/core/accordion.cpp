@@ -3,8 +3,41 @@
 #include <algorithm>
 
 #include "util/log.hpp"
+#include "util/table.hpp"
 
 namespace accordion::core {
+
+std::string
+AccordionSystem::Config::key() const
+{
+    const auto &v = factory.variation;
+    const auto &t = factory.timing;
+    const auto &s = factory.sram;
+    const auto &g = factory.geometry;
+    return util::format(
+        "seed=%llu chip=%llu "
+        "var=%.17g,%.17g,%.17g,%.17g,%.17g "
+        "timing=%.17g,%.17g,%.17g "
+        "sram=%.17g,%.17g,%.17g,%.17g,%.17g "
+        "geo=%zu,%zu,%zu,%zu,%.17g mem_bits=%zu,%zu "
+        "power=%.17g,%.17g,%.17g "
+        "memsys=%.17g,%.17g,%.17g,%.17g,%.17g,%.17g "
+        "perf=%s pareto=%.17g,%.17g,%.17g,%.17g",
+        static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(chipId), v.phi,
+        v.sigmaVthTotal, v.sigmaLeffTotal, v.systematicFraction,
+        v.vthLeffCorrelation, t.gatesPerPath, t.pathsPerCycle,
+        t.perrSafe, s.vminBase, s.sigmaCell, s.kVth, s.kLeff,
+        s.redundancyPerSqrtMbit, g.clustersX, g.clustersY,
+        g.coresPerClusterX, g.coresPerClusterY, g.chipEdgeMm,
+        factory.privateMemBits, factory.clusterMemBits, power.budgetW,
+        power.clusterMemStaticStvW, power.networkPerClusterStvW,
+        memory.privateAccessNs, memory.clusterAccessNs,
+        memory.remoteRoundTripNs, memory.busServiceNs,
+        memory.torusHopNs, memory.networkFreqGhz,
+        eventDrivenPerf ? "event" : "analytic", pareto.cpiForErrorBudget,
+        pareto.isoTolerance, pareto.perrMin, pareto.perrMax);
+}
 
 AccordionSystem::AccordionSystem() : AccordionSystem(Config{}) {}
 

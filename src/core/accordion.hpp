@@ -49,6 +49,15 @@ class AccordionSystem
          *  methodology. */
         bool eventDrivenPerf = false;
         ParetoExtractor::Params pareto;
+
+        /**
+         * Stable textual key over every construction knob. Two
+         * configs with equal keys build numerically identical
+         * systems; the experiment harness uses this to share one
+         * AccordionSystem across experiments (doubles are rendered
+         * with %.17g, so the key is lossless).
+         */
+        std::string key() const;
     };
 
     AccordionSystem();

@@ -1,0 +1,48 @@
+#include "args.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace accordion::harness {
+
+namespace {
+
+bool
+parseDecimal(const std::string &text, unsigned long long *out)
+{
+    if (text.empty() || text[0] < '0' || text[0] > '9')
+        return false; // no signs, no leading whitespace
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size())
+        return false;
+    *out = value;
+    return true;
+}
+
+} // namespace
+
+bool
+parsePositiveCount(const std::string &text, std::size_t *out)
+{
+    unsigned long long value = 0;
+    if (!parseDecimal(text, &value) || value == 0 ||
+        value > SIZE_MAX)
+        return false;
+    *out = static_cast<std::size_t>(value);
+    return true;
+}
+
+bool
+parseSeed(const std::string &text, std::uint64_t *out)
+{
+    unsigned long long value = 0;
+    if (!parseDecimal(text, &value))
+        return false;
+    *out = value;
+    return true;
+}
+
+} // namespace accordion::harness

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Strict numeric argument parsing for the CLI layer. The legacy
+ * strtol(..., nullptr, 10) pattern silently accepted trailing
+ * garbage ("--threads 4x" ran with 4 threads); these helpers
+ * validate with an end pointer and reject any non-integer suffix,
+ * empty strings, signs where a count is expected, and overflow.
+ */
+
+#ifndef ACCORDION_HARNESS_ARGS_HPP
+#define ACCORDION_HARNESS_ARGS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace accordion::harness {
+
+/**
+ * Parse a strictly positive decimal integer (a thread count).
+ * Returns false — leaving *out untouched — on empty input, any
+ * non-digit character, a leading sign, zero, or overflow.
+ */
+bool parsePositiveCount(const std::string &text, std::size_t *out);
+
+/**
+ * Parse a non-negative decimal integer (a seed). Same strictness
+ * as parsePositiveCount, but zero is allowed.
+ */
+bool parseSeed(const std::string &text, std::uint64_t *out);
+
+} // namespace accordion::harness
+
+#endif // ACCORDION_HARNESS_ARGS_HPP

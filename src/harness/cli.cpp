@@ -1,0 +1,202 @@
+#include "cli.hpp"
+
+#include <cstdio>
+
+#include "args.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace accordion::harness {
+
+std::string
+usage()
+{
+    return "usage: accordion <command> [options]\n"
+           "\n"
+           "commands:\n"
+           "  list                     enumerate the experiments\n"
+           "  run <name>... | run all  run experiments\n"
+           "  help                     this text\n"
+           "\n"
+           "run options:\n"
+           "  --threads N    thread-pool size (default: "
+           "ACCORDION_THREADS or hardware concurrency)\n"
+           "  --seed S       manufacturing seed (default: 12345)\n"
+           "  --out-dir DIR  series output directory (default: "
+           "bench_out)\n"
+           "  --format F     csv | json | both (default: csv)\n";
+}
+
+namespace {
+
+/** Fetch the value of `--flag value`; false + *error when missing. */
+bool
+flagValue(const std::vector<std::string> &args, std::size_t *i,
+          std::string *value, std::string *error)
+{
+    if (*i + 1 >= args.size()) {
+        *error = args[*i] + " wants a value";
+        return false;
+    }
+    *value = args[++*i];
+    return true;
+}
+
+} // namespace
+
+std::optional<CliOptions>
+parseCli(const std::vector<std::string> &args, std::string *error)
+{
+    CliOptions options;
+    if (args.empty()) {
+        options.command = CliOptions::Command::Help;
+        return options;
+    }
+
+    const std::string &command = args[0];
+    if (command == "help" || command == "--help" || command == "-h") {
+        options.command = CliOptions::Command::Help;
+        return options;
+    }
+    if (command == "list") {
+        options.command = CliOptions::Command::List;
+        if (args.size() > 1) {
+            *error = "list takes no arguments";
+            return std::nullopt;
+        }
+        return options;
+    }
+    if (command != "run") {
+        *error = "unknown command '" + command +
+                 "' (try: accordion help)";
+        return std::nullopt;
+    }
+
+    options.command = CliOptions::Command::Run;
+    std::string value;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--threads") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            if (!parsePositiveCount(value, &options.run.threads)) {
+                *error = "--threads wants a positive integer, got '" +
+                         value + "'";
+                return std::nullopt;
+            }
+        } else if (arg == "--seed") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            if (!parseSeed(value, &options.run.seed)) {
+                *error = "--seed wants a non-negative integer, got '" +
+                         value + "'";
+                return std::nullopt;
+            }
+        } else if (arg == "--out-dir") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            options.run.outDir = value;
+        } else if (arg == "--format") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            const auto format = parseFormat(value);
+            if (!format) {
+                *error = "--format wants csv, json or both, got '" +
+                         value + "'";
+                return std::nullopt;
+            }
+            options.run.format = *format;
+        } else if (!arg.empty() && arg[0] == '-') {
+            *error = "unknown option '" + arg + "'";
+            return std::nullopt;
+        } else if (arg == "all") {
+            options.runAll = true;
+        } else {
+            options.experiments.push_back(arg);
+        }
+    }
+    if (!options.runAll && options.experiments.empty()) {
+        *error = "run wants at least one experiment name (or 'all'; "
+                 "see: accordion list)";
+        return std::nullopt;
+    }
+    if (options.runAll && !options.experiments.empty()) {
+        *error = "run takes either 'all' or explicit names, not both";
+        return std::nullopt;
+    }
+    return options;
+}
+
+std::vector<const Experiment *>
+resolveExperiments(const CliOptions &options, std::string *error)
+{
+    if (options.runAll)
+        return Registry::instance().all();
+    std::vector<const Experiment *> experiments;
+    for (const std::string &name : options.experiments) {
+        const Experiment *e = Registry::instance().find(name);
+        if (!e) {
+            *error = "unknown experiment '" + name +
+                     "' (see: accordion list)";
+            return {};
+        }
+        experiments.push_back(e);
+    }
+    return experiments;
+}
+
+int
+runCli(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+
+    std::string error;
+    const auto options = parseCli(args, &error);
+    if (!options)
+        util::fatal("%s", error.c_str());
+
+    switch (options->command) {
+    case CliOptions::Command::Help:
+        std::printf("%s", usage().c_str());
+        return 0;
+
+    case CliOptions::Command::List: {
+        util::Table table({"experiment", "artifact", "description"});
+        for (const Experiment *e : Registry::instance().all())
+            table.addRow({e->name(), e->artifact(), e->description()});
+        std::printf("%s", table.render().c_str());
+        std::printf("\n%zu experiments; run with: accordion run "
+                    "<name>... | all\n",
+                    Registry::instance().size());
+        return 0;
+    }
+
+    case CliOptions::Command::Run:
+        break;
+    }
+
+    const auto experiments = resolveExperiments(*options, &error);
+    if (experiments.empty())
+        util::fatal("%s", error.c_str());
+
+    RunContext ctx(options->run);
+    for (const Experiment *e : experiments)
+        e->run(ctx);
+    return 0;
+}
+
+int
+runLegacy(const std::string &name)
+{
+    const Experiment *e = Registry::instance().find(name);
+    if (!e)
+        util::fatal("no experiment named '%s' is registered",
+                    name.c_str());
+    RunContext ctx;
+    e->run(ctx);
+    return 0;
+}
+
+} // namespace accordion::harness

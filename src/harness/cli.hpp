@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The `accordion` command line: one driver for every experiment.
+ *
+ *   accordion list
+ *   accordion run <name>... [--threads N] [--seed S]
+ *                           [--out-dir DIR] [--format csv|json|both]
+ *   accordion run all [...]
+ *
+ * Parsing is separated from execution (and from fatal()) so the
+ * test suite can exercise every error path in-process.
+ */
+
+#ifndef ACCORDION_HARNESS_CLI_HPP
+#define ACCORDION_HARNESS_CLI_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "experiment.hpp"
+#include "run_context.hpp"
+
+namespace accordion::harness {
+
+/** A parsed command line. */
+struct CliOptions
+{
+    enum class Command
+    {
+        Help, //!< print usage
+        List, //!< enumerate registered experiments
+        Run,  //!< run the named experiments (or all)
+    };
+
+    Command command = Command::Help;
+    bool runAll = false;
+    std::vector<std::string> experiments;
+    RunContext::Options run;
+};
+
+/** The usage text `accordion help` prints. */
+std::string usage();
+
+/**
+ * Parse an argument vector (without argv[0]). On error returns
+ * nullopt and stores a one-line message in *error.
+ */
+std::optional<CliOptions> parseCli(const std::vector<std::string> &args,
+                                   std::string *error);
+
+/**
+ * Resolve the parsed experiment names against the Registry, in
+ * registry (sorted) order for `run all` and in command-line order
+ * otherwise. On an unknown name returns an empty vector and stores
+ * a message in *error.
+ */
+std::vector<const Experiment *>
+resolveExperiments(const CliOptions &options, std::string *error);
+
+/** Full CLI entry point (the accordion binary's main). */
+int runCli(int argc, char **argv);
+
+/**
+ * Entry point of the legacy one-binary-per-figure shims: run one
+ * experiment with legacy-compatible defaults (the global thread
+ * pool as already sized by bench::initThreads, seed 12345, CSVs
+ * under bench_out/). Output is byte-identical to the pre-harness
+ * binaries.
+ */
+int runLegacy(const std::string &name);
+
+} // namespace accordion::harness
+
+#endif // ACCORDION_HARNESS_CLI_HPP

@@ -1,0 +1,60 @@
+#include "experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/log.hpp"
+
+namespace accordion::harness {
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+void
+Registry::add(std::unique_ptr<Experiment> experiment)
+{
+    if (find(experiment->name()))
+        util::fatal("Registry: duplicate experiment name '%s'",
+                    experiment->name().c_str());
+    experiments_.push_back(std::move(experiment));
+}
+
+const Experiment *
+Registry::find(const std::string &name) const
+{
+    for (const auto &e : experiments_)
+        if (e->name() == name)
+            return e.get();
+    return nullptr;
+}
+
+std::vector<const Experiment *>
+Registry::all() const
+{
+    std::vector<const Experiment *> sorted;
+    sorted.reserve(experiments_.size());
+    for (const auto &e : experiments_)
+        sorted.push_back(e.get());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Experiment *a, const Experiment *b) {
+                  return a->name() < b->name();
+              });
+    return sorted;
+}
+
+void
+banner(const std::string &artifact, const std::string &paper_claim)
+{
+    std::printf("\n================================================="
+                "=============\n");
+    std::printf("%s\n", artifact.c_str());
+    std::printf("paper: %s\n", paper_claim.c_str());
+    std::printf("---------------------------------------------------"
+                "-----------\n");
+}
+
+} // namespace accordion::harness

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The experiment-harness core: an Experiment is one paper artifact
+ * reproduction (a figure, table, section number, ablation or
+ * extension), and the Registry is the process-wide catalog the
+ * `accordion` CLI and the legacy bench shims dispatch through.
+ *
+ * Experiments self-register at static-initialization time via
+ * ACCORDION_REGISTER_EXPERIMENT; the harness is built as a CMake
+ * OBJECT library so no registration TU is dropped by the archive
+ * linker.
+ */
+
+#ifndef ACCORDION_HARNESS_EXPERIMENT_HPP
+#define ACCORDION_HARNESS_EXPERIMENT_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace accordion::harness {
+
+class RunContext;
+
+/**
+ * One reproducible evaluation artifact. Implementations are
+ * stateless: everything mutable (the shared AccordionSystem cache,
+ * the output sink, the seed) lives in the RunContext, so one
+ * Experiment instance can serve any number of runs.
+ */
+class Experiment
+{
+  public:
+    virtual ~Experiment() = default;
+
+    /** Unique CLI name, e.g. "fig6_pareto_parsec". */
+    virtual std::string name() const = 0;
+
+    /** Paper artifact this regenerates, e.g. "Fig. 6". */
+    virtual std::string artifact() const = 0;
+
+    /** One-line description for `accordion list`. */
+    virtual std::string description() const = 0;
+
+    /** Produce the artifact: tables to stdout, series to the sink. */
+    virtual void run(RunContext &ctx) const = 0;
+};
+
+/** Process-wide experiment catalog. */
+class Registry
+{
+  public:
+    /** The singleton the self-registration hooks populate. */
+    static Registry &instance();
+
+    /** Register an experiment; fatal()s on a duplicate name. */
+    void add(std::unique_ptr<Experiment> experiment);
+
+    /** Look up by CLI name; nullptr when absent. */
+    const Experiment *find(const std::string &name) const;
+
+    /** Every registered experiment, sorted by name. */
+    std::vector<const Experiment *> all() const;
+
+    std::size_t size() const { return experiments_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Experiment>> experiments_;
+};
+
+/** Static-initialization hook used by the registration macro. */
+template <typename E> struct Registrar
+{
+    Registrar()
+    {
+        Registry::instance().add(std::make_unique<E>());
+    }
+};
+
+/**
+ * Print the standard experiment banner (artifact + the paper's
+ * reported behavior) — byte-identical to the legacy bench banner.
+ */
+void banner(const std::string &artifact, const std::string &paper_claim);
+
+} // namespace accordion::harness
+
+/** Register an Experiment subclass with the global Registry. */
+#define ACCORDION_REGISTER_EXPERIMENT(cls)                               \
+    static const ::accordion::harness::Registrar<cls>                    \
+        accordionRegistrar_##cls;
+
+#endif // ACCORDION_HARNESS_EXPERIMENT_HPP

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ablation A1 — control-core placement policy. Accordion reserves
+ * the fastest (most reliable) cores for CCs (Section 4.1). This
+ * ablation compares reserving the fastest vs random vs the slowest
+ * cores: the CC clock sets the serial merge tail, so the policy
+ * directly moves iso-execution-time feasibility and the core count
+ * each problem size needs.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/accordion.hpp"
+#include "harness/experiment.hpp"
+#include "harness/run_context.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace accordion::harness {
+namespace {
+
+class AblationCcPolicy final : public Experiment
+{
+  public:
+    std::string name() const override { return "ablation_cc_policy"; }
+    std::string artifact() const override { return "Ablation A1"; }
+    std::string description() const override
+    {
+        return "control-core placement policy vs merge tail";
+    }
+
+    void run(RunContext &ctx) const override
+    {
+        util::setVerbose(false);
+        banner("Ablation A1 — control-core placement policy",
+               "fastest-core CCs minimize the serial tail; slow "
+               "CCs inflate execution time at every point");
+
+        core::AccordionSystem &system = ctx.system();
+        const auto &chip = system.chip();
+        const rms::Workload &w = rms::findWorkload("bodytrack");
+        const auto &profile = system.profile("bodytrack");
+        const auto base = system.pareto().baseline(w, profile);
+
+        // Candidate CC clocks under the three policies.
+        std::vector<std::size_t> by_speed(chip.numCores());
+        std::iota(by_speed.begin(), by_speed.end(), 0);
+        std::sort(by_speed.begin(), by_speed.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return chip.coreSafeF(a) > chip.coreSafeF(b);
+                  });
+        struct Policy
+        {
+            const char *name;
+            double ccF;
+        };
+        const Policy policies[] = {
+            {"fastest cores (paper)",
+             chip.coreSafeF(by_speed.front())},
+            {"median cores",
+             chip.coreSafeF(by_speed[by_speed.size() / 2])},
+            {"slowest cores", chip.coreSafeF(by_speed.back())},
+        };
+
+        util::Table table({"CC policy", "CC f (GHz)",
+                           "T_NTV/T_STV @ PS=1 (N=208)",
+                           "iso-time feasible?"});
+        auto csv = ctx.series("ablation_cc_policy",
+                              {"policy", "cc_f_ghz", "t_ratio"});
+        for (const Policy &policy : policies) {
+            // Evaluate a fixed operating point with the policy's CC
+            // clock driving the serial merge tail.
+            const auto cores =
+                system.pareto().selector().selectCores(208);
+            const double f =
+                system.pareto().selector().safeFrequency(cores);
+            manycore::TaskSet tasks;
+            tasks.numTasks = cores.size();
+            tasks.instrPerTask = profile.defaultInstrPerTask() *
+                static_cast<double>(profile.threads()) /
+                static_cast<double>(cores.size());
+            tasks.ccFrequencyHz = policy.ccF;
+            const auto est = system.perfModel().estimate(
+                chip.geometry(), cores, f, tasks, w.traits(),
+                system.technology().fNtv() / f);
+            const double ratio = est.seconds / base.seconds;
+            table.addRow({policy.name,
+                          util::format("%.2f", policy.ccF / 1e9),
+                          util::format("%.3f", ratio),
+                          ratio <= 1.02 ? "yes" : "no"});
+            csv.addRow({policy.name,
+                        util::format("%.4f", policy.ccF / 1e9),
+                        util::format("%.4f", ratio)});
+        }
+        std::printf("%s", table.render().c_str());
+    }
+};
+
+ACCORDION_REGISTER_EXPERIMENT(AblationCcPolicy)
+
+} // namespace
+} // namespace accordion::harness

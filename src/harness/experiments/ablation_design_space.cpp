@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablation A3 — the Fig. 3 design space. Runs the same faulty
+ * workload through the CC/DC runtime under the three organizations
+ * (homogeneous spatio-temporal, homogeneous time-multiplexed,
+ * heterogeneous clusters) across CC:DC ratios, reporting virtual
+ * time, CC busy time, and the area cost of specialized CCs.
+ */
+
+#include <cmath>
+
+#include "core/runtime.hpp"
+#include "harness/experiment.hpp"
+#include "harness/run_context.hpp"
+#include "util/table.hpp"
+
+namespace accordion::harness {
+namespace {
+
+using namespace accordion::core;
+
+class AblationDesignSpace final : public Experiment
+{
+  public:
+    std::string name() const override
+    {
+        return "ablation_design_space";
+    }
+    std::string artifact() const override { return "Ablation A3"; }
+    std::string description() const override
+    {
+        return "CC/DC organizations of the Fig. 3 design space";
+    }
+
+    void run(RunContext &ctx) const override
+    {
+        banner("Ablation A3 — Fig. 3 design-space organizations",
+               "(a) flexible and simple; (b) better HW use but "
+               "multiplexing overhead; (c) fastest CCs, more area, "
+               "fixed CC count");
+
+        std::vector<WorkItem> items(512);
+        for (std::size_t i = 0; i < items.size(); ++i)
+            items[i] = {i, static_cast<double>(i % 97)};
+        const ItemFn work = [](const WorkItem &item) {
+            // A small but real computation: iterated logistic map.
+            double x = 0.25 + item.input / 200.0;
+            for (int i = 0; i < 64; ++i)
+                x = 3.6 * x * (1.0 - x);
+            return x;
+        };
+        DcFaultModel faults;
+        faults.hangProbability = 0.03;
+        faults.corruptProbability = 0.02;
+        faults.seed = 4242;
+
+        util::Table table({"organization", "CCs", "DCs",
+                           "virtual time", "CC busy", "dropped",
+                           "watchdog fires", "CC area (DC-equiv)"});
+        auto csv = ctx.series("ablation_design_space",
+                              {"organization", "ccs", "dcs",
+                               "virtual_time", "dropped"});
+        for (Organization org :
+             {Organization::HomogeneousSpatial,
+              Organization::HomogeneousTimeMultiplexed,
+              Organization::HeterogeneousClusters}) {
+            const OrganizationTraits traits =
+                organizationTraits(org);
+            for (std::size_t ccs : {1u, 2u, 4u}) {
+                if (traits.ccCountFixed && ccs != 1)
+                    continue; // (c): one CC per cluster by design
+                RuntimeParams params;
+                params.organization = org;
+                params.numCcs = ccs;
+                params.numDcs = 16 - ccs;
+                params.mergeCostPerItem = 0.05;
+                params.acceptable = [](double v) {
+                    return std::isfinite(v) && std::abs(v) < 1e3;
+                };
+                const auto report = AccordionRuntime{params}.execute(
+                    items, work, faults);
+                table.addRow(
+                    {organizationName(org), util::format("%zu", ccs),
+                     util::format("%zu", params.numDcs),
+                     util::format("%.1f", report.virtualTime),
+                     util::format("%.1f", report.ccBusyTime),
+                     util::format("%zu", report.dropped),
+                     util::format("%zu", report.watchdogFires),
+                     util::format("%.1f",
+                                  traits.ccAreaFactor *
+                                      static_cast<double>(ccs))});
+                csv.addRow({organizationName(org),
+                            util::format("%zu", ccs),
+                            util::format("%zu", params.numDcs),
+                            util::format("%.4f", report.virtualTime),
+                            util::format("%zu", report.dropped)});
+            }
+        }
+        std::printf("%s", table.render().c_str());
+    }
+};
+
+ACCORDION_REGISTER_EXPERIMENT(AblationDesignSpace)
+
+} // namespace
+} // namespace accordion::harness

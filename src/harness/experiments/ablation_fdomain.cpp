@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation A2 — frequency-domain granularity. Accordion clusters
+ * cores into per-cluster frequency domains (Table 2); the design
+ * space spans one chip-wide domain (cheapest, slowest: the single
+ * slowest core drags everyone) to per-core domains (EnergySmart/
+ * Booster-style, most flexible). This ablation quantifies the
+ * aggregate safe compute throughput (sum of core clocks) each
+ * granularity extracts from the same variation-afflicted chip.
+ */
+
+#include "harness/experiment.hpp"
+#include "harness/run_context.hpp"
+#include "util/table.hpp"
+#include "vartech/variation_chip.hpp"
+
+namespace accordion::harness {
+namespace {
+
+class AblationFdomain final : public Experiment
+{
+  public:
+    std::string name() const override { return "ablation_fdomain"; }
+    std::string artifact() const override { return "Ablation A2"; }
+    std::string description() const override
+    {
+        return "frequency-domain granularity vs safe throughput";
+    }
+
+    void run(RunContext &ctx) const override
+    {
+        banner("Ablation A2 — frequency-domain granularity",
+               "per-cluster domains recover most of the "
+               "per-core-domain throughput at 1/8 the cost");
+
+        const auto &chip = ctx.system().chip();
+
+        // Chip-wide domain: every core at the chip-slowest safe f.
+        double f_chip_min = 1e300;
+        double sum_core = 0.0, sum_cluster = 0.0;
+        for (std::size_t k = 0; k < chip.numClusters(); ++k) {
+            const double f_cluster = chip.clusterSafeF(k);
+            for (std::size_t core :
+                 chip.geometry().coresOfCluster(k)) {
+                const double f = chip.coreSafeF(core);
+                f_chip_min = std::min(f_chip_min, f);
+                sum_core += f;
+                sum_cluster += f_cluster;
+            }
+        }
+        const double sum_chip =
+            f_chip_min * static_cast<double>(chip.numCores());
+
+        util::Table table({"granularity", "# domains",
+                           "aggregate safe GHz", "vs per-core"});
+        auto csv = ctx.series("ablation_fdomain",
+                              {"granularity", "domains",
+                               "aggregate_ghz"});
+        struct Row
+        {
+            const char *name;
+            std::size_t domains;
+            double sum;
+        };
+        const Row rows[] = {
+            {"chip-wide", 1, sum_chip},
+            {"per-cluster (Accordion)", chip.numClusters(),
+             sum_cluster},
+            {"per-core", chip.numCores(), sum_core},
+        };
+        for (const Row &row : rows) {
+            table.addRow({row.name, util::format("%zu", row.domains),
+                          util::format("%.1f", row.sum / 1e9),
+                          util::format("%.0f%%",
+                                       100.0 * row.sum / sum_core)});
+            csv.addRow({row.name, util::format("%zu", row.domains),
+                        util::format("%.4f", row.sum / 1e9)});
+        }
+        std::printf("%s", table.render().c_str());
+        std::printf("\nmeasured: cluster granularity recovers %.0f%% "
+                    "of the per-core throughput with %zux fewer "
+                    "domains\n",
+                    100.0 * sum_cluster / sum_core,
+                    chip.numCores() / chip.numClusters());
+    }
+};
+
+ACCORDION_REGISTER_EXPERIMENT(AblationFdomain)
+
+} // namespace
+} // namespace accordion::harness

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces Fig. 1a: power, frequency, and energy per operation as
+ * functions of Vdd for the 11 nm node. The paper's bands: moving
+ * from STV (~1 V) to NTV (~0.55 V) cuts power 10-50x and energy per
+ * operation 2-5x at a 5-10x frequency cost, with the minimum-energy
+ * point in the sub-threshold region.
+ */
+
+#include "harness/experiment.hpp"
+#include "harness/run_context.hpp"
+#include "util/table.hpp"
+#include "vartech/technology.hpp"
+
+namespace accordion::harness {
+namespace {
+
+class Fig1aOperatingPoint final : public Experiment
+{
+  public:
+    std::string name() const override { return "fig1a_operating_point"; }
+    std::string artifact() const override { return "Fig. 1a"; }
+    std::string description() const override
+    {
+        return "power, frequency and energy/op vs Vdd (11 nm)";
+    }
+
+    void run(RunContext &ctx) const override
+    {
+        banner(
+            "Figure 1a — operating point vs Vdd (11 nm)",
+            "NTV vs STV: power /10-50, energy/op /2-5, frequency "
+            "/5-10; min-energy point sub-threshold");
+
+        const auto tech = vartech::Technology::makeItrs11nm();
+        util::Table table({"Vdd (V)", "f (GHz)", "Power (W)",
+                           "Energy/op (nJ)", "norm P", "norm f",
+                           "norm E/op"});
+        auto csv = ctx.series("fig1a_operating_point",
+                              {"vdd", "f_hz", "power_w", "energy_j"});
+
+        const double f_stv = tech.fStv();
+        const double p_stv = tech.dynamicPower(1.0, f_stv) +
+            tech.staticPower(1.0, tech.params().vthNom);
+        const double e_stv = tech.energyPerOp(1.0);
+
+        double best_e = 1e300, best_vdd = 0.0;
+        for (double vdd = 0.20; vdd <= 1.20 + 1e-9; vdd += 0.05) {
+            const double f = tech.frequencyAtNominalVth(vdd);
+            const double p = tech.dynamicPower(vdd, f) +
+                tech.staticPower(vdd, tech.params().vthNom);
+            const double e = tech.energyPerOp(vdd);
+            if (e < best_e) {
+                best_e = e;
+                best_vdd = vdd;
+            }
+            table.addRow({util::format("%.2f", vdd),
+                          util::format("%.3f", f / 1e9),
+                          util::format("%.3f", p),
+                          util::format("%.3f", e * 1e9),
+                          util::format("%.3f", p / p_stv),
+                          util::format("%.3f", f / f_stv),
+                          util::format("%.3f", e / e_stv)});
+            csv.addRow(std::vector<double>{vdd, f, p, e});
+        }
+        std::printf("%s", table.render().c_str());
+
+        const double vdd_ntv = tech.params().vddNom;
+        const double f_ntv = tech.fNtv();
+        const double p_ntv = tech.dynamicPower(vdd_ntv, f_ntv) +
+            tech.staticPower(vdd_ntv, tech.params().vthNom);
+        std::printf("\nmeasured: NTV(0.55 V) vs STV(1.0 V): power "
+                    "/%.1f, energy/op /%.2f, frequency /%.2f\n",
+                    p_stv / p_ntv,
+                    e_stv / tech.energyPerOp(vdd_ntv), f_stv / f_ntv);
+        std::printf("measured: minimum-energy point at Vdd = %.2f V "
+                    "(Vth = %.2f V)\n",
+                    best_vdd, tech.params().vthNom);
+    }
+};
+
+ACCORDION_REGISTER_EXPERIMENT(Fig1aOperatingPoint)
+
+} // namespace
+} // namespace accordion::harness

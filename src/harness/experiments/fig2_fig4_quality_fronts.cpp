@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces Figures 2 and 4: application output quality vs problem
+ * size under Default, Drop 1/4 and Drop 1/2 for all six RMS
+ * benchmarks (Fig. 2: canneal and hotspot; Fig. 4: ferret,
+ * bodytrack, x264, srad). Both axes are normalized to the default
+ * Accordion-input point, exactly as Section 6.2 prescribes.
+ *
+ * Paper behaviors to hold: Q increases monotonically with problem
+ * size; even Drop 1/2 does not cause excessive degradation (except
+ * bodytrack, the most drop-sensitive kernel, whose curves may also
+ * break monotonicity due to non-determinism); hotspot and ferret
+ * show higher sensitivity to problem size than canneal and srad.
+ */
+
+#include "core/quality_profile.hpp"
+#include "harness/experiment.hpp"
+#include "harness/run_context.hpp"
+#include "rms/workload.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace accordion::harness {
+namespace {
+
+class Fig2Fig4QualityFronts final : public Experiment
+{
+  public:
+    std::string name() const override
+    {
+        return "fig2_fig4_quality_fronts";
+    }
+    std::string artifact() const override { return "Fig. 2 + Fig. 4"; }
+    std::string description() const override
+    {
+        return "quality vs problem size, six RMS kernels";
+    }
+
+    void run(RunContext &ctx) const override
+    {
+        util::setVerbose(false);
+        auto csv = ctx.series("fig2_fig4_quality_fronts",
+                              {"benchmark", "ps_ratio", "q_default",
+                               "q_drop14", "q_drop12"});
+
+        for (const rms::Workload *w : rms::allWorkloads()) {
+            const bool fig2 =
+                w->name() == "canneal" || w->name() == "hotspot";
+            banner(util::format(
+                       "Figure %s — %s: quality vs problem size",
+                       fig2 ? "2" : "4", w->name().c_str()),
+                   "Q rises monotonically with problem size; Drop "
+                   "degradation stays moderate (bodytrack excepted)");
+
+            const auto profile = core::QualityProfile::measure(*w);
+            const auto &def = profile.defaultCurve();
+            const auto q14 = profile.dropQuarterCurve().interp();
+            const auto q12 = profile.dropHalfCurve().interp();
+
+            util::Table table({"problem size (norm)", "Q default",
+                               "Q drop 1/4", "Q drop 1/2"});
+            for (std::size_t i = 0; i < def.psRatio.size(); ++i) {
+                const double ps = def.psRatio[i];
+                table.addRow({util::format("%.3f", ps),
+                              util::format("%.3f", def.qRatio[i]),
+                              util::format("%.3f", q14(ps)),
+                              util::format("%.3f", q12(ps))});
+                csv.addRow({w->name(), util::format("%.6g", ps),
+                            util::format("%.6g", def.qRatio[i]),
+                            util::format("%.6g", q14(ps)),
+                            util::format("%.6g", q12(ps))});
+            }
+            std::printf("%s", table.render().c_str());
+            std::printf("\nmeasured: Q span %.2f-%.2f across the "
+                        "sweep; Drop 1/2 at default size keeps "
+                        "%.0f%% of nominal quality\n",
+                        def.qRatio.front(), def.qRatio.back(),
+                        100.0 * q12(1.0));
+        }
+    }
+};
+
+ACCORDION_REGISTER_EXPERIMENT(Fig2Fig4QualityFronts)
+
+} // namespace
+} // namespace accordion::harness

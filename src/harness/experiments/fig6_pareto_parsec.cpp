@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Reproduces Fig. 6: iso-execution-time pareto fronts for the four
+ * PARSEC kernels — canneal, ferret, bodytrack, x264.
+ */
+
+#include "pareto_fronts.hpp"
+
+namespace accordion::harness {
+namespace {
+
+class Fig6ParetoParsec final : public Experiment
+{
+  public:
+    std::string name() const override { return "fig6_pareto_parsec"; }
+    std::string artifact() const override { return "Fig. 6"; }
+    std::string description() const override
+    {
+        return "pareto fronts: canneal, ferret, bodytrack, x264";
+    }
+
+    void run(RunContext &ctx) const override
+    {
+        runParetoFronts(
+            ctx, "6", {"canneal", "ferret", "bodytrack", "x264"});
+    }
+};
+
+ACCORDION_REGISTER_EXPERIMENT(Fig6ParetoParsec)
+
+} // namespace
+} // namespace accordion::harness

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Reproduces Fig. 7: iso-execution-time pareto fronts for the two
+ * Rodinia kernels — hotspot and srad.
+ */
+
+#include "pareto_fronts.hpp"
+
+namespace accordion::harness {
+namespace {
+
+class Fig7ParetoRodinia final : public Experiment
+{
+  public:
+    std::string name() const override { return "fig7_pareto_rodinia"; }
+    std::string artifact() const override { return "Fig. 7"; }
+    std::string description() const override
+    {
+        return "pareto fronts: hotspot, srad";
+    }
+
+    void run(RunContext &ctx) const override
+    {
+        runParetoFronts(ctx, "7", {"hotspot", "srad"});
+    }
+};
+
+ACCORDION_REGISTER_EXPERIMENT(Fig7ParetoRodinia)
+
+} // namespace
+} // namespace accordion::harness

@@ -1,33 +1,34 @@
 /**
  * @file
  * Shared driver for the Fig. 6 / Fig. 7 iso-execution-time pareto
- * benches: extracts Safe and Speculative fronts for a set of
- * kernels on the default chip and prints the paper's four columns
- * (MIPS/W, power, problem size, quality — all normalized to the
- * STV baseline) against NNTV/NSTV.
+ * experiments: extracts Safe and Speculative fronts for a set of
+ * kernels on the run's shared chip and prints the paper's four
+ * columns (MIPS/W, power, problem size, quality — all normalized to
+ * the STV baseline) against NNTV/NSTV.
  */
 
-#ifndef ACCORDION_BENCH_PARETO_BENCH_HPP
-#define ACCORDION_BENCH_PARETO_BENCH_HPP
+#ifndef ACCORDION_HARNESS_EXPERIMENTS_PARETO_FRONTS_HPP
+#define ACCORDION_HARNESS_EXPERIMENTS_PARETO_FRONTS_HPP
 
 #include <string>
 #include <vector>
 
-#include "common.hpp"
 #include "core/accordion.hpp"
+#include "harness/experiment.hpp"
+#include "harness/run_context.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
 
-namespace accordion::bench {
+namespace accordion::harness {
 
 /** Run and print the pareto fronts of the given kernels. */
 inline void
-runParetoBench(const std::string &figure,
-               const std::vector<std::string> &kernels,
-               int argc = 0, char **argv = nullptr)
+runParetoFronts(RunContext &ctx, const std::string &figure,
+                const std::vector<std::string> &kernels)
 {
     util::setVerbose(false);
-    initThreads(argc, argv);
-    core::AccordionSystem system;
-    auto csv = csvFor(
+    core::AccordionSystem &system = ctx.system();
+    auto csv = ctx.series(
         "fig" + figure + "_pareto",
         {"benchmark", "flavor", "ps_ratio", "n_ntv", "n_ratio",
          "f_ghz", "mipsw_ratio", "power_ratio", "q_ratio", "mode",
@@ -89,6 +90,6 @@ runParetoBench(const std::string &figure,
     }
 }
 
-} // namespace accordion::bench
+} // namespace accordion::harness
 
-#endif // ACCORDION_BENCH_PARETO_BENCH_HPP
+#endif // ACCORDION_HARNESS_EXPERIMENTS_PARETO_FRONTS_HPP

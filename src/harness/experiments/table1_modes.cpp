@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Table 1: the basic Accordion modes of operation, and
+ * demonstrates their arithmetic on the default chip — Still keeps
+ * the problem size and grows N by >= fSTV/fNTV; Compress shrinks
+ * both; Expand grows N faster than the problem size.
+ */
+
+#include "core/accordion.hpp"
+#include "harness/experiment.hpp"
+#include "harness/run_context.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace accordion::harness {
+namespace {
+
+class Table1Modes final : public Experiment
+{
+  public:
+    std::string name() const override { return "table1_modes"; }
+    std::string artifact() const override { return "Table 1"; }
+    std::string description() const override
+    {
+        return "Still/Compress/Expand semantics + measured demo";
+    }
+
+    void run(RunContext &ctx) const override
+    {
+        util::setVerbose(false);
+        banner("Table 1 — basic Accordion modes of operation",
+               "Still: PS fixed, N x fSTV/fNTV; Compress: smaller "
+               "PS, fewer cores, Q loss; Expand: larger PS, N "
+               "grows faster than PS");
+
+        util::Table semantics({"Mode", "Problem size", "Core count",
+                               "Quality", "Flavors"});
+        semantics.addRow({"Still", "PS_NTV = PS_STV",
+                          "N_NTV >= N_STV x f_STV/f_NTV",
+                          "Q_NTV = Q_STV", "Safe / Speculative"});
+        semantics.addRow({"Compress", "PS_NTV < PS_STV",
+                          "no restriction (can be < N_STV)",
+                          "Q_NTV <= Q_STV", "Safe / Speculative"});
+        semantics.addRow({"Expand", "PS_NTV > PS_STV",
+                          "N_NTV > N_STV (faster than PS)",
+                          "Q_NTV >= Q_STV (Safe)",
+                          "Safe / Speculative"});
+        std::printf("%s\n", semantics.render().c_str());
+
+        core::AccordionSystem &system = ctx.system();
+        const rms::Workload &w = rms::findWorkload("canneal");
+        const core::QualityProfile &profile =
+            system.profile("canneal");
+        const core::StvBaseline base =
+            system.pareto().baseline(w, profile);
+
+        util::Table demo({"PS/PSstv", "mode", "N/Nstv",
+                          "per-core work x", "f (GHz)", "Q/Qstv"});
+        for (double ps : {0.5, 1.0, 1.33}) {
+            const auto p = system.pareto().evaluateAt(
+                w, profile, core::Flavor::Safe, ps, base);
+            demo.addRow({util::format("%.2f", ps),
+                         core::sizeModeName(p.sizeMode),
+                         util::format("%.2f", p.nRatio(base)),
+                         util::format("%.2f", ps / p.nRatio(base)),
+                         util::format("%.2f", p.fHz / 1e9),
+                         util::format("%.3f", p.qualityRatio)});
+        }
+        std::printf("measured on the default chip (canneal, "
+                    "Safe):\n%s",
+                    demo.render().c_str());
+        std::printf("\nnote: per-core work (PS/N normalized to STV) "
+                    "stays <= f_NTV/f_STV = %.2f in every feasible "
+                    "mode, as Table 1 requires\n",
+                    0.35e9 / base.fHz);
+    }
+};
+
+ACCORDION_REGISTER_EXPERIMENT(Table1Modes)
+
+} // namespace
+} // namespace accordion::harness

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reproduces Table 2: the system, variation, technology and
+ * architecture parameters of the hypothetical 288-core NTV chip,
+ * plus the derived quantities the rest of the evaluation consumes.
+ */
+
+#include "core/accordion.hpp"
+#include "harness/experiment.hpp"
+#include "harness/run_context.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace accordion::harness {
+namespace {
+
+class Table2Parameters final : public Experiment
+{
+  public:
+    std::string name() const override { return "table2_parameters"; }
+    std::string artifact() const override { return "Table 2"; }
+    std::string description() const override
+    {
+        return "technology/architecture parameters + derived corner";
+    }
+
+    void run(RunContext &ctx) const override
+    {
+        util::setVerbose(false);
+        banner("Table 2 — technology and architecture parameters",
+               "288 cores / 36 clusters at 11 nm; P_MAX 100 W; "
+               "VddNOM 0.55 V, VthNOM 0.33 V, fNOM 1 GHz");
+
+        core::AccordionSystem &system = ctx.system();
+        const auto &tech = system.technology();
+        const auto &chip = system.chip();
+        const auto &geo = chip.geometry();
+        const auto &mem = system.config().memory;
+
+        util::Table table({"parameter", "value"});
+        table.addRow({"Technology node", tech.name()});
+        table.addRow({"# cores", util::format("%zu", geo.numCores())});
+        table.addRow({"# clusters",
+                      util::format("%zu (%zu cores/cluster)",
+                                   geo.numClusters(),
+                                   geo.coresPerCluster())});
+        table.addRow({"P_MAX",
+                      util::format("%.0f W",
+                                   system.powerModel().budget())});
+        table.addRow({"Chip area",
+                      util::format("%.0f mm x %.0f mm",
+                                   geo.params().chipEdgeMm,
+                                   geo.params().chipEdgeMm)});
+        table.addRow({"VddNOM",
+                      util::format("%.2f V", tech.params().vddNom)});
+        table.addRow({"VthNOM",
+                      util::format("%.2f V", tech.params().vthNom)});
+        table.addRow({"fNOM",
+                      util::format("%.1f GHz", tech.fNtv() / 1e9)});
+        table.addRow({"f_network",
+                      util::format("%.1f GHz", mem.networkFreqGhz)});
+        table.addRow(
+            {"Correlation range phi",
+             util::format("%.1f",
+                          system.factory().params().variation.phi)});
+        table.addRow(
+            {"Total (sigma/mu) Vth",
+             util::format("%.0f%%",
+                          100.0 * tech.params().sigmaVthTotal)});
+        table.addRow(
+            {"Total (sigma/mu) Leff",
+             util::format("%.1f%%",
+                          100.0 * tech.params().sigmaLeffTotal)});
+        table.addRow({"Sample size", "100 chips"});
+        table.addRow({"Core-private mem",
+                      util::format("64KB WT, %.0f ns access, 64B line",
+                                   mem.privateAccessNs)});
+        table.addRow({"Cluster mem",
+                      util::format("2MB WB, %.0f ns access, 64B line",
+                                   mem.clusterAccessNs)});
+        table.addRow(
+            {"Network", "bus inside cluster, 2D-torus across"});
+        table.addRow({"Avg mem round trip",
+                      util::format("~%.0f ns (uncontended)",
+                                   mem.remoteRoundTripNs)});
+        std::printf("%s", table.render().c_str());
+
+        std::printf("\nderived on the default chip:\n");
+        std::printf("  STV equivalent corner: %.2f V / %.2f GHz\n",
+                    tech.params().vddStv, tech.fStv() / 1e9);
+        std::printf("  N_STV (cores in budget at STV): %zu\n",
+                    system.powerModel().maxCoresAtStv(
+                        geo.coresPerCluster()));
+        std::printf("  chip VddNTV (max per-cluster VddMIN): %.3f V\n",
+                    chip.vddNtv());
+    }
+};
+
+ACCORDION_REGISTER_EXPERIMENT(Table2Parameters)
+
+} // namespace
+} // namespace accordion::harness

@@ -1,0 +1,12 @@
+/**
+ * @file
+ * The `accordion` binary: one CLI over every registered experiment.
+ */
+
+#include "harness/cli.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return accordion::harness::runCli(argc, argv);
+}

@@ -1,0 +1,172 @@
+#include "result_sink.hpp"
+
+#include <filesystem>
+
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace accordion::harness {
+
+const char *
+formatName(OutputFormat format)
+{
+    switch (format) {
+    case OutputFormat::Csv:
+        return "csv";
+    case OutputFormat::Json:
+        return "json";
+    case OutputFormat::Both:
+        return "both";
+    }
+    util::panic("formatName: bad format %d", static_cast<int>(format));
+}
+
+std::optional<OutputFormat>
+parseFormat(const std::string &text)
+{
+    if (text == "csv")
+        return OutputFormat::Csv;
+    if (text == "json")
+        return OutputFormat::Json;
+    if (text == "both")
+        return OutputFormat::Both;
+    return std::nullopt;
+}
+
+namespace {
+
+/** Is the cell a valid JSON number literal as-is? */
+bool
+isJsonNumber(const std::string &cell)
+{
+    std::size_t i = 0;
+    if (i < cell.size() && cell[i] == '-')
+        ++i;
+    std::size_t digits = 0;
+    while (i < cell.size() && cell[i] >= '0' && cell[i] <= '9') {
+        ++i;
+        ++digits;
+    }
+    if (digits == 0)
+        return false;
+    if (i < cell.size() && cell[i] == '.') {
+        ++i;
+        digits = 0;
+        while (i < cell.size() && cell[i] >= '0' && cell[i] <= '9') {
+            ++i;
+            ++digits;
+        }
+        if (digits == 0)
+            return false;
+    }
+    if (i < cell.size() && (cell[i] == 'e' || cell[i] == 'E')) {
+        ++i;
+        if (i < cell.size() && (cell[i] == '+' || cell[i] == '-'))
+            ++i;
+        digits = 0;
+        while (i < cell.size() && cell[i] >= '0' && cell[i] <= '9') {
+            ++i;
+            ++digits;
+        }
+        if (digits == 0)
+            return false;
+    }
+    return i == cell.size();
+}
+
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char ch : s) {
+        switch (ch) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(ch) < 0x20)
+                out += util::format("\\u%04x", ch);
+            else
+                out += ch;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+Series::Series(const std::string &dir, const std::string &name,
+               std::vector<std::string> header, OutputFormat format)
+    : header_(std::move(header))
+{
+    std::filesystem::create_directories(dir);
+    if (format == OutputFormat::Csv || format == OutputFormat::Both)
+        csv_.emplace(dir + "/" + name + ".csv", header_);
+    if (format == OutputFormat::Json || format == OutputFormat::Both) {
+        jsonPath_ = dir + "/" + name + ".jsonl";
+        json_.emplace(jsonPath_);
+        if (!*json_)
+            util::fatal("Series: cannot open '%s' for writing",
+                        jsonPath_.c_str());
+    }
+}
+
+void
+Series::addRow(const std::vector<std::string> &cells)
+{
+    if (cells.size() != header_.size())
+        util::panic("Series::addRow: %zu cells, expected %zu",
+                    cells.size(), header_.size());
+    if (csv_)
+        csv_->addRow(cells);
+    if (json_) {
+        std::string line = "{";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                line += ',';
+            line += jsonString(header_[i]);
+            line += ':';
+            line += isJsonNumber(cells[i]) ? cells[i]
+                                           : jsonString(cells[i]);
+        }
+        line += "}\n";
+        *json_ << line;
+        if (!*json_)
+            util::fatal("Series: write error on '%s' (disk full?)",
+                        jsonPath_.c_str());
+    }
+}
+
+void
+Series::addRow(const std::vector<double> &cells)
+{
+    std::vector<std::string> formatted;
+    formatted.reserve(cells.size());
+    for (double v : cells)
+        formatted.push_back(util::format("%.8g", v));
+    addRow(formatted);
+}
+
+ResultSink::ResultSink(std::string out_dir, OutputFormat format)
+    : outDir_(std::move(out_dir)), format_(format)
+{
+}
+
+Series
+ResultSink::series(const std::string &name,
+                   std::vector<std::string> header) const
+{
+    return Series(outDir_, name, std::move(header), format_);
+}
+
+} // namespace accordion::harness

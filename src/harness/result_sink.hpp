@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Structured result emission for experiments. A ResultSink owns the
+ * output directory and format policy; each named Series an
+ * experiment opens mirrors one row-emission API into the formats
+ * the run asked for:
+ *
+ *  - csv  — `<out-dir>/<name>.csv`, byte-identical to the legacy
+ *           bench CSVs (the golden suite depends on this),
+ *  - json — `<out-dir>/<name>.jsonl`, one JSON object per row with
+ *           the header cells as keys (numeric-looking cells are
+ *           emitted as JSON numbers),
+ *  - both — both files.
+ *
+ * Human-readable ASCII tables remain the experiment's own stdout
+ * (util::Table), exactly as the legacy benches printed them.
+ */
+
+#ifndef ACCORDION_HARNESS_RESULT_SINK_HPP
+#define ACCORDION_HARNESS_RESULT_SINK_HPP
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace accordion::harness {
+
+/** File formats a run can emit. */
+enum class OutputFormat
+{
+    Csv,  //!< legacy-compatible CSV only (the default)
+    Json, //!< newline-delimited JSON only
+    Both, //!< CSV and NDJSON side by side
+};
+
+/** CLI spelling of a format. */
+const char *formatName(OutputFormat format);
+
+/** Parse a --format value; nullopt on anything unknown. */
+std::optional<OutputFormat> parseFormat(const std::string &text);
+
+/**
+ * One named output series. Movable; the files are flushed, checked
+ * and closed on destruction (CsvWriter fatal()s on write errors).
+ */
+class Series
+{
+  public:
+    Series(const std::string &dir, const std::string &name,
+           std::vector<std::string> header, OutputFormat format);
+
+    /** Append one row of preformatted cells. */
+    void addRow(const std::vector<std::string> &cells);
+
+    /** Append one row of doubles (formatted with %.8g). */
+    void addRow(const std::vector<double> &cells);
+
+    Series(Series &&) = default;
+    Series &operator=(Series &&) = default;
+
+  private:
+    std::vector<std::string> header_;
+    std::string jsonPath_;
+    std::optional<util::CsvWriter> csv_;
+    std::optional<std::ofstream> json_;
+};
+
+/** Factory for Series under one (out-dir, format) policy. */
+class ResultSink
+{
+  public:
+    ResultSink(std::string out_dir, OutputFormat format);
+
+    /** Open `<out-dir>/<name>.{csv,jsonl}`, creating directories. */
+    Series series(const std::string &name,
+                  std::vector<std::string> header) const;
+
+    const std::string &outDir() const { return outDir_; }
+    OutputFormat format() const { return format_; }
+
+  private:
+    std::string outDir_;
+    OutputFormat format_;
+};
+
+} // namespace accordion::harness
+
+#endif // ACCORDION_HARNESS_RESULT_SINK_HPP

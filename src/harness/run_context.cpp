@@ -1,0 +1,39 @@
+#include "run_context.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace accordion::harness {
+
+RunContext::RunContext() : RunContext(Options{}) {}
+
+RunContext::RunContext(Options options)
+    : options_(std::move(options)),
+      sink_(options_.outDir, options_.format)
+{
+    if (options_.threads != 0)
+        util::ThreadPool::setGlobalThreads(options_.threads);
+}
+
+core::AccordionSystem &
+RunContext::system()
+{
+    core::AccordionSystem::Config config;
+    config.seed = options_.seed;
+    return system(config);
+}
+
+core::AccordionSystem &
+RunContext::system(const core::AccordionSystem::Config &config)
+{
+    const std::string key = config.key();
+    auto it = systems_.find(key);
+    if (it == systems_.end())
+        it = systems_
+                 .emplace(key,
+                          std::make_unique<core::AccordionSystem>(
+                              config))
+                 .first;
+    return *it->second;
+}
+
+} // namespace accordion::harness

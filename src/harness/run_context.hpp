@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-invocation state shared by every experiment of a run: the
+ * seed, the thread-pool size, the output sink, and — the expensive
+ * part — a lazily-built cache of AccordionSystem instances keyed by
+ * their full Config. `accordion run all` manufactures the chip and
+ * measures each kernel's quality profile once, not once per
+ * experiment.
+ */
+
+#ifndef ACCORDION_HARNESS_RUN_CONTEXT_HPP
+#define ACCORDION_HARNESS_RUN_CONTEXT_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/accordion.hpp"
+#include "result_sink.hpp"
+
+namespace accordion::harness {
+
+/** One experiment run's shared state. */
+class RunContext
+{
+  public:
+    struct Options
+    {
+        std::uint64_t seed = 12345; //!< manufacturing seed
+        /** Thread-pool size; 0 leaves the global pool untouched
+         *  (ACCORDION_THREADS / hardware_concurrency). */
+        std::size_t threads = 0;
+        std::string outDir = "bench_out";
+        OutputFormat format = OutputFormat::Csv;
+    };
+
+    /** Legacy-compatible defaults (seed 12345, bench_out/, csv). */
+    RunContext();
+    explicit RunContext(Options options);
+
+    const Options &options() const { return options_; }
+    std::uint64_t seed() const { return options_.seed; }
+    const ResultSink &sink() const { return sink_; }
+
+    /** Open an output series under this run's dir and format. */
+    Series series(const std::string &name,
+                  std::vector<std::string> header) const
+    {
+        return sink_.series(name, std::move(header));
+    }
+
+    /**
+     * The shared default-config system of this run (the run's seed,
+     * chip 0 — what every legacy bench built for itself). Built on
+     * first use, cached for the rest of the run.
+     */
+    core::AccordionSystem &system();
+
+    /** A shared system for an arbitrary config, cached by key(). */
+    core::AccordionSystem &system(const core::AccordionSystem::Config &config);
+
+    /** How many distinct systems this context has built so far. */
+    std::size_t systemBuilds() const { return systems_.size(); }
+
+  private:
+    Options options_;
+    ResultSink sink_;
+    std::map<std::string, std::unique_ptr<core::AccordionSystem>>
+        systems_;
+};
+
+} // namespace accordion::harness
+
+#endif // ACCORDION_HARNESS_RUN_CONTEXT_HPP

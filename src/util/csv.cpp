@@ -7,11 +7,33 @@ namespace accordion::util {
 
 CsvWriter::CsvWriter(const std::string &path,
                      std::vector<std::string> header)
-    : out_(path), columns_(header.size())
+    : out_(path), path_(path), columns_(header.size())
 {
     if (!out_)
         fatal("CsvWriter: cannot open '%s' for writing", path.c_str());
     addRow(header);
+}
+
+CsvWriter::~CsvWriter()
+{
+    close();
+}
+
+void
+CsvWriter::close()
+{
+    if (!out_.is_open())
+        return;
+    out_.flush();
+    if (!out_)
+        fatal("CsvWriter: write error on '%s' (disk full?); the file "
+              "is truncated",
+              path_.c_str());
+    out_.close();
+    if (out_.fail())
+        fatal("CsvWriter: closing '%s' failed; the file may be "
+              "truncated",
+              path_.c_str());
 }
 
 std::string
@@ -56,10 +78,19 @@ CsvWriter::addRow(const std::vector<double> &cells)
 std::size_t
 CsvFile::column(const std::string &name) const
 {
-    for (std::size_t i = 0; i < header.size(); ++i)
-        if (header[i] == name)
-            return i;
-    fatal("CsvFile: no column named '%s'", name.c_str());
+    std::size_t found = header.size();
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (header[i] != name)
+            continue;
+        if (found != header.size())
+            fatal("CsvFile: duplicate column '%s' (positions %zu and "
+                  "%zu); lookup is ambiguous",
+                  name.c_str(), found, i);
+        found = i;
+    }
+    if (found == header.size())
+        fatal("CsvFile: no column named '%s'", name.c_str());
+    return found;
 }
 
 namespace {

@@ -24,16 +24,34 @@ class CsvWriter
      */
     CsvWriter(const std::string &path, std::vector<std::string> header);
 
+    /**
+     * Flushes and verifies the stream (via close()) if still open:
+     * a CSV silently truncated by a full disk or I/O error is a
+     * fatal() condition, not a quiet success.
+     */
+    ~CsvWriter();
+
+    CsvWriter(CsvWriter &&) = default;
+    CsvWriter &operator=(CsvWriter &&) = default;
+
     /** Append a row of preformatted cells. */
     void addRow(const std::vector<std::string> &cells);
 
     /** Append a row of doubles (formatted with %.8g). */
     void addRow(const std::vector<double> &cells);
 
+    /**
+     * Flush, check the stream state, and close the file. fatal()s
+     * when any buffered write failed to reach the file system.
+     * Idempotent; also invoked by the destructor.
+     */
+    void close();
+
   private:
     static std::string quote(const std::string &cell);
 
     std::ofstream out_;
+    std::string path_;
     std::size_t columns_;
 };
 
@@ -43,7 +61,11 @@ struct CsvFile
     std::vector<std::string> header;
     std::vector<std::vector<std::string>> rows;
 
-    /** Index of a header column; fatal()s when absent. */
+    /**
+     * Index of a header column; fatal()s when absent or when the
+     * header carries the name more than once (an ambiguous lookup
+     * would silently bind to an arbitrary column).
+     */
     std::size_t column(const std::string &name) const;
 };
 

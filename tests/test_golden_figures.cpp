@@ -24,12 +24,16 @@
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "core/accordion.hpp"
 #include "core/montecarlo.hpp"
 #include "golden_mode.hpp"
+#include "harness/experiment.hpp"
+#include "harness/run_context.hpp"
 #include "rms/workload.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
@@ -108,24 +112,84 @@ checkOrUpdate(const std::string &name,
     }
 }
 
+/**
+ * The goldens run through the experiment harness: the fixture owns
+ * a RunContext (the object `accordion run` drives) and takes its
+ * AccordionSystem from the context's shared cache, so any harness
+ * regression — a config-key collision, a cache returning the wrong
+ * system — fails these number-pinned tests too.
+ */
 class GoldenFigures : public ::testing::Test
 {
   protected:
+    static constexpr const char *kOutDir = "harness_golden_out";
+
     static void SetUpTestSuite()
     {
         util::setVerbose(false);
-        system_ = new core::AccordionSystem();
+        std::filesystem::remove_all(kOutDir);
+        harness::RunContext::Options options;
+        options.outDir = kOutDir;
+        ctx_ = new harness::RunContext(options);
+        system_ = &ctx_->system();
     }
 
     static void TearDownTestSuite()
     {
-        delete system_;
+        delete ctx_;
+        ctx_ = nullptr;
         system_ = nullptr;
     }
 
+    /** Run a registered experiment, swallowing its stdout tables. */
+    static void runExperiment(const std::string &name)
+    {
+        const harness::Experiment *e =
+            harness::Registry::instance().find(name);
+        ASSERT_NE(e, nullptr) << name;
+        ::testing::internal::CaptureStdout();
+        e->run(*ctx_);
+        ::testing::internal::GetCapturedStdout();
+    }
+
+    /**
+     * Byte-compare a CSV the harness produced against the frozen
+     * pre-refactor bench CSV under tests/golden/harness/ (or
+     * refresh the snapshot under --update-golden).
+     */
+    static void checkBytesOrUpdate(const std::string &csv_name)
+    {
+        const std::string produced =
+            std::string(kOutDir) + "/" + csv_name;
+        const std::string golden = std::string(ACCORDION_GOLDEN_DIR) +
+                                   "/harness/" + csv_name;
+        ASSERT_TRUE(std::filesystem::exists(produced)) << produced;
+        if (accordion::test::updateGoldenFlag()) {
+            std::filesystem::create_directories(
+                std::string(ACCORDION_GOLDEN_DIR) + "/harness");
+            std::filesystem::copy_file(
+                produced, golden,
+                std::filesystem::copy_options::overwrite_existing);
+            GTEST_SKIP() << "rewrote " << golden;
+        }
+        ASSERT_TRUE(std::filesystem::exists(golden))
+            << golden << " is missing; run with --update-golden "
+            << "once to create it, then commit the file";
+        auto slurp = [](const std::string &path) {
+            std::ifstream in(path, std::ios::binary);
+            return std::string(std::istreambuf_iterator<char>(in),
+                               std::istreambuf_iterator<char>());
+        };
+        EXPECT_EQ(slurp(produced), slurp(golden))
+            << csv_name << " is no longer byte-identical to the "
+            << "pre-harness bench output";
+    }
+
+    static harness::RunContext *ctx_;
     static core::AccordionSystem *system_;
 };
 
+harness::RunContext *GoldenFigures::ctx_ = nullptr;
 core::AccordionSystem *GoldenFigures::system_ = nullptr;
 
 /** The pareto-front rows of one figure's kernel set. */
@@ -261,6 +325,30 @@ TEST_F(GoldenFigures, MonteCarloSampleSummaries)
                   {"metric", "mean", "stddev", "min", "p10", "p90",
                    "max"},
                   rows);
+}
+
+// ---------------------------------------------------------------
+// Byte-identity through the harness: `accordion run <name>` must
+// produce the exact CSV bytes the pre-refactor one-binary-per-
+// figure benches wrote (frozen under tests/golden/harness/).
+// ---------------------------------------------------------------
+
+TEST_F(GoldenFigures, HarnessFig6CsvByteIdentical)
+{
+    runExperiment("fig6_pareto_parsec");
+    checkBytesOrUpdate("fig6_pareto.csv");
+}
+
+TEST_F(GoldenFigures, HarnessFig7CsvByteIdentical)
+{
+    runExperiment("fig7_pareto_rodinia");
+    checkBytesOrUpdate("fig7_pareto.csv");
+}
+
+TEST_F(GoldenFigures, HarnessTable3CsvByteIdentical)
+{
+    runExperiment("table3_characterization");
+    checkBytesOrUpdate("table3_characterization.csv");
 }
 
 } // namespace

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Tests of the experiment-harness layer: the self-registration
+ * registry, the strict CLI argument parsing, the RunContext's
+ * shared-AccordionSystem cache (the `run all` build-once property),
+ * and the ResultSink's CSV/NDJSON mirroring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/accordion.hpp"
+#include "harness/args.hpp"
+#include "harness/cli.hpp"
+#include "harness/experiment.hpp"
+#include "harness/result_sink.hpp"
+#include "harness/run_context.hpp"
+#include "util/log.hpp"
+
+using namespace accordion;
+
+namespace {
+
+/** Every bench driver ported into the registry. */
+const char *const kExpectedExperiments[] = {
+    "ablation_cc_policy",
+    "ablation_checkpoint",
+    "ablation_design_space",
+    "ablation_fdomain",
+    "ablation_vdd_percluster",
+    "comparison_baselines",
+    "ext_dynamic_orchestration",
+    "ext_weak_scaling",
+    "fig1a_operating_point",
+    "fig1b_error_rate",
+    "fig1c_guardband",
+    "fig2_fig4_quality_fronts",
+    "fig5_variation",
+    "fig6_pareto_parsec",
+    "fig7_pareto_rodinia",
+    "headline_energy_efficiency",
+    "montecarlo_sample",
+    "sec62_error_model_validation",
+    "sec63_speculative_f",
+    "table1_modes",
+    "table2_parameters",
+    "table3_characterization",
+};
+
+TEST(HarnessRegistry, EnumeratesEveryPortedExperiment)
+{
+    const auto all = harness::Registry::instance().all();
+    ASSERT_EQ(all.size(), std::size(kExpectedExperiments));
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i]->name(), kExpectedExperiments[i]);
+}
+
+TEST(HarnessRegistry, NamesAreUniqueAndSorted)
+{
+    const auto all = harness::Registry::instance().all();
+    for (std::size_t i = 0; i + 1 < all.size(); ++i)
+        EXPECT_LT(all[i]->name(), all[i + 1]->name());
+}
+
+TEST(HarnessRegistry, EveryExperimentHasMetadata)
+{
+    for (const harness::Experiment *e :
+         harness::Registry::instance().all()) {
+        EXPECT_FALSE(e->artifact().empty()) << e->name();
+        EXPECT_FALSE(e->description().empty()) << e->name();
+    }
+}
+
+TEST(HarnessRegistry, FindUnknownReturnsNull)
+{
+    EXPECT_EQ(harness::Registry::instance().find("no_such_thing"),
+              nullptr);
+    EXPECT_NE(harness::Registry::instance().find("fig6_pareto_parsec"),
+              nullptr);
+}
+
+TEST(HarnessArgs, ParsePositiveCountAcceptsStrictIntegers)
+{
+    std::size_t n = 0;
+    EXPECT_TRUE(harness::parsePositiveCount("1", &n));
+    EXPECT_EQ(n, 1u);
+    EXPECT_TRUE(harness::parsePositiveCount("64", &n));
+    EXPECT_EQ(n, 64u);
+}
+
+TEST(HarnessArgs, ParsePositiveCountRejectsGarbage)
+{
+    std::size_t n = 77;
+    // The legacy strtol bug: trailing garbage must not pass.
+    EXPECT_FALSE(harness::parsePositiveCount("4x", &n));
+    EXPECT_FALSE(harness::parsePositiveCount("x4", &n));
+    EXPECT_FALSE(harness::parsePositiveCount("", &n));
+    EXPECT_FALSE(harness::parsePositiveCount("0", &n));
+    EXPECT_FALSE(harness::parsePositiveCount("-3", &n));
+    EXPECT_FALSE(harness::parsePositiveCount("+3", &n));
+    EXPECT_FALSE(harness::parsePositiveCount(" 4", &n));
+    EXPECT_FALSE(harness::parsePositiveCount("4 ", &n));
+    EXPECT_FALSE(harness::parsePositiveCount("4.0", &n));
+    EXPECT_FALSE(
+        harness::parsePositiveCount("99999999999999999999999", &n));
+    EXPECT_EQ(n, 77u) << "failed parse must leave *out untouched";
+}
+
+TEST(HarnessArgs, ParseSeedAllowsZero)
+{
+    std::uint64_t s = 0;
+    EXPECT_TRUE(harness::parseSeed("0", &s));
+    EXPECT_EQ(s, 0u);
+    EXPECT_TRUE(harness::parseSeed("12345", &s));
+    EXPECT_EQ(s, 12345u);
+    EXPECT_FALSE(harness::parseSeed("-1", &s));
+    EXPECT_FALSE(harness::parseSeed("12a", &s));
+}
+
+TEST(HarnessFormat, ParseFormat)
+{
+    EXPECT_EQ(harness::parseFormat("csv"),
+              harness::OutputFormat::Csv);
+    EXPECT_EQ(harness::parseFormat("json"),
+              harness::OutputFormat::Json);
+    EXPECT_EQ(harness::parseFormat("both"),
+              harness::OutputFormat::Both);
+    EXPECT_FALSE(harness::parseFormat("xml").has_value());
+    EXPECT_FALSE(harness::parseFormat("").has_value());
+}
+
+TEST(HarnessCli, ParsesRunWithOptions)
+{
+    std::string error;
+    const auto options = harness::parseCli(
+        {"run", "fig6_pareto_parsec", "table1_modes", "--threads",
+         "2", "--seed", "7", "--out-dir", "somewhere", "--format",
+         "both"},
+        &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    EXPECT_EQ(options->command,
+              harness::CliOptions::Command::Run);
+    EXPECT_FALSE(options->runAll);
+    ASSERT_EQ(options->experiments.size(), 2u);
+    EXPECT_EQ(options->experiments[0], "fig6_pareto_parsec");
+    EXPECT_EQ(options->experiments[1], "table1_modes");
+    EXPECT_EQ(options->run.threads, 2u);
+    EXPECT_EQ(options->run.seed, 7u);
+    EXPECT_EQ(options->run.outDir, "somewhere");
+    EXPECT_EQ(options->run.format, harness::OutputFormat::Both);
+}
+
+TEST(HarnessCli, RejectsThreadsGarbage)
+{
+    std::string error;
+    EXPECT_FALSE(
+        harness::parseCli({"run", "all", "--threads", "4x"}, &error));
+    EXPECT_NE(error.find("--threads"), std::string::npos);
+    EXPECT_NE(error.find("4x"), std::string::npos);
+    EXPECT_FALSE(
+        harness::parseCli({"run", "all", "--threads", "0"}, &error));
+    EXPECT_FALSE(
+        harness::parseCli({"run", "all", "--threads"}, &error));
+}
+
+TEST(HarnessCli, RejectsBadFormat)
+{
+    std::string error;
+    EXPECT_FALSE(
+        harness::parseCli({"run", "all", "--format", "xml"}, &error));
+    EXPECT_NE(error.find("csv, json or both"), std::string::npos);
+}
+
+TEST(HarnessCli, RejectsUnknownOptionAndBadShapes)
+{
+    std::string error;
+    EXPECT_FALSE(harness::parseCli({"run", "all", "--what"}, &error));
+    EXPECT_NE(error.find("unknown option"), std::string::npos);
+    EXPECT_FALSE(harness::parseCli({"run"}, &error));
+    EXPECT_NE(error.find("at least one experiment"),
+              std::string::npos);
+    EXPECT_FALSE(
+        harness::parseCli({"run", "all", "table1_modes"}, &error));
+    EXPECT_NE(error.find("not both"), std::string::npos);
+    EXPECT_FALSE(harness::parseCli({"frobnicate"}, &error));
+    EXPECT_NE(error.find("unknown command"), std::string::npos);
+    EXPECT_FALSE(harness::parseCli({"list", "extra"}, &error));
+}
+
+TEST(HarnessCli, ResolvesUnknownExperimentToError)
+{
+    std::string error;
+    const auto options =
+        harness::parseCli({"run", "no_such_experiment"}, &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    const auto experiments =
+        harness::resolveExperiments(*options, &error);
+    EXPECT_TRUE(experiments.empty());
+    EXPECT_NE(error.find("unknown experiment 'no_such_experiment'"),
+              std::string::npos);
+}
+
+TEST(HarnessCli, ResolvesAllInRegistryOrder)
+{
+    std::string error;
+    const auto options = harness::parseCli({"run", "all"}, &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    const auto experiments =
+        harness::resolveExperiments(*options, &error);
+    ASSERT_EQ(experiments.size(),
+              harness::Registry::instance().size());
+    for (std::size_t i = 0; i < experiments.size(); ++i)
+        EXPECT_EQ(experiments[i]->name(), kExpectedExperiments[i]);
+}
+
+TEST(HarnessCli, ResolvesNamesInCommandLineOrder)
+{
+    std::string error;
+    const auto options = harness::parseCli(
+        {"run", "table1_modes", "fig1a_operating_point"}, &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    const auto experiments =
+        harness::resolveExperiments(*options, &error);
+    ASSERT_EQ(experiments.size(), 2u);
+    EXPECT_EQ(experiments[0]->name(), "table1_modes");
+    EXPECT_EQ(experiments[1]->name(), "fig1a_operating_point");
+}
+
+TEST(HarnessConfigKey, IdenticalConfigsShareAKey)
+{
+    const core::AccordionSystem::Config a, b;
+    EXPECT_EQ(a.key(), b.key());
+}
+
+TEST(HarnessConfigKey, EveryKnobMovesTheKey)
+{
+    const core::AccordionSystem::Config base;
+    core::AccordionSystem::Config c = base;
+    c.seed = 999;
+    EXPECT_NE(c.key(), base.key());
+    c = base;
+    c.chipId = 3;
+    EXPECT_NE(c.key(), base.key());
+    c = base;
+    c.eventDrivenPerf = true;
+    EXPECT_NE(c.key(), base.key());
+    c = base;
+    c.pareto.isoTolerance *= 2.0;
+    EXPECT_NE(c.key(), base.key());
+    c = base;
+    c.factory.variation.sigmaVthTotal *= 1.5;
+    EXPECT_NE(c.key(), base.key());
+    c = base;
+    c.power.budgetW += 1.0;
+    EXPECT_NE(c.key(), base.key());
+}
+
+TEST(HarnessRunContext, CachesSystemsByConfig)
+{
+    util::setVerbose(false);
+    harness::RunContext::Options options;
+    options.outDir = "harness_test_out";
+    harness::RunContext ctx(options);
+    EXPECT_EQ(ctx.systemBuilds(), 0u);
+
+    core::AccordionSystem &a = ctx.system();
+    core::AccordionSystem &b = ctx.system();
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(ctx.systemBuilds(), 1u);
+
+    // An explicit config equal to the default one hits the cache.
+    core::AccordionSystem::Config same;
+    same.seed = ctx.seed();
+    EXPECT_EQ(&ctx.system(same), &a);
+    EXPECT_EQ(ctx.systemBuilds(), 1u);
+
+    // A different seed is a different system.
+    core::AccordionSystem::Config other;
+    other.seed = 999;
+    core::AccordionSystem &c = ctx.system(other);
+    EXPECT_NE(&a, &c);
+    EXPECT_EQ(ctx.systemBuilds(), 2u);
+    EXPECT_EQ(&ctx.system(other), &c);
+    EXPECT_EQ(ctx.systemBuilds(), 2u);
+}
+
+TEST(HarnessRunContext, RunAllBuildsTheSystemOnce)
+{
+    util::setVerbose(false);
+    harness::RunContext::Options options;
+    options.outDir = "harness_test_out";
+    harness::RunContext ctx(options);
+
+    // Two system-using experiments back to back: the shared cache
+    // must manufacture the chip exactly once.
+    for (const char *name : {"ablation_fdomain", "ablation_checkpoint",
+                             "table2_parameters"}) {
+        const harness::Experiment *e =
+            harness::Registry::instance().find(name);
+        ASSERT_NE(e, nullptr) << name;
+        ::testing::internal::CaptureStdout();
+        e->run(ctx);
+        ::testing::internal::GetCapturedStdout();
+    }
+    EXPECT_EQ(ctx.systemBuilds(), 1u);
+}
+
+TEST(HarnessResultSink, MirrorsRowsToCsvAndJson)
+{
+    const std::string dir = "harness_test_out/sink";
+    std::filesystem::remove_all(dir);
+    {
+        harness::ResultSink sink(dir, harness::OutputFormat::Both);
+        auto series = sink.series("mini", {"label", "value"});
+        series.addRow(std::vector<std::string>{"first", "1.5"});
+        series.addRow(std::vector<double>{2.0, 3.25});
+    }
+
+    std::ifstream csv(dir + "/mini.csv");
+    ASSERT_TRUE(csv.good());
+    std::stringstream csv_text;
+    csv_text << csv.rdbuf();
+    EXPECT_EQ(csv_text.str(), "label,value\nfirst,1.5\n2,3.25\n");
+
+    std::ifstream json(dir + "/mini.jsonl");
+    ASSERT_TRUE(json.good());
+    std::stringstream json_text;
+    json_text << json.rdbuf();
+    EXPECT_EQ(json_text.str(),
+              "{\"label\":\"first\",\"value\":1.5}\n"
+              "{\"label\":2,\"value\":3.25}\n");
+}
+
+TEST(HarnessResultSink, CsvOnlyWritesNoJson)
+{
+    const std::string dir = "harness_test_out/sink_csv";
+    std::filesystem::remove_all(dir);
+    {
+        harness::ResultSink sink(dir, harness::OutputFormat::Csv);
+        auto series = sink.series("mini", {"a"});
+        series.addRow({"1"});
+    }
+    EXPECT_TRUE(std::filesystem::exists(dir + "/mini.csv"));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/mini.jsonl"));
+}
+
+TEST(HarnessResultSinkDeathTest, RowArityMismatchPanics)
+{
+    harness::ResultSink sink("harness_test_out/sink_arity",
+                             harness::OutputFormat::Csv);
+    auto series = sink.series("mini", {"a", "b"});
+    EXPECT_DEATH(series.addRow({"only-one"}), "expected 2");
+}
+
+} // namespace

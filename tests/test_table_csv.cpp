@@ -83,3 +83,51 @@ TEST(Csv, ReadRoundTripsWriter)
     EXPECT_EQ(file.column("value"), 1u);
     std::remove(path.c_str());
 }
+
+TEST(CsvDeathTest, UnknownColumnIsFatal)
+{
+    CsvFile file;
+    file.header = {"a", "b"};
+    EXPECT_EXIT(file.column("missing"),
+                ::testing::ExitedWithCode(1), "no column named");
+}
+
+TEST(CsvDeathTest, DuplicateColumnIsFatal)
+{
+    CsvFile file;
+    file.header = {"a", "b", "a"};
+    EXPECT_EQ(file.column("b"), 1u);
+    EXPECT_EXIT(file.column("a"), ::testing::ExitedWithCode(1),
+                "duplicate column 'a'");
+}
+
+TEST(CsvDeathTest, WriteErrorOnCloseIsFatal)
+{
+    // /dev/full accepts the open but fails every flush: without the
+    // close-time check a full disk would truncate CSVs silently.
+    if (!std::ifstream("/dev/full").good())
+        GTEST_SKIP() << "/dev/full not available";
+    EXPECT_EXIT(
+        {
+            CsvWriter csv("/dev/full", {"a"});
+            for (int i = 0; i < 100000; ++i)
+                csv.addRow(std::vector<std::string>{"row"});
+            csv.close();
+        },
+        ::testing::ExitedWithCode(1), "write error");
+}
+
+TEST(Csv, CloseIsIdempotentAndMoveSafe)
+{
+    const std::string path =
+        ::testing::TempDir() + "/accordion_close.csv";
+    CsvWriter csv(path, {"a"});
+    csv.addRow(std::vector<std::string>{"1"});
+    CsvWriter moved = std::move(csv);
+    moved.addRow(std::vector<std::string>{"2"});
+    moved.close();
+    moved.close(); // second close is a no-op
+    const CsvFile file = readCsv(path);
+    EXPECT_EQ(file.rows.size(), 2u);
+    std::remove(path.c_str());
+}
