@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/stats.hpp"
+#include "obs/timer.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -19,6 +21,9 @@ MonteCarloEvaluator::MonteCarloEvaluator(
 std::vector<double>
 MonteCarloEvaluator::values(const ChipMetric &metric) const
 {
+    ACC_SCOPED_TIMER("montecarlo.values");
+    obs::StatsRegistry::global().counter("montecarlo.samples")
+        .add(chips_);
     // Chips are independent (the factory derives each chip's
     // randomness from its id alone) and every evaluation writes
     // only its own slot, so the sample parallelizes with

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/stats.hpp"
+#include "obs/timer.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -76,6 +78,7 @@ ParetoExtractor::evaluateAt(const rms::Workload &workload,
                             double ps_ratio,
                             const StvBaseline &base) const
 {
+    obs::StatsRegistry::global().counter("pareto.points").inc();
     const auto &geometry = chip_->geometry();
     const double total_instr = profile.defaultInstrPerTask() *
         static_cast<double>(profile.threads()) * ps_ratio;
@@ -163,6 +166,8 @@ ParetoExtractor::extract(const rms::Workload &workload,
                          const QualityProfile &profile,
                          Flavor flavor) const
 {
+    ACC_SCOPED_TIMER("pareto.extract");
+    obs::StatsRegistry::global().counter("pareto.extracts").inc();
     const StvBaseline base = baseline(workload, profile);
     const std::vector<double> &ratios = profile.defaultCurve().psRatio;
     // Problem sizes are independent given the (precomputed)

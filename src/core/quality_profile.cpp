@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/stats.hpp"
+#include "obs/timer.hpp"
 #include "util/log.hpp"
 
 namespace accordion::core {
@@ -15,15 +17,23 @@ ProfileCurve::interp() const
 QualityProfile
 QualityProfile::measure(const rms::Workload &workload, std::uint64_t seed)
 {
+    ACC_SCOPED_TIMER("quality.measure");
+    obs::StatsRegistry &registry = obs::StatsRegistry::global();
+    registry.counter("quality.profiles").inc();
+    const obs::Counter kernel_runs =
+        registry.counter("quality.kernel_runs");
+
     QualityProfile profile;
     profile.threads_ = workload.defaultThreads();
 
+    kernel_runs.inc();
     const rms::RunResult reference = workload.runReference(seed);
 
     rms::RunConfig def;
     def.input = workload.defaultInput();
     def.threads = profile.threads_;
     def.seed = seed;
+    kernel_runs.inc();
     const rms::RunResult def_result = workload.run(def);
     profile.psDefault_ = def_result.problemSize;
     profile.qDefault_ = workload.quality(def_result, reference);
@@ -52,10 +62,12 @@ QualityProfile::measure(const rms::Workload &workload, std::uint64_t seed)
         // Problem size is scenario-independent; take it from the
         // fault-free run.
         config.fault = fault::FaultPlan();
+        kernel_runs.inc();
         const rms::RunResult clean = workload.run(config);
         const double ps_ratio = clean.problemSize / profile.psDefault_;
         for (Scenario &scenario : scenarios) {
             config.fault = scenario.plan;
+            kernel_runs.inc();
             const double q = workload.qualityOf(config, reference) /
                 profile.qDefault_;
             ProfileCurve &curve = *scenario.curve;

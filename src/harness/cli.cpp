@@ -1,10 +1,17 @@
 #include "cli.hpp"
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
 
 #include "args.hpp"
+#include "obs/clock.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace accordion::harness {
 
@@ -24,7 +31,9 @@ usage()
            "  --seed S       manufacturing seed (default: 12345)\n"
            "  --out-dir DIR  series output directory (default: "
            "bench_out)\n"
-           "  --format F     csv | json | both (default: csv)\n";
+           "  --format F     csv | json | both (default: csv)\n"
+           "  --trace FILE   write a Chrome-trace (Perfetto-"
+           "loadable) JSON of the run\n";
 }
 
 namespace {
@@ -96,6 +105,10 @@ parseCli(const std::vector<std::string> &args, std::string *error)
             if (!flagValue(args, &i, &value, error))
                 return std::nullopt;
             options.run.outDir = value;
+        } else if (arg == "--trace") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            options.trace = value;
         } else if (arg == "--format") {
             if (!flagValue(args, &i, &value, error))
                 return std::nullopt;
@@ -145,6 +158,204 @@ resolveExperiments(const CliOptions &options, std::string *error)
     return experiments;
 }
 
+namespace {
+
+/** One experiment's instrumentation snapshot. */
+struct ExperimentSummary
+{
+    std::string name;
+    std::uint64_t elapsedNs = 0;
+    std::vector<obs::StatEntry> stats;
+};
+
+/**
+ * Turn the per-worker busy-time counters of the just-finished
+ * experiment into utilization-fraction gauges, so the stats dump
+ * carries the saturation number directly (busy_ns / wall_ns).
+ */
+void
+deriveUtilization(obs::StatsRegistry &registry,
+                  std::uint64_t elapsed_ns)
+{
+    if (elapsed_ns == 0)
+        return;
+    const std::string prefix = "pool.worker";
+    const std::string suffix = ".busy_ns";
+    double busy_total = 0.0;
+    std::size_t workers = 0;
+    for (const obs::StatEntry &e : registry.snapshot()) {
+        if (e.kind != obs::StatKind::Counter ||
+            e.name.size() <= prefix.size() + suffix.size() ||
+            e.name.compare(0, prefix.size(), prefix) != 0 ||
+            e.name.compare(e.name.size() - suffix.size(),
+                           suffix.size(), suffix) != 0)
+            continue;
+        // "pool.worker3.busy_ns" -> "worker3"
+        const std::string worker = e.name.substr(
+            5, e.name.size() - 5 - suffix.size());
+        registry.gauge("pool.utilization." + worker)
+            .set(static_cast<double>(e.count) /
+                 static_cast<double>(elapsed_ns));
+        busy_total += static_cast<double>(e.count);
+        ++workers;
+    }
+    if (workers > 0)
+        registry.gauge("pool.utilization.mean")
+            .set(busy_total / (static_cast<double>(workers) *
+                               static_cast<double>(elapsed_ns)));
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/**
+ * Write `<out-dir>/run_summary.json`: run metadata plus, per
+ * experiment, wall time and every stat the instrumentation layer
+ * collected while it ran (schema documented in EXPERIMENTS.md).
+ */
+void
+writeRunSummary(const std::string &path, const CliOptions &options,
+                std::size_t threads,
+                const std::vector<ExperimentSummary> &summaries)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(options.run.outDir, ec);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        util::fatal("cannot open '%s' for writing", path.c_str());
+    out << "{\n"
+        << "  \"schema\": \"accordion-run-summary-v1\",\n"
+        << "  \"seed\": " << options.run.seed << ",\n"
+        << "  \"threads\": " << threads << ",\n"
+        << "  \"format\": \"" << formatName(options.run.format)
+        << "\",\n"
+        << "  \"trace\": "
+        << (options.trace.empty()
+                ? std::string("null")
+                : "\"" + jsonEscape(options.trace) + "\"")
+        << ",\n"
+        << "  \"experiments\": [";
+    for (std::size_t i = 0; i < summaries.size(); ++i) {
+        const ExperimentSummary &s = summaries[i];
+        out << (i ? ",\n" : "\n")
+            << "    {\"name\": \"" << jsonEscape(s.name)
+            << "\", \"elapsed_ns\": " << s.elapsedNs
+            << ", \"stats\": " << obs::jsonObject(s.stats) << "}";
+    }
+    out << "\n  ]\n}\n";
+    out.flush();
+    if (!out.good())
+        util::fatal("failed writing '%s'", path.c_str());
+}
+
+/**
+ * The end-of-run human stats table: counters summed and
+ * distributions merged across experiments, utilization recomputed
+ * over the whole run's wall time.
+ */
+std::string
+statsTable(const std::vector<ExperimentSummary> &summaries,
+           std::uint64_t total_elapsed_ns)
+{
+    std::map<std::string, obs::StatEntry> merged;
+    for (const ExperimentSummary &s : summaries) {
+        for (const obs::StatEntry &e : s.stats) {
+            auto it = merged.find(e.name);
+            if (it == merged.end()) {
+                merged.emplace(e.name, e);
+                continue;
+            }
+            obs::StatEntry &m = it->second;
+            switch (e.kind) {
+            case obs::StatKind::Counter:
+                m.count += e.count;
+                break;
+            case obs::StatKind::Gauge:
+                m.value = e.value; // level: keep the latest
+                break;
+            case obs::StatKind::Distribution:
+                if (e.count) {
+                    m.min = m.count ? std::min(m.min, e.min) : e.min;
+                    m.max = m.count ? std::max(m.max, e.max) : e.max;
+                    m.count += e.count;
+                    m.sum += e.sum;
+                }
+                break;
+            }
+        }
+    }
+    // Whole-run utilization from the summed busy counters.
+    if (total_elapsed_ns > 0) {
+        double busy_total = 0.0;
+        std::size_t workers = 0;
+        for (auto &[name, e] : merged) {
+            if (e.kind != obs::StatKind::Counter ||
+                name.compare(0, 11, "pool.worker") != 0 ||
+                name.size() <= 19 ||
+                name.compare(name.size() - 8, 8, ".busy_ns") != 0)
+                continue;
+            const std::string worker =
+                name.substr(5, name.size() - 5 - 8);
+            obs::StatEntry &util_entry =
+                merged["pool.utilization." + worker];
+            util_entry.name = "pool.utilization." + worker;
+            util_entry.kind = obs::StatKind::Gauge;
+            util_entry.value = static_cast<double>(e.count) /
+                static_cast<double>(total_elapsed_ns);
+            busy_total += static_cast<double>(e.count);
+            ++workers;
+        }
+        if (workers > 0) {
+            obs::StatEntry &mean = merged["pool.utilization.mean"];
+            mean.name = "pool.utilization.mean";
+            mean.kind = obs::StatKind::Gauge;
+            mean.value = busy_total /
+                (static_cast<double>(workers) *
+                 static_cast<double>(total_elapsed_ns));
+        }
+    }
+
+    util::Table table({"stat", "kind", "value"});
+    for (const auto &[name, e] : merged) {
+        switch (e.kind) {
+        case obs::StatKind::Counter:
+            table.addRow({name, "counter",
+                          util::format("%llu",
+                                       static_cast<unsigned long long>(
+                                           e.count))});
+            break;
+        case obs::StatKind::Gauge:
+            table.addRow({name, "gauge",
+                          util::format("%.4g", e.value)});
+            break;
+        case obs::StatKind::Distribution:
+            table.addRow(
+                {name, "distribution",
+                 util::format("n=%llu total=%.3f ms mean=%.3f ms "
+                              "min=%.3f ms max=%.3f ms",
+                              static_cast<unsigned long long>(e.count),
+                              e.sum / 1e6, e.mean() / 1e6, e.min / 1e6,
+                              e.max / 1e6)});
+            break;
+        }
+    }
+    return util::format("\nrun stats (%zu experiments, %.2f s "
+                        "wall):\n",
+                        summaries.size(), total_elapsed_ns * 1e-9) +
+        table.render();
+}
+
+} // namespace
+
 int
 runCli(int argc, char **argv)
 {
@@ -181,9 +392,50 @@ runCli(int argc, char **argv)
     if (experiments.empty())
         util::fatal("%s", error.c_str());
 
+    // Instrumentation on for the whole run; the pool binds its
+    // counters when RunContext (re)creates it below.
+    obs::StatsRegistry &registry = obs::StatsRegistry::global();
+    registry.setEnabled(true);
+    if (!options->trace.empty() &&
+        !obs::TraceWriter::openGlobal(options->trace))
+        util::fatal("--trace: cannot open '%s' for writing",
+                    options->trace.c_str());
+
     RunContext ctx(options->run);
-    for (const Experiment *e : experiments)
-        e->run(ctx);
+    const std::size_t threads = util::ThreadPool::global().size();
+    std::vector<ExperimentSummary> summaries;
+    summaries.reserve(experiments.size());
+    std::uint64_t total_ns = 0;
+    for (std::size_t i = 0; i < experiments.size(); ++i) {
+        const Experiment *e = experiments[i];
+        registry.reset();
+        const std::uint64_t t0 = obs::nowNs();
+        {
+            obs::ScopedSpan span("experiment", e->name());
+            e->run(ctx);
+        }
+        const std::uint64_t elapsed = obs::nowNs() - t0;
+        total_ns += elapsed;
+        deriveUtilization(registry, elapsed);
+        summaries.push_back({e->name(), elapsed, registry.snapshot()});
+        // Progress to stderr: stdout stays reserved for the stats
+        // table / machine output.
+        std::fprintf(stderr, "[%zu/%zu] %s: %.2f s\n", i + 1,
+                     experiments.size(), e->name().c_str(),
+                     elapsed * 1e-9);
+    }
+
+    if (obs::TraceWriter::global()) {
+        // Recreate the pool so every worker exits and flushes its
+        // lifetime span before the trace file is sealed.
+        util::ThreadPool::setGlobalThreads(
+            util::ThreadPool::global().size());
+        obs::TraceWriter::closeGlobal();
+    }
+    writeRunSummary(options->run.outDir + "/run_summary.json",
+                    *options, threads, summaries);
+    if (options->run.format != OutputFormat::Json)
+        std::printf("%s", statsTable(summaries, total_ns).c_str());
     return 0;
 }
 

@@ -37,6 +37,8 @@ struct CliOptions
     bool runAll = false;
     std::vector<std::string> experiments;
     RunContext::Options run;
+    /** Chrome-trace output path (`--trace`); empty = tracing off. */
+    std::string trace;
 };
 
 /** The usage text `accordion help` prints. */

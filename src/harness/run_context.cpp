@@ -1,5 +1,7 @@
 #include "run_context.hpp"
 
+#include "obs/stats.hpp"
+#include "obs/timer.hpp"
 #include "util/thread_pool.hpp"
 
 namespace accordion::harness {
@@ -26,13 +28,21 @@ core::AccordionSystem &
 RunContext::system(const core::AccordionSystem::Config &config)
 {
     const std::string key = config.key();
+    obs::StatsRegistry &registry = obs::StatsRegistry::global();
     auto it = systems_.find(key);
-    if (it == systems_.end())
-        it = systems_
-                 .emplace(key,
-                          std::make_unique<core::AccordionSystem>(
-                              config))
-                 .first;
+    if (it == systems_.end()) {
+        registry.counter("syscache.misses").inc();
+        std::unique_ptr<core::AccordionSystem> built;
+        {
+            // One phase span per cache miss: `run all` should show
+            // exactly one expensive build, then hits.
+            obs::ScopedTimer timer("syscache.build");
+            built = std::make_unique<core::AccordionSystem>(config);
+        }
+        it = systems_.emplace(key, std::move(built)).first;
+    } else {
+        registry.counter("syscache.hits").inc();
+    }
     return *it->second;
 }
 

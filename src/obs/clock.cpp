@@ -1,0 +1,61 @@
+#include "clock.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace accordion::obs {
+
+namespace {
+
+class SteadyClock final : public Clock
+{
+  public:
+    std::uint64_t nowNs() const override
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now.time_since_epoch())
+                .count());
+    }
+};
+
+const SteadyClock g_steady;
+std::atomic<const Clock *> g_clock{&g_steady};
+
+thread_local std::string t_thread_name;
+
+} // namespace
+
+const Clock &
+steadyClock()
+{
+    return g_steady;
+}
+
+void
+setClock(const Clock *clock)
+{
+    g_clock.store(clock ? clock : &g_steady,
+                  std::memory_order_release);
+}
+
+std::uint64_t
+nowNs()
+{
+    return g_clock.load(std::memory_order_acquire)->nowNs();
+}
+
+void
+setCurrentThreadName(std::string name)
+{
+    t_thread_name = std::move(name);
+}
+
+const std::string &
+currentThreadName()
+{
+    return t_thread_name;
+}
+
+} // namespace accordion::obs

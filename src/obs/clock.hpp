@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The instrumentation layer's time source. Every timer and trace
+ * span reads obs::nowNs() instead of std::chrono directly so tests
+ * can install a fake clock and assert exact durations; production
+ * code never notices (the default is steady_clock).
+ *
+ * The obs module sits *below* util (util::ThreadPool emits spans
+ * and counters), so nothing here may include util headers.
+ */
+
+#ifndef ACCORDION_OBS_CLOCK_HPP
+#define ACCORDION_OBS_CLOCK_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace accordion::obs {
+
+/** Monotonic nanosecond clock interface (injectable for tests). */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+
+    /** Monotonic timestamp in nanoseconds. */
+    virtual std::uint64_t nowNs() const = 0;
+};
+
+/** The production clock: std::chrono::steady_clock. */
+const Clock &steadyClock();
+
+/**
+ * Install a clock override (tests only); nullptr restores the
+ * steady clock. Not synchronized against concurrent nowNs()
+ * callers — install before spawning instrumented work.
+ */
+void setClock(const Clock *clock);
+
+/** Read the current (possibly overridden) clock. */
+std::uint64_t nowNs();
+
+/**
+ * Name the calling thread for the trace writer ("main",
+ * "worker-3"). Thread-local; empty until set.
+ */
+void setCurrentThreadName(std::string name);
+
+/** The calling thread's name; empty when never set. */
+const std::string &currentThreadName();
+
+} // namespace accordion::obs
+
+#endif // ACCORDION_OBS_CLOCK_HPP

@@ -1,0 +1,278 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace accordion::obs {
+
+namespace {
+
+/**
+ * obs sits below util, so it cannot use util::panic; this is the
+ * same report-and-abort for the one internal invariant the registry
+ * enforces (a name never changes kind).
+ */
+[[noreturn]] void
+obsPanic(const char *fmt, const char *a, const char *b, const char *c)
+{
+    std::fprintf(stderr, "panic: ");
+    std::fprintf(stderr, fmt, a, b, c);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+} // namespace
+
+const char *
+statKindName(StatKind kind)
+{
+    switch (kind) {
+    case StatKind::Counter:
+        return "counter";
+    case StatKind::Gauge:
+        return "gauge";
+    case StatKind::Distribution:
+        return "distribution";
+    }
+    return "?";
+}
+
+struct Distribution::Cell
+{
+    mutable std::mutex mutex;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    void add(double x)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (count == 0) {
+            min = x;
+            max = x;
+        } else {
+            min = std::min(min, x);
+            max = std::max(max, x);
+        }
+        ++count;
+        sum += x;
+    }
+
+    void reset()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        count = 0;
+        sum = min = max = 0.0;
+    }
+};
+
+void
+Distribution::add(double x) const
+{
+    if (cell_)
+        cell_->add(x);
+}
+
+struct StatsRegistry::Slot
+{
+    explicit Slot(StatKind k) : kind(k) {}
+
+    StatKind kind;
+    std::atomic<std::uint64_t> counter{0};
+    std::atomic<double> gauge{0.0};
+    Distribution::Cell dist;
+};
+
+StatsRegistry::StatsRegistry(bool enabled) : enabled_(enabled) {}
+
+StatsRegistry::~StatsRegistry() = default;
+
+StatsRegistry &
+StatsRegistry::global()
+{
+    static StatsRegistry registry;
+    return registry;
+}
+
+void
+StatsRegistry::setEnabled(bool enabled)
+{
+    enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+StatsRegistry::Slot *
+StatsRegistry::slotFor(const std::string &name, StatKind kind)
+{
+    if (!enabled())
+        return nullptr;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = slots_.find(name);
+    if (it == slots_.end())
+        it = slots_.emplace(name, std::make_unique<Slot>(kind)).first;
+    else if (it->second->kind != kind)
+        obsPanic("StatsRegistry: '%s' is already registered as a %s, "
+                 "cannot re-register as a %s",
+                 name.c_str(), statKindName(it->second->kind),
+                 statKindName(kind));
+    return it->second.get();
+}
+
+Counter
+StatsRegistry::counter(const std::string &name)
+{
+    Slot *slot = slotFor(name, StatKind::Counter);
+    return slot ? Counter(&slot->counter) : Counter();
+}
+
+Gauge
+StatsRegistry::gauge(const std::string &name)
+{
+    Slot *slot = slotFor(name, StatKind::Gauge);
+    return slot ? Gauge(&slot->gauge) : Gauge();
+}
+
+Distribution
+StatsRegistry::distribution(const std::string &name)
+{
+    Slot *slot = slotFor(name, StatKind::Distribution);
+    return slot ? Distribution(&slot->dist) : Distribution();
+}
+
+void
+StatsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, slot] : slots_) {
+        switch (slot->kind) {
+        case StatKind::Counter:
+            slot->counter.store(0, std::memory_order_relaxed);
+            break;
+        case StatKind::Gauge:
+            break; // gauges are levels, not accumulations
+        case StatKind::Distribution:
+            slot->dist.reset();
+            break;
+        }
+    }
+}
+
+std::vector<StatEntry>
+StatsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<StatEntry> entries;
+    entries.reserve(slots_.size());
+    // std::map iterates in name order, so the snapshot is sorted.
+    for (const auto &[name, slot] : slots_) {
+        StatEntry entry;
+        entry.name = name;
+        entry.kind = slot->kind;
+        switch (slot->kind) {
+        case StatKind::Counter:
+            entry.count = slot->counter.load(std::memory_order_relaxed);
+            break;
+        case StatKind::Gauge:
+            entry.value = slot->gauge.load(std::memory_order_relaxed);
+            break;
+        case StatKind::Distribution: {
+            std::lock_guard<std::mutex> cell(slot->dist.mutex);
+            entry.count = slot->dist.count;
+            entry.sum = slot->dist.sum;
+            entry.min = slot->dist.min;
+            entry.max = slot->dist.max;
+            break;
+        }
+        }
+        entries.push_back(std::move(entry));
+    }
+    return entries;
+}
+
+namespace {
+
+/** %.17g round-trips doubles; trim to something JSON-legal. */
+std::string
+jsonNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // JSON has no inf/nan; instrumentation values never should be
+    // either, but emit null rather than corrupt the document.
+    for (const char *p = buf; *p; ++p)
+        if (*p == 'i' || *p == 'n')
+            return "null";
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+jsonObject(const std::vector<StatEntry> &entries)
+{
+    std::string out = "{";
+    bool first = true;
+    char buf[64];
+    for (const StatEntry &e : entries) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(e.name) + "\":";
+        switch (e.kind) {
+        case StatKind::Counter:
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(e.count));
+            out += buf;
+            break;
+        case StatKind::Gauge:
+            out += jsonNumber(e.value);
+            break;
+        case StatKind::Distribution:
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(e.count));
+            out += std::string("{\"count\":") + buf;
+            out += ",\"sum\":" + jsonNumber(e.sum);
+            out += ",\"min\":" + jsonNumber(e.min);
+            out += ",\"max\":" + jsonNumber(e.max);
+            out += ",\"mean\":" + jsonNumber(e.mean()) + "}";
+            break;
+        }
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+StatsRegistry::jsonString() const
+{
+    return jsonObject(snapshot());
+}
+
+std::size_t
+StatsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.size();
+}
+
+} // namespace accordion::obs

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * gem5-style statistics registry: named counters, scalar gauges and
+ * distributions, registered under hierarchical dotted names
+ * ("montecarlo.samples", "syscache.hits", "pool.tasks"), dumped at
+ * end-of-run as a human table and as machine-readable JSON
+ * (run_summary.json).
+ *
+ * Cost model, because the handles live in hot loops:
+ *  - A handle from a *disabled* registry is disengaged (null cell);
+ *    every operation on it is a single predictable branch. This is
+ *    the zero-overhead-when-off contract: the legacy bench shims
+ *    and library users who never enable the registry pay nothing.
+ *  - Counter/Gauge updates on an enabled registry are one relaxed
+ *    atomic op; Distribution::add takes a small per-stat mutex (it
+ *    is used for task/phase durations, not per-iteration data).
+ *  - Registration (the name lookup) takes the registry mutex; do it
+ *    once per phase, not once per iteration.
+ *
+ * Instrumentation never feeds results back into the simulation, so
+ * it cannot perturb the bit-identical determinism contract.
+ */
+
+#ifndef ACCORDION_OBS_STATS_HPP
+#define ACCORDION_OBS_STATS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace accordion::obs {
+
+class StatsRegistry;
+
+/** What a registered name refers to. */
+enum class StatKind
+{
+    Counter,
+    Gauge,
+    Distribution,
+};
+
+/** Human name of a kind ("counter", "gauge", "distribution"). */
+const char *statKindName(StatKind kind);
+
+/**
+ * Monotonically increasing event count. Copyable handle; disengaged
+ * (all operations no-ops) when obtained from a disabled registry.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void add(std::uint64_t n) const
+    {
+        if (cell_)
+            cell_->fetch_add(n, std::memory_order_relaxed);
+    }
+
+    void inc() const { add(1); }
+
+    std::uint64_t value() const
+    {
+        return cell_ ? cell_->load(std::memory_order_relaxed) : 0;
+    }
+
+    /** True when backed by a live registry cell. */
+    explicit operator bool() const { return cell_ != nullptr; }
+
+  private:
+    friend class StatsRegistry;
+    explicit Counter(std::atomic<std::uint64_t> *cell) : cell_(cell) {}
+
+    std::atomic<std::uint64_t> *cell_ = nullptr;
+};
+
+/** Last-value scalar (pool size, utilization fraction). */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    void set(double v) const
+    {
+        if (cell_)
+            cell_->store(v, std::memory_order_relaxed);
+    }
+
+    double value() const
+    {
+        return cell_ ? cell_->load(std::memory_order_relaxed) : 0.0;
+    }
+
+    explicit operator bool() const { return cell_ != nullptr; }
+
+  private:
+    friend class StatsRegistry;
+    explicit Gauge(std::atomic<double> *cell) : cell_(cell) {}
+
+    std::atomic<double> *cell_ = nullptr;
+};
+
+/**
+ * Count/sum/min/max accumulator (e.g. per-phase durations in ns —
+ * the ScopedTimer convention is a "time.<phase>_ns" name).
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /** Add one sample (thread-safe). */
+    void add(double x) const;
+
+    explicit operator bool() const { return cell_ != nullptr; }
+
+  private:
+    friend class StatsRegistry;
+    struct Cell;
+    explicit Distribution(Cell *cell) : cell_(cell) {}
+
+    Cell *cell_ = nullptr;
+};
+
+/** One stat's value at snapshot time. */
+struct StatEntry
+{
+    std::string name;
+    StatKind kind = StatKind::Counter;
+    std::uint64_t count = 0; //!< counter value / distribution samples
+    double value = 0.0; //!< gauge level
+    double sum = 0.0; //!< distribution only
+    double min = 0.0; //!< distribution only (0 when empty)
+    double max = 0.0; //!< distribution only (0 when empty)
+
+    /** Distribution mean; 0 when empty. */
+    double mean() const
+    {
+        return count ? sum / static_cast<double>(count) : 0.0;
+    }
+};
+
+/**
+ * Render snapshot entries as one flat JSON object keyed by stat
+ * name: counters as integers, gauges as numbers, distributions as
+ * {"count","sum","min","max","mean"} objects.
+ */
+std::string jsonObject(const std::vector<StatEntry> &entries);
+
+/**
+ * The registry. Construct instances freely (tests); production
+ * code shares global(), which starts *disabled* — `accordion run`
+ * enables it, the legacy shims never do.
+ *
+ * Registration is get-or-create: asking twice for the same name and
+ * kind returns handles onto the same cell (the thread pool is
+ * rebuilt by setGlobalThreads and must keep its counters), while
+ * re-registering a name under a different kind aborts — a name can
+ * only ever mean one thing.
+ */
+class StatsRegistry
+{
+  public:
+    explicit StatsRegistry(bool enabled = false);
+    ~StatsRegistry();
+
+    StatsRegistry(const StatsRegistry &) = delete;
+    StatsRegistry &operator=(const StatsRegistry &) = delete;
+
+    /** The process-wide registry (starts disabled). */
+    static StatsRegistry &global();
+
+    /**
+     * Enable/disable. Disabling only affects *future*
+     * registrations: handles already obtained stay live (their
+     * updates remain cheap and invisible unless dumped).
+     */
+    void setEnabled(bool enabled);
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Register (or look up) a counter. Disengaged when disabled. */
+    Counter counter(const std::string &name);
+
+    /** Register (or look up) a gauge. Disengaged when disabled. */
+    Gauge gauge(const std::string &name);
+
+    /** Register (or look up) a distribution. */
+    Distribution distribution(const std::string &name);
+
+    /**
+     * Zero every counter and distribution; gauges keep their level
+     * (they describe configuration, e.g. pool.workers, not
+     * accumulation). The per-experiment dump loop resets between
+     * experiments so each summary is self-contained.
+     */
+    void reset();
+
+    /** All registered stats, sorted by name. */
+    std::vector<StatEntry> snapshot() const;
+
+    /** snapshot() rendered via jsonObject(). */
+    std::string jsonString() const;
+
+    /** Number of registered stats. */
+    std::size_t size() const;
+
+  private:
+    struct Slot;
+
+    Slot *slotFor(const std::string &name, StatKind kind);
+
+    mutable std::mutex mutex_;
+    std::atomic<bool> enabled_{false};
+    std::map<std::string, std::unique_ptr<Slot>> slots_;
+};
+
+} // namespace accordion::obs
+
+#endif // ACCORDION_OBS_STATS_HPP

@@ -1,0 +1,29 @@
+#include "timer.hpp"
+
+#include <string>
+
+namespace accordion::obs {
+
+ScopedTimer::ScopedTimer(const char *name, StatsRegistry &registry,
+                         TraceWriter *trace)
+    : name_(name), registry_(&registry), trace_(trace)
+{
+    active_ = registry_->enabled() || trace_ != nullptr;
+    if (active_)
+        startNs_ = nowNs();
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    if (!active_)
+        return;
+    const std::uint64_t end = nowNs();
+    const std::uint64_t dur = end > startNs_ ? end - startNs_ : 0;
+    registry_
+        ->distribution(std::string("time.") + name_ + "_ns")
+        .add(static_cast<double>(dur));
+    if (trace_)
+        trace_->span("phase", name_, startNs_, end);
+}
+
+} // namespace accordion::obs

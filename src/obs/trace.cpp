@@ -1,0 +1,158 @@
+#include "trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+
+namespace accordion::obs {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(
+                              static_cast<unsigned char>(c)));
+            out += buf;
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(std::string path)
+    : path_(std::move(path)), epochNs_(nowNs())
+{
+    file_ = std::fopen(path_.c_str(), "w");
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+int
+TraceWriter::tidOfCallingThread()
+{
+    const std::thread::id self = std::this_thread::get_id();
+    auto it = tids_.find(self);
+    if (it != tids_.end())
+        return it->second;
+    const int tid = static_cast<int>(tids_.size());
+    tids_.emplace(self, tid);
+    const std::string &name = currentThreadName();
+    threadNames_.push_back(
+        name.empty() ? "thread-" + std::to_string(tid) : name);
+    return tid;
+}
+
+void
+TraceWriter::span(const char *category, const std::string &name,
+                  std::uint64_t start_ns, std::uint64_t end_ns)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file_)
+        return; // closed or never opened
+    Event event;
+    event.name = name;
+    event.category = category;
+    // Clamp into the writer's lifetime: a worker born before
+    // tracing was enabled still gets a well-formed span.
+    event.startNs = std::max(start_ns, epochNs_);
+    event.durNs = end_ns > event.startNs ? end_ns - event.startNs : 0;
+    event.tid = tidOfCallingThread();
+    events_.push_back(std::move(event));
+}
+
+std::size_t
+TraceWriter::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+void
+TraceWriter::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file_)
+        return;
+    std::fprintf(file_, "{\"displayTimeUnit\":\"ms\","
+                        "\"traceEvents\":[");
+    bool first = true;
+    for (std::size_t tid = 0; tid < threadNames_.size(); ++tid) {
+        std::fprintf(file_,
+                     "%s\n{\"name\":\"thread_name\",\"ph\":\"M\","
+                     "\"pid\":1,\"tid\":%zu,\"args\":{\"name\":"
+                     "\"%s\"}}",
+                     first ? "" : ",", tid,
+                     jsonEscape(threadNames_[tid]).c_str());
+        first = false;
+    }
+    for (const Event &event : events_) {
+        // Microsecond timestamps relative to the writer's epoch,
+        // the unit chrome://tracing expects.
+        std::fprintf(
+            file_,
+            "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+            "\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}",
+            first ? "" : ",", jsonEscape(event.name).c_str(),
+            event.category, event.tid,
+            static_cast<double>(event.startNs - epochNs_) / 1e3,
+            static_cast<double>(event.durNs) / 1e3);
+        first = false;
+    }
+    std::fprintf(file_, "\n]}\n");
+    std::fclose(file_);
+    file_ = nullptr;
+    events_.clear();
+}
+
+namespace {
+
+std::atomic<TraceWriter *> g_trace{nullptr};
+std::mutex g_trace_mutex;
+
+} // namespace
+
+TraceWriter *
+TraceWriter::global()
+{
+    return g_trace.load(std::memory_order_acquire);
+}
+
+bool
+TraceWriter::openGlobal(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(g_trace_mutex);
+    closeGlobal();
+    if (currentThreadName().empty())
+        setCurrentThreadName("main");
+    auto writer = std::make_unique<TraceWriter>(path);
+    if (!writer->ok())
+        return false;
+    g_trace.store(writer.release(), std::memory_order_release);
+    return true;
+}
+
+void
+TraceWriter::closeGlobal()
+{
+    TraceWriter *writer =
+        g_trace.exchange(nullptr, std::memory_order_acq_rel);
+    delete writer; // destructor writes the file
+}
+
+} // namespace accordion::obs

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Chrome trace-event JSON writer (the "JSON Array/Object Format"
+ * that chrome://tracing and Perfetto load): complete-event ("X")
+ * spans with per-thread lanes and thread-name metadata. Spans are
+ * buffered in memory and written on close(), so recording a span is
+ * one mutex-protected vector push — cheap enough for per-task spans
+ * from the thread pool.
+ *
+ * The process-wide writer is off by default; `accordion run
+ * --trace <file>` opens it. TraceWriter::global() returning nullptr
+ * is the "tracing off" fast path every instrumentation site checks.
+ *
+ * Lifetime discipline: closeGlobal() must not race in-flight spans —
+ * the CLI closes only after all experiments (and the pool's worker
+ * lifetime spans) have been flushed.
+ */
+
+#ifndef ACCORDION_OBS_TRACE_HPP
+#define ACCORDION_OBS_TRACE_HPP
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clock.hpp"
+
+namespace accordion::obs {
+
+/** One trace file being recorded. */
+class TraceWriter
+{
+  public:
+    /**
+     * Start recording toward @p path. The file is opened (and
+     * truncated) immediately so a bad path fails fast; check ok().
+     */
+    explicit TraceWriter(std::string path);
+
+    /** Writes the file if close() was never called. */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** False when the output file could not be opened. */
+    bool ok() const { return file_ != nullptr; }
+
+    /**
+     * Record one complete span on the calling thread's lane.
+     * Timestamps are obs::nowNs() values; spans beginning before
+     * the writer existed are clamped to its epoch.
+     */
+    void span(const char *category, const std::string &name,
+              std::uint64_t start_ns, std::uint64_t end_ns);
+
+    /** Spans recorded so far. */
+    std::size_t eventCount() const;
+
+    /** Write the JSON and close the file. Idempotent. */
+    void close();
+
+    const std::string &path() const { return path_; }
+
+    // --- the process-wide writer -------------------------------
+
+    /** nullptr when tracing is off. */
+    static TraceWriter *global();
+
+    /**
+     * Enable global tracing toward @p path; false when the file
+     * cannot be opened. Names the calling thread "main" if it has
+     * no name yet.
+     */
+    static bool openGlobal(const std::string &path);
+
+    /** Write and discard the global writer; no-op when off. */
+    static void closeGlobal();
+
+  private:
+    struct Event
+    {
+        std::string name;
+        const char *category;
+        std::uint64_t startNs;
+        std::uint64_t durNs;
+        int tid;
+    };
+
+    /** Lane of the calling thread; assigns ids 0,1,... on first use. */
+    int tidOfCallingThread();
+
+    mutable std::mutex mutex_;
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::uint64_t epochNs_ = 0;
+    std::vector<Event> events_;
+    std::map<std::thread::id, int> tids_;
+    std::vector<std::string> threadNames_; //!< indexed by tid
+};
+
+/**
+ * RAII span against a writer (the global one by default). No-op —
+ * not even a clock read — when tracing is off.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const char *category, std::string name)
+        : ScopedSpan(category, std::move(name), TraceWriter::global())
+    {
+    }
+
+    ScopedSpan(const char *category, std::string name,
+               TraceWriter *writer)
+        : writer_(writer), category_(category), name_(std::move(name)),
+          startNs_(writer_ ? nowNs() : 0)
+    {
+    }
+
+    ~ScopedSpan()
+    {
+        if (writer_)
+            writer_->span(category_, name_, startNs_, nowNs());
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    TraceWriter *writer_;
+    const char *category_;
+    std::string name_;
+    std::uint64_t startNs_;
+};
+
+} // namespace accordion::obs
+
+#endif // ACCORDION_OBS_TRACE_HPP

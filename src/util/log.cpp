@@ -2,18 +2,40 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <string>
 
 namespace accordion::util {
 
 namespace {
 bool verboseFlag = true;
+std::mutex logMutex;
 
 void
 vreport(const char *tag, const char *fmt, std::va_list args)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    // Pool workers warn() concurrently: render the whole line into
+    // one buffer first, then emit it with a single locked fwrite so
+    // lines never interleave mid-byte on stderr.
+    std::va_list sizing;
+    va_copy(sizing, args);
+    const int body = std::vsnprintf(nullptr, 0, fmt, sizing);
+    va_end(sizing);
+
+    std::string line(tag);
+    line += ": ";
+    if (body > 0) {
+        const std::size_t prefix = line.size();
+        line.resize(prefix + static_cast<std::size_t>(body) + 1);
+        std::vsnprintf(&line[prefix],
+                       static_cast<std::size_t>(body) + 1, fmt, args);
+        line.resize(prefix + static_cast<std::size_t>(body));
+    }
+    line += '\n';
+
+    std::lock_guard<std::mutex> lock(logMutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
 }
 } // namespace
 

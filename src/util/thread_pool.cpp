@@ -4,8 +4,11 @@
 #include <atomic>
 #include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "log.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 
 namespace accordion::util {
 
@@ -19,9 +22,20 @@ thread_local bool t_in_worker = false;
 ThreadPool::ThreadPool(std::size_t threads)
 {
     const std::size_t n = std::max<std::size_t>(1, threads);
+    // Registration is get-or-create, so the pool recreated by
+    // setGlobalThreads lands on the same cells (disengaged no-op
+    // handles when the registry is disabled).
+    obs::StatsRegistry &registry = obs::StatsRegistry::global();
+    tasks_ = registry.counter("pool.tasks");
+    parallelFors_ = registry.counter("pool.parallel_fors");
+    registry.gauge("pool.workers").set(static_cast<double>(n));
+    workerBusyNs_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workerBusyNs_.push_back(registry.counter(
+            "pool.worker" + std::to_string(i) + ".busy_ns"));
     workers_.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -36,9 +50,11 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(std::size_t index)
 {
     t_in_worker = true;
+    obs::setCurrentThreadName("worker-" + std::to_string(index));
+    const std::uint64_t born_ns = obs::nowNs();
     for (;;) {
         std::function<void()> task;
         {
@@ -46,12 +62,29 @@ ThreadPool::workerLoop()
             cv_.wait(lock,
                      [this] { return shutdown_ || !queue_.empty(); });
             if (queue_.empty())
-                return; // shutdown with a drained queue
+                break; // shutdown with a drained queue
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        obs::TraceWriter *trace = obs::TraceWriter::global();
+        if (tasks_ || trace) {
+            const std::uint64_t t0 = obs::nowNs();
+            task();
+            const std::uint64_t t1 = obs::nowNs();
+            tasks_.inc();
+            workerBusyNs_[index].add(t1 > t0 ? t1 - t0 : 0);
+            if (trace)
+                trace->span("pool", "task", t0, t1);
+        } else {
+            task();
+        }
     }
+    // A lifetime span per worker guarantees every lane appears in
+    // the trace even when a worker never won a task. Workers exit
+    // at pool destruction/recreation; the CLI recreates the pool
+    // before closing the trace to flush these.
+    if (obs::TraceWriter *trace = obs::TraceWriter::global())
+        trace->span("pool", "worker", born_ns, obs::nowNs());
 }
 
 std::future<void>
@@ -76,6 +109,7 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
 {
     if (end <= begin)
         return;
+    parallelFors_.inc();
     const std::size_t count = end - begin;
     // Serial fast paths: trivial ranges, a one-worker pool, and
     // nested calls from inside a worker (running inline avoids

@@ -35,6 +35,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/stats.hpp"
+
 namespace accordion::util {
 
 /**
@@ -118,13 +120,22 @@ class ThreadPool
     static void setGlobalThreads(std::size_t threads);
 
   private:
-    void workerLoop();
+    void workerLoop(std::size_t index);
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;
     std::mutex mutex_;
     std::condition_variable cv_;
     bool shutdown_ = false;
+
+    // Instrumentation handles, bound at construction: disengaged
+    // (single-branch no-ops) unless the global stats registry was
+    // enabled when the pool was built. Workers additionally emit
+    // per-task and lifetime spans whenever the global trace writer
+    // is open. None of it feeds back into scheduling or results.
+    obs::Counter tasks_; //!< pool.tasks
+    obs::Counter parallelFors_; //!< pool.parallel_fors
+    std::vector<obs::Counter> workerBusyNs_; //!< pool.workerN.busy_ns
 };
 
 /**

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/stats.hpp"
+#include "obs/timer.hpp"
 #include "util/log.hpp"
 
 namespace accordion::vartech {
@@ -183,6 +185,8 @@ ChipFactory::ChipFactory(const Technology &tech, Params params,
 VariationChip
 ChipFactory::make(std::uint64_t chip_id) const
 {
+    ACC_SCOPED_TIMER("chip.manufacture");
+    obs::StatsRegistry::global().counter("chip.manufactured").inc();
     util::Rng rng(seed_, chip_id);
     VariationRealization realization(*sampler_, params_.variation, rng);
     return VariationChip(*tech_, geometry_, params_.timing, params_.sram,

@@ -34,11 +34,14 @@
 #include "golden_mode.hpp"
 #include "harness/experiment.hpp"
 #include "harness/run_context.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "rms/workload.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace accordion;
 
@@ -349,6 +352,35 @@ TEST_F(GoldenFigures, HarnessTable3CsvByteIdentical)
 {
     runExperiment("table3_characterization");
     checkBytesOrUpdate("table3_characterization.csv");
+}
+
+/**
+ * The instrumentation layer's no-perturbation contract: with the
+ * stats registry enabled *and* a trace being recorded — the
+ * heaviest observability configuration — an experiment's CSV is
+ * still byte-identical to the frozen pre-instrumentation output.
+ */
+TEST_F(GoldenFigures, InstrumentationPreservesCsvBytes)
+{
+    obs::StatsRegistry &registry = obs::StatsRegistry::global();
+    const std::string trace_path =
+        std::string(kOutDir) + "/instrumented_trace.json";
+    std::filesystem::create_directories(kOutDir);
+    registry.setEnabled(true);
+    ASSERT_TRUE(obs::TraceWriter::openGlobal(trace_path));
+
+    runExperiment("fig6_pareto_parsec");
+
+    // Join the pool's workers (recreating the pool) before sealing
+    // the trace so no in-flight span races the writer teardown —
+    // the same discipline the CLI follows.
+    util::ThreadPool::setGlobalThreads(
+        util::ThreadPool::global().size());
+    obs::TraceWriter::closeGlobal();
+    registry.setEnabled(false);
+    EXPECT_GT(registry.size(), 0u)
+        << "instrumented run registered no stats";
+    checkBytesOrUpdate("fig6_pareto.csv");
 }
 
 } // namespace

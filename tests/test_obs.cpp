@@ -1,0 +1,694 @@
+/**
+ * @file
+ * Tests of the instrumentation layer (src/obs/): the stats registry
+ * contract (get-or-create, kind mismatch aborts, disabled handles
+ * are free no-ops, reset keeps gauges), scoped phase timers against
+ * an injected fake clock, the Chrome-trace writer (output is parsed
+ * back with a small JSON parser defined below), the thread pool's
+ * spans and counters, and the thread-safety of util::log.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/stats.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace obs = accordion::obs;
+
+namespace {
+
+// ---------------------------------------------------------------
+// A minimal JSON reader, enough to parse back trace files and
+// run-summary objects: objects, arrays, strings (with \" and \\
+// escapes), numbers, true/false/null.
+// ---------------------------------------------------------------
+
+struct Json
+{
+    enum Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<Json> items;
+    std::map<std::string, Json> fields;
+
+    const Json &at(const std::string &key) const
+    {
+        auto it = fields.find(key);
+        if (it == fields.end())
+            throw std::runtime_error("missing key: " + key);
+        return it->second;
+    }
+
+    bool has(const std::string &key) const
+    {
+        return fields.count(key) != 0;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    Json parse()
+    {
+        Json value = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            throw std::runtime_error("trailing garbage");
+        return value;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            throw std::runtime_error("unexpected end");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            throw std::runtime_error(std::string("expected '") + c +
+                                     "' got '" + text_[pos_] + "'");
+        ++pos_;
+    }
+
+    Json parseValue()
+    {
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"') {
+            Json v;
+            v.type = Json::String;
+            v.text = parseString();
+            return v;
+        }
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            Json v;
+            v.type = Json::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            Json v;
+            v.type = Json::Bool;
+            return v;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return Json{};
+        }
+        return parseNumber();
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    throw std::runtime_error("bad escape");
+                c = text_[pos_++];
+                switch (c) {
+                case 'n': c = '\n'; break;
+                case 't': c = '\t'; break;
+                case 'u':
+                    // \uXXXX: decode as a raw byte; the writer only
+                    // emits these for control characters.
+                    c = static_cast<char>(
+                        std::stoi(text_.substr(pos_, 4), nullptr, 16));
+                    pos_ += 4;
+                    break;
+                default: break; // \" \\ \/ keep c as-is
+                }
+            }
+            out += c;
+        }
+        expect('"');
+        return out;
+    }
+
+    Json parseNumber()
+    {
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '-' || text_[end] == '+' ||
+                text_[end] == '.' || text_[end] == 'e' ||
+                text_[end] == 'E'))
+            ++end;
+        if (end == pos_)
+            throw std::runtime_error("bad number");
+        Json v;
+        v.type = Json::Number;
+        v.number = std::stod(text_.substr(pos_, end - pos_));
+        pos_ = end;
+        return v;
+    }
+
+    Json parseArray()
+    {
+        expect('[');
+        Json v;
+        v.type = Json::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(parseValue());
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                throw std::runtime_error("expected , or ] in array");
+        }
+    }
+
+    Json parseObject()
+    {
+        expect('{');
+        Json v;
+        v.type = Json::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            const std::string key = parseString();
+            expect(':');
+            v.fields[key] = parseValue();
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                throw std::runtime_error("expected , or } in object");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::string
+tempPath(const std::string &leaf)
+{
+    return testing::TempDir() + leaf;
+}
+
+/** Deterministic test clock: returns a settable value. */
+class FakeClock : public obs::Clock
+{
+  public:
+    std::uint64_t nowNs() const override { return now_; }
+    void set(std::uint64_t ns) { now_ = ns; }
+    void advance(std::uint64_t ns) { now_ += ns; }
+
+  private:
+    std::uint64_t now_ = 0;
+};
+
+/** Installs a FakeClock for the test's lifetime. */
+class ClockGuard
+{
+  public:
+    ClockGuard() { obs::setClock(&clock_); }
+    ~ClockGuard() { obs::setClock(nullptr); }
+    FakeClock &clock() { return clock_; }
+
+  private:
+    FakeClock clock_;
+};
+
+const Json *
+findStat(const Json &stats, const std::string &name)
+{
+    auto it = stats.fields.find(name);
+    return it == stats.fields.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------
+// StatsRegistry
+// ---------------------------------------------------------------
+
+TEST(StatsRegistry, RegisterIncrementSnapshot)
+{
+    obs::StatsRegistry registry(true);
+    obs::Counter hits = registry.counter("cache.hits");
+    obs::Gauge level = registry.gauge("pool.workers");
+    obs::Distribution dur = registry.distribution("time.phase_ns");
+
+    hits.inc();
+    hits.add(41);
+    level.set(8.0);
+    dur.add(10.0);
+    dur.add(30.0);
+
+    EXPECT_EQ(hits.value(), 42u);
+    EXPECT_EQ(level.value(), 8.0);
+    EXPECT_EQ(registry.size(), 3u);
+
+    const auto entries = registry.snapshot();
+    ASSERT_EQ(entries.size(), 3u);
+    // Sorted by name.
+    EXPECT_EQ(entries[0].name, "cache.hits");
+    EXPECT_EQ(entries[0].kind, obs::StatKind::Counter);
+    EXPECT_EQ(entries[0].count, 42u);
+    EXPECT_EQ(entries[1].name, "pool.workers");
+    EXPECT_EQ(entries[1].kind, obs::StatKind::Gauge);
+    EXPECT_EQ(entries[1].value, 8.0);
+    EXPECT_EQ(entries[2].name, "time.phase_ns");
+    EXPECT_EQ(entries[2].kind, obs::StatKind::Distribution);
+    EXPECT_EQ(entries[2].count, 2u);
+    EXPECT_EQ(entries[2].sum, 40.0);
+    EXPECT_EQ(entries[2].min, 10.0);
+    EXPECT_EQ(entries[2].max, 30.0);
+    EXPECT_EQ(entries[2].mean(), 20.0);
+}
+
+TEST(StatsRegistry, GetOrCreateSharesTheCell)
+{
+    obs::StatsRegistry registry(true);
+    obs::Counter a = registry.counter("pool.tasks");
+    obs::Counter b = registry.counter("pool.tasks");
+    a.inc();
+    b.inc();
+    EXPECT_EQ(a.value(), 2u);
+    EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(StatsRegistryDeathTest, KindMismatchAborts)
+{
+    obs::StatsRegistry registry(true);
+    registry.counter("x.count");
+    EXPECT_DEATH(registry.gauge("x.count"), "x.count");
+}
+
+TEST(StatsRegistry, DisabledHandlesAreNoOps)
+{
+    obs::StatsRegistry registry(false);
+    obs::Counter c = registry.counter("a");
+    obs::Gauge g = registry.gauge("b");
+    obs::Distribution d = registry.distribution("c");
+    EXPECT_FALSE(static_cast<bool>(c));
+    EXPECT_FALSE(static_cast<bool>(g));
+    EXPECT_FALSE(static_cast<bool>(d));
+    c.inc();
+    g.set(5.0);
+    d.add(1.0);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0.0);
+    EXPECT_EQ(registry.size(), 0u);
+    EXPECT_TRUE(registry.snapshot().empty());
+}
+
+TEST(StatsRegistry, ResetZeroesCountersButKeepsGauges)
+{
+    obs::StatsRegistry registry(true);
+    obs::Counter c = registry.counter("events");
+    obs::Gauge g = registry.gauge("workers");
+    obs::Distribution d = registry.distribution("time.x_ns");
+    c.add(7);
+    g.set(4.0);
+    d.add(3.0);
+
+    registry.reset();
+
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 4.0); // levels survive
+    const auto entries = registry.snapshot();
+    for (const obs::StatEntry &e : entries)
+        if (e.name == "time.x_ns")
+            EXPECT_EQ(e.count, 0u);
+    // Handles stay live after reset.
+    c.inc();
+    EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(StatsRegistry, JsonDumpParsesBack)
+{
+    obs::StatsRegistry registry(true);
+    registry.counter("montecarlo.samples").add(1000);
+    registry.gauge("pool.utilization.mean").set(0.75);
+    obs::Distribution d = registry.distribution("time.sweep_ns");
+    d.add(5.0);
+    d.add(15.0);
+
+    const Json root = JsonParser(registry.jsonString()).parse();
+    ASSERT_EQ(root.type, Json::Object);
+    EXPECT_EQ(root.at("montecarlo.samples").number, 1000.0);
+    EXPECT_EQ(root.at("pool.utilization.mean").number, 0.75);
+    const Json &dist = root.at("time.sweep_ns");
+    ASSERT_EQ(dist.type, Json::Object);
+    EXPECT_EQ(dist.at("count").number, 2.0);
+    EXPECT_EQ(dist.at("sum").number, 20.0);
+    EXPECT_EQ(dist.at("min").number, 5.0);
+    EXPECT_EQ(dist.at("max").number, 15.0);
+    EXPECT_EQ(dist.at("mean").number, 10.0);
+}
+
+TEST(StatsRegistry, CountersAreAtomicAcrossThreads)
+{
+    obs::StatsRegistry registry(true);
+    obs::Counter c = registry.counter("contended");
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&c] {
+            for (int i = 0; i < 10000; ++i)
+                c.inc();
+        });
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), 80000u);
+}
+
+// ---------------------------------------------------------------
+// ScopedTimer + fake clock
+// ---------------------------------------------------------------
+
+TEST(ScopedTimer, RecordsExactDurationWithFakeClock)
+{
+    ClockGuard guard;
+    obs::StatsRegistry registry(true);
+    guard.clock().set(1000);
+    {
+        obs::ScopedTimer timer("manufacture", registry, nullptr);
+        guard.clock().advance(250);
+    }
+    {
+        obs::ScopedTimer timer("manufacture", registry, nullptr);
+        guard.clock().advance(750);
+    }
+    const auto entries = registry.snapshot();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].name, "time.manufacture_ns");
+    EXPECT_EQ(entries[0].kind, obs::StatKind::Distribution);
+    EXPECT_EQ(entries[0].count, 2u);
+    EXPECT_EQ(entries[0].sum, 1000.0);
+    EXPECT_EQ(entries[0].min, 250.0);
+    EXPECT_EQ(entries[0].max, 750.0);
+}
+
+TEST(ScopedTimer, DisabledRegistryNoTraceRecordsNothing)
+{
+    ClockGuard guard;
+    obs::StatsRegistry registry(false);
+    {
+        obs::ScopedTimer timer("idle", registry, nullptr);
+        guard.clock().advance(99);
+    }
+    EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ScopedTimer, EmitsPhaseSpanWhenTracing)
+{
+    ClockGuard guard;
+    obs::StatsRegistry registry(false);
+    const std::string path = tempPath("timer_trace.json");
+    {
+        obs::TraceWriter trace(path);
+        ASSERT_TRUE(trace.ok());
+        guard.clock().set(5000);
+        {
+            obs::ScopedTimer timer("solve", registry, &trace);
+            guard.clock().advance(3000);
+        }
+        // Tracing alone (registry off) must still record the span.
+        EXPECT_EQ(trace.eventCount(), 1u);
+        trace.close();
+    }
+    const Json root = JsonParser(readFile(path)).parse();
+    bool found = false;
+    for (const Json &event : root.at("traceEvents").items) {
+        if (event.at("ph").text != "X")
+            continue;
+        EXPECT_EQ(event.at("name").text, "solve");
+        EXPECT_EQ(event.at("cat").text, "phase");
+        EXPECT_EQ(event.at("dur").number, 3.0); // 3000 ns = 3 us
+        found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ScopedTimer, MacroCompilesAndTargetsGlobalRegistry)
+{
+    // The global registry starts disabled, so this is the
+    // zero-overhead path; the macro must still compile and nest.
+    ACC_SCOPED_TIMER("outer");
+    {
+        ACC_SCOPED_TIMER("inner");
+    }
+    SUCCEED();
+}
+
+// ---------------------------------------------------------------
+// TraceWriter
+// ---------------------------------------------------------------
+
+TEST(TraceWriter, BadPathReportsNotOk)
+{
+    obs::TraceWriter trace("/nonexistent-dir/x/trace.json");
+    EXPECT_FALSE(trace.ok());
+    trace.span("cat", "span", 0, 1); // must not crash
+    trace.close();
+}
+
+TEST(TraceWriter, WritesParseableChromeTrace)
+{
+    ClockGuard guard;
+    guard.clock().set(1000000);
+    const std::string path = tempPath("trace_basic.json");
+    {
+        obs::TraceWriter trace(path);
+        ASSERT_TRUE(trace.ok());
+        obs::setCurrentThreadName("main");
+        trace.span("phase", "alpha", 1000000, 1005000);
+        trace.span("pool", "task", 1002000, 1003000);
+        // A span starting before the writer's epoch is clamped, not
+        // negative.
+        trace.span("phase", "early", 0, 1000500);
+        EXPECT_EQ(trace.eventCount(), 3u);
+        trace.close();
+    }
+
+    const Json root = JsonParser(readFile(path)).parse();
+    ASSERT_EQ(root.type, Json::Object);
+    EXPECT_EQ(root.at("displayTimeUnit").text, "ms");
+
+    std::size_t spans = 0, metadata = 0;
+    for (const Json &event : root.at("traceEvents").items) {
+        const std::string ph = event.at("ph").text;
+        if (ph == "M") {
+            EXPECT_EQ(event.at("name").text, "thread_name");
+            EXPECT_EQ(event.at("args").at("name").text, "main");
+            ++metadata;
+            continue;
+        }
+        ASSERT_EQ(ph, "X");
+        EXPECT_EQ(event.at("pid").number, 1.0);
+        EXPECT_GE(event.at("ts").number, 0.0);
+        EXPECT_GE(event.at("dur").number, 0.0);
+        if (event.at("name").text == "alpha") {
+            EXPECT_EQ(event.at("ts").number, 0.0);
+            EXPECT_EQ(event.at("dur").number, 5.0);
+            EXPECT_EQ(event.at("cat").text, "phase");
+        }
+        ++spans;
+    }
+    EXPECT_EQ(spans, 3u);
+    EXPECT_EQ(metadata, 1u); // one lane -> one thread_name record
+}
+
+TEST(TraceWriter, AssignsOneLanePerThread)
+{
+    const std::string path = tempPath("trace_threads.json");
+    {
+        obs::TraceWriter trace(path);
+        ASSERT_TRUE(trace.ok());
+        std::vector<std::thread> threads;
+        for (int t = 0; t < 3; ++t)
+            threads.emplace_back([&trace, t] {
+                obs::setCurrentThreadName("t" + std::to_string(t));
+                const std::uint64_t now = obs::nowNs();
+                trace.span("test", "work", now, now + 1000);
+            });
+        for (std::thread &t : threads)
+            t.join();
+        trace.close();
+    }
+
+    const Json root = JsonParser(readFile(path)).parse();
+    std::map<double, std::string> lanes; // tid -> thread name
+    std::size_t spans = 0;
+    for (const Json &event : root.at("traceEvents").items) {
+        if (event.at("ph").text == "M")
+            lanes[event.at("tid").number] =
+                event.at("args").at("name").text;
+        else
+            ++spans;
+    }
+    EXPECT_EQ(spans, 3u);
+    EXPECT_EQ(lanes.size(), 3u);
+    std::map<std::string, int> names;
+    for (const auto &[tid, name] : lanes)
+        ++names[name];
+    EXPECT_EQ(names.size(), 3u); // t0, t1, t2 each on their own lane
+}
+
+TEST(TraceWriter, CloseIsIdempotent)
+{
+    const std::string path = tempPath("trace_idem.json");
+    obs::TraceWriter trace(path);
+    trace.span("a", "b", 0, 1);
+    trace.close();
+    trace.close();
+    const std::string first = readFile(path);
+    EXPECT_FALSE(first.empty());
+}
+
+TEST(TraceWriter, GlobalOffByDefault)
+{
+    EXPECT_EQ(obs::TraceWriter::global(), nullptr);
+}
+
+// ---------------------------------------------------------------
+// ThreadPool instrumentation
+// ---------------------------------------------------------------
+
+TEST(ThreadPoolObs, CountsTasksAndBusyTime)
+{
+    obs::StatsRegistry &registry = obs::StatsRegistry::global();
+    registry.setEnabled(true);
+    registry.reset();
+    {
+        accordion::util::ThreadPool pool(3);
+        for (int i = 0; i < 10; ++i)
+            pool.submit([] {}).wait();
+        pool.parallelFor(0, 100, [](std::size_t) {});
+    }
+    const Json stats = JsonParser(registry.jsonString()).parse();
+    registry.setEnabled(false);
+
+    EXPECT_EQ(stats.at("pool.workers").number, 3.0);
+    EXPECT_EQ(stats.at("pool.parallel_fors").number, 1.0);
+    // The 10 explicit submits all run on workers; parallelFor tasks
+    // may or may not land depending on how fast the caller drains
+    // the range, so >= 10 is the strongest portable bound.
+    EXPECT_GE(stats.at("pool.tasks").number, 10.0);
+    ASSERT_NE(findStat(stats, "pool.worker0.busy_ns"), nullptr);
+    ASSERT_NE(findStat(stats, "pool.worker2.busy_ns"), nullptr);
+    EXPECT_EQ(findStat(stats, "pool.worker3.busy_ns"), nullptr);
+}
+
+TEST(ThreadPoolObs, EmitsOneLifetimeSpanPerWorker)
+{
+    const std::string path = tempPath("trace_pool.json");
+    ASSERT_TRUE(obs::TraceWriter::openGlobal(path));
+    {
+        accordion::util::ThreadPool pool(3);
+        for (int i = 0; i < 5; ++i)
+            pool.submit([] {}).wait();
+    } // pool destruction flushes the worker lifetime spans
+    obs::TraceWriter::closeGlobal();
+    EXPECT_EQ(obs::TraceWriter::global(), nullptr);
+
+    const Json root = JsonParser(readFile(path)).parse();
+    std::size_t workers = 0, tasks = 0;
+    for (const Json &event : root.at("traceEvents").items) {
+        if (event.at("ph").text != "X")
+            continue;
+        if (event.at("name").text == "worker")
+            ++workers;
+        if (event.at("name").text == "task")
+            ++tasks;
+    }
+    EXPECT_EQ(workers, 3u); // exactly one per pool worker
+    EXPECT_GE(tasks, 5u);
+}
+
+// ---------------------------------------------------------------
+// util::log thread safety (satellite bugfix)
+// ---------------------------------------------------------------
+
+TEST(LogThreadSafety, ConcurrentWarnLinesNeverInterleave)
+{
+    constexpr int kThreads = 8;
+    constexpr int kLines = 200;
+
+    testing::internal::CaptureStderr();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([t] {
+            for (int i = 0; i < kLines; ++i)
+                accordion::util::warn("stress %d %d", t, i);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    const std::string captured = testing::internal::GetCapturedStderr();
+
+    // Every line must be exactly "warn: stress <t> <i>" — any torn
+    // or interleaved write breaks the pattern.
+    std::istringstream in(captured);
+    std::string line;
+    std::size_t good = 0;
+    while (std::getline(in, line)) {
+        int t = -1, i = -1;
+        ASSERT_EQ(std::sscanf(line.c_str(), "warn: stress %d %d", &t,
+                              &i), 2)
+            << "torn line: '" << line << "'";
+        ASSERT_GE(t, 0);
+        ASSERT_LT(t, kThreads);
+        ASSERT_GE(i, 0);
+        ASSERT_LT(i, kLines);
+        ++good;
+    }
+    EXPECT_EQ(good, static_cast<std::size_t>(kThreads * kLines));
+}
+
+} // namespace
