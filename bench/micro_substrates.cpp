@@ -5,68 +5,56 @@
  * queries, the event-driven vs analytic performance models, and the
  * RMS kernels at their default inputs. These guard the simulator's
  * own performance, not the paper's results.
+ *
+ * The benchmark bodies are shared with the `accordion perf`
+ * snapshot suite (src/harness/perf_kernels.hpp), so a regression
+ * flagged by `accordion perf compare` reproduces here one-to-one.
  */
 
 #include <benchmark/benchmark.h>
 
-#include "core/core_selection.hpp"
-#include "manycore/perf_model.hpp"
+#include "harness/perf_kernels.hpp"
 #include "manycore/power_model.hpp"
-#include "rms/workload.hpp"
-#include "vartech/variation_chip.hpp"
 
 using namespace accordion;
+namespace kernels = accordion::harness::kernels;
 
 namespace {
 
-const vartech::Technology &
-tech()
+const kernels::SubstrateFixtures &
+fixtures()
 {
-    static const auto t = vartech::Technology::makeItrs11nm();
-    return t;
-}
-
-const vartech::ChipFactory &
-factory()
-{
-    static const vartech::ChipFactory f(
-        tech(), vartech::ChipFactory::Params{}, 12345);
+    static const kernels::SubstrateFixtures f(12345);
     return f;
-}
-
-const vartech::VariationChip &
-chip()
-{
-    static const auto c = factory().make(0);
-    return c;
 }
 
 void
 BM_ChipManufacture(benchmark::State &state)
 {
     std::uint64_t id = 0;
-    for (auto _ : state) {
-        auto c = factory().make(id++);
-        benchmark::DoNotOptimize(c.vddNtv());
-    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            kernels::manufactureOne(fixtures().factory, id++));
 }
 BENCHMARK(BM_ChipManufacture);
 
 void
 BM_SafeFrequencyQuery(benchmark::State &state)
 {
-    const auto &timing = chip().coreTiming(17);
+    const auto &timing =
+        fixtures().chip.coreTiming(kernels::kTimingCore);
     for (auto _ : state)
-        benchmark::DoNotOptimize(timing.safeFrequency(0.55));
+        benchmark::DoNotOptimize(kernels::safeFrequencyOnce(timing));
 }
 BENCHMARK(BM_SafeFrequencyQuery);
 
 void
 BM_ErrorRateQuery(benchmark::State &state)
 {
-    const auto &timing = chip().coreTiming(17);
+    const auto &timing =
+        fixtures().chip.coreTiming(kernels::kTimingCore);
     for (auto _ : state)
-        benchmark::DoNotOptimize(timing.errorRate(0.55, 0.7e9));
+        benchmark::DoNotOptimize(kernels::errorRateOnce(timing));
 }
 BENCHMARK(BM_ErrorRateQuery);
 
@@ -79,30 +67,20 @@ BM_PerfModel(benchmark::State &state)
     const manycore::PerfModel &model =
         event_driven ? static_cast<const manycore::PerfModel &>(event)
                      : analytic;
-    std::vector<std::size_t> cores(64);
-    for (std::size_t i = 0; i < cores.size(); ++i)
-        cores[i] = i;
-    manycore::TaskSet tasks;
-    tasks.numTasks = 64;
-    tasks.instrPerTask = 50000;
-    const manycore::WorkloadTraits traits;
+    const kernels::PerfModelInput input;
     for (auto _ : state)
         benchmark::DoNotOptimize(
-            model
-                .estimate(chip().geometry(), cores, 0.5e9, tasks,
-                          traits)
-                .seconds);
+            kernels::estimateOnce(model, fixtures().chip, input));
 }
 BENCHMARK(BM_PerfModel)->Arg(0)->Arg(1)->ArgName("event");
 
 void
 BM_CoreSelection(benchmark::State &state)
 {
-    const manycore::PowerModel power(tech());
-    for (auto _ : state) {
-        core::CoreSelector selector(chip(), power);
-        benchmark::DoNotOptimize(selector.selectCores(128).size());
-    }
+    const manycore::PowerModel power(fixtures().tech);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            kernels::selectOnce(fixtures().chip, power));
 }
 BENCHMARK(BM_CoreSelection);
 
@@ -111,11 +89,8 @@ BM_Kernel(benchmark::State &state)
 {
     const rms::Workload &w =
         *rms::allWorkloads()[static_cast<std::size_t>(state.range(0))];
-    rms::RunConfig config;
-    config.input = w.defaultInput();
-    config.threads = w.defaultThreads();
     for (auto _ : state)
-        benchmark::DoNotOptimize(w.run(config).problemSize);
+        benchmark::DoNotOptimize(kernels::kernelOnce(w));
     state.SetLabel(w.name());
 }
 BENCHMARK(BM_Kernel)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);

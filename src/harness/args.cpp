@@ -45,4 +45,30 @@ parseSeed(const std::string &text, std::uint64_t *out)
     return true;
 }
 
+bool
+parseNonNegativeReal(const std::string &text, double *out)
+{
+    if (text.empty() ||
+        !((text[0] >= '0' && text[0] <= '9') || text[0] == '.'))
+        return false; // no signs, no leading whitespace, no inf/nan
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (errno == ERANGE || end != text.c_str() + text.size() ||
+        value < 0.0)
+        return false;
+    *out = value;
+    return true;
+}
+
+bool
+parsePositiveReal(const std::string &text, double *out)
+{
+    double value = 0.0;
+    if (!parseNonNegativeReal(text, &value) || value <= 0.0)
+        return false;
+    *out = value;
+    return true;
+}
+
 } // namespace accordion::harness

@@ -28,6 +28,16 @@ bool parsePositiveCount(const std::string &text, std::size_t *out);
  */
 bool parseSeed(const std::string &text, std::uint64_t *out);
 
+/**
+ * Parse a non-negative real number (a regression threshold in
+ * percent). Plain decimal or scientific notation; rejects signs,
+ * trailing garbage, inf/nan spellings and overflow.
+ */
+bool parseNonNegativeReal(const std::string &text, double *out);
+
+/** Same strictness, but zero is rejected (a scale factor). */
+bool parsePositiveReal(const std::string &text, double *out);
+
 } // namespace accordion::harness
 
 #endif // ACCORDION_HARNESS_ARGS_HPP

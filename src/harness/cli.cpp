@@ -1,14 +1,12 @@
 #include "cli.hpp"
 
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <map>
 
 #include "args.hpp"
 #include "obs/clock.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
+#include "stats_report.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -23,6 +21,8 @@ usage()
            "commands:\n"
            "  list                     enumerate the experiments\n"
            "  run <name>... | run all  run experiments\n"
+           "  perf                     record a performance snapshot\n"
+           "  perf compare BASE NEW    compare two snapshots\n"
            "  help                     this text\n"
            "\n"
            "run options:\n"
@@ -32,8 +32,30 @@ usage()
            "  --out-dir DIR  series output directory (default: "
            "bench_out)\n"
            "  --format F     csv | json | both (default: csv)\n"
+           "  --stats M      auto | on | off: end-of-run stats table "
+           "(auto: stdout for csv, stderr for json)\n"
            "  --trace FILE   write a Chrome-trace (Perfetto-"
-           "loadable) JSON of the run\n";
+           "loadable) JSON of the run\n"
+           "\n"
+           "perf options:\n"
+           "  --reps R         recorded repetitions per scenario "
+           "(default: 3)\n"
+           "  --warmup W       unrecorded warmup repetitions "
+           "(default: 1)\n"
+           "  --scale X        scenario size multiplier (default: 1)\n"
+           "  --out FILE       snapshot path (default: next free "
+           "BENCH_<n>.json)\n"
+           "  --scenario NAME  run only NAME (repeatable)\n"
+           "  --list           print the scenario suite and exit\n"
+           "  --threads N, --seed S  as for run\n"
+           "\n"
+           "perf compare options:\n"
+           "  --threshold PCT  relative noise threshold (default: 5)\n"
+           "  --warn-only      report regressions but exit 0\n"
+           "\n"
+           "perf compare prints the verdict table on stderr and the "
+           "verdict JSON on stdout;\nexit 1 = regression or missing "
+           "scenario, exit 2 = snapshots not comparable.\n";
 }
 
 namespace {
@@ -49,6 +71,113 @@ flagValue(const std::vector<std::string> &args, std::size_t *i,
     }
     *value = args[++*i];
     return true;
+}
+
+/** Parse the `perf` subcommand's argument tail. */
+std::optional<CliOptions>
+parsePerf(const std::vector<std::string> &args, std::string *error)
+{
+    CliOptions options;
+    options.command = CliOptions::Command::Perf;
+
+    if (args.size() > 1 && args[1] == "compare") {
+        options.command = CliOptions::Command::PerfCompare;
+        std::string value;
+        std::vector<std::string> paths;
+        for (std::size_t i = 2; i < args.size(); ++i) {
+            const std::string &arg = args[i];
+            if (arg == "--threshold") {
+                if (!flagValue(args, &i, &value, error))
+                    return std::nullopt;
+                if (!parseNonNegativeReal(
+                        value, &options.compare.thresholdPct)) {
+                    *error = "--threshold wants a non-negative "
+                             "number, got '" +
+                             value + "'";
+                    return std::nullopt;
+                }
+            } else if (arg == "--warn-only") {
+                options.compare.warnOnly = true;
+            } else if (!arg.empty() && arg[0] == '-') {
+                *error = "unknown option '" + arg + "'";
+                return std::nullopt;
+            } else {
+                paths.push_back(arg);
+            }
+        }
+        if (paths.size() != 2) {
+            *error = "perf compare wants exactly two snapshot paths "
+                     "(BASE.json NEW.json)";
+            return std::nullopt;
+        }
+        options.compare.basePath = paths[0];
+        options.compare.newPath = paths[1];
+        return options;
+    }
+
+    std::string value;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--reps") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            if (!parsePositiveCount(value, &options.perf.reps)) {
+                *error = "--reps wants a positive integer, got '" +
+                         value + "'";
+                return std::nullopt;
+            }
+        } else if (arg == "--warmup") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            std::uint64_t warmup = 0;
+            if (!parseSeed(value, &warmup)) {
+                *error = "--warmup wants a non-negative integer, "
+                         "got '" +
+                         value + "'";
+                return std::nullopt;
+            }
+            options.perf.warmup = static_cast<std::size_t>(warmup);
+        } else if (arg == "--scale") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            if (!parsePositiveReal(value, &options.perf.scale)) {
+                *error = "--scale wants a positive number, got '" +
+                         value + "'";
+                return std::nullopt;
+            }
+        } else if (arg == "--seed") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            if (!parseSeed(value, &options.perf.seed)) {
+                *error = "--seed wants a non-negative integer, got '" +
+                         value + "'";
+                return std::nullopt;
+            }
+        } else if (arg == "--threads") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            if (!parsePositiveCount(value, &options.perf.threads)) {
+                *error = "--threads wants a positive integer, got '" +
+                         value + "'";
+                return std::nullopt;
+            }
+        } else if (arg == "--out") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            options.perf.out = value;
+        } else if (arg == "--scenario") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            options.perf.only.push_back(value);
+        } else if (arg == "--list") {
+            options.perf.list = true;
+        } else {
+            *error = "unknown perf argument '" + arg +
+                     "' (try: accordion help)";
+            return std::nullopt;
+        }
+    }
+    return options;
 }
 
 } // namespace
@@ -75,6 +204,8 @@ parseCli(const std::vector<std::string> &args, std::string *error)
         }
         return options;
     }
+    if (command == "perf")
+        return parsePerf(args, error);
     if (command != "run") {
         *error = "unknown command '" + command +
                  "' (try: accordion help)";
@@ -119,6 +250,20 @@ parseCli(const std::vector<std::string> &args, std::string *error)
                 return std::nullopt;
             }
             options.run.format = *format;
+        } else if (arg == "--stats") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            if (value == "auto")
+                options.stats = StatsMode::Auto;
+            else if (value == "on")
+                options.stats = StatsMode::On;
+            else if (value == "off")
+                options.stats = StatsMode::Off;
+            else {
+                *error = "--stats wants auto, on or off, got '" +
+                         value + "'";
+                return std::nullopt;
+            }
         } else if (!arg.empty() && arg[0] == '-') {
             *error = "unknown option '" + arg + "'";
             return std::nullopt;
@@ -158,204 +303,6 @@ resolveExperiments(const CliOptions &options, std::string *error)
     return experiments;
 }
 
-namespace {
-
-/** One experiment's instrumentation snapshot. */
-struct ExperimentSummary
-{
-    std::string name;
-    std::uint64_t elapsedNs = 0;
-    std::vector<obs::StatEntry> stats;
-};
-
-/**
- * Turn the per-worker busy-time counters of the just-finished
- * experiment into utilization-fraction gauges, so the stats dump
- * carries the saturation number directly (busy_ns / wall_ns).
- */
-void
-deriveUtilization(obs::StatsRegistry &registry,
-                  std::uint64_t elapsed_ns)
-{
-    if (elapsed_ns == 0)
-        return;
-    const std::string prefix = "pool.worker";
-    const std::string suffix = ".busy_ns";
-    double busy_total = 0.0;
-    std::size_t workers = 0;
-    for (const obs::StatEntry &e : registry.snapshot()) {
-        if (e.kind != obs::StatKind::Counter ||
-            e.name.size() <= prefix.size() + suffix.size() ||
-            e.name.compare(0, prefix.size(), prefix) != 0 ||
-            e.name.compare(e.name.size() - suffix.size(),
-                           suffix.size(), suffix) != 0)
-            continue;
-        // "pool.worker3.busy_ns" -> "worker3"
-        const std::string worker = e.name.substr(
-            5, e.name.size() - 5 - suffix.size());
-        registry.gauge("pool.utilization." + worker)
-            .set(static_cast<double>(e.count) /
-                 static_cast<double>(elapsed_ns));
-        busy_total += static_cast<double>(e.count);
-        ++workers;
-    }
-    if (workers > 0)
-        registry.gauge("pool.utilization.mean")
-            .set(busy_total / (static_cast<double>(workers) *
-                               static_cast<double>(elapsed_ns)));
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    return out;
-}
-
-/**
- * Write `<out-dir>/run_summary.json`: run metadata plus, per
- * experiment, wall time and every stat the instrumentation layer
- * collected while it ran (schema documented in EXPERIMENTS.md).
- */
-void
-writeRunSummary(const std::string &path, const CliOptions &options,
-                std::size_t threads,
-                const std::vector<ExperimentSummary> &summaries)
-{
-    std::error_code ec;
-    std::filesystem::create_directories(options.run.outDir, ec);
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        util::fatal("cannot open '%s' for writing", path.c_str());
-    out << "{\n"
-        << "  \"schema\": \"accordion-run-summary-v1\",\n"
-        << "  \"seed\": " << options.run.seed << ",\n"
-        << "  \"threads\": " << threads << ",\n"
-        << "  \"format\": \"" << formatName(options.run.format)
-        << "\",\n"
-        << "  \"trace\": "
-        << (options.trace.empty()
-                ? std::string("null")
-                : "\"" + jsonEscape(options.trace) + "\"")
-        << ",\n"
-        << "  \"experiments\": [";
-    for (std::size_t i = 0; i < summaries.size(); ++i) {
-        const ExperimentSummary &s = summaries[i];
-        out << (i ? ",\n" : "\n")
-            << "    {\"name\": \"" << jsonEscape(s.name)
-            << "\", \"elapsed_ns\": " << s.elapsedNs
-            << ", \"stats\": " << obs::jsonObject(s.stats) << "}";
-    }
-    out << "\n  ]\n}\n";
-    out.flush();
-    if (!out.good())
-        util::fatal("failed writing '%s'", path.c_str());
-}
-
-/**
- * The end-of-run human stats table: counters summed and
- * distributions merged across experiments, utilization recomputed
- * over the whole run's wall time.
- */
-std::string
-statsTable(const std::vector<ExperimentSummary> &summaries,
-           std::uint64_t total_elapsed_ns)
-{
-    std::map<std::string, obs::StatEntry> merged;
-    for (const ExperimentSummary &s : summaries) {
-        for (const obs::StatEntry &e : s.stats) {
-            auto it = merged.find(e.name);
-            if (it == merged.end()) {
-                merged.emplace(e.name, e);
-                continue;
-            }
-            obs::StatEntry &m = it->second;
-            switch (e.kind) {
-            case obs::StatKind::Counter:
-                m.count += e.count;
-                break;
-            case obs::StatKind::Gauge:
-                m.value = e.value; // level: keep the latest
-                break;
-            case obs::StatKind::Distribution:
-                if (e.count) {
-                    m.min = m.count ? std::min(m.min, e.min) : e.min;
-                    m.max = m.count ? std::max(m.max, e.max) : e.max;
-                    m.count += e.count;
-                    m.sum += e.sum;
-                }
-                break;
-            }
-        }
-    }
-    // Whole-run utilization from the summed busy counters.
-    if (total_elapsed_ns > 0) {
-        double busy_total = 0.0;
-        std::size_t workers = 0;
-        for (auto &[name, e] : merged) {
-            if (e.kind != obs::StatKind::Counter ||
-                name.compare(0, 11, "pool.worker") != 0 ||
-                name.size() <= 19 ||
-                name.compare(name.size() - 8, 8, ".busy_ns") != 0)
-                continue;
-            const std::string worker =
-                name.substr(5, name.size() - 5 - 8);
-            obs::StatEntry &util_entry =
-                merged["pool.utilization." + worker];
-            util_entry.name = "pool.utilization." + worker;
-            util_entry.kind = obs::StatKind::Gauge;
-            util_entry.value = static_cast<double>(e.count) /
-                static_cast<double>(total_elapsed_ns);
-            busy_total += static_cast<double>(e.count);
-            ++workers;
-        }
-        if (workers > 0) {
-            obs::StatEntry &mean = merged["pool.utilization.mean"];
-            mean.name = "pool.utilization.mean";
-            mean.kind = obs::StatKind::Gauge;
-            mean.value = busy_total /
-                (static_cast<double>(workers) *
-                 static_cast<double>(total_elapsed_ns));
-        }
-    }
-
-    util::Table table({"stat", "kind", "value"});
-    for (const auto &[name, e] : merged) {
-        switch (e.kind) {
-        case obs::StatKind::Counter:
-            table.addRow({name, "counter",
-                          util::format("%llu",
-                                       static_cast<unsigned long long>(
-                                           e.count))});
-            break;
-        case obs::StatKind::Gauge:
-            table.addRow({name, "gauge",
-                          util::format("%.4g", e.value)});
-            break;
-        case obs::StatKind::Distribution:
-            table.addRow(
-                {name, "distribution",
-                 util::format("n=%llu total=%.3f ms mean=%.3f ms "
-                              "min=%.3f ms max=%.3f ms",
-                              static_cast<unsigned long long>(e.count),
-                              e.sum / 1e6, e.mean() / 1e6, e.min / 1e6,
-                              e.max / 1e6)});
-            break;
-        }
-    }
-    return util::format("\nrun stats (%zu experiments, %.2f s "
-                        "wall):\n",
-                        summaries.size(), total_elapsed_ns * 1e-9) +
-        table.render();
-}
-
-} // namespace
-
 int
 runCli(int argc, char **argv)
 {
@@ -383,6 +330,12 @@ runCli(int argc, char **argv)
                     Registry::instance().size());
         return 0;
     }
+
+    case CliOptions::Command::Perf:
+        return runPerfRecord(options->perf);
+
+    case CliOptions::Command::PerfCompare:
+        return runPerfCompare(options->compare);
 
     case CliOptions::Command::Run:
         break;
@@ -433,9 +386,19 @@ runCli(int argc, char **argv)
         obs::TraceWriter::closeGlobal();
     }
     writeRunSummary(options->run.outDir + "/run_summary.json",
-                    *options, threads, summaries);
-    if (options->run.format != OutputFormat::Json)
-        std::printf("%s", statsTable(summaries, total_ns).c_str());
+                    options->run, options->trace, threads, summaries);
+
+    // --stats routing: `auto` keeps the legacy stdout bytes for csv
+    // runs and moves the table to stderr under --format json, where
+    // stdout must stay machine-parseable; `on` always uses stderr.
+    const bool json_out = options->run.format == OutputFormat::Json;
+    if (options->stats != StatsMode::Off) {
+        const std::string table = statsTable(summaries, total_ns);
+        if (options->stats == StatsMode::Auto && !json_out)
+            std::printf("%s", table.c_str());
+        else
+            std::fprintf(stderr, "%s", table.c_str());
+    }
     return 0;
 }
 

@@ -5,7 +5,12 @@
  *   accordion list
  *   accordion run <name>... [--threads N] [--seed S]
  *                           [--out-dir DIR] [--format csv|json|both]
+ *                           [--stats auto|on|off] [--trace FILE]
  *   accordion run all [...]
+ *   accordion perf [--reps R] [--warmup W] [--scale X] [--out FILE]
+ *                  [--scenario NAME]... [--list]
+ *   accordion perf compare BASE.json NEW.json [--threshold PCT]
+ *                  [--warn-only]
  *
  * Parsing is separated from execution (and from fatal()) so the
  * test suite can exercise every error path in-process.
@@ -19,9 +24,20 @@
 #include <vector>
 
 #include "experiment.hpp"
+#include "perf.hpp"
 #include "run_context.hpp"
 
 namespace accordion::harness {
+
+/** Where the end-of-run stats table goes (`--stats`). */
+enum class StatsMode
+{
+    /** csv/both runs print it to stdout (the legacy bytes); json
+     *  runs move it to stderr so stdout stays machine-parseable. */
+    Auto,
+    On,  //!< always, to stderr
+    Off, //!< never
+};
 
 /** A parsed command line. */
 struct CliOptions
@@ -31,14 +47,20 @@ struct CliOptions
         Help, //!< print usage
         List, //!< enumerate registered experiments
         Run,  //!< run the named experiments (or all)
+        Perf, //!< record a performance snapshot
+        PerfCompare, //!< compare two snapshots
     };
 
     Command command = Command::Help;
     bool runAll = false;
     std::vector<std::string> experiments;
     RunContext::Options run;
+    StatsMode stats = StatsMode::Auto;
     /** Chrome-trace output path (`--trace`); empty = tracing off. */
     std::string trace;
+
+    PerfOptions perf; //!< Command::Perf
+    CompareOptions compare; //!< Command::PerfCompare
 };
 
 /** The usage text `accordion help` prints. */

@@ -1,0 +1,615 @@
+#include "perf.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cli.hpp"
+#include "core/montecarlo.hpp"
+#include "core/quality_profile.hpp"
+#include "obs/clock.hpp"
+#include "perf_kernels.hpp"
+#include "run_context.hpp"
+#include "stats_report.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace accordion::harness {
+
+std::size_t
+PerfRun::scaled(std::size_t base) const
+{
+    const double n = std::floor(static_cast<double>(base) * scale + 0.5);
+    return n < 1.0 ? 1 : static_cast<std::size_t>(n);
+}
+
+namespace {
+
+/**
+ * Redirect stdout to /dev/null for a scope. The experiment
+ * scenarios rerun experiment bodies that print their figures to
+ * stdout; perf record must keep stdout clean for its own report.
+ */
+class StdoutSilencer
+{
+  public:
+    StdoutSilencer()
+    {
+        std::fflush(stdout);
+        saved_ = ::dup(1);
+        const int null = ::open("/dev/null", O_WRONLY);
+        if (saved_ >= 0 && null >= 0)
+            ::dup2(null, 1);
+        if (null >= 0)
+            ::close(null);
+    }
+
+    StdoutSilencer(const StdoutSilencer &) = delete;
+    StdoutSilencer &operator=(const StdoutSilencer &) = delete;
+
+    ~StdoutSilencer()
+    {
+        std::fflush(stdout);
+        if (saved_ >= 0) {
+            ::dup2(saved_, 1);
+            ::close(saved_);
+        }
+    }
+
+  private:
+    int saved_ = -1;
+};
+
+/** The per-iteration work counter every substrate scenario bumps. */
+void
+countItems(std::size_t n)
+{
+    obs::StatsRegistry::global().counter("perf.items").add(n);
+}
+
+/** Sink for values the optimizer must not elide. */
+volatile double perfSink = 0.0;
+
+/** Run one experiment through the run's shared context, silenced. */
+void
+runExperiment(PerfRun &run, const std::string &name)
+{
+    const Experiment *e = Registry::instance().find(name);
+    if (!e)
+        util::fatal("perf scenario references unknown experiment '%s'",
+                    name.c_str());
+    StdoutSilencer silence;
+    e->run(run.ctx);
+}
+
+std::vector<PerfScenario>
+buildScenarios()
+{
+    std::vector<PerfScenario> suite;
+
+    suite.push_back(
+        {"substrate.chip_manufacture",
+         "manufacture full variation chips (correlated VT/Leff maps)",
+         [](PerfRun &run) {
+             const std::size_t n = run.scaled(8);
+             double acc = 0.0;
+             for (std::size_t i = 0; i < n; ++i)
+                 acc += kernels::manufactureOne(run.fixtures.factory,
+                                                1 + i);
+             perfSink = acc;
+             countItems(n);
+         }});
+
+    suite.push_back(
+        {"substrate.safe_frequency",
+         "safe-frequency queries against one core's timing model",
+         [](PerfRun &run) {
+             const std::size_t n = run.scaled(5000);
+             const auto &timing =
+                 run.fixtures.chip.coreTiming(kernels::kTimingCore);
+             double acc = 0.0;
+             for (std::size_t i = 0; i < n; ++i)
+                 acc += kernels::safeFrequencyOnce(timing);
+             perfSink = acc;
+             countItems(n);
+         }});
+
+    suite.push_back(
+        {"substrate.error_rate",
+         "timing-error-rate queries at the NTV operating point",
+         [](PerfRun &run) {
+             const std::size_t n = run.scaled(400000);
+             const auto &timing =
+                 run.fixtures.chip.coreTiming(kernels::kTimingCore);
+             double acc = 0.0;
+             for (std::size_t i = 0; i < n; ++i)
+                 acc += kernels::errorRateOnce(timing);
+             perfSink = acc;
+             countItems(n);
+         }});
+
+    suite.push_back(
+        {"substrate.perf_model_analytic",
+         "analytic execution-time estimates for a 64-core task set",
+         [](PerfRun &run) {
+             const std::size_t n = run.scaled(100000);
+             const manycore::AnalyticPerfModel model;
+             const kernels::PerfModelInput input;
+             double acc = 0.0;
+             for (std::size_t i = 0; i < n; ++i)
+                 acc += kernels::estimateOnce(model, run.fixtures.chip,
+                                              input);
+             perfSink = acc;
+             countItems(n);
+         }});
+
+    suite.push_back(
+        {"substrate.perf_model_event",
+         "event-driven execution-time estimates (same task set)",
+         [](PerfRun &run) {
+             const std::size_t n = run.scaled(100);
+             const manycore::EventDrivenPerfModel model;
+             const kernels::PerfModelInput input;
+             double acc = 0.0;
+             for (std::size_t i = 0; i < n; ++i)
+                 acc += kernels::estimateOnce(model, run.fixtures.chip,
+                                              input);
+             perfSink = acc;
+             countItems(n);
+         }});
+
+    suite.push_back(
+        {"substrate.core_selection",
+         "variation-aware core selections over the manufactured chip",
+         [](PerfRun &run) {
+             const std::size_t n = run.scaled(10000);
+             const manycore::PowerModel power(run.fixtures.tech);
+             std::size_t acc = 0;
+             for (std::size_t i = 0; i < n; ++i)
+                 acc += kernels::selectOnce(run.fixtures.chip, power);
+             perfSink = static_cast<double>(acc);
+             countItems(n);
+         }});
+
+    suite.push_back(
+        {"substrate.montecarlo",
+         "Monte Carlo metric sweep over a chip sample (thread pool)",
+         [](PerfRun &run) {
+             const std::size_t chips = run.scaled(12);
+             const core::MonteCarloEvaluator mc(run.fixtures.factory,
+                                                chips);
+             const std::vector<double> values = mc.values(
+                 [](const vartech::VariationChip &chip) {
+                     return chip.vddNtv();
+                 });
+             perfSink = values.empty() ? 0.0 : values.front();
+             countItems(values.size());
+         }});
+
+    suite.push_back(
+        {"substrate.quality_profile",
+         "quality-profile measurement of the hotspot kernel",
+         [](PerfRun &run) {
+             const core::QualityProfile profile =
+                 core::QualityProfile::measure(
+                     rms::findWorkload("hotspot"));
+             perfSink = profile.defaultQuality();
+             countItems(1);
+             (void)run;
+         }});
+
+    suite.push_back({"experiment.fig1a_operating_point",
+                     "the fig1a_operating_point experiment, end to end",
+                     [](PerfRun &run) {
+                         runExperiment(run, "fig1a_operating_point");
+                     }});
+
+    suite.push_back({"experiment.table1_modes",
+                     "the table1_modes experiment, end to end",
+                     [](PerfRun &run) {
+                         runExperiment(run, "table1_modes");
+                     }});
+
+    suite.push_back({"experiment.fig5_variation",
+                     "the fig5_variation experiment, end to end",
+                     [](PerfRun &run) {
+                         runExperiment(run, "fig5_variation");
+                     }});
+
+    std::sort(suite.begin(), suite.end(),
+              [](const PerfScenario &a, const PerfScenario &b) {
+                  return a.name < b.name;
+              });
+    return suite;
+}
+
+/** True when @p name starts with @p prefix. */
+bool
+hasPrefix(const std::string &name, const char *prefix)
+{
+    const std::size_t len = std::char_traits<char>::length(prefix);
+    return name.size() >= len && name.compare(0, len, prefix) == 0;
+}
+
+/**
+ * Harvest the registry into a scenario record after the final
+ * repetition: work counters (the pool/cache internals stay out —
+ * they are plumbing, not work items), time.* phase-timer summaries,
+ * and the derived pool.utilization.* gauges.
+ */
+void
+harvestStats(const std::vector<obs::StatEntry> &stats,
+             obs::ScenarioRecord *record)
+{
+    for (const obs::StatEntry &e : stats) {
+        // Zero-count entries are stats other scenarios registered;
+        // reset() keeps the registration, so skip them here.
+        switch (e.kind) {
+        case obs::StatKind::Counter:
+            if (e.count > 0 && !hasPrefix(e.name, "pool.") &&
+                !hasPrefix(e.name, "syscache."))
+                record->counters[e.name] = e.count;
+            break;
+        case obs::StatKind::Gauge:
+            if (hasPrefix(e.name, "pool.utilization."))
+                record->gauges[e.name] = e.value;
+            break;
+        case obs::StatKind::Distribution:
+            if (e.count > 0 && hasPrefix(e.name, "time."))
+                record->timers[e.name] = obs::summarize(e);
+            break;
+        }
+    }
+    const double best_s = record->minWallNs() * 1e-9;
+    if (best_s > 0.0)
+        for (const auto &[name, count] : record->counters)
+            record->throughput[name] =
+                static_cast<double>(count) / best_s;
+}
+
+/** Human spelling of one delta row's wall times. */
+std::string
+formatMs(double ns)
+{
+    return util::format("%.3f ms", ns * 1e-6);
+}
+
+} // namespace
+
+const std::vector<PerfScenario> &
+perfScenarios()
+{
+    static const std::vector<PerfScenario> suite = buildScenarios();
+    return suite;
+}
+
+std::size_t
+CompareReport::count(DeltaStatus status) const
+{
+    std::size_t n = 0;
+    for (const ScenarioDelta &d : deltas)
+        if (d.status == status)
+            ++n;
+    return n;
+}
+
+const char *
+deltaStatusName(DeltaStatus status)
+{
+    switch (status) {
+    case DeltaStatus::WithinNoise:
+        return "within_noise";
+    case DeltaStatus::Improvement:
+        return "improvement";
+    case DeltaStatus::Regression:
+        return "regression";
+    case DeltaStatus::MissingInNew:
+        return "missing_in_new";
+    case DeltaStatus::OnlyInNew:
+        return "only_in_new";
+    }
+    return "unknown";
+}
+
+CompareReport
+compareSnapshots(const obs::PerfSnapshot &base,
+                 const obs::PerfSnapshot &next, double threshold_pct)
+{
+    CompareReport report;
+    report.thresholdPct = threshold_pct;
+    if (base.schema != next.schema) {
+        std::string message = "schema mismatch: base '";
+        message += base.schema;
+        message += "' vs new '";
+        message += next.schema;
+        message += "'";
+        report.error = message;
+        return report;
+    }
+    if (base.scale != next.scale) {
+        report.error = util::format(
+            "scale mismatch: base %g vs new %g (re-record both "
+            "snapshots at one --scale)",
+            base.scale, next.scale);
+        return report;
+    }
+
+    for (const obs::ScenarioRecord &b : base.scenarios) {
+        ScenarioDelta delta;
+        delta.name = b.name;
+        delta.baseNs = b.minWallNs();
+        const obs::ScenarioRecord *n = next.find(b.name);
+        if (!n) {
+            delta.status = DeltaStatus::MissingInNew;
+            report.deltas.push_back(delta);
+            continue;
+        }
+        delta.newNs = n->minWallNs();
+        const double diff = delta.newNs - delta.baseNs;
+        delta.deltaPct =
+            delta.baseNs > 0.0 ? diff / delta.baseNs * 100.0 : 0.0;
+        if (std::abs(diff) <= kAbsNoiseFloorNs ||
+            std::abs(delta.deltaPct) <= threshold_pct)
+            delta.status = DeltaStatus::WithinNoise;
+        else
+            delta.status = diff > 0.0 ? DeltaStatus::Regression
+                                      : DeltaStatus::Improvement;
+        report.deltas.push_back(delta);
+    }
+    for (const obs::ScenarioRecord &n : next.scenarios) {
+        if (base.find(n.name))
+            continue;
+        ScenarioDelta delta;
+        delta.name = n.name;
+        delta.newNs = n.minWallNs();
+        delta.status = DeltaStatus::OnlyInNew;
+        report.deltas.push_back(delta);
+    }
+    return report;
+}
+
+std::string
+compareTable(const CompareReport &report)
+{
+    if (!report.error.empty())
+        return "perf compare error: " + report.error + "\n";
+
+    util::Table table({"scenario", "base", "new", "delta", "status"});
+    for (const ScenarioDelta &d : report.deltas) {
+        const bool comparable = d.status == DeltaStatus::WithinNoise ||
+            d.status == DeltaStatus::Improvement ||
+            d.status == DeltaStatus::Regression;
+        table.addRow(
+            {d.name,
+             d.status == DeltaStatus::OnlyInNew ? "-"
+                                                : formatMs(d.baseNs),
+             d.status == DeltaStatus::MissingInNew
+                 ? "-"
+                 : formatMs(d.newNs),
+             comparable ? util::format("%+.1f%%", d.deltaPct) : "-",
+             deltaStatusName(d.status)});
+    }
+    return table.render() +
+        util::format("\n%zu scenarios: %zu regression(s), %zu "
+                     "improvement(s), %zu within noise (threshold "
+                     "%.1f%%, floor %.1f ms), %zu missing, %zu new\n",
+                     report.deltas.size(), report.regressions(),
+                     report.count(DeltaStatus::Improvement),
+                     report.count(DeltaStatus::WithinNoise),
+                     report.thresholdPct, kAbsNoiseFloorNs * 1e-6,
+                     report.missing(),
+                     report.count(DeltaStatus::OnlyInNew));
+}
+
+std::string
+verdictJson(const CompareReport &report)
+{
+    std::string error_json = "null";
+    if (!report.error.empty()) {
+        error_json = "\"";
+        error_json += obs::jsonEscape(report.error);
+        error_json += "\"";
+    }
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"schema\": \"accordion-perf-compare-v1\",\n"
+        << "  \"ok\": " << (report.ok() ? "true" : "false") << ",\n"
+        << "  \"error\": " << error_json << ",\n"
+        << "  \"threshold_pct\": "
+        << obs::jsonNumber(report.thresholdPct) << ",\n"
+        << "  \"abs_noise_floor_ns\": "
+        << obs::jsonNumber(kAbsNoiseFloorNs) << ",\n"
+        << "  \"regressions\": " << report.regressions() << ",\n"
+        << "  \"missing\": " << report.missing() << ",\n"
+        << "  \"scenarios\": [";
+    for (std::size_t i = 0; i < report.deltas.size(); ++i) {
+        const ScenarioDelta &d = report.deltas[i];
+        out << (i ? ",\n" : "\n") << "    {\"name\": \""
+            << obs::jsonEscape(d.name)
+            << "\", \"base_ns\": " << obs::jsonNumber(d.baseNs)
+            << ", \"new_ns\": " << obs::jsonNumber(d.newNs)
+            << ", \"delta_pct\": " << obs::jsonNumber(d.deltaPct)
+            << ", \"status\": \"" << deltaStatusName(d.status)
+            << "\"}";
+    }
+    out << (report.deltas.empty() ? "]" : "\n  ]") << "\n}\n";
+    return out.str();
+}
+
+std::optional<obs::PerfSnapshot>
+recordSnapshot(const PerfOptions &options, std::string *error)
+{
+    std::vector<const PerfScenario *> selected;
+    for (const PerfScenario &s : perfScenarios()) {
+        if (options.only.empty() ||
+            std::find(options.only.begin(), options.only.end(),
+                      s.name) != options.only.end())
+            selected.push_back(&s);
+    }
+    for (const std::string &name : options.only) {
+        const bool known = std::any_of(
+            selected.begin(), selected.end(),
+            [&](const PerfScenario *s) { return s->name == name; });
+        if (!known) {
+            *error = "unknown perf scenario '" + name +
+                     "' (see: accordion perf --list)";
+            return std::nullopt;
+        }
+    }
+
+    obs::StatsRegistry &registry = obs::StatsRegistry::global();
+    const bool was_enabled = registry.enabled();
+    registry.setEnabled(true);
+
+    // Experiment scenarios run against a throwaway output directory;
+    // the CSVs they write are a side effect, not the product.
+    const std::string out_dir =
+        (std::filesystem::temp_directory_path() /
+         util::format("accordion-perf-%d", static_cast<int>(getpid())))
+            .string();
+    RunContext::Options run_options;
+    run_options.seed = options.seed;
+    run_options.threads = options.threads;
+    run_options.outDir = out_dir;
+    RunContext ctx(run_options);
+    kernels::SubstrateFixtures fixtures(options.seed);
+    PerfRun run{ctx, fixtures, options.scale};
+
+    obs::PerfSnapshot snapshot;
+    snapshot.environment = obs::captureEnvironment();
+    snapshot.seed = options.seed;
+    snapshot.threads = util::ThreadPool::global().size();
+    snapshot.reps = options.reps;
+    snapshot.scale = options.scale;
+
+    for (const PerfScenario *scenario : selected) {
+        obs::ScenarioRecord record;
+        record.name = scenario->name;
+        record.warmup = options.warmup;
+        const std::size_t total = options.warmup + options.reps;
+        for (std::size_t rep = 0; rep < total; ++rep) {
+            registry.reset();
+            const std::uint64_t t0 = obs::nowNs();
+            scenario->body(run);
+            const std::uint64_t wall = obs::nowNs() - t0;
+            deriveUtilization(registry, wall);
+            if (rep >= options.warmup)
+                record.wallNs.push_back(static_cast<double>(wall));
+        }
+        harvestStats(registry.snapshot(), &record);
+        std::fprintf(stderr, "perf: %-32s min %s over %zu rep(s)\n",
+                     scenario->name.c_str(),
+                     formatMs(record.minWallNs()).c_str(),
+                     record.wallNs.size());
+        snapshot.scenarios.push_back(std::move(record));
+    }
+
+    registry.reset();
+    registry.setEnabled(was_enabled);
+    std::error_code ec;
+    std::filesystem::remove_all(out_dir, ec);
+    return snapshot;
+}
+
+std::string
+defaultSnapshotPath()
+{
+    for (std::size_t n = 0;; ++n) {
+        const std::string path =
+            util::format("BENCH_%zu.json", n);
+        if (!std::filesystem::exists(path))
+            return path;
+    }
+}
+
+int
+runPerfRecord(const PerfOptions &options)
+{
+    if (options.list) {
+        util::Table table({"scenario", "description"});
+        for (const PerfScenario &s : perfScenarios())
+            table.addRow({s.name, s.description});
+        std::printf("%s", table.render().c_str());
+        std::printf("\n%zu scenarios; record with: accordion perf "
+                    "[--scenario NAME]...\n",
+                    perfScenarios().size());
+        return 0;
+    }
+
+    std::string error;
+    const auto snapshot = recordSnapshot(options, &error);
+    if (!snapshot)
+        util::fatal("%s", error.c_str());
+
+    const std::string path =
+        options.out.empty() ? defaultSnapshotPath() : options.out;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        util::fatal("cannot open '%s' for writing", path.c_str());
+    out << obs::toJson(*snapshot);
+    out.flush();
+    if (!out.good())
+        util::fatal("failed writing '%s'", path.c_str());
+    std::printf("wrote %s (%zu scenarios, %zu reps, scale %g)\n",
+                path.c_str(), snapshot->scenarios.size(),
+                snapshot->reps, snapshot->scale);
+    return 0;
+}
+
+namespace {
+
+/** Load + parse one snapshot file; exits 2-style via *error. */
+bool
+loadSnapshot(const std::string &path, obs::PerfSnapshot *out,
+             std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        *error = "cannot read '" + path + "'";
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (!parsePerfSnapshot(text.str(), out, error)) {
+        *error = path + ": " + *error;
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+runPerfCompare(const CompareOptions &options)
+{
+    obs::PerfSnapshot base;
+    obs::PerfSnapshot next;
+    std::string error;
+    if (!loadSnapshot(options.basePath, &base, &error) ||
+        !loadSnapshot(options.newPath, &next, &error)) {
+        std::fprintf(stderr, "perf compare: %s\n", error.c_str());
+        return 2;
+    }
+
+    const CompareReport report =
+        compareSnapshots(base, next, options.thresholdPct);
+    // Humans read the table on stderr; stdout carries the verdict
+    // JSON so `accordion perf compare ... | python3 -m json.tool`
+    // just works.
+    std::fprintf(stderr, "%s", compareTable(report).c_str());
+    std::printf("%s", verdictJson(report).c_str());
+    if (!report.error.empty())
+        return 2;
+    if (!report.ok())
+        return options.warnOnly ? 0 : 1;
+    return 0;
+}
+
+} // namespace accordion::harness

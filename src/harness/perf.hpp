@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The `accordion perf` subcommand: longitudinal performance
+ * telemetry over a curated scenario suite.
+ *
+ *   accordion perf [--reps R] [--warmup W] [--scale X]
+ *                  [--out FILE] [--scenario NAME]... [--list]
+ *                  [--threads N] [--seed S]
+ *   accordion perf compare BASE.json NEW.json [--threshold PCT]
+ *                  [--warn-only]
+ *
+ * Record mode runs every scenario — in-process reruns of the
+ * substrate hot paths shared with bench/micro_substrates.cpp
+ * (perf_kernels.hpp) plus a representative subset of the harness
+ * experiments — with W unrecorded warmup repetitions and R timed
+ * repetitions, and writes an "accordion-perf-snapshot-v1" JSON
+ * (obs/snapshot.hpp) to --out, defaulting to the next free
+ * BENCH_<n>.json in the working directory.
+ *
+ * Compare mode diffs two snapshots scenario-by-scenario on
+ * min-of-reps wall time with a relative threshold plus an absolute
+ * noise floor, prints a human verdict table and a machine-readable
+ * verdict JSON, and exits non-zero on a regression (or a scenario
+ * missing from the new snapshot) unless --warn-only.
+ *
+ * The compare engine is exposed as plain functions over parsed
+ * snapshots so tests drive every verdict path in-process.
+ */
+
+#ifndef ACCORDION_HARNESS_PERF_HPP
+#define ACCORDION_HARNESS_PERF_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/snapshot.hpp"
+
+namespace accordion::harness {
+
+class RunContext;
+namespace kernels {
+struct SubstrateFixtures;
+}
+
+/** Shared state a scenario body measures against. */
+struct PerfRun
+{
+    RunContext &ctx; //!< experiment scenarios run through this
+    kernels::SubstrateFixtures &fixtures; //!< substrate scenarios
+    double scale = 1.0;
+
+    /** @p base iterations scaled by --scale, never below one. */
+    std::size_t scaled(std::size_t base) const;
+};
+
+/** One curated perf scenario. */
+struct PerfScenario
+{
+    std::string name;
+    std::string description;
+    std::function<void(PerfRun &)> body;
+};
+
+/** The curated suite, sorted by name. */
+const std::vector<PerfScenario> &perfScenarios();
+
+/** `accordion perf` record-mode options. */
+struct PerfOptions
+{
+    std::size_t reps = 3;
+    std::size_t warmup = 1;
+    double scale = 1.0; //!< scenario size multiplier (CI uses < 1)
+    std::uint64_t seed = 12345;
+    std::size_t threads = 0; //!< 0 = leave the global pool alone
+    std::string out; //!< empty = next free BENCH_<n>.json
+    std::vector<std::string> only; //!< scenario filter (empty = all)
+    bool list = false; //!< print the suite instead of running
+};
+
+/** `accordion perf compare` options. */
+struct CompareOptions
+{
+    std::string basePath;
+    std::string newPath;
+    double thresholdPct = 5.0; //!< relative noise floor, percent
+    bool warnOnly = false; //!< report but exit 0 on regression
+};
+
+/** Verdict of one scenario's base-vs-new wall-time delta. */
+enum class DeltaStatus
+{
+    WithinNoise, //!< |delta| inside the threshold / noise floor
+    Improvement, //!< faster beyond the noise band
+    Regression,  //!< slower beyond the noise band
+    MissingInNew, //!< present in base, absent in new (a failure)
+    OnlyInNew,   //!< new scenario, nothing to compare (informational)
+};
+
+/** CLI spelling of a status ("regression", "within_noise", ...). */
+const char *deltaStatusName(DeltaStatus status);
+
+/** One scenario's comparison outcome. */
+struct ScenarioDelta
+{
+    std::string name;
+    double baseNs = 0.0; //!< min-of-reps wall in the base snapshot
+    double newNs = 0.0;  //!< min-of-reps wall in the new snapshot
+    double deltaPct = 0.0;
+    DeltaStatus status = DeltaStatus::WithinNoise;
+};
+
+/** The full comparison outcome. */
+struct CompareReport
+{
+    /** Non-empty = the snapshots are not comparable (schema or
+     *  scale mismatch); deltas are empty then. */
+    std::string error;
+    double thresholdPct = 0.0;
+    std::vector<ScenarioDelta> deltas;
+
+    std::size_t count(DeltaStatus status) const;
+    std::size_t regressions() const
+    {
+        return count(DeltaStatus::Regression);
+    }
+    std::size_t missing() const
+    {
+        return count(DeltaStatus::MissingInNew);
+    }
+
+    /** Gate verdict: comparable, no regression, nothing missing. */
+    bool ok() const
+    {
+        return error.empty() && regressions() == 0 && missing() == 0;
+    }
+};
+
+/**
+ * Deltas below this absolute wall-time difference are always
+ * within noise, whatever the relative threshold says — sub-0.2 ms
+ * scenario timings are scheduler jitter, not signal.
+ */
+inline constexpr double kAbsNoiseFloorNs = 2e5;
+
+/**
+ * Compare two parsed snapshots on min-of-reps wall time per
+ * scenario. Regression/improvement requires the delta to exceed
+ * both @p threshold_pct relatively and kAbsNoiseFloorNs
+ * absolutely.
+ */
+CompareReport compareSnapshots(const obs::PerfSnapshot &base,
+                               const obs::PerfSnapshot &next,
+                               double threshold_pct);
+
+/** The human verdict table (one row per scenario). */
+std::string compareTable(const CompareReport &report);
+
+/** The machine verdict ("accordion-perf-compare-v1" JSON). */
+std::string verdictJson(const CompareReport &report);
+
+/**
+ * Run the (possibly filtered) suite and build a snapshot. Returns
+ * nullopt — with a message in *error — on an unknown --scenario
+ * name. Enables the global stats registry for the duration.
+ */
+std::optional<obs::PerfSnapshot>
+recordSnapshot(const PerfOptions &options, std::string *error);
+
+/** First BENCH_<n>.json (n = 0, 1, ...) not yet present in cwd. */
+std::string defaultSnapshotPath();
+
+/** Record-mode entry point: run, write, report. */
+int runPerfRecord(const PerfOptions &options);
+
+/** Compare-mode entry point: load, compare, print, gate. */
+int runPerfCompare(const CompareOptions &options);
+
+} // namespace accordion::harness
+
+#endif // ACCORDION_HARNESS_PERF_HPP

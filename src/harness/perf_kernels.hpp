@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The substrate hot-path micro-scenario bodies, shared between the
+ * google-benchmark microbenchmarks (bench/micro_substrates.cpp) and
+ * the `accordion perf` suite (perf.cpp): chip manufacture, timing-
+ * model queries, the performance models, core selection and the RMS
+ * kernels. Keeping one definition per body guarantees the two
+ * harnesses measure the same code — a perf snapshot regression is
+ * reproducible under google-benchmark and vice versa.
+ *
+ * Everything here is header-only and stateless; the fixtures struct
+ * bundles the expensive shared state (technology + factory + one
+ * manufactured chip) so it is built once, outside any timed region.
+ */
+
+#ifndef ACCORDION_HARNESS_PERF_KERNELS_HPP
+#define ACCORDION_HARNESS_PERF_KERNELS_HPP
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/core_selection.hpp"
+#include "manycore/perf_model.hpp"
+#include "manycore/power_model.hpp"
+#include "rms/workload.hpp"
+#include "vartech/variation_chip.hpp"
+
+namespace accordion::harness::kernels {
+
+/** The core / operating point the timing-query bodies probe. */
+inline constexpr std::size_t kTimingCore = 17;
+inline constexpr double kTimingVdd = 0.55;
+inline constexpr double kTimingFreqHz = 0.7e9;
+
+/**
+ * Shared expensive state of the substrate scenarios. Non-copyable:
+ * the factory holds a reference to the technology member.
+ */
+struct SubstrateFixtures
+{
+    explicit SubstrateFixtures(std::uint64_t seed = 12345)
+        : tech(vartech::Technology::makeItrs11nm()),
+          factory(tech, vartech::ChipFactory::Params{}, seed),
+          chip(factory.make(0))
+    {
+    }
+
+    SubstrateFixtures(const SubstrateFixtures &) = delete;
+    SubstrateFixtures &operator=(const SubstrateFixtures &) = delete;
+
+    vartech::Technology tech;
+    vartech::ChipFactory factory;
+    vartech::VariationChip chip;
+};
+
+/** Manufacture one chip; returns its NTV supply point. */
+inline double
+manufactureOne(const vartech::ChipFactory &factory, std::uint64_t id)
+{
+    return factory.make(id).vddNtv();
+}
+
+/** One safe-frequency query at the probe operating point. */
+inline double
+safeFrequencyOnce(const vartech::CoreTimingModel &timing)
+{
+    return timing.safeFrequency(kTimingVdd);
+}
+
+/** One timing-error-rate query at the probe operating point. */
+inline double
+errorRateOnce(const vartech::CoreTimingModel &timing)
+{
+    return timing.errorRate(kTimingVdd, kTimingFreqHz);
+}
+
+/** The 64-core / 50k-instruction task set both harnesses model. */
+struct PerfModelInput
+{
+    PerfModelInput()
+    {
+        cores.resize(64);
+        std::iota(cores.begin(), cores.end(), std::size_t{0});
+        tasks.numTasks = 64;
+        tasks.instrPerTask = 50000;
+    }
+
+    std::vector<std::size_t> cores;
+    manycore::TaskSet tasks;
+    manycore::WorkloadTraits traits;
+};
+
+/** One execution-time estimate; returns the predicted seconds. */
+inline double
+estimateOnce(const manycore::PerfModel &model,
+             const vartech::VariationChip &chip,
+             const PerfModelInput &input)
+{
+    return model
+        .estimate(chip.geometry(), input.cores, 0.5e9, input.tasks,
+                  input.traits)
+        .seconds;
+}
+
+/** One variation-aware core selection; returns the chosen count. */
+inline std::size_t
+selectOnce(const vartech::VariationChip &chip,
+           const manycore::PowerModel &power)
+{
+    core::CoreSelector selector(chip, power);
+    return selector.selectCores(128).size();
+}
+
+/** One RMS kernel run at its default input; returns problem size. */
+inline double
+kernelOnce(const rms::Workload &workload)
+{
+    rms::RunConfig config;
+    config.input = workload.defaultInput();
+    config.threads = workload.defaultThreads();
+    return workload.run(config).problemSize;
+}
+
+} // namespace accordion::harness::kernels
+
+#endif // ACCORDION_HARNESS_PERF_KERNELS_HPP

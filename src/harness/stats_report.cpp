@@ -1,0 +1,195 @@
+#include "stats_report.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "obs/snapshot.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace accordion::harness {
+
+void
+deriveUtilization(obs::StatsRegistry &registry,
+                  std::uint64_t elapsed_ns)
+{
+    if (elapsed_ns == 0)
+        return;
+    const std::string prefix = "pool.worker";
+    const std::string suffix = ".busy_ns";
+    double busy_total = 0.0;
+    std::size_t workers = 0;
+    for (const obs::StatEntry &e : registry.snapshot()) {
+        if (e.kind != obs::StatKind::Counter ||
+            e.name.size() <= prefix.size() + suffix.size() ||
+            e.name.compare(0, prefix.size(), prefix) != 0 ||
+            e.name.compare(e.name.size() - suffix.size(),
+                           suffix.size(), suffix) != 0)
+            continue;
+        // "pool.worker3.busy_ns" -> "worker3"
+        const std::string worker = e.name.substr(
+            5, e.name.size() - 5 - suffix.size());
+        registry.gauge("pool.utilization." + worker)
+            .set(static_cast<double>(e.count) /
+                 static_cast<double>(elapsed_ns));
+        busy_total += static_cast<double>(e.count);
+        ++workers;
+    }
+    if (workers > 0)
+        registry.gauge("pool.utilization.mean")
+            .set(busy_total / (static_cast<double>(workers) *
+                               static_cast<double>(elapsed_ns)));
+}
+
+void
+writeRunSummary(const std::string &path,
+                const RunContext::Options &run,
+                const std::string &trace, std::size_t threads,
+                const std::vector<ExperimentSummary> &summaries)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(run.outDir, ec);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        util::fatal("cannot open '%s' for writing", path.c_str());
+    std::string trace_json = "null";
+    if (!trace.empty()) {
+        trace_json = "\"";
+        trace_json += obs::jsonEscape(trace);
+        trace_json += "\"";
+    }
+    out << "{\n"
+        << "  \"schema\": \"accordion-run-summary-v1\",\n"
+        << "  \"seed\": " << run.seed << ",\n"
+        << "  \"threads\": " << threads << ",\n"
+        << "  \"format\": \"" << formatName(run.format) << "\",\n"
+        << "  \"trace\": " << trace_json << ",\n"
+        << "  \"environment\": {";
+    // Environment metadata makes summary entries joinable with perf
+    // snapshots (same keys as accordion-perf-snapshot-v1).
+    bool first = true;
+    for (const auto &[key, value] : obs::captureEnvironment()) {
+        out << (first ? "\n" : ",\n") << "    \""
+            << obs::jsonEscape(key) << "\": \""
+            << obs::jsonEscape(value) << "\"";
+        first = false;
+    }
+    out << "\n  },\n"
+        << "  \"experiments\": [";
+    for (std::size_t i = 0; i < summaries.size(); ++i) {
+        const ExperimentSummary &s = summaries[i];
+        out << (i ? ",\n" : "\n")
+            << "    {\"name\": \"" << obs::jsonEscape(s.name)
+            << "\", \"elapsed_ns\": " << s.elapsedNs
+            << ", \"stats\": " << obs::jsonObject(s.stats) << "}";
+    }
+    out << "\n  ]\n}\n";
+    out.flush();
+    if (!out.good())
+        util::fatal("failed writing '%s'", path.c_str());
+}
+
+std::string
+statsTable(const std::vector<ExperimentSummary> &summaries,
+           std::uint64_t total_elapsed_ns)
+{
+    std::map<std::string, obs::StatEntry> merged;
+    for (const ExperimentSummary &s : summaries) {
+        for (const obs::StatEntry &e : s.stats) {
+            auto it = merged.find(e.name);
+            if (it == merged.end()) {
+                merged.emplace(e.name, e);
+                continue;
+            }
+            obs::StatEntry &m = it->second;
+            switch (e.kind) {
+            case obs::StatKind::Counter:
+                m.count += e.count;
+                break;
+            case obs::StatKind::Gauge:
+                m.value = e.value; // level: keep the latest
+                break;
+            case obs::StatKind::Distribution:
+                if (e.count) {
+                    m.min = m.count ? std::min(m.min, e.min) : e.min;
+                    m.max = m.count ? std::max(m.max, e.max) : e.max;
+                    m.count += e.count;
+                    m.sum += e.sum;
+                    m.samples.insert(m.samples.end(),
+                                     e.samples.begin(),
+                                     e.samples.end());
+                }
+                break;
+            }
+        }
+    }
+    // Merged reservoirs must be re-sorted before quantile reads.
+    for (auto &[name, e] : merged)
+        if (e.kind == obs::StatKind::Distribution)
+            std::sort(e.samples.begin(), e.samples.end());
+    // Whole-run utilization from the summed busy counters.
+    if (total_elapsed_ns > 0) {
+        double busy_total = 0.0;
+        std::size_t workers = 0;
+        for (auto &[name, e] : merged) {
+            if (e.kind != obs::StatKind::Counter ||
+                name.compare(0, 11, "pool.worker") != 0 ||
+                name.size() <= 19 ||
+                name.compare(name.size() - 8, 8, ".busy_ns") != 0)
+                continue;
+            const std::string worker =
+                name.substr(5, name.size() - 5 - 8);
+            obs::StatEntry &util_entry =
+                merged["pool.utilization." + worker];
+            util_entry.name = "pool.utilization." + worker;
+            util_entry.kind = obs::StatKind::Gauge;
+            util_entry.value = static_cast<double>(e.count) /
+                static_cast<double>(total_elapsed_ns);
+            busy_total += static_cast<double>(e.count);
+            ++workers;
+        }
+        if (workers > 0) {
+            obs::StatEntry &mean = merged["pool.utilization.mean"];
+            mean.name = "pool.utilization.mean";
+            mean.kind = obs::StatKind::Gauge;
+            mean.value = busy_total /
+                (static_cast<double>(workers) *
+                 static_cast<double>(total_elapsed_ns));
+        }
+    }
+
+    util::Table table({"stat", "kind", "value"});
+    for (const auto &[name, e] : merged) {
+        switch (e.kind) {
+        case obs::StatKind::Counter:
+            table.addRow({name, "counter",
+                          util::format("%llu",
+                                       static_cast<unsigned long long>(
+                                           e.count))});
+            break;
+        case obs::StatKind::Gauge:
+            table.addRow({name, "gauge",
+                          util::format("%.4g", e.value)});
+            break;
+        case obs::StatKind::Distribution:
+            table.addRow(
+                {name, "distribution",
+                 util::format("n=%llu total=%.3f ms mean=%.3f ms "
+                              "min=%.3f ms p50=%.3f ms p95=%.3f ms "
+                              "p99=%.3f ms max=%.3f ms",
+                              static_cast<unsigned long long>(e.count),
+                              e.sum / 1e6, e.mean() / 1e6, e.min / 1e6,
+                              e.p50() / 1e6, e.p95() / 1e6,
+                              e.p99() / 1e6, e.max / 1e6)});
+            break;
+        }
+    }
+    return util::format("\nrun stats (%zu experiments, %.2f s "
+                        "wall):\n",
+                        summaries.size(), total_elapsed_ns * 1e-9) +
+        table.render();
+}
+
+} // namespace accordion::harness

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * End-of-run reporting for the harness: per-experiment stat
+ * snapshots, derived pool-utilization gauges, the merged human
+ * stats table, and the machine-readable run_summary.json (schema
+ * "accordion-run-summary-v1"). Split out of cli.cpp so the perf
+ * subcommand (perf.cpp) can reuse the utilization derivation and
+ * the summary-writing machinery without dragging in CLI parsing.
+ */
+
+#ifndef ACCORDION_HARNESS_STATS_REPORT_HPP
+#define ACCORDION_HARNESS_STATS_REPORT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/stats.hpp"
+#include "run_context.hpp"
+
+namespace accordion::harness {
+
+/** One experiment's instrumentation snapshot. */
+struct ExperimentSummary
+{
+    std::string name;
+    std::uint64_t elapsedNs = 0;
+    std::vector<obs::StatEntry> stats;
+};
+
+/**
+ * Turn the per-worker busy-time counters of a just-finished
+ * measurement into utilization-fraction gauges, so the stats dump
+ * carries the saturation number directly (busy_ns / wall_ns).
+ */
+void deriveUtilization(obs::StatsRegistry &registry,
+                       std::uint64_t elapsed_ns);
+
+/**
+ * Write `<out-dir>/run_summary.json`: run metadata (seed, threads,
+ * format, trace path, environment — git SHA, compiler, build type)
+ * plus, per experiment, wall time and every stat the
+ * instrumentation layer collected while it ran (schema documented
+ * in EXPERIMENTS.md).
+ */
+void writeRunSummary(const std::string &path,
+                     const RunContext::Options &run,
+                     const std::string &trace, std::size_t threads,
+                     const std::vector<ExperimentSummary> &summaries);
+
+/**
+ * The end-of-run human stats table: counters summed and
+ * distributions merged across experiments (quantiles recomputed
+ * over the combined sample reservoirs), utilization recomputed
+ * over the whole run's wall time.
+ */
+std::string statsTable(const std::vector<ExperimentSummary> &summaries,
+                       std::uint64_t total_elapsed_ns);
+
+} // namespace accordion::harness
+
+#endif // ACCORDION_HARNESS_STATS_REPORT_HPP

@@ -1,0 +1,576 @@
+#include "snapshot.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#ifndef ACCORDION_BUILD_TYPE
+#define ACCORDION_BUILD_TYPE "unknown"
+#endif
+#ifndef ACCORDION_CXX_FLAGS
+#define ACCORDION_CXX_FLAGS ""
+#endif
+
+namespace accordion::obs {
+
+DistributionSummary
+summarize(const StatEntry &entry)
+{
+    DistributionSummary s;
+    s.count = entry.count;
+    s.sum = entry.sum;
+    s.min = entry.min;
+    s.max = entry.max;
+    s.mean = entry.mean();
+    s.p50 = entry.p50();
+    s.p95 = entry.p95();
+    s.p99 = entry.p99();
+    return s;
+}
+
+DistributionSummary
+summarize(std::vector<double> samples)
+{
+    DistributionSummary s;
+    if (samples.empty())
+        return s;
+    std::sort(samples.begin(), samples.end());
+    s.count = samples.size();
+    for (double x : samples)
+        s.sum += x;
+    s.min = samples.front();
+    s.max = samples.back();
+    s.mean = s.sum / static_cast<double>(samples.size());
+    s.p50 = sortedQuantile(samples, 50.0);
+    s.p95 = sortedQuantile(samples, 95.0);
+    s.p99 = sortedQuantile(samples, 99.0);
+    return s;
+}
+
+double
+ScenarioRecord::minWallNs() const
+{
+    double best = 0.0;
+    for (double w : wallNs)
+        best = (best == 0.0) ? w : std::min(best, w);
+    return best;
+}
+
+DistributionSummary
+ScenarioRecord::wallSummary() const
+{
+    return summarize(wallNs);
+}
+
+const ScenarioRecord *
+PerfSnapshot::find(const std::string &name) const
+{
+    for (const ScenarioRecord &s : scenarios)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+// ---------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------
+
+namespace {
+
+std::string
+summaryJson(const DistributionSummary &s)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(s.count));
+    std::string out = std::string("{\"count\": ") + buf;
+    out += ", \"sum\": " + jsonNumber(s.sum);
+    out += ", \"min\": " + jsonNumber(s.min);
+    out += ", \"max\": " + jsonNumber(s.max);
+    out += ", \"mean\": " + jsonNumber(s.mean);
+    out += ", \"p50\": " + jsonNumber(s.p50);
+    out += ", \"p95\": " + jsonNumber(s.p95);
+    out += ", \"p99\": " + jsonNumber(s.p99) + "}";
+    return out;
+}
+
+/** Render a {"key": value} map with one pair per line. */
+template <typename Map, typename Render>
+std::string
+objectJson(const Map &map, const std::string &indent, Render render)
+{
+    if (map.empty())
+        return "{}";
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, value] : map) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += indent + "  \"" + jsonEscape(key) +
+               "\": " + render(value);
+    }
+    out += "\n" + indent + "}";
+    return out;
+}
+
+} // namespace
+
+std::string
+toJson(const PerfSnapshot &snapshot)
+{
+    std::ostringstream out;
+    char buf[32];
+    out << "{\n"
+        << "  \"schema\": \"" << jsonEscape(snapshot.schema)
+        << "\",\n"
+        << "  \"environment\": "
+        << objectJson(snapshot.environment, "  ",
+                      [](const std::string &v) {
+                          std::string quoted = "\"";
+                          quoted += jsonEscape(v);
+                          quoted += "\"";
+                          return quoted;
+                      })
+        << ",\n"
+        << "  \"seed\": " << snapshot.seed << ",\n"
+        << "  \"threads\": " << snapshot.threads << ",\n"
+        << "  \"reps\": " << snapshot.reps << ",\n"
+        << "  \"scale\": " << jsonNumber(snapshot.scale) << ",\n"
+        << "  \"scenarios\": [";
+    for (std::size_t i = 0; i < snapshot.scenarios.size(); ++i) {
+        const ScenarioRecord &s = snapshot.scenarios[i];
+        out << (i ? ",\n" : "\n") << "    {\n"
+            << "      \"name\": \"" << jsonEscape(s.name) << "\",\n"
+            << "      \"warmup\": " << s.warmup << ",\n"
+            << "      \"wall_ns\": [";
+        for (std::size_t r = 0; r < s.wallNs.size(); ++r)
+            out << (r ? ", " : "") << jsonNumber(s.wallNs[r]);
+        out << "],\n"
+            << "      \"wall\": " << summaryJson(s.wallSummary())
+            << ",\n"
+            << "      \"counters\": "
+            << objectJson(s.counters, "      ",
+                          [&buf](std::uint64_t v) {
+                              std::snprintf(
+                                  buf, sizeof(buf), "%llu",
+                                  static_cast<unsigned long long>(v));
+                              return std::string(buf);
+                          })
+            << ",\n"
+            << "      \"throughput\": "
+            << objectJson(s.throughput, "      ",
+                          [](double v) { return jsonNumber(v); })
+            << ",\n"
+            << "      \"timers\": "
+            << objectJson(s.timers, "      ",
+                          [](const DistributionSummary &v) {
+                              return summaryJson(v);
+                          })
+            << ",\n"
+            << "      \"gauges\": "
+            << objectJson(s.gauges, "      ",
+                          [](double v) { return jsonNumber(v); })
+            << "\n    }";
+    }
+    out << "\n  ]\n}\n";
+    return out.str();
+}
+
+// ---------------------------------------------------------------
+// Reader: a minimal JSON parser (objects, arrays, strings,
+// numbers, true/false/null) and the mapping onto PerfSnapshot.
+// ---------------------------------------------------------------
+
+namespace {
+
+struct Json
+{
+    enum Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Type type = Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<Json> items;
+    std::map<std::string, Json> fields;
+
+    const Json *get(const std::string &key) const
+    {
+        auto it = fields.find(key);
+        return it == fields.end() ? nullptr : &it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    Json parse()
+    {
+        Json value = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            throw std::runtime_error("trailing garbage");
+        return value;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            throw std::runtime_error("unexpected end of document");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            throw std::runtime_error(std::string("expected '") + c +
+                                     "'");
+        ++pos_;
+    }
+
+    Json parseValue()
+    {
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"') {
+            Json v;
+            v.type = Json::String;
+            v.text = parseString();
+            return v;
+        }
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            Json v;
+            v.type = Json::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            Json v;
+            v.type = Json::Bool;
+            return v;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return Json{};
+        }
+        return parseNumber();
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    throw std::runtime_error("bad escape");
+                c = text_[pos_++];
+                switch (c) {
+                case 'n':
+                    c = '\n';
+                    break;
+                case 't':
+                    c = '\t';
+                    break;
+                case 'u':
+                    if (pos_ + 4 > text_.size())
+                        throw std::runtime_error("bad \\u escape");
+                    c = static_cast<char>(std::stoi(
+                        text_.substr(pos_, 4), nullptr, 16));
+                    pos_ += 4;
+                    break;
+                default:
+                    break; // \" \\ \/ keep c as-is
+                }
+            }
+            out += c;
+        }
+        expect('"');
+        return out;
+    }
+
+    Json parseNumber()
+    {
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(
+                    static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '-' || text_[end] == '+' ||
+                text_[end] == '.' || text_[end] == 'e' ||
+                text_[end] == 'E'))
+            ++end;
+        if (end == pos_)
+            throw std::runtime_error("bad number");
+        Json v;
+        v.type = Json::Number;
+        v.number = std::stod(text_.substr(pos_, end - pos_));
+        pos_ = end;
+        return v;
+    }
+
+    Json parseArray()
+    {
+        expect('[');
+        Json v;
+        v.type = Json::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(parseValue());
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                throw std::runtime_error("expected , or ] in array");
+        }
+    }
+
+    Json parseObject()
+    {
+        expect('{');
+        Json v;
+        v.type = Json::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            const std::string key = parseString();
+            expect(':');
+            v.fields[key] = parseValue();
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                throw std::runtime_error("expected , or } in object");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+DistributionSummary
+summaryFrom(const Json &json)
+{
+    DistributionSummary s;
+    if (json.type != Json::Object)
+        throw std::runtime_error("summary is not an object");
+    if (const Json *v = json.get("count"))
+        s.count = static_cast<std::uint64_t>(v->number);
+    if (const Json *v = json.get("sum"))
+        s.sum = v->number;
+    if (const Json *v = json.get("min"))
+        s.min = v->number;
+    if (const Json *v = json.get("max"))
+        s.max = v->number;
+    if (const Json *v = json.get("mean"))
+        s.mean = v->number;
+    if (const Json *v = json.get("p50"))
+        s.p50 = v->number;
+    if (const Json *v = json.get("p95"))
+        s.p95 = v->number;
+    if (const Json *v = json.get("p99"))
+        s.p99 = v->number;
+    return s;
+}
+
+ScenarioRecord
+scenarioFrom(const Json &json)
+{
+    if (json.type != Json::Object)
+        throw std::runtime_error("scenario is not an object");
+    const Json *name = json.get("name");
+    if (!name || name->type != Json::String)
+        throw std::runtime_error("scenario without a \"name\"");
+    const Json *wall = json.get("wall_ns");
+    if (!wall || wall->type != Json::Array)
+        throw std::runtime_error("scenario '" + name->text +
+                                 "' without a \"wall_ns\" array");
+    ScenarioRecord s;
+    s.name = name->text;
+    if (const Json *v = json.get("warmup"))
+        s.warmup = static_cast<std::size_t>(v->number);
+    for (const Json &rep : wall->items)
+        s.wallNs.push_back(rep.number);
+    if (const Json *v = json.get("counters"))
+        for (const auto &[key, value] : v->fields)
+            s.counters[key] =
+                static_cast<std::uint64_t>(value.number);
+    if (const Json *v = json.get("throughput"))
+        for (const auto &[key, value] : v->fields)
+            s.throughput[key] = value.number;
+    if (const Json *v = json.get("timers"))
+        for (const auto &[key, value] : v->fields)
+            s.timers[key] = summaryFrom(value);
+    if (const Json *v = json.get("gauges"))
+        for (const auto &[key, value] : v->fields)
+            s.gauges[key] = value.number;
+    return s;
+}
+
+} // namespace
+
+bool
+parsePerfSnapshot(const std::string &text, PerfSnapshot *out,
+                  std::string *error)
+{
+    try {
+        const Json root = JsonParser(text).parse();
+        if (root.type != Json::Object)
+            throw std::runtime_error("document is not an object");
+        const Json *schema = root.get("schema");
+        if (!schema || schema->type != Json::String)
+            throw std::runtime_error("missing \"schema\"");
+        if (schema->text != kPerfSnapshotSchema) {
+            std::string msg = "unsupported schema '";
+            msg += schema->text;
+            msg += "' (want ";
+            msg += kPerfSnapshotSchema;
+            msg += ")";
+            throw std::runtime_error(msg);
+        }
+        const Json *scenarios = root.get("scenarios");
+        if (!scenarios || scenarios->type != Json::Array)
+            throw std::runtime_error("missing \"scenarios\" array");
+
+        PerfSnapshot snapshot;
+        snapshot.schema = schema->text;
+        if (const Json *v = root.get("environment"))
+            for (const auto &[key, value] : v->fields)
+                snapshot.environment[key] = value.text;
+        if (const Json *v = root.get("seed"))
+            snapshot.seed = static_cast<std::uint64_t>(v->number);
+        if (const Json *v = root.get("threads"))
+            snapshot.threads = static_cast<std::size_t>(v->number);
+        if (const Json *v = root.get("reps"))
+            snapshot.reps = static_cast<std::size_t>(v->number);
+        if (const Json *v = root.get("scale"))
+            snapshot.scale = v->number;
+        for (const Json &s : scenarios->items)
+            snapshot.scenarios.push_back(scenarioFrom(s));
+        *out = std::move(snapshot);
+        return true;
+    } catch (const std::exception &e) {
+        if (error)
+            *error = e.what();
+        return false;
+    }
+}
+
+// ---------------------------------------------------------------
+// Environment metadata
+// ---------------------------------------------------------------
+
+namespace {
+
+std::string
+trimmed(std::string s)
+{
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.back())))
+        s.pop_back();
+    std::size_t start = 0;
+    while (start < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[start])))
+        ++start;
+    return s.substr(start);
+}
+
+/** First output line of a shell command; "" on any failure. */
+std::string
+commandLine(const char *command)
+{
+    std::FILE *pipe = ::popen(command, "r");
+    if (!pipe)
+        return "";
+    char buf[256];
+    std::string out;
+    if (std::fgets(buf, sizeof(buf), pipe))
+        out = trimmed(buf);
+    ::pclose(pipe);
+    return out;
+}
+
+std::string
+compilerName()
+{
+    char buf[64];
+#if defined(__clang__)
+    std::snprintf(buf, sizeof(buf), "clang %d.%d.%d",
+                  __clang_major__, __clang_minor__,
+                  __clang_patchlevel__);
+#elif defined(__GNUC__)
+    std::snprintf(buf, sizeof(buf), "gcc %d.%d.%d", __GNUC__,
+                  __GNUC_MINOR__, __GNUC_PATCHLEVEL__);
+#else
+    std::snprintf(buf, sizeof(buf), "unknown");
+#endif
+    return buf;
+}
+
+std::string
+cpuModel()
+{
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.compare(0, 10, "model name") != 0)
+            continue;
+        const std::size_t colon = line.find(':');
+        if (colon != std::string::npos)
+            return trimmed(line.substr(colon + 1));
+    }
+    return "unknown";
+}
+
+} // namespace
+
+std::map<std::string, std::string>
+captureEnvironment()
+{
+    std::map<std::string, std::string> env;
+    const std::string sha =
+        commandLine("git rev-parse HEAD 2>/dev/null");
+    env["git_sha"] = sha.empty() ? "unknown" : sha;
+    env["compiler"] = compilerName();
+    env["build_type"] = ACCORDION_BUILD_TYPE;
+    env["flags"] = ACCORDION_CXX_FLAGS;
+    env["cpu"] = cpuModel();
+    return env;
+}
+
+} // namespace accordion::obs

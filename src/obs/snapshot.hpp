@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Schema-versioned performance snapshots ("accordion-perf-snapshot-
+ * v1"): the longitudinal counterpart of the in-process stats
+ * registry. `accordion perf` records one PerfSnapshot per run —
+ * per-scenario wall times over R repetitions, throughput rates
+ * derived from the instrumentation counters, phase-timer quantiles,
+ * pool utilization, and environment metadata (git SHA, compiler,
+ * flags, CPU) — and lands it as BENCH_<n>.json at the repo root so
+ * `accordion perf compare` can gate regressions across commits.
+ *
+ * This module owns the data model, the JSON writer and the JSON
+ * reader; the scenario suite and the compare policy live in
+ * src/harness/perf.* (obs sits below util and knows nothing about
+ * experiments).
+ */
+
+#ifndef ACCORDION_OBS_SNAPSHOT_HPP
+#define ACCORDION_OBS_SNAPSHOT_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats.hpp"
+
+namespace accordion::obs {
+
+/** The snapshot schema this build reads and writes. */
+inline constexpr const char *kPerfSnapshotSchema =
+    "accordion-perf-snapshot-v1";
+
+/** Quantile-rich summary of one distribution (a time.* stat). */
+struct DistributionSummary
+{
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/** Summarize a distribution StatEntry (count/sum/extrema/quantiles). */
+DistributionSummary summarize(const StatEntry &entry);
+
+/** Summarize a raw sample vector (need not be sorted). */
+DistributionSummary summarize(std::vector<double> samples);
+
+/** One perf scenario's measurements across the repetitions. */
+struct ScenarioRecord
+{
+    std::string name;
+    std::size_t warmup = 0; //!< unrecorded warmup repetitions
+
+    /** Wall time of each recorded repetition, in add order [ns]. */
+    std::vector<double> wallNs;
+
+    /** Work-item counters of the final repetition (deterministic,
+     *  so every repetition counts the same). */
+    std::map<std::string, std::uint64_t> counters;
+
+    /** counters / best (minimum) repetition wall time [items/s]. */
+    std::map<std::string, double> throughput;
+
+    /** Phase-timer distributions of the final repetition. */
+    std::map<std::string, DistributionSummary> timers;
+
+    /** Level stats of the final repetition (pool utilization). */
+    std::map<std::string, double> gauges;
+
+    /** Best (minimum) repetition wall time; 0 when no reps. */
+    double minWallNs() const;
+
+    /** Quantile summary over the repetitions' wall times. */
+    DistributionSummary wallSummary() const;
+};
+
+/** One recorded perf run: environment + every scenario. */
+struct PerfSnapshot
+{
+    std::string schema = kPerfSnapshotSchema;
+    /** git_sha / compiler / flags / build_type / cpu. */
+    std::map<std::string, std::string> environment;
+    std::uint64_t seed = 0;
+    std::size_t threads = 0;
+    std::size_t reps = 0;
+    double scale = 1.0; //!< scenario size multiplier (CI uses < 1)
+
+    std::vector<ScenarioRecord> scenarios;
+
+    /** Scenario by name; nullptr when absent. */
+    const ScenarioRecord *find(const std::string &name) const;
+};
+
+/** Render a snapshot as (pretty-printed, json.tool-valid) JSON. */
+std::string toJson(const PerfSnapshot &snapshot);
+
+/**
+ * Parse a snapshot document. Returns false — with a one-line
+ * message in *error — on malformed JSON, a missing required field,
+ * or a schema other than kPerfSnapshotSchema.
+ */
+bool parsePerfSnapshot(const std::string &text, PerfSnapshot *out,
+                       std::string *error);
+
+/**
+ * Environment metadata for cross-run joins: "git_sha" (via `git
+ * rev-parse`; "unknown" outside a work tree), "compiler",
+ * "build_type" and "flags" (baked in at compile time), "cpu"
+ * (/proc/cpuinfo model name; "unknown" elsewhere).
+ */
+std::map<std::string, std::string> captureEnvironment();
+
+} // namespace accordion::obs
+
+#endif // ACCORDION_OBS_SNAPSHOT_HPP

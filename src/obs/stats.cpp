@@ -45,6 +45,10 @@ struct Distribution::Cell
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+    /** Quantile reservoir: every stride-th sample, in add order. */
+    std::vector<double> samples;
+    std::uint64_t stride = 1;
+    std::uint64_t untilNext = 0; //!< adds to skip before retaining
 
     void add(double x)
     {
@@ -58,6 +62,21 @@ struct Distribution::Cell
         }
         ++count;
         sum += x;
+        if (untilNext > 0) {
+            --untilNext;
+            return;
+        }
+        samples.push_back(x);
+        untilNext = stride - 1;
+        if (samples.size() >= kMaxSamples) {
+            // Decimate: keep every 2nd retained sample and retain
+            // only every 2*stride-th sample from now on, so the
+            // reservoir stays a uniform subsample of the stream.
+            for (std::size_t i = 0; 2 * i < samples.size(); ++i)
+                samples[i] = samples[2 * i];
+            samples.resize((samples.size() + 1) / 2);
+            stride *= 2;
+        }
     }
 
     void reset()
@@ -65,8 +84,33 @@ struct Distribution::Cell
         std::lock_guard<std::mutex> lock(mutex);
         count = 0;
         sum = min = max = 0.0;
+        samples.clear();
+        samples.shrink_to_fit();
+        stride = 1;
+        untilNext = 0;
     }
 };
+
+double
+sortedQuantile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (p <= 0.0)
+        return sorted.front();
+    if (p >= 100.0)
+        return sorted.back();
+    // Linear interpolation between closest ranks — the same
+    // convention as util::percentile (obs sits below util and
+    // cannot call it).
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
 
 void
 Distribution::add(double x) const
@@ -182,6 +226,8 @@ StatsRegistry::snapshot() const
             entry.sum = slot->dist.sum;
             entry.min = slot->dist.min;
             entry.max = slot->dist.max;
+            entry.samples = slot->dist.samples;
+            std::sort(entry.samples.begin(), entry.samples.end());
             break;
         }
         }
@@ -189,8 +235,6 @@ StatsRegistry::snapshot() const
     }
     return entries;
 }
-
-namespace {
 
 /** %.17g round-trips doubles; trim to something JSON-legal. */
 std::string
@@ -225,8 +269,6 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-} // namespace
-
 std::string
 jsonObject(const std::vector<StatEntry> &entries)
 {
@@ -254,7 +296,10 @@ jsonObject(const std::vector<StatEntry> &entries)
             out += ",\"sum\":" + jsonNumber(e.sum);
             out += ",\"min\":" + jsonNumber(e.min);
             out += ",\"max\":" + jsonNumber(e.max);
-            out += ",\"mean\":" + jsonNumber(e.mean()) + "}";
+            out += ",\"mean\":" + jsonNumber(e.mean());
+            out += ",\"p50\":" + jsonNumber(e.p50());
+            out += ",\"p95\":" + jsonNumber(e.p95());
+            out += ",\"p99\":" + jsonNumber(e.p99()) + "}";
             break;
         }
     }

@@ -106,12 +106,20 @@ class Gauge
 };
 
 /**
- * Count/sum/min/max accumulator (e.g. per-phase durations in ns —
- * the ScopedTimer convention is a "time.<phase>_ns" name).
+ * Count/sum/min/max accumulator with streaming quantile estimates
+ * (e.g. per-phase durations in ns — the ScopedTimer convention is a
+ * "time.<phase>_ns" name). Quantiles come from a bounded sample
+ * reservoir: every sample is retained until the cap, after which
+ * the reservoir is decimated (keep-every-2nd) and only every
+ * stride-th future sample is kept — exact up to the cap, a uniform
+ * stride subsample beyond it.
  */
 class Distribution
 {
   public:
+    /** Reservoir cap: quantiles are exact below this many samples. */
+    static constexpr std::size_t kMaxSamples = 4096;
+
     Distribution() = default;
 
     /** Add one sample (thread-safe). */
@@ -127,6 +135,12 @@ class Distribution
     Cell *cell_ = nullptr;
 };
 
+/**
+ * Interpolated quantile of an ascending-sorted sample vector
+ * (p in [0,100], the util::percentile convention); 0 when empty.
+ */
+double sortedQuantile(const std::vector<double> &sorted, double p);
+
 /** One stat's value at snapshot time. */
 struct StatEntry
 {
@@ -137,20 +151,42 @@ struct StatEntry
     double sum = 0.0; //!< distribution only
     double min = 0.0; //!< distribution only (0 when empty)
     double max = 0.0; //!< distribution only (0 when empty)
+    /** Retained reservoir samples, sorted ascending (distribution
+     *  only; all samples when count <= Distribution::kMaxSamples). */
+    std::vector<double> samples;
 
     /** Distribution mean; 0 when empty. */
     double mean() const
     {
         return count ? sum / static_cast<double>(count) : 0.0;
     }
+
+    /** Quantile estimate from the retained samples (p in [0,100]). */
+    double quantile(double p) const
+    {
+        return sortedQuantile(samples, p);
+    }
+
+    double p50() const { return quantile(50.0); }
+    double p95() const { return quantile(95.0); }
+    double p99() const { return quantile(99.0); }
 };
 
 /**
  * Render snapshot entries as one flat JSON object keyed by stat
  * name: counters as integers, gauges as numbers, distributions as
- * {"count","sum","min","max","mean"} objects.
+ * {"count","sum","min","max","mean","p50","p95","p99"} objects.
  */
 std::string jsonObject(const std::vector<StatEntry> &entries);
+
+/**
+ * A double as a JSON number literal (%.17g, round-trips); "null"
+ * for inf/nan, which JSON cannot represent.
+ */
+std::string jsonNumber(double v);
+
+/** Escape a string for embedding between JSON quotes. */
+std::string jsonEscape(const std::string &s);
 
 /**
  * The registry. Construct instances freely (tests); production

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * A minimal JSON reader shared by the test suites: objects, arrays,
+ * strings (with backslash escapes), numbers, true/false/null. Just
+ * enough to parse back the artifacts the repo writes — Chrome
+ * traces, run_summary.json, perf snapshots and compare verdicts —
+ * without a third-party dependency. Tests only; production parsing
+ * lives in src/obs/snapshot.cpp.
+ */
+
+#ifndef ACCORDION_TESTS_TEST_JSON_HPP
+#define ACCORDION_TESTS_TEST_JSON_HPP
+
+#include <cctype>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace testjson {
+
+struct Json
+{
+    enum Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<Json> items;
+    std::map<std::string, Json> fields;
+
+    const Json &at(const std::string &key) const
+    {
+        auto it = fields.find(key);
+        if (it == fields.end())
+            throw std::runtime_error("missing key: " + key);
+        return it->second;
+    }
+
+    bool has(const std::string &key) const
+    {
+        return fields.count(key) != 0;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    Json parse()
+    {
+        Json value = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            throw std::runtime_error("trailing garbage");
+        return value;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            throw std::runtime_error("unexpected end");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            throw std::runtime_error(std::string("expected '") + c +
+                                     "' got '" + text_[pos_] + "'");
+        ++pos_;
+    }
+
+    Json parseValue()
+    {
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"') {
+            Json v;
+            v.type = Json::String;
+            v.text = parseString();
+            return v;
+        }
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            Json v;
+            v.type = Json::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            Json v;
+            v.type = Json::Bool;
+            return v;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return Json{};
+        }
+        return parseNumber();
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    throw std::runtime_error("bad escape");
+                c = text_[pos_++];
+                switch (c) {
+                case 'n': c = '\n'; break;
+                case 't': c = '\t'; break;
+                case 'u':
+                    // \uXXXX: decode as a raw byte; the writer only
+                    // emits these for control characters.
+                    c = static_cast<char>(
+                        std::stoi(text_.substr(pos_, 4), nullptr, 16));
+                    pos_ += 4;
+                    break;
+                default: break; // quote, backslash, slash: keep c
+                }
+            }
+            out += c;
+        }
+        expect('"');
+        return out;
+    }
+
+    Json parseNumber()
+    {
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '-' || text_[end] == '+' ||
+                text_[end] == '.' || text_[end] == 'e' ||
+                text_[end] == 'E'))
+            ++end;
+        if (end == pos_)
+            throw std::runtime_error("bad number");
+        Json v;
+        v.type = Json::Number;
+        v.number = std::stod(text_.substr(pos_, end - pos_));
+        pos_ = end;
+        return v;
+    }
+
+    Json parseArray()
+    {
+        expect('[');
+        Json v;
+        v.type = Json::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(parseValue());
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                throw std::runtime_error("expected , or ] in array");
+        }
+    }
+
+    Json parseObject()
+    {
+        expect('{');
+        Json v;
+        v.type = Json::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            const std::string key = parseString();
+            expect(':');
+            v.fields[key] = parseValue();
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                throw std::runtime_error("expected , or } in object");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace testjson
+
+#endif // ACCORDION_TESTS_TEST_JSON_HPP

@@ -2,15 +2,16 @@
  * @file
  * Tests of the instrumentation layer (src/obs/): the stats registry
  * contract (get-or-create, kind mismatch aborts, disabled handles
- * are free no-ops, reset keeps gauges), scoped phase timers against
- * an injected fake clock, the Chrome-trace writer (output is parsed
- * back with a small JSON parser defined below), the thread pool's
- * spans and counters, and the thread-safety of util::log.
+ * are free no-ops, reset keeps gauges), distribution quantiles and
+ * the bounded sample reservoir, scoped phase timers against an
+ * injected fake clock, the Chrome-trace writer (output is parsed
+ * back with the shared test JSON parser), the thread pool's spans
+ * and counters, and the thread-safety of util::log.
  */
 
 #include <gtest/gtest.h>
 
-#include <cctype>
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -24,6 +25,7 @@
 #include "obs/stats.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
+#include "test_json.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -31,200 +33,8 @@ namespace obs = accordion::obs;
 
 namespace {
 
-// ---------------------------------------------------------------
-// A minimal JSON reader, enough to parse back trace files and
-// run-summary objects: objects, arrays, strings (with \" and \\
-// escapes), numbers, true/false/null.
-// ---------------------------------------------------------------
-
-struct Json
-{
-    enum Type { Null, Bool, Number, String, Array, Object };
-
-    Type type = Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string text;
-    std::vector<Json> items;
-    std::map<std::string, Json> fields;
-
-    const Json &at(const std::string &key) const
-    {
-        auto it = fields.find(key);
-        if (it == fields.end())
-            throw std::runtime_error("missing key: " + key);
-        return it->second;
-    }
-
-    bool has(const std::string &key) const
-    {
-        return fields.count(key) != 0;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : text_(text) {}
-
-    Json parse()
-    {
-        Json value = parseValue();
-        skipWs();
-        if (pos_ != text_.size())
-            throw std::runtime_error("trailing garbage");
-        return value;
-    }
-
-  private:
-    void skipWs()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    char peek()
-    {
-        skipWs();
-        if (pos_ >= text_.size())
-            throw std::runtime_error("unexpected end");
-        return text_[pos_];
-    }
-
-    void expect(char c)
-    {
-        if (peek() != c)
-            throw std::runtime_error(std::string("expected '") + c +
-                                     "' got '" + text_[pos_] + "'");
-        ++pos_;
-    }
-
-    Json parseValue()
-    {
-        const char c = peek();
-        if (c == '{')
-            return parseObject();
-        if (c == '[')
-            return parseArray();
-        if (c == '"') {
-            Json v;
-            v.type = Json::String;
-            v.text = parseString();
-            return v;
-        }
-        if (text_.compare(pos_, 4, "true") == 0) {
-            pos_ += 4;
-            Json v;
-            v.type = Json::Bool;
-            v.boolean = true;
-            return v;
-        }
-        if (text_.compare(pos_, 5, "false") == 0) {
-            pos_ += 5;
-            Json v;
-            v.type = Json::Bool;
-            return v;
-        }
-        if (text_.compare(pos_, 4, "null") == 0) {
-            pos_ += 4;
-            return Json{};
-        }
-        return parseNumber();
-    }
-
-    std::string parseString()
-    {
-        expect('"');
-        std::string out;
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            char c = text_[pos_++];
-            if (c == '\\') {
-                if (pos_ >= text_.size())
-                    throw std::runtime_error("bad escape");
-                c = text_[pos_++];
-                switch (c) {
-                case 'n': c = '\n'; break;
-                case 't': c = '\t'; break;
-                case 'u':
-                    // \uXXXX: decode as a raw byte; the writer only
-                    // emits these for control characters.
-                    c = static_cast<char>(
-                        std::stoi(text_.substr(pos_, 4), nullptr, 16));
-                    pos_ += 4;
-                    break;
-                default: break; // \" \\ \/ keep c as-is
-                }
-            }
-            out += c;
-        }
-        expect('"');
-        return out;
-    }
-
-    Json parseNumber()
-    {
-        std::size_t end = pos_;
-        while (end < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
-                text_[end] == '-' || text_[end] == '+' ||
-                text_[end] == '.' || text_[end] == 'e' ||
-                text_[end] == 'E'))
-            ++end;
-        if (end == pos_)
-            throw std::runtime_error("bad number");
-        Json v;
-        v.type = Json::Number;
-        v.number = std::stod(text_.substr(pos_, end - pos_));
-        pos_ = end;
-        return v;
-    }
-
-    Json parseArray()
-    {
-        expect('[');
-        Json v;
-        v.type = Json::Array;
-        if (peek() == ']') {
-            ++pos_;
-            return v;
-        }
-        while (true) {
-            v.items.push_back(parseValue());
-            const char c = peek();
-            ++pos_;
-            if (c == ']')
-                return v;
-            if (c != ',')
-                throw std::runtime_error("expected , or ] in array");
-        }
-    }
-
-    Json parseObject()
-    {
-        expect('{');
-        Json v;
-        v.type = Json::Object;
-        if (peek() == '}') {
-            ++pos_;
-            return v;
-        }
-        while (true) {
-            const std::string key = parseString();
-            expect(':');
-            v.fields[key] = parseValue();
-            const char c = peek();
-            ++pos_;
-            if (c == '}')
-                return v;
-            if (c != ',')
-                throw std::runtime_error("expected , or } in object");
-        }
-    }
-
-    const std::string &text_;
-    std::size_t pos_ = 0;
-};
+using testjson::Json;
+using testjson::JsonParser;
 
 std::string
 readFile(const std::string &path)
@@ -363,9 +173,12 @@ TEST(StatsRegistry, ResetZeroesCountersButKeepsGauges)
     EXPECT_EQ(c.value(), 0u);
     EXPECT_EQ(g.value(), 4.0); // levels survive
     const auto entries = registry.snapshot();
-    for (const obs::StatEntry &e : entries)
-        if (e.name == "time.x_ns")
+    for (const obs::StatEntry &e : entries) {
+        if (e.name == "time.x_ns") {
             EXPECT_EQ(e.count, 0u);
+            EXPECT_TRUE(e.samples.empty()); // reservoir drained too
+        }
+    }
     // Handles stay live after reset.
     c.inc();
     EXPECT_EQ(c.value(), 1u);
@@ -391,6 +204,73 @@ TEST(StatsRegistry, JsonDumpParsesBack)
     EXPECT_EQ(dist.at("min").number, 5.0);
     EXPECT_EQ(dist.at("max").number, 15.0);
     EXPECT_EQ(dist.at("mean").number, 10.0);
+    EXPECT_EQ(dist.at("p50").number, 10.0);
+    EXPECT_EQ(dist.at("p95").number, 14.5);
+    EXPECT_EQ(dist.at("p99").number, 14.9);
+}
+
+// ---------------------------------------------------------------
+// Distribution quantiles + the bounded sample reservoir
+// ---------------------------------------------------------------
+
+TEST(StatsRegistry, QuantilesExactBelowReservoirCap)
+{
+    obs::StatsRegistry registry(true);
+    obs::Distribution d = registry.distribution("time.q_ns");
+    // 1..100 in a scrambled (deterministic) order: quantiles must
+    // not depend on insertion order.
+    for (int i = 0; i < 100; ++i)
+        d.add(static_cast<double>((i * 37) % 100 + 1));
+
+    const auto entries = registry.snapshot();
+    ASSERT_EQ(entries.size(), 1u);
+    const obs::StatEntry &e = entries[0];
+    ASSERT_EQ(e.samples.size(), 100u);
+    EXPECT_TRUE(
+        std::is_sorted(e.samples.begin(), e.samples.end()));
+    // Linear interpolation between closest ranks over 1..100 (the
+    // util::percentile convention).
+    EXPECT_DOUBLE_EQ(e.p50(), 50.5);
+    EXPECT_DOUBLE_EQ(e.p95(), 95.05);
+    EXPECT_DOUBLE_EQ(e.p99(), 99.01);
+    EXPECT_DOUBLE_EQ(e.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(e.quantile(100.0), 100.0);
+}
+
+TEST(StatsRegistry, ReservoirDecimatesBeyondCapKeepingBounds)
+{
+    obs::StatsRegistry registry(true);
+    obs::Distribution d = registry.distribution("time.big_ns");
+    const std::size_t n = 3 * obs::Distribution::kMaxSamples;
+    for (std::size_t i = 0; i < n; ++i)
+        d.add(static_cast<double>(i + 1));
+
+    const auto entries = registry.snapshot();
+    ASSERT_EQ(entries.size(), 1u);
+    const obs::StatEntry &e = entries[0];
+    // Exact aggregates are untouched by decimation...
+    EXPECT_EQ(e.count, n);
+    EXPECT_EQ(e.min, 1.0);
+    EXPECT_EQ(e.max, static_cast<double>(n));
+    // ...while the reservoir is bounded and still a uniform
+    // subsample: its median tracks the true median within the
+    // stride's resolution.
+    ASSERT_FALSE(e.samples.empty());
+    EXPECT_LE(e.samples.size(), obs::Distribution::kMaxSamples);
+    EXPECT_GE(e.samples.size(), obs::Distribution::kMaxSamples / 4);
+    const double true_median = static_cast<double>(n + 1) / 2.0;
+    EXPECT_NEAR(e.p50(), true_median, true_median * 0.01);
+}
+
+TEST(SortedQuantile, EdgeCases)
+{
+    EXPECT_EQ(obs::sortedQuantile({}, 50.0), 0.0);
+    EXPECT_EQ(obs::sortedQuantile({7.0}, 0.0), 7.0);
+    EXPECT_EQ(obs::sortedQuantile({7.0}, 100.0), 7.0);
+    const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(obs::sortedQuantile(v, 50.0), 25.0);
+    EXPECT_DOUBLE_EQ(obs::sortedQuantile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(obs::sortedQuantile(v, 100.0), 40.0);
 }
 
 TEST(StatsRegistry, CountersAreAtomicAcrossThreads)

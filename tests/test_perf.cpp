@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Tests of the performance-telemetry subsystem: the snapshot data
+ * model and its JSON round trip (src/obs/snapshot.*), the compare
+ * engine's verdicts (regression / improvement / within-noise /
+ * missing / schema and scale mismatch), the perf CLI parsing, and a
+ * tiny in-process record smoke run over one real scenario.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/cli.hpp"
+#include "harness/perf.hpp"
+#include "obs/snapshot.hpp"
+#include "test_json.hpp"
+
+namespace harness = accordion::harness;
+namespace obs = accordion::obs;
+
+namespace {
+
+using testjson::Json;
+using testjson::JsonParser;
+
+/** A snapshot whose scenarios have the given min wall times [ms]. */
+obs::PerfSnapshot
+makeSnapshot(
+    const std::vector<std::pair<std::string, double>> &walls_ms,
+    double scale = 1.0)
+{
+    obs::PerfSnapshot snapshot;
+    snapshot.environment["git_sha"] = "test";
+    snapshot.seed = 12345;
+    snapshot.threads = 4;
+    snapshot.reps = 3;
+    snapshot.scale = scale;
+    for (const auto &[name, ms] : walls_ms) {
+        obs::ScenarioRecord record;
+        record.name = name;
+        record.warmup = 1;
+        // Reps in noisy descending order; min-of-reps is the metric.
+        record.wallNs = {ms * 1.20e6, ms * 1.05e6, ms * 1e6};
+        record.counters["perf.items"] = 100;
+        record.throughput["perf.items"] = 100.0 / (ms * 1e-3);
+        snapshot.scenarios.push_back(std::move(record));
+    }
+    return snapshot;
+}
+
+// ---------------------------------------------------------------
+// ScenarioRecord / DistributionSummary
+// ---------------------------------------------------------------
+
+TEST(PerfSnapshot, MinWallAndWallSummary)
+{
+    obs::ScenarioRecord record;
+    EXPECT_EQ(record.minWallNs(), 0.0);
+    record.wallNs = {30.0, 10.0, 20.0};
+    EXPECT_EQ(record.minWallNs(), 10.0);
+    const obs::DistributionSummary s = record.wallSummary();
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_EQ(s.min, 10.0);
+    EXPECT_EQ(s.max, 30.0);
+    EXPECT_DOUBLE_EQ(s.mean, 20.0);
+    EXPECT_DOUBLE_EQ(s.p50, 20.0);
+}
+
+// ---------------------------------------------------------------
+// JSON round trip
+// ---------------------------------------------------------------
+
+TEST(PerfSnapshot, JsonRoundTripPreservesEverything)
+{
+    obs::PerfSnapshot snapshot = makeSnapshot(
+        {{"substrate.alpha", 10.0}, {"experiment.beta", 25.0}}, 0.5);
+    snapshot.environment["compiler"] = "gcc \"12\""; // needs escaping
+    snapshot.scenarios[0].timers["time.x_ns"] =
+        obs::summarize(std::vector<double>{1.0, 2.0, 3.0});
+    snapshot.scenarios[0].gauges["pool.utilization.mean"] = 0.875;
+
+    const std::string text = obs::toJson(snapshot);
+    // Valid JSON as seen by an independent parser.
+    ASSERT_NO_THROW(JsonParser(text).parse());
+
+    obs::PerfSnapshot back;
+    std::string error;
+    ASSERT_TRUE(obs::parsePerfSnapshot(text, &back, &error)) << error;
+    EXPECT_EQ(back.schema, obs::kPerfSnapshotSchema);
+    EXPECT_EQ(back.environment.at("git_sha"), "test");
+    EXPECT_EQ(back.environment.at("compiler"), "gcc \"12\"");
+    EXPECT_EQ(back.seed, 12345u);
+    EXPECT_EQ(back.threads, 4u);
+    EXPECT_EQ(back.reps, 3u);
+    EXPECT_EQ(back.scale, 0.5);
+    ASSERT_EQ(back.scenarios.size(), 2u);
+    const obs::ScenarioRecord *alpha = back.find("substrate.alpha");
+    ASSERT_NE(alpha, nullptr);
+    EXPECT_EQ(alpha->warmup, 1u);
+    ASSERT_EQ(alpha->wallNs.size(), 3u);
+    EXPECT_DOUBLE_EQ(alpha->minWallNs(), 10.0e6);
+    EXPECT_EQ(alpha->counters.at("perf.items"), 100u);
+    EXPECT_GT(alpha->throughput.at("perf.items"), 0.0);
+    ASSERT_EQ(alpha->timers.count("time.x_ns"), 1u);
+    EXPECT_EQ(alpha->timers.at("time.x_ns").count, 3u);
+    EXPECT_DOUBLE_EQ(alpha->timers.at("time.x_ns").p50, 2.0);
+    EXPECT_DOUBLE_EQ(alpha->gauges.at("pool.utilization.mean"),
+                     0.875);
+    EXPECT_EQ(back.find("nope"), nullptr);
+}
+
+TEST(PerfSnapshot, ParserRejectsWrongSchemaAndGarbage)
+{
+    obs::PerfSnapshot out;
+    std::string error;
+    EXPECT_FALSE(obs::parsePerfSnapshot("not json", &out, &error));
+    EXPECT_FALSE(error.empty());
+
+    obs::PerfSnapshot other = makeSnapshot({{"a", 1.0}});
+    std::string text = obs::toJson(other);
+    const std::string needle = obs::kPerfSnapshotSchema;
+    text.replace(text.find(needle), needle.size(),
+                 "accordion-perf-snapshot-v999");
+    error.clear();
+    EXPECT_FALSE(obs::parsePerfSnapshot(text, &out, &error));
+    EXPECT_NE(error.find("v999"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------
+// Compare engine
+// ---------------------------------------------------------------
+
+TEST(PerfCompare, IdenticalSnapshotsAreOk)
+{
+    const obs::PerfSnapshot base =
+        makeSnapshot({{"a", 10.0}, {"b", 20.0}});
+    const harness::CompareReport report =
+        harness::compareSnapshots(base, base, 5.0);
+    EXPECT_TRUE(report.error.empty());
+    ASSERT_EQ(report.deltas.size(), 2u);
+    for (const harness::ScenarioDelta &d : report.deltas)
+        EXPECT_EQ(d.status, harness::DeltaStatus::WithinNoise);
+    EXPECT_TRUE(report.ok());
+}
+
+TEST(PerfCompare, TwofoldSlowdownIsARegression)
+{
+    const obs::PerfSnapshot base =
+        makeSnapshot({{"a", 10.0}, {"b", 20.0}});
+    const obs::PerfSnapshot next =
+        makeSnapshot({{"a", 20.0}, {"b", 20.0}});
+    const harness::CompareReport report =
+        harness::compareSnapshots(base, next, 5.0);
+    ASSERT_EQ(report.deltas.size(), 2u);
+    EXPECT_EQ(report.deltas[0].status,
+              harness::DeltaStatus::Regression);
+    EXPECT_NEAR(report.deltas[0].deltaPct, 100.0, 1e-9);
+    EXPECT_EQ(report.deltas[1].status,
+              harness::DeltaStatus::WithinNoise);
+    EXPECT_EQ(report.regressions(), 1u);
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(PerfCompare, SpeedupIsAnImprovement)
+{
+    const obs::PerfSnapshot base = makeSnapshot({{"a", 10.0}});
+    const obs::PerfSnapshot next = makeSnapshot({{"a", 5.0}});
+    const harness::CompareReport report =
+        harness::compareSnapshots(base, next, 5.0);
+    ASSERT_EQ(report.deltas.size(), 1u);
+    EXPECT_EQ(report.deltas[0].status,
+              harness::DeltaStatus::Improvement);
+    EXPECT_TRUE(report.ok()); // improvements never gate
+}
+
+TEST(PerfCompare, SmallRelativeDeltaIsWithinNoise)
+{
+    const obs::PerfSnapshot base = makeSnapshot({{"a", 100.0}});
+    const obs::PerfSnapshot next = makeSnapshot({{"a", 103.0}});
+    const harness::CompareReport report =
+        harness::compareSnapshots(base, next, 5.0);
+    ASSERT_EQ(report.deltas.size(), 1u);
+    EXPECT_EQ(report.deltas[0].status,
+              harness::DeltaStatus::WithinNoise);
+}
+
+TEST(PerfCompare, AbsoluteFloorShieldsTinyScenarios)
+{
+    // 0.05 ms -> 0.10 ms is +100% relatively but only 50 us
+    // absolutely — far below kAbsNoiseFloorNs, so noise.
+    const obs::PerfSnapshot base = makeSnapshot({{"a", 0.05}});
+    const obs::PerfSnapshot next = makeSnapshot({{"a", 0.10}});
+    const harness::CompareReport report =
+        harness::compareSnapshots(base, next, 5.0);
+    ASSERT_EQ(report.deltas.size(), 1u);
+    EXPECT_EQ(report.deltas[0].status,
+              harness::DeltaStatus::WithinNoise);
+}
+
+TEST(PerfCompare, MissingScenarioFailsAndNewOneDoesNot)
+{
+    const obs::PerfSnapshot base =
+        makeSnapshot({{"a", 10.0}, {"gone", 10.0}});
+    const obs::PerfSnapshot next =
+        makeSnapshot({{"a", 10.0}, {"fresh", 10.0}});
+    const harness::CompareReport report =
+        harness::compareSnapshots(base, next, 5.0);
+    ASSERT_EQ(report.deltas.size(), 3u);
+    EXPECT_EQ(report.missing(), 1u);
+    EXPECT_EQ(report.count(harness::DeltaStatus::OnlyInNew), 1u);
+    EXPECT_FALSE(report.ok()); // a vanished scenario gates
+}
+
+TEST(PerfCompare, SchemaAndScaleMismatchesAreErrors)
+{
+    obs::PerfSnapshot base = makeSnapshot({{"a", 10.0}});
+    obs::PerfSnapshot next = makeSnapshot({{"a", 10.0}});
+    next.schema = "accordion-perf-snapshot-v2";
+    harness::CompareReport report =
+        harness::compareSnapshots(base, next, 5.0);
+    EXPECT_FALSE(report.error.empty());
+    EXPECT_TRUE(report.deltas.empty());
+    EXPECT_FALSE(report.ok());
+
+    next = makeSnapshot({{"a", 10.0}}, 0.25);
+    report = harness::compareSnapshots(base, next, 5.0);
+    EXPECT_NE(report.error.find("scale"), std::string::npos);
+}
+
+TEST(PerfCompare, VerdictJsonParsesBackWithStatuses)
+{
+    const obs::PerfSnapshot base =
+        makeSnapshot({{"a", 10.0}, {"b", 10.0}});
+    const obs::PerfSnapshot next =
+        makeSnapshot({{"a", 20.0}, {"b", 10.0}});
+    const harness::CompareReport report =
+        harness::compareSnapshots(base, next, 5.0);
+
+    const Json root = JsonParser(harness::verdictJson(report)).parse();
+    EXPECT_EQ(root.at("schema").text, "accordion-perf-compare-v1");
+    EXPECT_FALSE(root.at("ok").boolean);
+    EXPECT_EQ(root.at("regressions").number, 1.0);
+    EXPECT_EQ(root.at("error").type, Json::Null);
+    ASSERT_EQ(root.at("scenarios").items.size(), 2u);
+    EXPECT_EQ(root.at("scenarios").items[0].at("status").text,
+              "regression");
+    EXPECT_EQ(root.at("scenarios").items[1].at("status").text,
+              "within_noise");
+
+    // The human table mentions every scenario and the verdict.
+    const std::string table = harness::compareTable(report);
+    EXPECT_NE(table.find("regression"), std::string::npos);
+    EXPECT_NE(table.find("1 regression(s)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// CLI parsing
+// ---------------------------------------------------------------
+
+TEST(PerfCli, ParsesRecordFlags)
+{
+    std::string error;
+    const auto options = harness::parseCli(
+        {"perf", "--reps", "5", "--warmup", "0", "--scale", "0.25",
+         "--out", "snap.json", "--scenario", "substrate.error_rate",
+         "--scenario", "substrate.montecarlo", "--threads", "2",
+         "--seed", "7"},
+        &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    EXPECT_EQ(options->command,
+              harness::CliOptions::Command::Perf);
+    EXPECT_EQ(options->perf.reps, 5u);
+    EXPECT_EQ(options->perf.warmup, 0u);
+    EXPECT_EQ(options->perf.scale, 0.25);
+    EXPECT_EQ(options->perf.out, "snap.json");
+    EXPECT_EQ(options->perf.threads, 2u);
+    EXPECT_EQ(options->perf.seed, 7u);
+    ASSERT_EQ(options->perf.only.size(), 2u);
+    EXPECT_EQ(options->perf.only[0], "substrate.error_rate");
+}
+
+TEST(PerfCli, RejectsBadRecordValues)
+{
+    std::string error;
+    EXPECT_FALSE(
+        harness::parseCli({"perf", "--reps", "0"}, &error));
+    EXPECT_FALSE(
+        harness::parseCli({"perf", "--scale", "0"}, &error));
+    EXPECT_FALSE(
+        harness::parseCli({"perf", "--scale", "-1"}, &error));
+    EXPECT_FALSE(
+        harness::parseCli({"perf", "--bogus"}, &error));
+    EXPECT_FALSE(harness::parseCli({"perf", "extra"}, &error));
+}
+
+TEST(PerfCli, ParsesCompareFlags)
+{
+    std::string error;
+    const auto options = harness::parseCli(
+        {"perf", "compare", "base.json", "new.json", "--threshold",
+         "7.5", "--warn-only"},
+        &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    EXPECT_EQ(options->command,
+              harness::CliOptions::Command::PerfCompare);
+    EXPECT_EQ(options->compare.basePath, "base.json");
+    EXPECT_EQ(options->compare.newPath, "new.json");
+    EXPECT_EQ(options->compare.thresholdPct, 7.5);
+    EXPECT_TRUE(options->compare.warnOnly);
+
+    EXPECT_FALSE(
+        harness::parseCli({"perf", "compare", "one.json"}, &error));
+    EXPECT_FALSE(harness::parseCli({"perf", "compare", "a", "b",
+                                    "--threshold", "x"},
+                                   &error));
+}
+
+TEST(PerfCli, ParsesStatsModeOnRun)
+{
+    std::string error;
+    auto options = harness::parseCli({"run", "all"}, &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    EXPECT_EQ(options->stats, harness::StatsMode::Auto);
+
+    options =
+        harness::parseCli({"run", "all", "--stats", "off"}, &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    EXPECT_EQ(options->stats, harness::StatsMode::Off);
+
+    options =
+        harness::parseCli({"run", "all", "--stats", "on"}, &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    EXPECT_EQ(options->stats, harness::StatsMode::On);
+
+    EXPECT_FALSE(harness::parseCli(
+        {"run", "all", "--stats", "sometimes"}, &error));
+}
+
+// ---------------------------------------------------------------
+// Record smoke (one real scenario, tiny scale)
+// ---------------------------------------------------------------
+
+TEST(PerfRecord, UnknownScenarioIsAnError)
+{
+    harness::PerfOptions options;
+    options.only = {"substrate.does_not_exist"};
+    std::string error;
+    EXPECT_FALSE(harness::recordSnapshot(options, &error));
+    EXPECT_NE(error.find("does_not_exist"), std::string::npos);
+}
+
+TEST(PerfRecord, RecordsOneScenarioWithCountersAndThroughput)
+{
+    // Pin the ambient state: record must restore it afterwards.
+    obs::StatsRegistry::global().setEnabled(false);
+
+    harness::PerfOptions options;
+    options.reps = 2;
+    options.warmup = 1;
+    options.scale = 0.01;
+    options.only = {"substrate.error_rate"};
+    std::string error;
+    const auto snapshot = harness::recordSnapshot(options, &error);
+    ASSERT_TRUE(snapshot.has_value()) << error;
+
+    EXPECT_EQ(snapshot->schema, obs::kPerfSnapshotSchema);
+    EXPECT_EQ(snapshot->reps, 2u);
+    EXPECT_EQ(snapshot->scale, 0.01);
+    EXPECT_EQ(snapshot->environment.count("compiler"), 1u);
+    EXPECT_EQ(snapshot->environment.count("git_sha"), 1u);
+    ASSERT_EQ(snapshot->scenarios.size(), 1u);
+    const obs::ScenarioRecord &record = snapshot->scenarios[0];
+    EXPECT_EQ(record.name, "substrate.error_rate");
+    EXPECT_EQ(record.warmup, 1u);
+    ASSERT_EQ(record.wallNs.size(), 2u); // warmup not recorded
+    EXPECT_GT(record.minWallNs(), 0.0);
+    // 400000 iterations at scale 0.01.
+    EXPECT_EQ(record.counters.at("perf.items"), 4000u);
+    EXPECT_GT(record.throughput.at("perf.items"), 0.0);
+
+    // The snapshot renders to valid JSON and round-trips.
+    obs::PerfSnapshot back;
+    ASSERT_TRUE(obs::parsePerfSnapshot(obs::toJson(*snapshot), &back,
+                                       &error))
+        << error;
+    EXPECT_EQ(back.scenarios.size(), 1u);
+
+    // Recording must leave the global registry disabled (the tests'
+    // ambient state) so other suites see the zero-overhead path.
+    EXPECT_FALSE(obs::StatsRegistry::global().enabled());
+}
+
+TEST(PerfSuite, CuratedSuiteIsSortedAndBigEnough)
+{
+    const auto &suite = harness::perfScenarios();
+    EXPECT_GE(suite.size(), 6u);
+    for (std::size_t i = 1; i < suite.size(); ++i)
+        EXPECT_LT(suite[i - 1].name, suite[i].name);
+    for (const harness::PerfScenario &s : suite) {
+        EXPECT_FALSE(s.description.empty()) << s.name;
+        EXPECT_TRUE(static_cast<bool>(s.body)) << s.name;
+    }
+}
+
+TEST(PerfSuite, DefaultSnapshotPathSkipsExistingFiles)
+{
+    const std::string path = harness::defaultSnapshotPath();
+    EXPECT_EQ(path.rfind("BENCH_", 0), 0u);
+    EXPECT_NE(path.find(".json"), std::string::npos);
+}
+
+} // namespace
