@@ -67,7 +67,12 @@ class StdoutSilencer
     int saved_ = -1;
 };
 
-/** The per-iteration work counter every substrate scenario bumps. */
+/**
+ * The work counter every scenario bumps: substrate scenarios count
+ * their iterations, experiment scenarios count one end-to-end run.
+ * Keeping it non-zero everywhere guarantees harvestStats can always
+ * derive a throughput rate (the snapshot invariant CI asserts).
+ */
 void
 countItems(std::size_t n)
 {
@@ -87,6 +92,9 @@ runExperiment(PerfRun &run, const std::string &name)
                     name.c_str());
     StdoutSilencer silence;
     e->run(run.ctx);
+    // Experiments that only touch the warmed system cache leave no
+    // domain counters behind; the run itself is the work item.
+    countItems(1);
 }
 
 std::vector<PerfScenario>

@@ -91,9 +91,35 @@ writeRunSummary(const std::string &path,
         util::fatal("failed writing '%s'", path.c_str());
 }
 
-std::string
-statsTable(const std::vector<ExperimentSummary> &summaries,
-           std::uint64_t total_elapsed_ns)
+namespace {
+
+/**
+ * Thin an ascending-sorted reservoir so each kept sample stands for
+ * `ratio` times as many raw samples as before: keep every ratio-th
+ * element (offset-centred), which preserves the empirical quantile
+ * function. Never thins a non-empty reservoir to empty.
+ */
+void
+thinSamples(std::vector<double> *samples, std::uint64_t ratio)
+{
+    if (ratio <= 1 || samples->empty())
+        return;
+    std::size_t out = 0;
+    for (std::size_t i = static_cast<std::size_t>(ratio / 2);
+         i < samples->size(); i += static_cast<std::size_t>(ratio))
+        (*samples)[out++] = (*samples)[i];
+    if (out == 0) {
+        // Fewer samples than the ratio: keep the median.
+        (*samples)[0] = (*samples)[samples->size() / 2];
+        out = 1;
+    }
+    samples->resize(out);
+}
+
+} // namespace
+
+std::map<std::string, obs::StatEntry>
+mergedStats(const std::vector<ExperimentSummary> &summaries)
 {
     std::map<std::string, obs::StatEntry> merged;
     for (const ExperimentSummary &s : summaries) {
@@ -112,23 +138,46 @@ statsTable(const std::vector<ExperimentSummary> &summaries,
                 m.value = e.value; // level: keep the latest
                 break;
             case obs::StatKind::Distribution:
-                if (e.count) {
-                    m.min = m.count ? std::min(m.min, e.min) : e.min;
-                    m.max = m.count ? std::max(m.max, e.max) : e.max;
-                    m.count += e.count;
-                    m.sum += e.sum;
-                    m.samples.insert(m.samples.end(),
-                                     e.samples.begin(),
-                                     e.samples.end());
+                if (!e.count)
+                    break;
+                if (!m.count) {
+                    m = e;
+                    break;
+                }
+                m.min = std::min(m.min, e.min);
+                m.max = std::max(m.max, e.max);
+                m.count += e.count;
+                m.sum += e.sum;
+                {
+                    // Sources decimated at different strides weight
+                    // their retained samples differently; thin both
+                    // to the common (coarser) stride before pooling
+                    // so merged quantiles stay unbiased.
+                    const std::uint64_t target =
+                        std::max(m.stride, e.stride);
+                    std::vector<double> other = e.samples;
+                    thinSamples(&m.samples, target / m.stride);
+                    thinSamples(&other, target / e.stride);
+                    m.stride = target;
+                    m.samples.insert(m.samples.end(), other.begin(),
+                                     other.end());
+                    // Keep the invariant: reservoirs stay sorted so
+                    // quantile reads (and later thinning) are valid.
+                    std::sort(m.samples.begin(), m.samples.end());
                 }
                 break;
             }
         }
     }
-    // Merged reservoirs must be re-sorted before quantile reads.
-    for (auto &[name, e] : merged)
-        if (e.kind == obs::StatKind::Distribution)
-            std::sort(e.samples.begin(), e.samples.end());
+    return merged;
+}
+
+std::string
+statsTable(const std::vector<ExperimentSummary> &summaries,
+           std::uint64_t total_elapsed_ns)
+{
+    std::map<std::string, obs::StatEntry> merged =
+        mergedStats(summaries);
     // Whole-run utilization from the summed busy counters.
     if (total_elapsed_ns > 0) {
         double busy_total = 0.0;

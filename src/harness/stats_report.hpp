@@ -12,6 +12,7 @@
 #define ACCORDION_HARNESS_STATS_REPORT_HPP
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -49,10 +50,19 @@ void writeRunSummary(const std::string &path,
                      const std::vector<ExperimentSummary> &summaries);
 
 /**
- * The end-of-run human stats table: counters summed and
- * distributions merged across experiments (quantiles recomputed
- * over the combined sample reservoirs), utilization recomputed
- * over the whole run's wall time.
+ * Merge per-experiment stat snapshots by name: counters summed,
+ * gauges keeping the latest level, distributions pooled with their
+ * sample reservoirs first thinned to a common decimation stride (so
+ * every pooled sample stands for the same number of raw samples and
+ * merged quantiles are not biased toward the less-decimated
+ * experiment).
+ */
+std::map<std::string, obs::StatEntry>
+mergedStats(const std::vector<ExperimentSummary> &summaries);
+
+/**
+ * The end-of-run human stats table: mergedStats() rendered, with
+ * utilization recomputed over the whole run's wall time.
  */
 std::string statsTable(const std::vector<ExperimentSummary> &summaries,
                        std::uint64_t total_elapsed_ns);

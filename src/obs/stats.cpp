@@ -67,7 +67,6 @@ struct Distribution::Cell
             return;
         }
         samples.push_back(x);
-        untilNext = stride - 1;
         if (samples.size() >= kMaxSamples) {
             // Decimate: keep every 2nd retained sample and retain
             // only every 2*stride-th sample from now on, so the
@@ -77,6 +76,9 @@ struct Distribution::Cell
             samples.resize((samples.size() + 1) / 2);
             stride *= 2;
         }
+        // After the (possible) doubling, so the first post-decimation
+        // retention already follows the new stride.
+        untilNext = stride - 1;
     }
 
     void reset()
@@ -226,6 +228,7 @@ StatsRegistry::snapshot() const
             entry.sum = slot->dist.sum;
             entry.min = slot->dist.min;
             entry.max = slot->dist.max;
+            entry.stride = slot->dist.stride;
             entry.samples = slot->dist.samples;
             std::sort(entry.samples.begin(), entry.samples.end());
             break;

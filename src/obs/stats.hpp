@@ -154,6 +154,10 @@ struct StatEntry
     /** Retained reservoir samples, sorted ascending (distribution
      *  only; all samples when count <= Distribution::kMaxSamples). */
     std::vector<double> samples;
+    /** Reservoir decimation stride: each retained sample stands for
+     *  this many raw samples (distribution only; 1 below the cap).
+     *  Merging reservoirs must weight samples by it. */
+    std::uint64_t stride = 1;
 
     /** Distribution mean; 0 when empty. */
     double mean() const

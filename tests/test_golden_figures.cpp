@@ -20,6 +20,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -125,7 +127,11 @@ checkOrUpdate(const std::string &name,
 class GoldenFigures : public ::testing::Test
 {
   protected:
-    static constexpr const char *kOutDir = "harness_golden_out";
+    /** Per-process output directory: ctest runs every golden test
+     *  in its own process, possibly in parallel, so a shared
+     *  literal directory races (one process's remove_all deletes a
+     *  CSV another is about to byte-compare). */
+    static const std::string kOutDir;
 
     static void SetUpTestSuite()
     {
@@ -142,6 +148,8 @@ class GoldenFigures : public ::testing::Test
         delete ctx_;
         ctx_ = nullptr;
         system_ = nullptr;
+        std::error_code ec;
+        std::filesystem::remove_all(kOutDir, ec);
     }
 
     /** Run a registered experiment, swallowing its stdout tables. */
@@ -194,6 +202,8 @@ class GoldenFigures : public ::testing::Test
 
 harness::RunContext *GoldenFigures::ctx_ = nullptr;
 core::AccordionSystem *GoldenFigures::system_ = nullptr;
+const std::string GoldenFigures::kOutDir =
+    "harness_golden_out_" + std::to_string(::getpid());
 
 /** The pareto-front rows of one figure's kernel set. */
 std::vector<std::vector<std::string>>

@@ -18,6 +18,7 @@
 #include "harness/experiment.hpp"
 #include "harness/result_sink.hpp"
 #include "harness/run_context.hpp"
+#include "harness/stats_report.hpp"
 #include "util/log.hpp"
 
 using namespace accordion;
@@ -353,6 +354,49 @@ TEST(HarnessResultSinkDeathTest, RowArityMismatchPanics)
                              harness::OutputFormat::Csv);
     auto series = sink.series("mini", {"a", "b"});
     EXPECT_DEATH(series.addRow({"only-one"}), "expected 2");
+}
+
+TEST(HarnessStatsReport, MergedQuantilesWeightByDecimationStride)
+{
+    // Experiment A: an undecimated reservoir of 4 fast samples.
+    obs::StatEntry a;
+    a.name = "time.phase_ns";
+    a.kind = obs::StatKind::Distribution;
+    a.count = 4;
+    a.sum = 10.0;
+    a.min = 1.0;
+    a.max = 4.0;
+    a.stride = 1;
+    a.samples = {1.0, 2.0, 3.0, 4.0};
+
+    // Experiment B: decimated at stride 4 — its 3 retained samples
+    // stand for 12 raw (slow) samples.
+    obs::StatEntry b = a;
+    b.count = 12;
+    b.sum = 1200.0;
+    b.min = 100.0;
+    b.max = 100.0;
+    b.stride = 4;
+    b.samples = {100.0, 100.0, 100.0};
+
+    std::vector<harness::ExperimentSummary> summaries(2);
+    summaries[0].name = "a";
+    summaries[0].stats = {a};
+    summaries[1].name = "b";
+    summaries[1].stats = {b};
+
+    const auto merged = harness::mergedStats(summaries);
+    const obs::StatEntry &m = merged.at("time.phase_ns");
+    EXPECT_EQ(m.count, 16u);
+    EXPECT_EQ(m.stride, 4u);
+    EXPECT_EQ(m.min, 1.0);
+    EXPECT_EQ(m.max, 100.0);
+    // A's reservoir is thinned 4:1 before pooling, so every merged
+    // sample stands for 4 raw samples and the 12 slow raw samples
+    // dominate the median; a naive concatenation of {1,2,3,4} with
+    // {100,100,100} would have reported p50 = 3.5.
+    ASSERT_EQ(m.samples.size(), 4u);
+    EXPECT_DOUBLE_EQ(m.p50(), 100.0);
 }
 
 } // namespace

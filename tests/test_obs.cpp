@@ -262,6 +262,27 @@ TEST(StatsRegistry, ReservoirDecimatesBeyondCapKeepingBounds)
     EXPECT_NEAR(e.p50(), true_median, true_median * 0.01);
 }
 
+TEST(StatsRegistry, PostDecimationRetentionFollowsNewStride)
+{
+    obs::StatsRegistry registry(true);
+    obs::Distribution d = registry.distribution("time.stride_ns");
+    const std::size_t cap = obs::Distribution::kMaxSamples;
+    for (std::size_t i = 0; i < cap; ++i)
+        d.add(1.0);
+    auto reservoir = [&registry] {
+        return registry.snapshot().at(0).samples.size();
+    };
+    const std::size_t kept = reservoir();
+    ASSERT_EQ(kept, (cap + 1) / 2); // decimation just happened
+    EXPECT_EQ(registry.snapshot().at(0).stride, 2u);
+    // The first sample after a decimation must already be governed
+    // by the doubled stride: skipped, not retained.
+    d.add(1.0);
+    EXPECT_EQ(reservoir(), kept);
+    d.add(1.0);
+    EXPECT_EQ(reservoir(), kept + 1);
+}
+
 TEST(SortedQuantile, EdgeCases)
 {
     EXPECT_EQ(obs::sortedQuantile({}, 50.0), 0.0);

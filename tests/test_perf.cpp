@@ -392,6 +392,29 @@ TEST(PerfRecord, RecordsOneScenarioWithCountersAndThroughput)
     EXPECT_FALSE(obs::StatsRegistry::global().enabled());
 }
 
+TEST(PerfRecord, ExperimentScenariosAlwaysDeriveThroughput)
+{
+    obs::StatsRegistry::global().setEnabled(false);
+
+    // fig1a leaves no domain counters behind once the shared system
+    // cache is warm; the scenario must still count its own run so
+    // the snapshot's throughput map is never empty (CI asserts this
+    // invariant for every scenario).
+    harness::PerfOptions options;
+    options.reps = 1;
+    options.warmup = 0;
+    options.scale = 0.01;
+    options.only = {"experiment.fig1a_operating_point"};
+    std::string error;
+    const auto snapshot = harness::recordSnapshot(options, &error);
+    ASSERT_TRUE(snapshot.has_value()) << error;
+    ASSERT_EQ(snapshot->scenarios.size(), 1u);
+    const obs::ScenarioRecord &record = snapshot->scenarios[0];
+    EXPECT_EQ(record.counters.at("perf.items"), 1u);
+    ASSERT_FALSE(record.throughput.empty());
+    EXPECT_GT(record.throughput.at("perf.items"), 0.0);
+}
+
 TEST(PerfSuite, CuratedSuiteIsSortedAndBigEnough)
 {
     const auto &suite = harness::perfScenarios();
