@@ -51,10 +51,9 @@ BENCHMARK(BM_SafeFrequencyQuery);
 void
 BM_ErrorRateQuery(benchmark::State &state)
 {
-    const auto &timing =
-        fixtures().chip.coreTiming(kernels::kTimingCore);
+    const auto &chip = fixtures().chip;
     for (auto _ : state)
-        benchmark::DoNotOptimize(kernels::errorRateOnce(timing));
+        benchmark::DoNotOptimize(kernels::errorRateOnce(chip));
 }
 BENCHMARK(BM_ErrorRateQuery);
 

@@ -18,42 +18,84 @@ MonteCarloEvaluator::MonteCarloEvaluator(
         util::fatal("MonteCarloEvaluator: empty sample");
 }
 
-std::vector<double>
-MonteCarloEvaluator::values(const ChipMetric &metric) const
+std::vector<std::vector<double>>
+MonteCarloEvaluator::valuesMany(
+    const std::vector<ChipMetric> &metrics) const
 {
     ACC_SCOPED_TIMER("montecarlo.values");
+    if (metrics.empty())
+        util::fatal("MonteCarloEvaluator::valuesMany: no metrics");
     obs::StatsRegistry::global().counter("montecarlo.samples")
         .add(chips_);
+    obs::StatsRegistry::global().counter("montecarlo.metric_evals")
+        .add(chips_ * metrics.size());
     // Chips are independent (the factory derives each chip's
     // randomness from its id alone) and every evaluation writes
     // only its own slot, so the sample parallelizes with
-    // bit-identical results at any thread count.
-    std::vector<double> out(chips_);
+    // bit-identical results at any thread count. Manufacturing once
+    // and fanning the metrics over the same chip object cannot
+    // change any value: make(id) is a pure function of (seed, id).
+    std::vector<std::vector<double>> out(metrics.size());
+    for (auto &per_metric : out)
+        per_metric.resize(chips_);
     util::parallelFor(0, chips_, [&](std::size_t id) {
         const vartech::VariationChip chip =
             factory_->make(static_cast<std::uint64_t>(id));
-        out[id] = metric(chip);
+        for (std::size_t m = 0; m < metrics.size(); ++m)
+            out[m][id] = metrics[m](chip);
     });
     return out;
 }
 
-SampleStatistics
-MonteCarloEvaluator::evaluate(const std::string &name,
-                              const ChipMetric &metric) const
+std::vector<double>
+MonteCarloEvaluator::values(const ChipMetric &metric) const
 {
-    const std::vector<double> vals = values(metric);
+    return valuesMany({metric}).front();
+}
+
+namespace {
+
+SampleStatistics
+summarize(const std::string &name, std::size_t chips,
+          const std::vector<double> &vals)
+{
     util::OnlineStats stats;
     for (double v : vals)
         stats.add(v);
     SampleStatistics out;
     out.metric = name;
-    out.chips = chips_;
+    out.chips = chips;
     out.mean = stats.mean();
     out.stddev = stats.stddev();
     out.min = stats.min();
     out.max = stats.max();
     out.p10 = util::percentile(vals, 10.0);
     out.p90 = util::percentile(vals, 90.0);
+    return out;
+}
+
+} // namespace
+
+SampleStatistics
+MonteCarloEvaluator::evaluate(const std::string &name,
+                              const ChipMetric &metric) const
+{
+    return summarize(name, chips_, values(metric));
+}
+
+std::vector<SampleStatistics>
+MonteCarloEvaluator::evaluateMany(
+    const std::vector<NamedMetric> &metrics) const
+{
+    std::vector<ChipMetric> fns;
+    fns.reserve(metrics.size());
+    for (const NamedMetric &m : metrics)
+        fns.push_back(m.metric);
+    const std::vector<std::vector<double>> vals = valuesMany(fns);
+    std::vector<SampleStatistics> out;
+    out.reserve(metrics.size());
+    for (std::size_t m = 0; m < metrics.size(); ++m)
+        out.push_back(summarize(metrics[m].name, chips_, vals[m]));
     return out;
 }
 

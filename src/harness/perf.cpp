@@ -134,11 +134,10 @@ buildScenarios()
          "timing-error-rate queries at the NTV operating point",
          [](PerfRun &run) {
              const std::size_t n = run.scaled(400000);
-             const auto &timing =
-                 run.fixtures.chip.coreTiming(kernels::kTimingCore);
+             const auto &chip = run.fixtures.chip;
              double acc = 0.0;
              for (std::size_t i = 0; i < n; ++i)
-                 acc += kernels::errorRateOnce(timing);
+                 acc += kernels::errorRateOnce(chip);
              perfSink = acc;
              countItems(n);
          }});

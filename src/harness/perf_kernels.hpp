@@ -68,11 +68,15 @@ safeFrequencyOnce(const vartech::CoreTimingModel &timing)
     return timing.safeFrequency(kTimingVdd);
 }
 
-/** One timing-error-rate query at the probe operating point. */
+/**
+ * One timing-error-rate query at the NTV operating point, the way
+ * the pareto / speculative scans issue it: against the chip's
+ * hoisted per-core delay point, so only the CDF math is measured.
+ */
 inline double
-errorRateOnce(const vartech::CoreTimingModel &timing)
+errorRateOnce(const vartech::VariationChip &chip)
 {
-    return timing.errorRate(kTimingVdd, kTimingFreqHz);
+    return chip.coreErrorRate(kTimingCore, kTimingFreqHz);
 }
 
 /** The 64-core / 50k-instruction task set both harnesses model. */

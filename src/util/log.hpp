@@ -41,4 +41,20 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 } // namespace accordion::util
 
+/**
+ * Invariant check that compiles away in optimized builds (NDEBUG).
+ * Use on hot accessors where a bounds check per call is measurable:
+ * debug builds still panic with a useful message, release builds
+ * index unchecked.
+ */
+#ifndef NDEBUG
+#define ACC_DEBUG_ASSERT(cond, ...)                                  \
+    do {                                                             \
+        if (!(cond))                                                 \
+            ::accordion::util::panic(__VA_ARGS__);                   \
+    } while (0)
+#else
+#define ACC_DEBUG_ASSERT(cond, ...) ((void)0)
+#endif
+
 #endif // ACCORDION_UTIL_LOG_HPP

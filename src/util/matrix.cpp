@@ -37,6 +37,60 @@ Matrix::multiply(const std::vector<double> &v) const
     return out;
 }
 
+TriangularFactor::TriangularFactor(const Matrix &lower)
+{
+    if (lower.rows() != lower.cols())
+        panic("TriangularFactor: matrix must be square");
+    n_ = lower.rows();
+    rowOffset_.assign(n_ + 1, 0);
+    for (std::size_t r = 0; r < n_; ++r) {
+        for (std::size_t c = 0; c <= r; ++c) {
+            const double v = lower.at(r, c);
+            if (v == 0.0)
+                continue;
+            cols_.push_back(static_cast<std::uint32_t>(c));
+            values_.push_back(v);
+        }
+        rowOffset_[r + 1] = values_.size();
+    }
+}
+
+double
+TriangularFactor::density() const
+{
+    if (n_ == 0)
+        return 0.0;
+    return static_cast<double>(values_.size()) /
+        (static_cast<double>(n_) * static_cast<double>(n_));
+}
+
+void
+TriangularFactor::multiplyInto(const std::vector<double> &v,
+                               std::vector<double> &out) const
+{
+    if (v.size() != n_)
+        panic("TriangularFactor::multiplyInto: dimension mismatch "
+              "(%zu vs %zu)", v.size(), n_);
+    if (&v == &out)
+        panic("TriangularFactor::multiplyInto: aliased buffers");
+    out.resize(n_);
+    for (std::size_t r = 0; r < n_; ++r) {
+        double acc = 0.0;
+        const std::size_t end = rowOffset_[r + 1];
+        for (std::size_t k = rowOffset_[r]; k < end; ++k)
+            acc += values_[k] * v[cols_[k]];
+        out[r] = acc;
+    }
+}
+
+std::vector<double>
+TriangularFactor::multiply(const std::vector<double> &v) const
+{
+    std::vector<double> out;
+    multiplyInto(v, out);
+    return out;
+}
+
 Matrix
 choleskyFactor(const Matrix &a)
 {

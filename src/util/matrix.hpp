@@ -9,6 +9,7 @@
 #define ACCORDION_UTIL_MATRIX_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace accordion::util {
@@ -40,6 +41,62 @@ class Matrix
     std::size_t rows_;
     std::size_t cols_;
     std::vector<double> data_;
+};
+
+/**
+ * Structure-aware packed storage of a lower-triangular factor.
+ *
+ * A Cholesky factor of a short-range correlation matrix (the
+ * spherical model with phi = 0.1 zeroes most site pairs) is sparse:
+ * each row holds a handful of nonzeros between its first coupled
+ * column and the diagonal. This class packs exactly the nonzero
+ * entries per row (CSR layout, columns ascending), so a
+ * matrix-vector product skips both the all-zero upper triangle and
+ * the structural zeros of the lower one.
+ *
+ * Bit-compatibility: multiplyInto() accumulates the surviving terms
+ * in the same ascending-column order as the dense matvec, and the
+ * skipped terms are exact +0.0 contributions, so the result is
+ * bit-identical to Matrix::multiply on the unpacked factor — golden
+ * chip realizations do not move.
+ */
+class TriangularFactor
+{
+  public:
+    /** Empty factor (size 0); assign from a packed one. */
+    TriangularFactor() = default;
+
+    /**
+     * Pack a dense lower-triangular matrix. Entries above the
+     * diagonal are ignored; entries that are exactly 0.0 are
+     * dropped from storage.
+     */
+    explicit TriangularFactor(const Matrix &lower);
+
+    /** Dimension n of the n x n factor. */
+    std::size_t size() const { return n_; }
+
+    /** Stored nonzeros (diagonal included). */
+    std::size_t nonZeros() const { return values_.size(); }
+
+    /** Stored share of the full dense n x n matrix, in [0, 1]. */
+    double density() const;
+
+    /**
+     * y = L v into a caller-owned buffer (resized to n); @p v and
+     * @p out must not alias. @pre v.size() == size().
+     */
+    void multiplyInto(const std::vector<double> &v,
+                      std::vector<double> &out) const;
+
+    /** Allocating convenience wrapper over multiplyInto(). */
+    std::vector<double> multiply(const std::vector<double> &v) const;
+
+  private:
+    std::size_t n_ = 0;
+    std::vector<std::size_t> rowOffset_; //!< n+1 offsets into values_
+    std::vector<std::uint32_t> cols_; //!< column of each stored entry
+    std::vector<double> values_;
 };
 
 /**

@@ -255,6 +255,65 @@ normalQuantile(double p)
 }
 
 double
+normalInvCdfUpper(double q)
+{
+    if (q <= 0.0 || q >= 1.0)
+        fatal("normalInvCdfUpper: q (%g) must lie in (0, 1)", q);
+    if (q > 0.5)
+        return -normalInvCdfUpper(1.0 - q);
+
+    // Acklam seed. For q below his tail split the tail branch takes
+    // q directly — no 1 - q cancellation — so the seed keeps ~1e-9
+    // *absolute* accuracy even for q ~ 1e-300.
+    double z;
+    if (q < 0.02425) {
+        static const double c[] = {-7.784894002430293e-03,
+                                   -3.223964580411365e-01,
+                                   -2.400758277161838e+00,
+                                   -2.549732539343734e+00,
+                                   4.374664141464968e+00,
+                                   2.938163982698783e+00};
+        static const double d[] = {7.784695709041462e-03,
+                                   3.224671290700398e-01,
+                                   2.445134137142996e+00,
+                                   3.754408661907416e+00};
+        const double u = std::sqrt(-2.0 * std::log(q));
+        z = -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u +
+               c[4]) *
+                  u +
+              c[5]) /
+            ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+    } else {
+        z = -normalQuantile(q);
+    }
+
+    // Newton in log space on Q(z) = 0.5 erfc(z/sqrt(2)), which is
+    // relatively accurate for every representable q: two steps take
+    // the ~1e-9 seed to full double precision. Guard the extreme
+    // tail where erfc underflows (q < ~1e-308 cannot reach here,
+    // but z drifting past ~37.5 during iteration can).
+    const double log_q = std::log(q);
+    for (int step = 0; step < 2; ++step) {
+        const double tail = 0.5 * std::erfc(z / std::sqrt(2.0));
+        if (tail <= 0.0)
+            break;
+        const double pdf =
+            std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+        z += (std::log(tail) - log_q) * tail / pdf;
+    }
+    return z;
+}
+
+double
+normalInvCdf(double p)
+{
+    if (p <= 0.0 || p >= 1.0)
+        fatal("normalInvCdf: p (%g) must lie in (0, 1)", p);
+    // Phi(z) = p  <=>  Q(-z) = p.
+    return -normalInvCdfUpper(p);
+}
+
+double
 logNormalCdf(double x)
 {
     if (x >= 0.0) {

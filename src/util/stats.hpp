@@ -146,6 +146,30 @@ double normalCdf(double x);
 double normalQuantile(double p);
 
 /**
+ * High-precision inverse of the standard normal *upper-tail*
+ * probability: returns z such that Q(z) = 1 - Phi(z) = q.
+ *
+ * Taking the complement q directly (instead of p = 1 - q) is what
+ * makes the timing-model inversion possible: the error-rate model
+ * needs z at survival probabilities down to ~1e-18, where p = 1 - q
+ * rounds to exactly 1.0 in double precision. An Acklam seed is
+ * polished with Newton steps on erfc, which is accurate in
+ * *relative* terms arbitrarily far into the tail, so the result
+ * matches a bisection of the forward CDF to < 1e-12 relative.
+ *
+ * @param q Upper-tail probability in (0, 1).
+ */
+double normalInvCdfUpper(double q);
+
+/**
+ * High-precision inverse standard normal CDF: z with Phi(z) = p.
+ * Same accuracy as normalInvCdfUpper (it is the lower-tail
+ * reflection of it); prefer normalInvCdfUpper when the tail
+ * probability itself is the quantity you hold.
+ */
+double normalInvCdf(double p);
+
+/**
  * log(Phi(x)) evaluated accurately for very negative x, where
  * Phi(x) underflows double precision. Needed by the timing-error
  * model which multiplies millions of per-path survival

@@ -1,5 +1,6 @@
 #include "timing.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/log.hpp"
@@ -40,14 +41,30 @@ CoreTimingModel::meanPathFrequency(double vdd) const
     return 1.0 / pathDelayMean(vdd);
 }
 
+CoreTimingModel::DelayPoint
+CoreTimingModel::delayPoint(double vdd) const
+{
+    DelayPoint point;
+    point.delayMean = pathDelayMean(vdd);
+    point.logDelayMean = std::log(point.delayMean);
+    point.sigmaLn = pathDelaySigmaLn(vdd);
+    return point;
+}
+
 double
 CoreTimingModel::errorRate(double vdd, double f) const
+{
+    return errorRateAt(delayPoint(vdd), f);
+}
+
+double
+CoreTimingModel::errorRateAt(const DelayPoint &point, double f) const
 {
     if (f <= 0.0)
         util::panic("errorRate: non-positive frequency %g", f);
     const double period = 1.0 / f;
-    const double z = (std::log(period) - std::log(pathDelayMean(vdd))) /
-        pathDelaySigmaLn(vdd);
+    const double z =
+        (std::log(period) - point.logDelayMean) / point.sigmaLn;
     const double log_survive_all =
         params_.pathsPerCycle * util::logNormalCdf(z);
     return -std::expm1(log_survive_all);
@@ -61,6 +78,36 @@ CoreTimingModel::safeFrequency(double vdd) const
 
 double
 CoreTimingModel::frequencyForErrorRate(double vdd, double perr) const
+{
+    return frequencyForErrorRateAt(delayPoint(vdd), perr);
+}
+
+double
+CoreTimingModel::frequencyForErrorRateAt(const DelayPoint &point,
+                                         double perr) const
+{
+    if (perr <= 0.0 || perr >= 1.0)
+        util::fatal("frequencyForErrorRate: perr %g not in (0,1)", perr);
+    // Invert Perr = -expm1(N log Phi(z)) analytically. The survival
+    // probability per cycle is exp(L) with L = log1p(-perr)/N; its
+    // complement q = -expm1(L) stays accurate down to ~1e-308 where
+    // Phi(z) itself would round to 1.0.
+    const double log_survive =
+        std::log1p(-perr) / params_.pathsPerCycle;
+    const double q = -std::expm1(log_survive);
+    const double z = util::normalInvCdfUpper(q);
+    // ln(1/f) = ln(mu) + z sigma  =>  f = exp(-z sigma) / mu.
+    const double f = std::exp(-z * point.sigmaLn) / point.delayMean;
+    // Clamp into the bracket the historical bisection searched:
+    // degenerate cores (errors even at crawl speed) report the same
+    // floor, runaway targets the same ceiling.
+    const double mean_f = 1.0 / point.delayMean;
+    return std::clamp(f, 0.01 * mean_f, 4.0 * mean_f);
+}
+
+double
+CoreTimingModel::frequencyForErrorRateBisect(double vdd,
+                                             double perr) const
 {
     if (perr <= 0.0 || perr >= 1.0)
         util::fatal("frequencyForErrorRate: perr %g not in (0,1)", perr);

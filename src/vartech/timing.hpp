@@ -43,6 +43,19 @@ class CoreTimingModel
 {
   public:
     /**
+     * The two vdd-dependent quantities every timing query reduces
+     * to, hoisted so hot loops at a fixed supply (pareto scans,
+     * Monte Carlo sweeps at VddNTV) evaluate the EKV delay model
+     * once instead of per query.
+     */
+    struct DelayPoint
+    {
+        double delayMean = 0.0; //!< mean critical-path delay [s]
+        double logDelayMean = 0.0; //!< ln(delayMean), pre-taken
+        double sigmaLn = 0.0; //!< log-delay sigma of the population
+    };
+
+    /**
      * @param tech Technology node.
      * @param params Model knobs.
      * @param vth_dev Systematic Vth deviation (fraction of nominal).
@@ -74,9 +87,19 @@ class CoreTimingModel
     /** Per-cycle timing error probability at (vdd, f). */
     double errorRate(double vdd, double f) const;
 
+    /** The hoisted (delay mean, log-delay sigma) pair at @p vdd. */
+    DelayPoint delayPoint(double vdd) const;
+
+    /**
+     * errorRate() evaluated against a precomputed DelayPoint —
+     * bit-identical to errorRate(vdd, f) for the point's vdd, minus
+     * the per-call EKV model evaluations.
+     */
+    double errorRateAt(const DelayPoint &point, double f) const;
+
     /**
      * Highest frequency with errorRate <= params.perrSafe [Hz]
-     * (bisection).
+     * (closed form).
      */
     double safeFrequency(double vdd) const;
 
@@ -84,8 +107,27 @@ class CoreTimingModel
      * Frequency at which errorRate == @p perr [Hz]. Used by the
      * Speculative modes, which pick an error-rate budget first and
      * derive the clock from it (Section 6.3). @pre perr in (0, 1).
+     *
+     * Closed form: the error-rate model inverts analytically,
+     *   z* = Q^-1(-expm1(log1p(-perr) / pathsPerCycle)),
+     *   f  = exp(-z* sigma_ln) / delayMean,
+     * clamped into the same [0.01, 4] x meanPathFrequency bracket
+     * the historical bisection searched, so degenerate cores report
+     * the identical floor frequency.
      */
     double frequencyForErrorRate(double vdd, double perr) const;
+
+    /** Closed-form inversion against a precomputed DelayPoint. */
+    double frequencyForErrorRateAt(const DelayPoint &point,
+                                   double perr) const;
+
+    /**
+     * The pre-closed-form implementation: 100 bisection steps of
+     * errorRate(). Kept only as the reference oracle for the
+     * inversion property tests — production paths must use
+     * frequencyForErrorRate().
+     */
+    double frequencyForErrorRateBisect(double vdd, double perr) const;
 
     const TimingModelParams &params() const { return params_; }
 

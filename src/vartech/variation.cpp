@@ -19,7 +19,7 @@ sphericalCorrelation(double r, double phi)
 
 CorrelatedFieldSampler::CorrelatedFieldSampler(std::vector<Point> positions,
                                                double phi)
-    : positions_(std::move(positions)), cholesky_(1, 1)
+    : positions_(std::move(positions))
 {
     if (positions_.empty())
         util::fatal("CorrelatedFieldSampler: no sites");
@@ -36,16 +36,42 @@ CorrelatedFieldSampler::CorrelatedFieldSampler(std::vector<Point> positions,
         // definite without visibly changing the field.
         corr.at(i, i) += 1e-9;
     }
-    cholesky_ = util::choleskyFactor(corr);
+    cholesky_ = util::TriangularFactor(util::choleskyFactor(corr));
+}
+
+void
+CorrelatedFieldSampler::sampleInto(util::Rng &rng, Workspace &ws,
+                                   std::vector<double> &out) const
+{
+    ws.iid.resize(size());
+    for (auto &v : ws.iid)
+        v = rng.normal();
+    cholesky_.multiplyInto(ws.iid, out);
+}
+
+void
+CorrelatedFieldSampler::sampleCorrelatedWithInto(
+    const std::vector<double> &base, double rho, util::Rng &rng,
+    Workspace &ws, std::vector<double> &out) const
+{
+    if (base.size() != size())
+        util::panic("sampleCorrelatedWith: base size %zu != %zu",
+                    base.size(), size());
+    if (&base == &out)
+        util::panic("sampleCorrelatedWith: aliased base and out");
+    sampleInto(rng, ws, out);
+    const double mix = std::sqrt(1.0 - rho * rho);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = rho * base[i] + mix * out[i];
 }
 
 std::vector<double>
 CorrelatedFieldSampler::sample(util::Rng &rng) const
 {
-    std::vector<double> iid(size());
-    for (auto &v : iid)
-        v = rng.normal();
-    return cholesky_.multiply(iid);
+    Workspace ws;
+    std::vector<double> out;
+    sampleInto(rng, ws, out);
+    return out;
 }
 
 std::vector<double>
@@ -53,14 +79,10 @@ CorrelatedFieldSampler::sampleCorrelatedWith(const std::vector<double> &base,
                                              double rho,
                                              util::Rng &rng) const
 {
-    if (base.size() != size())
-        util::panic("sampleCorrelatedWith: base size %zu != %zu",
-                    base.size(), size());
-    std::vector<double> fresh = sample(rng);
-    const double mix = std::sqrt(1.0 - rho * rho);
-    for (std::size_t i = 0; i < fresh.size(); ++i)
-        fresh[i] = rho * base[i] + mix * fresh[i];
-    return fresh;
+    Workspace ws;
+    std::vector<double> out;
+    sampleCorrelatedWithInto(base, rho, rng, ws, out);
+    return out;
 }
 
 VariationRealization::VariationRealization(
@@ -78,16 +100,20 @@ VariationRealization::VariationRealization(
     sigmaVthRandom_ = params.sigmaVthTotal * std::sqrt(1.0 - sys_frac);
     sigmaLeffRandom_ = params.sigmaLeffTotal * std::sqrt(1.0 - sys_frac);
 
-    const std::vector<double> vth_field = sampler.sample(rng);
-    const std::vector<double> leff_field = sampler.sampleCorrelatedWith(
-        vth_field, params.vthLeffCorrelation, rng);
+    // Sample the unit fields straight into the member vectors and
+    // scale in place; one shared workspace serves both draws. The
+    // RNG call sequence (2n normals, then n uniforms) and every
+    // floating-point operation match the historical allocating
+    // path, so realizations are bit-identical.
+    CorrelatedFieldSampler::Workspace ws;
+    sampler.sampleInto(rng, ws, vthDev_);
+    sampler.sampleCorrelatedWithInto(vthDev_, params.vthLeffCorrelation,
+                                     rng, ws, leffDev_);
 
-    vthDev_.resize(vth_field.size());
-    leffDev_.resize(leff_field.size());
-    pathSigmaScale_.resize(vth_field.size());
-    for (std::size_t i = 0; i < vth_field.size(); ++i) {
-        vthDev_[i] = sigma_vth_sys * vth_field[i];
-        leffDev_[i] = sigma_leff_sys * leff_field[i];
+    pathSigmaScale_.resize(vthDev_.size());
+    for (std::size_t i = 0; i < vthDev_.size(); ++i) {
+        vthDev_[i] = sigma_vth_sys * vthDev_[i];
+        leffDev_[i] = sigma_leff_sys * leffDev_[i];
         pathSigmaScale_[i] = rng.uniform(0.7, 1.3);
     }
 }

@@ -47,6 +47,17 @@ class CorrelatedFieldSampler
 {
   public:
     /**
+     * Reusable scratch for the i.i.d. draw behind each field
+     * sample. One workspace per realization (or per thread) turns
+     * the three per-draw allocations of the old API into zero — the
+     * Monte Carlo loop manufactures thousands of chips.
+     */
+    struct Workspace
+    {
+        std::vector<double> iid;
+    };
+
+    /**
      * @param positions Sites at which to sample the field.
      * @param phi Correlation range (fraction of chip edge).
      */
@@ -56,16 +67,28 @@ class CorrelatedFieldSampler
     std::size_t size() const { return positions_.size(); }
 
     /**
-     * Draw one field realization: a vector of standard-normal
-     * values with the spherical spatial correlation structure.
+     * Draw one field realization into @p out (resized to size()): a
+     * vector of standard-normal values with the spherical spatial
+     * correlation structure.
      */
-    std::vector<double> sample(util::Rng &rng) const;
+    void sampleInto(util::Rng &rng, Workspace &ws,
+                    std::vector<double> &out) const;
 
     /**
      * Draw a second field correlated with a previously drawn one:
-     * result = rho * base + sqrt(1-rho^2) * fresh, where `fresh` has
-     * the same spatial structure. Used to tie Leff to Vth.
+     * out = rho * base + sqrt(1-rho^2) * fresh, where `fresh` has
+     * the same spatial structure. Used to tie Leff to Vth. @p base
+     * and @p out must not alias.
      */
+    void sampleCorrelatedWithInto(const std::vector<double> &base,
+                                  double rho, util::Rng &rng,
+                                  Workspace &ws,
+                                  std::vector<double> &out) const;
+
+    /** Allocating convenience wrapper over sampleInto(). */
+    std::vector<double> sample(util::Rng &rng) const;
+
+    /** Allocating wrapper over sampleCorrelatedWithInto(). */
     std::vector<double> sampleCorrelatedWith(
         const std::vector<double> &base, double rho,
         util::Rng &rng) const;
@@ -73,9 +96,12 @@ class CorrelatedFieldSampler
     /** Sites the field is sampled at. */
     const std::vector<Point> &positions() const { return positions_; }
 
+    /** Packed Cholesky factor (exposed for diagnostics/tests). */
+    const util::TriangularFactor &factor() const { return cholesky_; }
+
   private:
     std::vector<Point> positions_;
-    util::Matrix cholesky_;
+    util::TriangularFactor cholesky_;
 };
 
 /**

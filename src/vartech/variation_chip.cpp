@@ -1,10 +1,12 @@
 #include "variation_chip.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "obs/stats.hpp"
 #include "obs/timer.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace accordion::vartech {
 
@@ -70,52 +72,85 @@ VariationChip::VariationChip(const Technology &tech,
     // Filled eagerly: every downstream path (core selection, CC
     // ranking, pareto scans) reads all of it anyway, and a
     // write-once table keeps concurrent pareto sweeps over the same
-    // chip free of data races.
+    // chip free of data races. The hoisted NTV delay points turn
+    // every later error-rate / speculative-frequency query at
+    // VddNTV into pure CDF math.
     coreSafeF_.resize(n_cores);
-    for (std::size_t c = 0; c < n_cores; ++c)
-        coreSafeF_[c] = coreTiming_[c].safeFrequency(vddNtv_);
+    coreNtvPoint_.resize(n_cores);
+    for (std::size_t c = 0; c < n_cores; ++c) {
+        coreNtvPoint_[c] = coreTiming_[c].delayPoint(vddNtv_);
+        coreSafeF_[c] = coreTiming_[c].frequencyForErrorRateAt(
+            coreNtvPoint_[c], timing_params.perrSafe);
+    }
 }
+
+// The per-core/per-cluster accessors sit inside the pareto,
+// core-selection and CC-ranking inner loops (hundreds of calls per
+// operating point, thousands of points per chip), so they index
+// unchecked in release builds; debug builds keep a hard bounds
+// panic.
 
 double
 VariationChip::coreVthDev(std::size_t core) const
 {
-    return coreVthDev_.at(core);
+    ACC_DEBUG_ASSERT(core < coreVthDev_.size(),
+                     "coreVthDev: core %zu out of %zu", core,
+                     coreVthDev_.size());
+    return coreVthDev_[core];
 }
 
 double
 VariationChip::coreLeffDev(std::size_t core) const
 {
-    return coreLeffDev_.at(core);
+    ACC_DEBUG_ASSERT(core < coreLeffDev_.size(),
+                     "coreLeffDev: core %zu out of %zu", core,
+                     coreLeffDev_.size());
+    return coreLeffDev_[core];
 }
 
 const CoreTimingModel &
 VariationChip::coreTiming(std::size_t core) const
 {
-    return coreTiming_.at(core);
+    ACC_DEBUG_ASSERT(core < coreTiming_.size(),
+                     "coreTiming: core %zu out of %zu", core,
+                     coreTiming_.size());
+    return coreTiming_[core];
 }
 
 double
 VariationChip::privateMemVddMin(std::size_t core) const
 {
-    return privateMemVddMin_.at(core);
+    ACC_DEBUG_ASSERT(core < privateMemVddMin_.size(),
+                     "privateMemVddMin: core %zu out of %zu", core,
+                     privateMemVddMin_.size());
+    return privateMemVddMin_[core];
 }
 
 double
 VariationChip::clusterMemVddMin(std::size_t cluster) const
 {
-    return clusterMemVddMin_.at(cluster);
+    ACC_DEBUG_ASSERT(cluster < clusterMemVddMin_.size(),
+                     "clusterMemVddMin: cluster %zu out of %zu",
+                     cluster, clusterMemVddMin_.size());
+    return clusterMemVddMin_[cluster];
 }
 
 double
 VariationChip::clusterVddMin(std::size_t cluster) const
 {
-    return clusterVddMin_.at(cluster);
+    ACC_DEBUG_ASSERT(cluster < clusterVddMin_.size(),
+                     "clusterVddMin: cluster %zu out of %zu", cluster,
+                     clusterVddMin_.size());
+    return clusterVddMin_[cluster];
 }
 
 double
 VariationChip::coreSafeF(std::size_t core) const
 {
-    return coreSafeF_.at(core);
+    ACC_DEBUG_ASSERT(core < coreSafeF_.size(),
+                     "coreSafeF: core %zu out of %zu", core,
+                     coreSafeF_.size());
+    return coreSafeF_[core];
 }
 
 double
@@ -141,27 +176,34 @@ VariationChip::slowestCoreOfCluster(std::size_t cluster) const
 double
 VariationChip::coreSafeFAt(std::size_t core, double vdd) const
 {
-    return coreTiming_.at(core).safeFrequency(vdd);
+    return coreTiming(core).safeFrequency(vdd);
 }
 
 double
 VariationChip::coreErrorRate(std::size_t core, double f) const
 {
-    return coreTiming_.at(core).errorRate(vddNtv_, f);
+    ACC_DEBUG_ASSERT(core < coreNtvPoint_.size(),
+                     "coreErrorRate: core %zu out of %zu", core,
+                     coreNtvPoint_.size());
+    return coreTiming_[core].errorRateAt(coreNtvPoint_[core], f);
 }
 
 double
 VariationChip::coreFrequencyForErrorRate(std::size_t core,
                                          double perr) const
 {
-    return coreTiming_.at(core).frequencyForErrorRate(vddNtv_, perr);
+    ACC_DEBUG_ASSERT(core < coreNtvPoint_.size(),
+                     "coreFrequencyForErrorRate: core %zu out of %zu",
+                     core, coreNtvPoint_.size());
+    return coreTiming_[core].frequencyForErrorRateAt(
+        coreNtvPoint_[core], perr);
 }
 
 double
 VariationChip::coreStaticPower(std::size_t core, double vdd) const
 {
-    return tech_->staticPower(vdd, coreTiming_.at(core).vth(),
-                              coreLeffDev_.at(core));
+    return tech_->staticPower(vdd, coreTiming(core).vth(),
+                              coreLeffDev(core));
 }
 
 ChipFactory::ChipFactory(const Technology &tech, Params params,
@@ -197,10 +239,18 @@ ChipFactory::make(std::uint64_t chip_id) const
 std::vector<VariationChip>
 ChipFactory::makeSample(std::size_t count) const
 {
+    // Chips are pure functions of (seed, id), so manufacture
+    // parallelizes with bit-identical results at any thread count;
+    // each iteration fills only its own slot and the final vector
+    // is assembled in id order.
+    std::vector<std::optional<VariationChip>> slots(count);
+    util::parallelFor(0, count, [&](std::size_t i) {
+        slots[i].emplace(make(static_cast<std::uint64_t>(i)));
+    });
     std::vector<VariationChip> chips;
     chips.reserve(count);
     for (std::size_t i = 0; i < count; ++i)
-        chips.push_back(make(i));
+        chips.push_back(std::move(*slots[i]));
     return chips;
 }
 

@@ -116,6 +116,10 @@ class VariationChip
     /** Safe f of every core at VddNTV, computed at construction so
      *  concurrent readers never mutate chip state. */
     std::vector<double> coreSafeF_;
+    /** Per-core (delay mean, log-delay sigma) at VddNTV, hoisted at
+     *  construction so the error-rate queries of pareto scans and
+     *  speculative-frequency searches skip the EKV delay model. */
+    std::vector<CoreTimingModel::DelayPoint> coreNtvPoint_;
 };
 
 /**

@@ -113,3 +113,106 @@ TEST(PiecewiseLinear, AccessorsAndBounds)
     EXPECT_DOUBLE_EQ(f.minX(), 1.0);
     EXPECT_DOUBLE_EQ(f.maxX(), 2.0);
 }
+
+namespace {
+
+/** Deterministic PSD matrix A = B B^T + n I from a tiny LCG. */
+Matrix
+randomPsd(std::size_t n, std::uint64_t seed)
+{
+    std::uint64_t state = seed;
+    auto next = [&state] {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<double>(state >> 11) /
+            static_cast<double>(1ull << 53);
+    };
+    Matrix b(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            b.at(r, c) = 2.0 * next() - 1.0;
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c) {
+            double sum = r == c ? static_cast<double>(n) : 0.0;
+            for (std::size_t k = 0; k < n; ++k)
+                sum += b.at(r, k) * b.at(c, k);
+            a.at(r, c) = sum;
+        }
+    return a;
+}
+
+std::vector<double>
+randomVector(std::size_t n, std::uint64_t seed)
+{
+    std::uint64_t state = seed;
+    std::vector<double> v(n);
+    for (double &x : v) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        x = static_cast<double>(state >> 11) /
+                static_cast<double>(1ull << 53) -
+            0.5;
+    }
+    return v;
+}
+
+} // namespace
+
+TEST(TriangularFactor, BitIdenticalToDenseMultiplyOnRandomPsd)
+{
+    // The packed factor skips stored zeros but accumulates the
+    // surviving terms in the same ascending-column order as the
+    // dense matvec, so the results must match bit for bit -- the
+    // sampled variation fields cannot move by even one ulp.
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        const std::size_t n = 17 + 4 * seed;
+        const Matrix lower = choleskyFactor(randomPsd(n, seed));
+        const TriangularFactor factor(lower);
+        EXPECT_EQ(factor.size(), n);
+        const std::vector<double> v = randomVector(n, seed + 100);
+        const std::vector<double> dense = lower.multiply(v);
+        const std::vector<double> packed = factor.multiply(v);
+        ASSERT_EQ(packed.size(), dense.size());
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(packed[i], dense[i]) << "row " << i;
+    }
+}
+
+TEST(TriangularFactor, ExploitsBlockDiagonalSparsity)
+{
+    // Two uncoupled PSD blocks: the factor of the block-diagonal
+    // matrix is itself block-diagonal, so the packed form must drop
+    // the cross-block zeros (this is the short-range spherical
+    // correlation case that motivates the packing).
+    const std::size_t half = 12, n = 2 * half;
+    const Matrix blk = randomPsd(half, 7);
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < half; ++r)
+        for (std::size_t c = 0; c < half; ++c) {
+            a.at(r, c) = blk.at(r, c);
+            a.at(half + r, half + c) = blk.at(r, c);
+        }
+    const Matrix lower = choleskyFactor(a);
+    const TriangularFactor factor(lower);
+    // A full lower triangle stores n(n+1)/2 entries; the block
+    // factor stores at most two half-sized triangles.
+    EXPECT_LE(factor.nonZeros(), half * (half + 1));
+    EXPECT_LT(factor.density(), 0.30);
+    const std::vector<double> v = randomVector(n, 9);
+    const std::vector<double> dense = lower.multiply(v);
+    std::vector<double> packed;
+    factor.multiplyInto(v, packed);
+    ASSERT_EQ(packed.size(), dense.size());
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(packed[i], dense[i]) << "row " << i;
+}
+
+TEST(TriangularFactor, ReusesTheOutputBufferWithoutReallocating)
+{
+    const Matrix lower = choleskyFactor(randomPsd(8, 3));
+    const TriangularFactor factor(lower);
+    std::vector<double> out(8);
+    const double *data = out.data();
+    factor.multiplyInto(randomVector(8, 4), out);
+    EXPECT_EQ(out.data(), data);
+    EXPECT_EQ(out.size(), 8u);
+}

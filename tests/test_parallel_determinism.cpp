@@ -218,6 +218,73 @@ TEST_F(ParallelDeterminism, DynamicSampleIdenticalAcrossThreadCounts)
                           "dynamic @" + std::to_string(threads));
 }
 
+TEST_F(ParallelDeterminism, EvaluateManyMatchesPerMetricEvaluate)
+{
+    // The chip-reuse sweep (one manufacture, all metrics) must be a
+    // pure optimization: statistics bit-identical to the historical
+    // one-manufacture-per-metric evaluate() calls, at every thread
+    // count.
+    const std::vector<core::MonteCarloEvaluator::NamedMetric>
+        metrics = {
+            {"vddNtv",
+             [](const vartech::VariationChip &chip) {
+                 return chip.vddNtv();
+             }},
+            {"slowest safe f",
+             [](const vartech::VariationChip &chip) {
+                 double f = 1e300;
+                 for (std::size_t k = 0; k < chip.numClusters(); ++k)
+                     f = std::min(f, chip.clusterSafeF(k));
+                 return f;
+             }},
+            {"core0 spec f",
+             [](const vartech::VariationChip &chip) {
+                 return chip.coreFrequencyForErrorRate(0, 1e-6);
+             }}};
+    const core::MonteCarloEvaluator mc(system_->factory(), 12);
+    const auto ref = withThreads(1, [&] {
+        std::vector<core::SampleStatistics> out;
+        for (const auto &m : metrics)
+            out.push_back(mc.evaluate(m.name, m.metric));
+        return out;
+    });
+    ASSERT_EQ(ref.size(), metrics.size());
+    for (std::size_t threads : threadCounts()) {
+        const auto many =
+            withThreads(threads, [&] { return mc.evaluateMany(metrics); });
+        ASSERT_EQ(many.size(), ref.size());
+        for (std::size_t m = 0; m < ref.size(); ++m)
+            expectSameStatistics(many[m], ref[m],
+                                 metrics[m].name + " @" +
+                                     std::to_string(threads) +
+                                     " threads");
+    }
+}
+
+TEST_F(ParallelDeterminism, MakeSampleMatchesSerialManufacture)
+{
+    // The parallel batch manufacture assembles chips in id order;
+    // every chip must equal a direct make(id) bit for bit.
+    auto fingerprint = [](const vartech::VariationChip &chip) {
+        std::vector<double> v = {chip.vddNtv()};
+        for (std::size_t c = 0; c < chip.numCores(); ++c) {
+            v.push_back(chip.coreVthDev(c));
+            v.push_back(chip.coreSafeF(c));
+        }
+        return v;
+    };
+    const auto batch = withThreads(threadCounts().back(), [&] {
+        return system_->factory().makeSample(6);
+    });
+    ASSERT_EQ(batch.size(), 6u);
+    for (std::size_t id = 0; id < batch.size(); ++id) {
+        EXPECT_EQ(batch[id].chipId(), id);
+        EXPECT_EQ(fingerprint(batch[id]),
+                  fingerprint(system_->factory().make(id)))
+            << "chip " << id;
+    }
+}
+
 TEST_F(ParallelDeterminism, RepeatedRunsAtSameSeedIdentical)
 {
     // Two runs of the same parallel sweep in the same process must

@@ -187,3 +187,42 @@ TEST(Timing, RejectsDegenerateErrorTargets)
     EXPECT_EXIT(core.frequencyForErrorRate(0.55, 1.0),
                 ::testing::ExitedWithCode(1), "perr");
 }
+
+TEST(Timing, ClosedFormMatchesBisectionOracle)
+{
+    // Property grid over (vdd, systematic vth_dev, perr): the
+    // closed-form inversion must agree with the historical
+    // 100-iteration bisection (kept as a test-only oracle) to 1e-9
+    // relative everywhere the forward model is defined.
+    for (double vdd : {0.45, 0.50, 0.55, 0.65, 0.75}) {
+        for (double vth_dev : {-0.15, -0.05, 0.0, 0.05, 0.15}) {
+            const CoreTimingModel core = makeCore(vth_dev);
+            for (double perr : {1e-16, 1e-14, 1e-12, 1e-9, 1e-6,
+                                1e-4, 1e-2, 0.5}) {
+                const double closed =
+                    core.frequencyForErrorRate(vdd, perr);
+                const double oracle =
+                    core.frequencyForErrorRateBisect(vdd, perr);
+                EXPECT_NEAR(closed / oracle, 1.0, 1e-9)
+                    << "vdd=" << vdd << " vth_dev=" << vth_dev
+                    << " perr=" << perr;
+            }
+        }
+    }
+}
+
+TEST(Timing, DegenerateCoreClampsAtBisectionFloor)
+{
+    // A hopeless core (huge random path sigma) errors out even at
+    // crawl speed. The bisection oracle early-returns its bracket
+    // floor of 0.01x the mean-path frequency; the closed form must
+    // clamp to the bit-identical value.
+    const CoreTimingModel core = makeCore(0.0, 8.0);
+    const double vdd = 0.55;
+    const double perr = core.params().perrSafe;
+    const double floor = 0.01 * core.meanPathFrequency(vdd);
+    ASSERT_GT(core.errorRate(vdd, floor), perr)
+        << "core not degenerate enough to trigger the clamp";
+    EXPECT_EQ(core.frequencyForErrorRateBisect(vdd, perr), floor);
+    EXPECT_EQ(core.frequencyForErrorRate(vdd, perr), floor);
+}

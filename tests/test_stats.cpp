@@ -191,3 +191,41 @@ TEST(LogNormalCdf, DeepTailIsFiniteAndMonotone)
     // Cross-check against the known asymptotic at -20.
     EXPECT_NEAR(logNormalCdf(-20.0), -203.9172, 0.01);
 }
+
+TEST(NormalInvCdf, RoundTripsThroughErfcAcrossTheTail)
+{
+    // The closed-form error-rate inversion needs upper-tail
+    // quantiles accurate far past where 1 - p is representable.
+    for (double q : {0.5, 0.4, 0.1, 0.02, 1e-3, 1e-6, 1e-10, 1e-15,
+                     1e-30, 1e-100, 1e-250}) {
+        const double z = normalInvCdfUpper(q);
+        const double back = 0.5 * std::erfc(z / std::sqrt(2.0));
+        EXPECT_NEAR(back / q, 1.0, 1e-9) << "q=" << q;
+    }
+}
+
+TEST(NormalInvCdf, ReflectsAroundTheMedian)
+{
+    EXPECT_NEAR(normalInvCdfUpper(0.5), 0.0, 1e-12);
+    // 0.75's complement is exact in binary, so the reflection is
+    // bit-exact.
+    EXPECT_EQ(normalInvCdfUpper(0.75), -normalInvCdfUpper(0.25));
+    // Phi^-1(p) is the mirror of the upper-tail quantile.
+    EXPECT_NEAR(normalInvCdf(0.975), 1.959963984540054, 1e-9);
+    EXPECT_NEAR(normalInvCdf(0.025), -1.959963984540054, 1e-9);
+}
+
+TEST(NormalInvCdf, AgreesWithLowPrecisionQuantileInTheBody)
+{
+    for (double p : {0.05, 0.2, 0.5, 0.8, 0.95})
+        EXPECT_NEAR(normalInvCdf(p), normalQuantile(p), 2e-7)
+            << "p=" << p;
+}
+
+TEST(NormalInvCdf, RejectsOutOfRange)
+{
+    EXPECT_EXIT(normalInvCdfUpper(0.0), ::testing::ExitedWithCode(1),
+                "q");
+    EXPECT_EXIT(normalInvCdf(1.0), ::testing::ExitedWithCode(1),
+                "p");
+}
