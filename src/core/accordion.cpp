@@ -2,10 +2,25 @@
 
 #include <algorithm>
 
+#include "manycore/bsp_engine.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
 namespace accordion::core {
+
+const char *
+perfEngineName(PerfEngine engine)
+{
+    switch (engine) {
+    case PerfEngine::Analytic:
+        return "analytic";
+    case PerfEngine::Event:
+        return "event";
+    case PerfEngine::Bsp:
+        return "bsp";
+    }
+    return "analytic";
+}
 
 std::string
 AccordionSystem::Config::key() const
@@ -35,7 +50,7 @@ AccordionSystem::Config::key() const
         memory.privateAccessNs, memory.clusterAccessNs,
         memory.remoteRoundTripNs, memory.busServiceNs,
         memory.torusHopNs, memory.networkFreqGhz,
-        eventDrivenPerf ? "event" : "analytic", pareto.cpiForErrorBudget,
+        perfEngineName(perfEngine), pareto.cpiForErrorBudget,
         pareto.isoTolerance, pareto.perrMin, pareto.perrMax);
 }
 
@@ -51,12 +66,20 @@ AccordionSystem::AccordionSystem(Config config)
         factory_->make(config_.chipId));
     power_ = std::make_unique<manycore::PowerModel>(tech_,
                                                     config_.power);
-    if (config_.eventDrivenPerf)
+    switch (config_.perfEngine) {
+    case PerfEngine::Event:
         perf_ = std::make_unique<manycore::EventDrivenPerfModel>(
             config_.memory);
-    else
+        break;
+    case PerfEngine::Bsp:
+        perf_ = std::make_unique<manycore::BspPerfModel>(
+            config_.memory);
+        break;
+    case PerfEngine::Analytic:
         perf_ = std::make_unique<manycore::AnalyticPerfModel>(
             config_.memory);
+        break;
+    }
     pareto_ = std::make_unique<ParetoExtractor>(*chip_, *power_, *perf_,
                                                 config_.pareto);
 }

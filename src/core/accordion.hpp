@@ -32,6 +32,18 @@
 
 namespace accordion::core {
 
+/** Which performance-model backend an AccordionSystem runs. */
+enum class PerfEngine
+{
+    Analytic, //!< closed-form M/D/1 (default; fastest)
+    Event, //!< serial discrete-event reference
+    Bsp, //!< partitioned-parallel discrete-event (bit-identical
+         //!< to Event at any thread count)
+};
+
+/** Stable name of a PerfEngine ("analytic", "event", "bsp"). */
+const char *perfEngineName(PerfEngine engine);
+
 /** One fully wired Accordion evaluation stack. */
 class AccordionSystem
 {
@@ -44,10 +56,10 @@ class AccordionSystem
         vartech::ChipFactory::Params factory;
         manycore::PowerModelParams power;
         manycore::MemorySystemParams memory;
-        /** Use the event-driven performance model instead of the
-         *  (cross-validated) analytic one. Slower, bit-identical
-         *  methodology. */
-        bool eventDrivenPerf = false;
+        /** Performance-model backend. The discrete-event engines
+         *  are slower than the (cross-validated) analytic default
+         *  but simulate every bus transaction. */
+        PerfEngine perfEngine = PerfEngine::Analytic;
         ParetoExtractor::Params pareto;
 
         /**

@@ -13,6 +13,7 @@
 #include "cli.hpp"
 #include "core/montecarlo.hpp"
 #include "core/quality_profile.hpp"
+#include "manycore/bsp_engine.hpp"
 #include "obs/clock.hpp"
 #include "perf_kernels.hpp"
 #include "run_context.hpp"
@@ -164,6 +165,37 @@ buildScenarios()
              const std::size_t n = run.scaled(100);
              const manycore::EventDrivenPerfModel model;
              const kernels::PerfModelInput input;
+             double acc = 0.0;
+             for (std::size_t i = 0; i < n; ++i)
+                 acc += kernels::estimateOnce(model, run.fixtures.chip,
+                                              input);
+             perfSink = acc;
+             countItems(n);
+         }});
+
+    suite.push_back(
+        {"substrate.perf_model_event_288",
+         "serial event-driven estimates for the full 288-core chip",
+         [](PerfRun &run) {
+             const std::size_t n = run.scaled(20);
+             const manycore::EventDrivenPerfModel model;
+             const kernels::PerfModelInput input(288);
+             double acc = 0.0;
+             for (std::size_t i = 0; i < n; ++i)
+                 acc += kernels::estimateOnce(model, run.fixtures.chip,
+                                              input);
+             perfSink = acc;
+             countItems(n);
+         }});
+
+    suite.push_back(
+        {"substrate.perf_model_event_parallel",
+         "BSP partitioned event-driven estimates (288 cores, pooled "
+         "workers)",
+         [](PerfRun &run) {
+             const std::size_t n = run.scaled(20);
+             const manycore::BspPerfModel model;
+             const kernels::PerfModelInput input(288);
              double acc = 0.0;
              for (std::size_t i = 0; i < n; ++i)
                  acc += kernels::estimateOnce(model, run.fixtures.chip,

@@ -79,14 +79,17 @@ errorRateOnce(const vartech::VariationChip &chip)
     return chip.coreErrorRate(kTimingCore, kTimingFreqHz);
 }
 
-/** The 64-core / 50k-instruction task set both harnesses model. */
+/**
+ * The n-core / 50k-instruction task set both harnesses model (64
+ * cores by default; the event-engine scenarios use the full 288).
+ */
 struct PerfModelInput
 {
-    PerfModelInput()
+    explicit PerfModelInput(std::size_t n = 64)
     {
-        cores.resize(64);
+        cores.resize(n);
         std::iota(cores.begin(), cores.end(), std::size_t{0});
-        tasks.numTasks = 64;
+        tasks.numTasks = n;
         tasks.instrPerTask = 50000;
     }
 

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bulk-synchronous parallel (BSP) execution of the event-driven
+ * manycore timing model.
+ *
+ * The simulation is partitioned per active cluster: a partition
+ * owns its cluster's cores, its cluster bus, and a private event
+ * heap of plain-data events (no std::function, no allocation in the
+ * hot loop). All partitions advance concurrently on the global
+ * util::ThreadPool in epochs bounded by the conservative lookahead
+ *
+ *   L = 0.5 * remoteRoundTripNs (after latency scaling),
+ *
+ * the minimum latency of any cross-cluster message leg (Request out,
+ * Response back — see event_sim.hpp). Each epoch:
+ *
+ *   1. T = min event time over all partitions; horizon = T + L.
+ *   2. Every partition drains its events with when < horizon
+ *      (strictly: a message can land exactly *at* the horizon and
+ *      must wait for delivery). Cross-cluster sends go to
+ *      per-(src,dst) outboxes.
+ *   3. Barrier; every mailbox is merged dst-side in fixed src
+ *      order, and the next T is reduced.
+ *
+ * Determinism argument: events order by (when, key) with key = the
+ * acting core's slot, and each core has at most one in-flight event
+ * (a chunk, a pending request, or a pending response), so (when,
+ * key) pairs are globally unique and the execution order per
+ * cluster is a pure function of the simulation — independent of
+ * insertion order, mailbox batching, worker count, and thread
+ * schedule. Every floating-point operation therefore happens in the
+ * same sequence as in the serial EventDrivenPerfModel, making the
+ * ExecutionEstimate bit-identical at any thread count (asserted
+ * across a grid in tests/test_bsp_engine.cpp, with the serial
+ * EventQueue::run() path as the oracle).
+ *
+ * Observability (when the global StatsRegistry is enabled):
+ * manycore.epochs, manycore.cross_cluster_msgs, and per-partition
+ * simulated busy time (manycore.partitionN.busy_ns).
+ */
+
+#ifndef ACCORDION_MANYCORE_BSP_ENGINE_HPP
+#define ACCORDION_MANYCORE_BSP_ENGINE_HPP
+
+#include "perf_model.hpp"
+
+namespace accordion::manycore {
+
+/** BSP-partitioned discrete-event implementation. */
+class BspPerfModel : public PerfModel
+{
+  public:
+    /**
+     * @param mem Memory-system latencies (Table 2 values by default).
+     * @param threads Worker team size; 0 picks min(global pool size,
+     *        hardware concurrency). An explicit value forces real
+     *        worker teams even on machines with fewer hardware
+     *        threads (the determinism tests sweep 1/2/4/8), but is
+     *        still capped by the partition count and by the helper
+     *        lanes the global pool can provide. Called from inside a
+     *        pool worker (e.g. a pareto sweep), the engine always
+     *        runs single-threaded inline, mirroring the nested
+     *        parallelFor rule.
+     */
+    explicit BspPerfModel(MemorySystemParams mem = {},
+                          std::size_t threads = 0);
+
+    ExecutionEstimate estimate(const vartech::ChipGeometry &geometry,
+                               const std::vector<std::size_t> &cores,
+                               double f_hz, const TaskSet &tasks,
+                               const WorkloadTraits &traits,
+                               double latency_scale) const override;
+    using PerfModel::estimate;
+
+    const MemorySystemParams &memParams() const { return mem_; }
+
+    /** The configured team size request (0 = auto). */
+    std::size_t requestedThreads() const { return threads_; }
+
+  private:
+    MemorySystemParams mem_;
+    std::size_t threads_;
+};
+
+} // namespace accordion::manycore
+
+#endif // ACCORDION_MANYCORE_BSP_ENGINE_HPP

@@ -9,27 +9,32 @@ namespace accordion::manycore {
 void
 EventQueue::schedule(SimTime when, Handler handler)
 {
+    schedule(when, 0, std::move(handler));
+}
+
+void
+EventQueue::schedule(SimTime when, std::uint64_t key, Handler handler)
+{
     if (when < now_)
         util::panic("EventQueue: scheduling into the past (%g < %g)", when,
                     now_);
-    heap_.push(Event{when, nextSequence_++, std::move(handler)});
+    heap_.push_back(Event{when, key, nextSequence_++, std::move(handler)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void
 EventQueue::scheduleAfter(SimTime delay, Handler handler)
 {
-    schedule(now_ + delay, std::move(handler));
+    schedule(now_ + delay, 0, std::move(handler));
 }
 
 SimTime
 EventQueue::run()
 {
     while (!heap_.empty()) {
-        // priority_queue::top returns const ref; move out via const
-        // cast is UB — copy the handler instead (cheap relative to
-        // the work an event does).
-        Event ev = heap_.top();
-        heap_.pop();
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        Event ev = std::move(heap_.back());
+        heap_.pop_back();
         now_ = ev.when;
         ev.handler(now_);
     }

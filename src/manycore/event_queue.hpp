@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace accordion::manycore {
@@ -19,19 +18,29 @@ namespace accordion::manycore {
 using SimTime = double;
 
 /**
- * A classic discrete-event queue. Events scheduled at equal times
- * fire in insertion order (stable), which keeps runs deterministic.
+ * A classic discrete-event queue. Events fire in (when, key,
+ * insertion) order: ties in time break on the caller-supplied key
+ * first, then on insertion order (stable). Keys make the firing
+ * order independent of *insertion* order whenever each key has at
+ * most one pending event — the property the BSP engine relies on to
+ * match this serial queue bit for bit (see bsp_engine.hpp).
  */
 class EventQueue
 {
   public:
     using Handler = std::function<void(SimTime)>;
 
-    /** Schedule @p handler to fire at absolute time @p when. */
+    /** Schedule @p handler at time @p when with key 0. */
     void schedule(SimTime when, Handler handler);
+
+    /** Schedule @p handler at time @p when, tie-broken by @p key. */
+    void schedule(SimTime when, std::uint64_t key, Handler handler);
 
     /** Schedule @p handler @p delay after the current time. */
     void scheduleAfter(SimTime delay, Handler handler);
+
+    /** Pre-size the heap so the hot loop never reallocates. */
+    void reserve(std::size_t capacity) { heap_.reserve(capacity); }
 
     /** Run until the queue drains; returns the final time. */
     SimTime run();
@@ -46,6 +55,7 @@ class EventQueue
     struct Event
     {
         SimTime when;
+        std::uint64_t key;
         std::uint64_t sequence;
         Handler handler;
     };
@@ -56,11 +66,17 @@ class EventQueue
         {
             if (a.when != b.when)
                 return a.when > b.when;
+            if (a.key != b.key)
+                return a.key > b.key;
             return a.sequence > b.sequence;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    // A plain vector driven by std::push_heap/std::pop_heap instead
+    // of std::priority_queue: pop_heap leaves the minimum at the
+    // back where it can be *moved* out, so running an event never
+    // copies (and never reallocates) its std::function handler.
+    std::vector<Event> heap_;
     SimTime now_ = 0.0;
     std::uint64_t nextSequence_ = 0;
 };

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * The event-driven manycore timing model, factored as a header-only
+ * per-core state machine shared by two execution engines:
+ *
+ *  - EventDrivenPerfModel (perf_model.cpp): drains one serial
+ *    EventQueue — the readable reference implementation and the
+ *    test oracle for the parallel engine.
+ *  - BspPerfModel (bsp_engine.cpp): per-cluster event heaps advanced
+ *    concurrently in lookahead-bounded epochs.
+ *
+ * Both engines execute the *same* Machine<> member functions in the
+ * same order on the same state, so every floating-point operation
+ * sequence — per core and per cluster bus — is identical, which is
+ * what makes their ExecutionEstimates bit-identical.
+ *
+ * Simulation semantics (one core):
+ *  - Work advances in chunks of ~1 expected cluster transaction.
+ *    A Chunk event at time `now` advances the core's local clock to
+ *    t = now + instr * computeNsPerInstr and then replays the bus
+ *    transactions the chunk earned.
+ *  - A cluster-local transaction acquires the home bus at t and
+ *    exposes wait + clusterAccessNs * exposedFactor.
+ *  - A remote transaction becomes a message exchange: a Request
+ *    departs when the home bus grants it and reaches the peer
+ *    cluster half a round trip later; the peer's bus serves it in
+ *    arrival order; a Response returns after another half round
+ *    trip. The requesting core is suspended until the Response.
+ *    Both message legs take at least lookaheadNs = 0.5 * rtt — the
+ *    conservative lookahead the BSP epochs are bounded by.
+ *  - Task completion adds syncNsPerTask and either reloads
+ *    instrPerTask or, with no tasks left, records the finish time.
+ */
+
+#ifndef ACCORDION_MANYCORE_EVENT_SIM_HPP
+#define ACCORDION_MANYCORE_EVENT_SIM_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "event_queue.hpp"
+#include "perf_model.hpp"
+#include "vartech/geometry.hpp"
+
+namespace accordion::manycore::detail {
+
+/** What a scheduled event does when it fires. */
+enum class EvKind : std::uint8_t
+{
+    Chunk = 0, //!< core advances one chunk of instructions
+    Request = 1, //!< remote access arrives at the peer cluster
+    Response = 2, //!< remote line returns to the requesting core
+};
+
+/**
+ * Exposed (non-overlapped) stall per private-memory access: the
+ * access latency beyond one pipelined cycle, reduced by the memory-
+ * level overlap the core supports.
+ */
+inline double
+privateExposedNs(const MemorySystemParams &mem,
+                 const WorkloadTraits &traits, double f_hz)
+{
+    const double cycle_ns = 1e9 / f_hz;
+    const double beyond = std::max(0.0, mem.privateAccessNs - cycle_ns);
+    return beyond * (1.0 - traits.overlapFactor);
+}
+
+/** Serial (control-core) tail after the parallel phase [s]. */
+inline double
+serialSeconds(const TaskSet &tasks, const WorkloadTraits &traits,
+              double f_hz)
+{
+    const double serial_instr = static_cast<double>(tasks.numTasks) *
+        tasks.instrPerTask * traits.serialFraction;
+    const double cc_f =
+        tasks.ccFrequencyHz > 0.0 ? tasks.ccFrequencyHz : f_hz;
+    return serial_instr * traits.cpiBase / cc_f;
+}
+
+/** Everything the per-event code needs, derived once per estimate. */
+struct SimConfig
+{
+    double chunkInstr = 0.0;
+    double computeNsPerInstr = 0.0;
+    double clusterRate = 0.0; //!< bus transactions per instruction
+    double clusterMissRate = 0.0;
+    double exposedFactor = 0.0;
+    double clusterAccessNs = 0.0;
+    double remoteRoundTripNs = 0.0;
+    double halfRemoteNs = 0.0; //!< one message leg; the BSP lookahead
+    double instrPerTask = 0.0;
+    double syncNsPerTask = 0.0;
+    std::size_t numClusters = 0; //!< active clusters (bus count)
+};
+
+inline SimConfig
+deriveConfig(const MemorySystemParams &mem, const WorkloadTraits &traits,
+             double f_hz, const TaskSet &tasks, std::size_t num_clusters)
+{
+    SimConfig cfg;
+    // Chunking: aim for ~1 cluster transaction per chunk so bus
+    // contention interleaves realistically.
+    cfg.clusterRate = traits.memOpsPerInstr * traits.privateMissRate;
+    cfg.chunkInstr = cfg.clusterRate > 0.0
+        ? std::max(64.0, 1.0 / cfg.clusterRate)
+        : 4096.0;
+    const double priv_exposed = privateExposedNs(mem, traits, f_hz);
+    cfg.computeNsPerInstr = traits.cpiBase * 1e9 / f_hz +
+        traits.memOpsPerInstr * (1.0 - traits.privateMissRate) *
+            priv_exposed;
+    cfg.clusterMissRate = traits.clusterMissRate;
+    cfg.exposedFactor = 1.0 - traits.overlapFactor;
+    cfg.clusterAccessNs = mem.clusterAccessNs;
+    cfg.remoteRoundTripNs = mem.remoteRoundTripNs;
+    cfg.halfRemoteNs = 0.5 * mem.remoteRoundTripNs;
+    cfg.instrPerTask = tasks.instrPerTask;
+    cfg.syncNsPerTask = traits.syncNsPerTask;
+    cfg.numClusters = num_clusters;
+    return cfg;
+}
+
+/**
+ * Maps engaged cores to dense *active-cluster slots* in order of
+ * first appearance (so slot numbering is a pure function of the
+ * core list, independent of engine).
+ */
+struct Partitioning
+{
+    std::vector<std::uint32_t> coreCluster; //!< core slot -> cluster slot
+    std::vector<std::size_t> activeClusters; //!< cluster slot -> cluster id
+};
+
+inline Partitioning
+partitionCores(const vartech::ChipGeometry &geometry,
+               const std::vector<std::size_t> &cores)
+{
+    Partitioning part;
+    part.coreCluster.resize(cores.size());
+    std::vector<std::uint32_t> slot_of(geometry.numClusters(),
+                                       UINT32_MAX);
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        const std::size_t cl = geometry.clusterOfCore(cores[i]);
+        if (slot_of[cl] == UINT32_MAX) {
+            slot_of[cl] =
+                static_cast<std::uint32_t>(part.activeClusters.size());
+            part.activeClusters.push_back(cl);
+        }
+        part.coreCluster[i] = slot_of[cl];
+    }
+    return part;
+}
+
+/**
+ * The peer cluster serving a remote access: a fixed offset walk
+ * roughly halfway around the active-cluster ring, so remote traffic
+ * spreads without landing on a neighbour.
+ */
+inline std::uint32_t
+peerOf(std::uint32_t cluster_slot, std::size_t num_clusters)
+{
+    return static_cast<std::uint32_t>(
+        (cluster_slot + 1 + num_clusters / 2) % num_clusters);
+}
+
+/** Per-core simulation state. */
+struct CoreSim
+{
+    std::size_t tasksLeft = 0;
+    double instrLeftInTask = 0.0;
+    double clusterDebt = 0.0; //!< fractional pending bus accesses
+    double remoteDebt = 0.0;
+    double t = 0.0; //!< local clock while executing a chunk
+    double busy = 0.0;
+    double finish = 0.0;
+    double chunkInstr = 0.0; //!< instructions of the chunk in flight
+    double pendingWait = 0.0; //!< home-bus wait of the pending remote
+    double pendingReqArrival = 0.0; //!< when the Request reached the peer
+    std::uint32_t cluster = 0; //!< home active-cluster slot
+};
+
+/**
+ * Initial core states: round-robin task assignment (core i runs
+ * tasks i, i+N, ...), home-cluster slots attached.
+ */
+inline std::vector<CoreSim>
+initialCores(const TaskSet &tasks, const Partitioning &part)
+{
+    const std::size_t n = part.coreCluster.size();
+    std::vector<CoreSim> state(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        state[i].tasksLeft =
+            tasks.numTasks / n + (i < tasks.numTasks % n ? 1 : 0);
+        state[i].instrLeftInTask =
+            state[i].tasksLeft > 0 ? tasks.instrPerTask : 0.0;
+        state[i].cluster = part.coreCluster[i];
+    }
+    return state;
+}
+
+/**
+ * The per-core state machine, templated on the engine ("sink")
+ * that owns event delivery and bus storage. A Sink provides:
+ *
+ *   FifoResource &busOf(std::uint32_t cluster_slot);
+ *   void post(std::uint32_t dst_cluster_slot, SimTime when,
+ *             std::uint32_t core, EvKind kind, double payload);
+ *
+ * Machine only ever touches busOf(c) for the cluster c an event
+ * *executes* at (Chunk/Response: the core's home; Request: the
+ * peer), so a partitioned sink can keep each bus private to the
+ * worker that owns its cluster.
+ */
+template <typename Sink> struct Machine
+{
+    const SimConfig &cfg;
+    CoreSim *cores;
+    Sink &sink;
+
+    void
+    onEvent(EvKind kind, std::uint32_t core, double payload, SimTime now)
+    {
+        switch (kind) {
+        case EvKind::Chunk:
+            onChunk(core, now);
+            break;
+        case EvKind::Request:
+            onRequest(core, now);
+            break;
+        case EvKind::Response:
+            onResponse(core, payload, now);
+            break;
+        }
+    }
+
+  private:
+    void
+    onChunk(std::uint32_t core, SimTime now)
+    {
+        CoreSim &cs = cores[core];
+        if (cs.tasksLeft == 0) {
+            cs.finish = now;
+            return;
+        }
+        const double instr = std::min(cfg.chunkInstr, cs.instrLeftInTask);
+        const double compute = instr * cfg.computeNsPerInstr;
+        cs.chunkInstr = instr;
+        cs.t = now + compute;
+        cs.busy += compute;
+        // Cluster-memory transactions earned by this chunk.
+        cs.clusterDebt += instr * cfg.clusterRate;
+        runTransactions(core, now);
+    }
+
+    /**
+     * Replay the chunk's pending bus transactions. Suspends (and
+     * returns early) when a transaction goes remote; onResponse
+     * resumes here with the remaining debt.
+     */
+    void
+    runTransactions(std::uint32_t core, SimTime now)
+    {
+        CoreSim &cs = cores[core];
+        FifoResource &bus = sink.busOf(cs.cluster);
+        while (cs.clusterDebt >= 1.0) {
+            cs.clusterDebt -= 1.0;
+            cs.remoteDebt += cfg.clusterMissRate;
+            const bool remote = cs.remoteDebt >= 1.0;
+            if (remote)
+                cs.remoteDebt -= 1.0;
+            const SimTime granted = bus.acquire(cs.t);
+            const double wait = granted - cs.t;
+            if (remote) {
+                // The request departs once the home bus grants it
+                // (never before the current event: messages must not
+                // travel into this cluster's past) and reaches the
+                // peer half a round trip later.
+                cs.pendingWait = wait;
+                const SimTime depart = std::max(granted, now);
+                cs.pendingReqArrival = depart + cfg.halfRemoteNs;
+                sink.post(peerOf(cs.cluster, cfg.numClusters),
+                          cs.pendingReqArrival, core, EvKind::Request,
+                          0.0);
+                return;
+            }
+            const double exposed =
+                wait + cfg.clusterAccessNs * cfg.exposedFactor;
+            cs.t += exposed;
+            cs.busy += exposed;
+        }
+        finishChunk(core, now);
+    }
+
+    void
+    finishChunk(std::uint32_t core, SimTime now)
+    {
+        CoreSim &cs = cores[core];
+        cs.instrLeftInTask -= cs.chunkInstr;
+        cs.chunkInstr = 0.0;
+        if (cs.instrLeftInTask <= 0.5) {
+            --cs.tasksLeft;
+            cs.t += cfg.syncNsPerTask;
+            if (cs.tasksLeft > 0)
+                cs.instrLeftInTask = cfg.instrPerTask;
+        }
+        sink.post(cs.cluster, std::max(cs.t, now), core, EvKind::Chunk,
+                  0.0);
+    }
+
+    /** Request arrival: the peer bus serves the line in FIFO order. */
+    void
+    onRequest(std::uint32_t core, SimTime now)
+    {
+        CoreSim &cs = cores[core];
+        const std::uint32_t peer = peerOf(cs.cluster, cfg.numClusters);
+        const SimTime remote_granted = sink.busOf(peer).acquire(now);
+        sink.post(cs.cluster, remote_granted + cfg.halfRemoteNs, core,
+                  EvKind::Response, remote_granted);
+    }
+
+    /** Response arrival: charge the remote latency, resume the chunk. */
+    void
+    onResponse(std::uint32_t core, double remote_granted, SimTime now)
+    {
+        CoreSim &cs = cores[core];
+        const double peer_wait = remote_granted - cs.pendingReqArrival;
+        const double latency = cfg.remoteRoundTripNs + peer_wait;
+        const double exposed =
+            cs.pendingWait + latency * cfg.exposedFactor;
+        cs.t += exposed;
+        cs.busy += exposed;
+        runTransactions(core, now);
+    }
+};
+
+/**
+ * Fold the drained simulation into an ExecutionEstimate. Reduction
+ * order is fixed (core slots ascending, then cluster slots
+ * ascending) so both engines sum in the same sequence.
+ */
+template <typename Sink>
+ExecutionEstimate
+assembleEstimate(const std::vector<CoreSim> &cores,
+                 std::size_t num_clusters, Sink &sink,
+                 const TaskSet &tasks, const WorkloadTraits &traits,
+                 double f_hz)
+{
+    double makespan_ns = 0.0;
+    double busy_total = 0.0;
+    for (const CoreSim &cs : cores) {
+        makespan_ns = std::max(makespan_ns, cs.finish);
+        busy_total += cs.busy;
+    }
+    double max_bus_util = 0.0;
+    for (std::size_t c = 0; c < num_clusters; ++c)
+        max_bus_util = std::max(
+            max_bus_util,
+            sink.busOf(static_cast<std::uint32_t>(c))
+                .utilization(makespan_ns));
+
+    ExecutionEstimate est;
+    const double parallel_s = makespan_ns * 1e-9;
+    est.seconds = parallel_s + serialSeconds(tasks, traits, f_hz);
+    est.totalInstructions = static_cast<double>(tasks.numTasks) *
+        tasks.instrPerTask * (1.0 + traits.serialFraction);
+    est.avgCoreUtilization = makespan_ns > 0.0
+        ? busy_total /
+            (static_cast<double>(cores.size()) * makespan_ns)
+        : 0.0;
+    est.maxBusUtilization = max_bus_util;
+    return est;
+}
+
+} // namespace accordion::manycore::detail
+
+#endif // ACCORDION_MANYCORE_EVENT_SIM_HPP

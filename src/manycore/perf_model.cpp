@@ -3,42 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <memory>
 
 #include "event_queue.hpp"
+#include "event_sim.hpp"
 #include "util/log.hpp"
 
 namespace accordion::manycore {
-
-namespace {
-
-/**
- * Exposed (non-overlapped) stall per private-memory access: the
- * access latency beyond one pipelined cycle, reduced by the memory-
- * level overlap the core supports.
- */
-double
-privateExposedNs(const MemorySystemParams &mem,
-                 const WorkloadTraits &traits, double f_hz)
-{
-    const double cycle_ns = 1e9 / f_hz;
-    const double beyond = std::max(0.0, mem.privateAccessNs - cycle_ns);
-    return beyond * (1.0 - traits.overlapFactor);
-}
-
-/** Serial (control-core) tail after the parallel phase [s]. */
-double
-serialSeconds(const TaskSet &tasks, const WorkloadTraits &traits,
-              double f_hz)
-{
-    const double serial_instr = static_cast<double>(tasks.numTasks) *
-        tasks.instrPerTask * traits.serialFraction;
-    const double cc_f =
-        tasks.ccFrequencyHz > 0.0 ? tasks.ccFrequencyHz : f_hz;
-    return serial_instr * traits.cpiBase / cc_f;
-}
-
-} // namespace
 
 MemorySystemParams
 scaleLatencies(const MemorySystemParams &mem, double factor)
@@ -56,6 +26,51 @@ EventDrivenPerfModel::EventDrivenPerfModel(MemorySystemParams mem)
     : mem_(mem)
 {
 }
+
+namespace {
+
+/**
+ * The serial engine's sink: every event goes into one keyed
+ * EventQueue; every bus lives in one flat vector. This is the
+ * reference implementation the BSP engine is cross-validated
+ * against (tests/test_bsp_engine.cpp).
+ */
+struct SerialSink
+{
+    EventQueue queue;
+    std::vector<FifoResource> buses;
+    std::vector<double> payloadOf; //!< one slot per core, see post()
+    detail::Machine<SerialSink> *machine = nullptr;
+
+    FifoResource &
+    busOf(std::uint32_t cluster_slot)
+    {
+        return buses[cluster_slot];
+    }
+
+    void
+    post(std::uint32_t dst, SimTime when, std::uint32_t core,
+         detail::EvKind kind, double payload)
+    {
+        // The destination cluster is implicit in (kind, core); the
+        // serial queue interleaves all clusters by (when, key) with
+        // key = the acting core's slot. Each core has at most one
+        // pending event, so (when, key) pairs are unique and the
+        // firing order is independent of insertion order — the
+        // property that lets the partitioned engine replay the
+        // exact same order per cluster. At-most-one-pending also
+        // lets the payload ride in a per-core slot instead of the
+        // closure: the capture stays within std::function's
+        // small-buffer size, so scheduling never allocates.
+        (void)dst;
+        payloadOf[core] = payload;
+        queue.schedule(when, core, [this, core, kind](SimTime now) {
+            machine->onEvent(kind, core, payloadOf[core], now);
+        });
+    }
+};
+
+} // namespace
 
 ExecutionEstimate
 EventDrivenPerfModel::estimate(const vartech::ChipGeometry &geometry,
@@ -75,139 +90,28 @@ EventDrivenPerfModel::estimate(const vartech::ChipGeometry &geometry,
     if (tasks.numTasks == 0 || tasks.instrPerTask <= 0.0)
         return {};
 
-    // Active clusters and their buses.
-    std::vector<std::size_t> core_cluster(cores.size());
-    std::map<std::size_t, std::size_t> cluster_slot;
-    for (std::size_t i = 0; i < cores.size(); ++i) {
-        const std::size_t cl = geometry.clusterOfCore(cores[i]);
-        auto [it, inserted] =
-            cluster_slot.try_emplace(cl, cluster_slot.size());
-        core_cluster[i] = it->second;
-        (void)inserted;
-    }
-    std::vector<std::size_t> active_clusters(cluster_slot.size());
-    for (const auto &[cl, slot] : cluster_slot)
-        active_clusters[slot] = cl;
-    std::vector<FifoResource> buses(active_clusters.size(),
-                                    FifoResource(mem_.busServiceNs));
+    const detail::Partitioning part =
+        detail::partitionCores(geometry, cores);
+    const detail::SimConfig cfg = detail::deriveConfig(
+        mem_, traits, f_hz, tasks, part.activeClusters.size());
+    std::vector<detail::CoreSim> state =
+        detail::initialCores(tasks, part);
 
-    // Round-robin task assignment: core i runs tasks i, i+N, ...
-    const std::size_t n = cores.size();
-    std::vector<std::size_t> tasks_of_core(n, tasks.numTasks / n);
-    for (std::size_t i = 0; i < tasks.numTasks % n; ++i)
-        ++tasks_of_core[i];
+    SerialSink sink;
+    sink.buses.assign(part.activeClusters.size(),
+                      FifoResource(mem_.busServiceNs));
+    sink.payloadOf.assign(state.size(), 0.0);
+    detail::Machine<SerialSink> machine{cfg, state.data(), sink};
+    sink.machine = &machine;
+    sink.queue.reserve(cores.size() + 64);
 
-    // Chunking: aim for ~1 cluster transaction per chunk so bus
-    // contention interleaves realistically.
-    const double cluster_rate =
-        traits.memOpsPerInstr * traits.privateMissRate;
-    const double chunk_instr = cluster_rate > 0.0
-        ? std::max(64.0, 1.0 / cluster_rate)
-        : 4096.0;
-    const double priv_exposed = privateExposedNs(mem_, traits, f_hz);
-    const double compute_ns_per_instr = traits.cpiBase * 1e9 / f_hz +
-        traits.memOpsPerInstr * (1.0 - traits.privateMissRate) *
-            priv_exposed;
-    const double exposed_factor = 1.0 - traits.overlapFactor;
+    for (std::size_t i = 0; i < state.size(); ++i)
+        sink.post(state[i].cluster, 0.0, static_cast<std::uint32_t>(i),
+                  detail::EvKind::Chunk, 0.0);
+    sink.queue.run();
 
-    struct CoreState
-    {
-        std::size_t tasksLeft = 0;
-        double instrLeftInTask = 0.0;
-        double clusterDebt = 0.0; //!< fractional pending bus accesses
-        double remoteDebt = 0.0;
-        double finish = 0.0;
-        double busy = 0.0;
-    };
-    std::vector<CoreState> state(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        state[i].tasksLeft = tasks_of_core[i];
-        state[i].instrLeftInTask =
-            tasks_of_core[i] > 0 ? tasks.instrPerTask : 0.0;
-    }
-
-    EventQueue queue;
-    // Each core advances one chunk per event; memory transactions
-    // acquire the (time-ordered) cluster buses inside the handler.
-    std::function<void(std::size_t, SimTime)> advance =
-        [&](std::size_t i, SimTime now) {
-            CoreState &cs = state[i];
-            if (cs.tasksLeft == 0) {
-                cs.finish = now;
-                return;
-            }
-            const double instr =
-                std::min(chunk_instr, cs.instrLeftInTask);
-            double t = now + instr * compute_ns_per_instr;
-            cs.busy += instr * compute_ns_per_instr;
-
-            // Cluster-memory transactions earned by this chunk.
-            cs.clusterDebt += instr * cluster_rate;
-            while (cs.clusterDebt >= 1.0) {
-                cs.clusterDebt -= 1.0;
-                cs.remoteDebt += traits.clusterMissRate;
-                const bool remote = cs.remoteDebt >= 1.0;
-                if (remote)
-                    cs.remoteDebt -= 1.0;
-                const SimTime granted = buses[core_cluster[i]].acquire(t);
-                const double wait = granted - t;
-                double latency = mem_.clusterAccessNs;
-                if (remote) {
-                    // Average remote trip; the target cluster's bus
-                    // is also occupied by the returning line.
-                    const std::size_t peer =
-                        (core_cluster[i] + 1 + buses.size() / 2) %
-                        buses.size();
-                    const SimTime remote_granted = buses[peer].acquire(
-                        granted + mem_.remoteRoundTripNs * 0.5);
-                    latency = mem_.remoteRoundTripNs +
-                        (remote_granted -
-                         (granted + mem_.remoteRoundTripNs * 0.5));
-                }
-                const double exposed = wait + latency * exposed_factor;
-                t += exposed;
-                cs.busy += exposed;
-            }
-
-            cs.instrLeftInTask -= instr;
-            if (cs.instrLeftInTask <= 0.5) {
-                --cs.tasksLeft;
-                t += traits.syncNsPerTask;
-                if (cs.tasksLeft > 0)
-                    cs.instrLeftInTask = tasks.instrPerTask;
-            }
-            queue.schedule(t, [&advance, i](SimTime when) {
-                advance(i, when);
-            });
-        };
-
-    for (std::size_t i = 0; i < n; ++i)
-        queue.schedule(0.0, [&advance, i](SimTime when) {
-            advance(i, when);
-        });
-    queue.run();
-
-    double makespan_ns = 0.0;
-    double busy_total = 0.0;
-    for (const CoreState &cs : state) {
-        makespan_ns = std::max(makespan_ns, cs.finish);
-        busy_total += cs.busy;
-    }
-    double max_bus_util = 0.0;
-    for (const FifoResource &bus : buses)
-        max_bus_util = std::max(max_bus_util,
-                                bus.utilization(makespan_ns));
-
-    ExecutionEstimate est;
-    const double parallel_s = makespan_ns * 1e-9;
-    est.seconds = parallel_s + serialSeconds(tasks, traits, f_hz);
-    est.totalInstructions = static_cast<double>(tasks.numTasks) *
-        tasks.instrPerTask * (1.0 + traits.serialFraction);
-    est.avgCoreUtilization = makespan_ns > 0.0
-        ? busy_total / (static_cast<double>(n) * makespan_ns)
-        : 0.0;
-    est.maxBusUtilization = max_bus_util;
-    return est;
+    return detail::assembleEstimate(state, part.activeClusters.size(),
+                                    sink, tasks, traits, f_hz);
 }
 
 AnalyticPerfModel::AnalyticPerfModel(MemorySystemParams mem) : mem_(mem) {}
@@ -244,7 +148,8 @@ AnalyticPerfModel::estimate(const vartech::ChipGeometry &geometry,
 
     const double cluster_rate =
         traits.memOpsPerInstr * traits.privateMissRate;
-    const double priv_exposed = privateExposedNs(mem_, traits, f_hz);
+    const double priv_exposed =
+        detail::privateExposedNs(mem_, traits, f_hz);
     const double base_ns = traits.cpiBase * 1e9 / f_hz +
         traits.memOpsPerInstr * (1.0 - traits.privateMissRate) *
             priv_exposed;
@@ -290,7 +195,8 @@ AnalyticPerfModel::estimate(const vartech::ChipGeometry &geometry,
     const double parallel_s = rounds * per_task_ns * 1e-9;
 
     ExecutionEstimate est;
-    est.seconds = parallel_s + serialSeconds(tasks, traits, f_hz);
+    est.seconds = parallel_s +
+        detail::serialSeconds(tasks, traits, f_hz);
     est.totalInstructions = static_cast<double>(tasks.numTasks) *
         tasks.instrPerTask * (1.0 + traits.serialFraction);
     const double used_rounds = static_cast<double>(tasks.numTasks) /

@@ -6,10 +6,16 @@
  * take on N selected cores, all clocked at a common frequency f,
  * with the cluster buses and the inter-cluster torus contended?
  *
- * Two implementations are provided and cross-validated in the test
- * suite:
+ * Three implementations are provided and cross-validated in the
+ * test suite:
  *  - EventDrivenPerfModel: discrete-event simulation of every
- *    cluster-memory and remote transaction through FIFO buses.
+ *    cluster-memory and remote transaction through FIFO buses,
+ *    drained by one serial EventQueue. The reference engine and
+ *    the test oracle for the parallel one.
+ *  - BspPerfModel (bsp_engine.hpp): the same simulation partitioned
+ *    per cluster and advanced in lookahead-bounded epochs on the
+ *    global thread pool; bit-identical to the serial engine at any
+ *    thread count.
  *  - AnalyticPerfModel: closed-form M/D/1 approximation of the same
  *    machine; ~1000x faster, used inside pareto sweeps.
  */

@@ -26,8 +26,10 @@
 #ifndef ACCORDION_UTIL_THREAD_POOL_HPP
 #define ACCORDION_UTIL_THREAD_POOL_HPP
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -38,6 +40,56 @@
 #include "obs/stats.hpp"
 
 namespace accordion::util {
+
+/**
+ * A reusable spinning barrier for small fixed-size worker teams
+ * whose phases are far shorter than a mutex/condvar round trip
+ * (the BSP engine's epochs, microseconds apiece).
+ *
+ * Phase-counter design: arrivals increment a counter; the last
+ * arrival resets it and bumps the phase, releasing the spinners.
+ * The release/acquire pair on the phase word makes every write
+ * before arriveAndWait() visible to every thread after it. Spinners
+ * yield after a short burst so oversubscribed teams (more parties
+ * than hardware threads) still make progress.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(std::size_t parties) : parties_(parties) {}
+
+    SpinBarrier(const SpinBarrier &) = delete;
+    SpinBarrier &operator=(const SpinBarrier &) = delete;
+
+    /** Block (spin) until all parties have arrived. */
+    void
+    arriveAndWait()
+    {
+        const std::uint64_t phase =
+            phase_.load(std::memory_order_acquire);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            parties_) {
+            arrived_.store(0, std::memory_order_relaxed);
+            phase_.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+            std::size_t spins = 0;
+            while (phase_.load(std::memory_order_acquire) == phase) {
+                if (++spins > 128) {
+                    std::this_thread::yield();
+                    spins = 0;
+                }
+            }
+        }
+    }
+
+    /** Team size this barrier synchronizes. */
+    std::size_t parties() const { return parties_; }
+
+  private:
+    const std::size_t parties_;
+    std::atomic<std::size_t> arrived_{0};
+    std::atomic<std::uint64_t> phase_{0};
+};
 
 /**
  * Fixed-size pool of worker threads with a FIFO task queue.

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Cross-validation of the BSP-partitioned event engine against the
+ * serial EventDrivenPerfModel oracle: the two must produce
+ * bit-identical ExecutionEstimates on a grid of core counts, trait
+ * corners, latency scales and worker-team sizes, plus the epoch
+ * edge cases (messages landing exactly on the lookahead horizon,
+ * zero remote traffic, single-cluster floorplans).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "manycore/bsp_engine.hpp"
+#include "manycore/perf_model.hpp"
+#include "obs/stats.hpp"
+#include "util/thread_pool.hpp"
+#include "vartech/geometry.hpp"
+
+using namespace accordion;
+using namespace accordion::manycore;
+
+namespace {
+
+/** Sizes the global pool for a scope, restoring the default after. */
+class PoolGuard
+{
+  public:
+    explicit PoolGuard(std::size_t threads)
+    {
+        util::ThreadPool::setGlobalThreads(threads);
+    }
+
+    ~PoolGuard()
+    {
+        util::ThreadPool::setGlobalThreads(
+            util::ThreadPool::defaultThreads());
+    }
+};
+
+std::vector<std::size_t>
+contiguousCores(std::size_t n)
+{
+    std::vector<std::size_t> cores(n);
+    std::iota(cores.begin(), cores.end(), std::size_t{0});
+    return cores;
+}
+
+/** Bitwise, not tolerance: the PR 1 determinism contract. */
+void
+expectBitIdentical(const ExecutionEstimate &bsp,
+                   const ExecutionEstimate &oracle,
+                   const std::string &label)
+{
+    EXPECT_EQ(bsp.seconds, oracle.seconds) << label;
+    EXPECT_EQ(bsp.totalInstructions, oracle.totalInstructions) << label;
+    EXPECT_EQ(bsp.avgCoreUtilization, oracle.avgCoreUtilization)
+        << label;
+    EXPECT_EQ(bsp.maxBusUtilization, oracle.maxBusUtilization) << label;
+}
+
+/**
+ * Cross-validate one (cores, tasks, traits, f, scale) input across
+ * worker-team sizes 1/2/4/8. Explicit team sizes force real spin-
+ * barrier teams even on single-core machines.
+ */
+void
+crossValidate(const vartech::ChipGeometry &geometry,
+              const std::vector<std::size_t> &cores,
+              const TaskSet &tasks, const WorkloadTraits &traits,
+              double f_hz, double latency_scale,
+              const std::string &label)
+{
+    const EventDrivenPerfModel oracle;
+    const ExecutionEstimate ref = oracle.estimate(
+        geometry, cores, f_hz, tasks, traits, latency_scale);
+    for (std::size_t threads : {1, 2, 4, 8}) {
+        PoolGuard pool(threads);
+        const BspPerfModel bsp({}, threads);
+        const ExecutionEstimate got = bsp.estimate(
+            geometry, cores, f_hz, tasks, traits, latency_scale);
+        expectBitIdentical(got, ref,
+                           label + " @" + std::to_string(threads) +
+                               " threads");
+    }
+}
+
+WorkloadTraits
+traitsNamed(const std::string &name)
+{
+    WorkloadTraits traits;
+    if (name == "zero_remote") {
+        traits.clusterMissRate = 0.0;
+    } else if (name == "memory_heavy") {
+        traits.memOpsPerInstr = 0.38;
+        traits.privateMissRate = 0.06;
+        traits.clusterMissRate = 0.2;
+        traits.overlapFactor = 0.25;
+    }
+    return traits;
+}
+
+TEST(BspEngine, BitIdenticalAcrossGrid)
+{
+    const vartech::ChipGeometry geometry;
+    for (std::size_t n : {8, 24, 64, 144}) {
+        for (double scale : {0.5, 1.0, 2.5}) {
+            for (const char *corner :
+                 {"default", "zero_remote", "memory_heavy"}) {
+                TaskSet tasks;
+                tasks.numTasks = n;
+                tasks.instrPerTask = 12000;
+                crossValidate(geometry, contiguousCores(n), tasks,
+                              traitsNamed(corner), 0.5e9, scale,
+                              std::to_string(n) + " cores, scale " +
+                                  std::to_string(scale) + ", " +
+                                  corner);
+            }
+        }
+    }
+}
+
+TEST(BspEngine, ScatteredCoresAndTaskImbalance)
+{
+    // Non-contiguous engaged cores (every 5th) puts uneven core
+    // counts in each active cluster; 2n+3 tasks leaves a ragged
+    // final round.
+    const vartech::ChipGeometry geometry;
+    std::vector<std::size_t> cores;
+    for (std::size_t c = 0; c < geometry.numCores(); c += 5)
+        cores.push_back(c);
+    TaskSet tasks;
+    tasks.numTasks = 2 * cores.size() + 3;
+    tasks.instrPerTask = 9000;
+    crossValidate(geometry, cores, tasks, WorkloadTraits{}, 0.6e9, 1.0,
+                  "scattered cores");
+}
+
+TEST(BspEngine, SingleClusterFloorplanFallsBackToMonolithic)
+{
+    // One active cluster means no cross-cluster messages and no
+    // epochs — the engine must run the monolithic path and still
+    // match the oracle at any requested team size.
+    vartech::ChipGeometry::Params params;
+    params.clustersX = 1;
+    params.clustersY = 1;
+    const vartech::ChipGeometry geometry(params);
+    TaskSet tasks;
+    tasks.numTasks = 19;
+    tasks.instrPerTask = 15000;
+    crossValidate(geometry, contiguousCores(geometry.numCores()), tasks,
+                  WorkloadTraits{}, 0.5e9, 1.0, "single cluster");
+}
+
+TEST(BspEngine, MessagesExactlyAtTheLookaheadHorizon)
+{
+    // Remote-heavy traffic with zero overlap: when the epoch's
+    // earliest event is a Request at T and the peer bus is idle, the
+    // Response lands at exactly T + L — precisely on the next epoch
+    // horizon. The engine's strict `when < horizon` cut must hold
+    // such messages for the following epoch (they are still in the
+    // mailboxes at the cut); an off-by-one (<=) would diverge from
+    // the oracle here.
+    const vartech::ChipGeometry geometry;
+    WorkloadTraits traits;
+    traits.memOpsPerInstr = 0.3;
+    traits.privateMissRate = 0.05;
+    traits.clusterMissRate = 0.3;
+    traits.overlapFactor = 0.0;
+    TaskSet tasks;
+    tasks.numTasks = 96;
+    tasks.instrPerTask = 10000;
+    crossValidate(geometry, contiguousCores(96), tasks, traits, 1.0e9,
+                  1.0, "horizon ties");
+}
+
+TEST(BspEngine, LatencyScaleAndControlCoreClock)
+{
+    const vartech::ChipGeometry geometry;
+    TaskSet tasks;
+    tasks.numTasks = 48;
+    tasks.instrPerTask = 14000;
+    tasks.ccFrequencyHz = 1.1e9;
+    crossValidate(geometry, contiguousCores(48), tasks,
+                  WorkloadTraits{}, 0.8e9, 2.37, "scaled latencies");
+}
+
+TEST(BspEngine, AutoTeamSizeMatchesOracle)
+{
+    // Default-constructed engine: the team is picked from the pool
+    // size and hardware concurrency. Whatever it lands on, results
+    // must not move.
+    const vartech::ChipGeometry geometry;
+    TaskSet tasks;
+    tasks.numTasks = 64;
+    tasks.instrPerTask = 20000;
+    const EventDrivenPerfModel oracle;
+    const BspPerfModel bsp;
+    const auto ref = oracle.estimate(geometry, contiguousCores(64),
+                                     0.5e9, tasks, WorkloadTraits{});
+    const auto got = bsp.estimate(geometry, contiguousCores(64), 0.5e9,
+                                  tasks, WorkloadTraits{});
+    expectBitIdentical(got, ref, "auto team");
+}
+
+TEST(BspEngine, EmptyTaskSetAndEngagedSubsets)
+{
+    const vartech::ChipGeometry geometry;
+    const BspPerfModel bsp({}, 4);
+    TaskSet empty;
+    const auto est = bsp.estimate(geometry, contiguousCores(8), 0.5e9,
+                                  empty, WorkloadTraits{});
+    EXPECT_EQ(est.seconds, 0.0);
+    EXPECT_EQ(est.totalInstructions, 0.0);
+
+    // Fewer tasks than cores: idle cores must not disturb the rest.
+    TaskSet sparse;
+    sparse.numTasks = 5;
+    sparse.instrPerTask = 8000;
+    crossValidate(geometry, contiguousCores(40), sparse,
+                  WorkloadTraits{}, 0.5e9, 1.0, "sparse tasks");
+}
+
+TEST(BspEngine, ObservabilityCountersTrackEpochsAndMessages)
+{
+    obs::StatsRegistry &registry = obs::StatsRegistry::global();
+    registry.setEnabled(true);
+    const obs::Counter epochs = registry.counter("manycore.epochs");
+    const obs::Counter msgs =
+        registry.counter("manycore.cross_cluster_msgs");
+    const std::uint64_t epochs0 = epochs.value();
+    const std::uint64_t msgs0 = msgs.value();
+
+    const vartech::ChipGeometry geometry;
+    TaskSet tasks;
+    tasks.numTasks = 64;
+    tasks.instrPerTask = 12000;
+
+    {
+        PoolGuard pool(4);
+        const BspPerfModel bsp({}, 4);
+        (void)bsp.estimate(geometry, contiguousCores(64), 0.5e9, tasks,
+                           WorkloadTraits{});
+    }
+    // 64 contiguous cores span 8 clusters: a real epoch loop with
+    // remote traffic ran.
+    EXPECT_GT(epochs.value(), epochs0 + 1);
+    EXPECT_GT(msgs.value(), msgs0);
+    EXPECT_GT(registry.counter("manycore.partition0.busy_ns").value(),
+              0u);
+
+    // Zero remote traffic: epochs may still tick, but no
+    // cross-cluster message may be counted.
+    const std::uint64_t msgs1 = msgs.value();
+    {
+        PoolGuard pool(4);
+        const BspPerfModel bsp({}, 4);
+        WorkloadTraits local = traitsNamed("zero_remote");
+        (void)bsp.estimate(geometry, contiguousCores(64), 0.5e9, tasks,
+                           local);
+    }
+    EXPECT_EQ(msgs.value(), msgs1);
+    registry.setEnabled(false);
+}
+
+} // namespace

@@ -319,11 +319,27 @@ TEST(AccordionSystem, HeadlineEfficiencyGainAboveOne)
 TEST(AccordionSystem, EventDrivenBackendAgrees)
 {
     AccordionSystem::Config config;
-    config.eventDrivenPerf = true;
+    config.perfEngine = PerfEngine::Event;
     AccordionSystem event_sys(config);
     const auto &w = rms::findWorkload("hotspot");
     const auto &prof = event_sys.profile("hotspot");
     const StvBaseline a = event_sys.pareto().baseline(w, prof);
     const StvBaseline b = sys().pareto().baseline(w, prof);
     EXPECT_NEAR(a.seconds / b.seconds, 1.0, 0.3);
+}
+
+TEST(AccordionSystem, BspBackendMatchesEventBackendBitwise)
+{
+    AccordionSystem::Config config;
+    config.perfEngine = PerfEngine::Event;
+    AccordionSystem event_sys(config);
+    config.perfEngine = PerfEngine::Bsp;
+    AccordionSystem bsp_sys(config);
+    const auto &w = rms::findWorkload("hotspot");
+    const auto &prof = event_sys.profile("hotspot");
+    const StvBaseline a = event_sys.pareto().baseline(w, prof);
+    const StvBaseline b = bsp_sys.pareto().baseline(w, prof);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.mips, b.mips);
+    EXPECT_EQ(a.powerW, b.powerW);
 }

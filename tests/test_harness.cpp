@@ -246,7 +246,10 @@ TEST(HarnessConfigKey, EveryKnobMovesTheKey)
     c.chipId = 3;
     EXPECT_NE(c.key(), base.key());
     c = base;
-    c.eventDrivenPerf = true;
+    c.perfEngine = core::PerfEngine::Event;
+    EXPECT_NE(c.key(), base.key());
+    c = base;
+    c.perfEngine = core::PerfEngine::Bsp;
     EXPECT_NE(c.key(), base.key());
     c = base;
     c.pareto.isoTolerance *= 2.0;

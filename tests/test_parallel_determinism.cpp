@@ -200,6 +200,48 @@ TEST_F(ParallelDeterminism, ParetoFrontIdenticalAcrossThreadCounts)
     }
 }
 
+TEST_F(ParallelDeterminism, BspParetoFrontsMatchEventOracleAcrossThreads)
+{
+    // Drive the BSP engine through full fig6/fig7-style pareto
+    // sweeps and demand bit-identical fronts against the serial
+    // event-queue oracle at every thread count. Inside extract()
+    // the estimates run from pool workers, so this also covers the
+    // engine's nested-parallelism path. A reduced 3x3-cluster
+    // floorplan (72 cores) keeps the per-transaction simulation
+    // affordable; bodytrack and hotspot are the cheapest fig6
+    // (PARSEC) and fig7 (Rodinia) kernels respectively.
+    core::AccordionSystem::Config config;
+    config.factory.geometry.clustersX = 3;
+    config.factory.geometry.clustersY = 3;
+    config.perfEngine = core::PerfEngine::Event;
+    core::AccordionSystem oracle(config);
+    config.perfEngine = core::PerfEngine::Bsp;
+    core::AccordionSystem bsp(config);
+
+    for (const char *name : {"bodytrack", "hotspot"}) {
+        const rms::Workload &w = rms::findWorkload(name);
+        // Warm both profile caches on the main thread.
+        const core::QualityProfile &oracle_prof = oracle.profile(name);
+        const core::QualityProfile &bsp_prof = bsp.profile(name);
+        for (core::Flavor flavor :
+             {core::Flavor::Safe, core::Flavor::Speculative}) {
+            const auto ref = withThreads(1, [&] {
+                return oracle.pareto().extract(w, oracle_prof, flavor);
+            });
+            ASSERT_FALSE(ref.empty());
+            for (std::size_t threads : threadCounts()) {
+                const auto got = withThreads(threads, [&] {
+                    return bsp.pareto().extract(w, bsp_prof, flavor);
+                });
+                expectSameFront(got, ref,
+                                std::string(name) + " " +
+                                    core::flavorName(flavor) + " @" +
+                                    std::to_string(threads));
+            }
+        }
+    }
+}
+
 TEST_F(ParallelDeterminism, DynamicSampleIdenticalAcrossThreadCounts)
 {
     const rms::Workload &w = rms::findWorkload("hotspot");
