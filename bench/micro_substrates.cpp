@@ -41,12 +41,25 @@ BENCHMARK(BM_ChipManufacture);
 void
 BM_SafeFrequencyQuery(benchmark::State &state)
 {
-    const auto &timing =
-        fixtures().chip.coreTiming(kernels::kTimingCore);
+    const auto &chip = fixtures().chip;
     for (auto _ : state)
-        benchmark::DoNotOptimize(kernels::safeFrequencyOnce(timing));
+        benchmark::DoNotOptimize(kernels::safeFrequencyOnce(chip));
 }
 BENCHMARK(BM_SafeFrequencyQuery);
+
+void
+BM_SafeFrequencyBatch(benchmark::State &state)
+{
+    const auto &chip = fixtures().chip;
+    std::vector<double> out(chip.numCores());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            kernels::safeFrequenciesBatch(chip, out));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(chip.numCores()));
+}
+BENCHMARK(BM_SafeFrequencyBatch);
 
 void
 BM_ErrorRateQuery(benchmark::State &state)
@@ -56,6 +69,33 @@ BM_ErrorRateQuery(benchmark::State &state)
         benchmark::DoNotOptimize(kernels::errorRateOnce(chip));
 }
 BENCHMARK(BM_ErrorRateQuery);
+
+void
+BM_ErrorRateBatch(benchmark::State &state)
+{
+    const auto &chip = fixtures().chip;
+    std::vector<double> out(chip.numCores());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kernels::errorRatesBatch(chip, out));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(chip.numCores()));
+}
+BENCHMARK(BM_ErrorRateBatch);
+
+void
+BM_SpecFrequencyBatch(benchmark::State &state)
+{
+    const auto &chip = fixtures().chip;
+    std::vector<double> out(chip.numCores());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            kernels::speculativeFrequenciesBatch(chip, out));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(chip.numCores()));
+}
+BENCHMARK(BM_SpecFrequencyBatch);
 
 void
 BM_PerfModel(benchmark::State &state)

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
+#include <vector>
 
 #include "util/log.hpp"
 
@@ -37,6 +39,17 @@ BaselineEvaluator::booster(const rms::Workload &workload,
 
     BaselineResult result;
     result.scheme = "Booster (dual rail)";
+    // Whole-chip batch queries, hoisted out of the core-count scan:
+    // the high-rail safe frequencies and the per-rail static powers
+    // depend only on the supplies, not on the selection or f_eff.
+    std::vector<double> hi_f(chip_->numCores());
+    chip_->safeFrequencies(vdd_hi, hi_f);
+    std::vector<double> stat_lo(chip_->numCores());
+    std::vector<double> stat_hi(chip_->numCores());
+    chip_->coreStaticPowers(vdd_lo, stat_lo);
+    chip_->coreStaticPowers(vdd_hi, stat_hi);
+    const std::span<const double> lo_f = chip_->coreSafeFs();
+    const double cc_f = chip_->coreSafeF(selector_.fastestCore());
     const std::size_t step = geometry.coresPerCluster();
     for (std::size_t n = step; n <= chip_->numCores(); n += step) {
         const auto cores = selector_.selectCores(n);
@@ -44,35 +57,34 @@ BaselineEvaluator::booster(const rms::Workload &workload,
         // the slowest core's high-rail frequency.
         double f_eff = 1e300;
         for (std::size_t core : cores)
-            f_eff = std::min(f_eff,
-                             chip_->coreSafeFAt(core, vdd_hi));
+            f_eff = std::min(f_eff, hi_f[core]);
 
         manycore::TaskSet tasks;
         tasks.numTasks = n;
         tasks.instrPerTask = total_instr / static_cast<double>(n);
-        tasks.ccFrequencyHz =
-            chip_->coreSafeF(selector_.selectControlCores(1).front());
+        tasks.ccFrequencyHz = cc_f;
         const auto est = perf_->estimate(geometry, cores, f_eff,
                                          tasks, workload.traits(),
                                          tech.fNtv() / f_eff);
 
         // Power: each core mixes the rails; a core whose low-rail
-        // safe f already exceeds f_eff stays on the low rail.
+        // safe f already exceeds f_eff stays on the low rail. The
+        // dynamic term is per-core invariant at each rail.
+        const double dyn_lo = power_->coreDynamicPower(
+            vdd_lo, f_eff, est.avgCoreUtilization);
+        const double dyn_hi = power_->coreDynamicPower(
+            vdd_hi, f_eff, est.avgCoreUtilization);
         double watts = 0.0;
         for (std::size_t core : cores) {
-            const double f_lo = chip_->coreSafeF(core);
-            const double f_hi = chip_->coreSafeFAt(core, vdd_hi);
+            const double f_lo = lo_f[core];
+            const double f_hi = hi_f[core];
             double x = 0.0; // high-rail time share
             if (f_eff > f_lo)
                 x = std::clamp((f_eff - f_lo) /
                                    std::max(1.0, f_hi - f_lo),
                                0.0, 1.0);
-            const double p_lo = power_->corePower(
-                *chip_, core, vdd_lo, f_eff,
-                est.avgCoreUtilization);
-            const double p_hi = power_->corePower(
-                *chip_, core, vdd_hi, f_eff,
-                est.avgCoreUtilization);
+            const double p_lo = dyn_lo + stat_lo[core];
+            const double p_hi = dyn_hi + stat_hi[core];
             watts += (1.0 - x) * p_lo + x * p_hi;
         }
         const std::size_t clusters =
@@ -107,8 +119,11 @@ BaselineEvaluator::energySmart(const rms::Workload &workload,
     BaselineResult result;
     result.scheme = "EnergySmart (per-cluster f)";
     const auto &tech = chip_->technology();
-    const double cc_f =
-        chip_->coreSafeF(selector_.selectControlCores(1).front());
+    const double cc_f = chip_->coreSafeF(selector_.fastestCore());
+    // Static power depends only on the (fixed) NTV supply; one batch
+    // query replaces the per-core corePower calls in the scan below.
+    std::vector<double> stat(chip_->numCores());
+    chip_->coreStaticPowers(chip_->vddNtv(), stat);
     const std::size_t step = geometry.coresPerCluster();
     for (std::size_t n = step; n <= chip_->numCores(); n += step) {
         const auto cores = selector_.selectCores(n);
@@ -131,12 +146,12 @@ BaselineEvaluator::energySmart(const rms::Workload &workload,
                 geometry.clusterOfCore(cores[i]);
             Domain domain;
             domain.f = chip_->clusterSafeF(cluster);
+            const double dyn = power_->coreDynamicPower(
+                chip_->vddNtv(), domain.f);
             while (i < cores.size() &&
                    geometry.clusterOfCore(cores[i]) == cluster) {
                 domain.cores.push_back(cores[i]);
-                watts += power_->corePower(*chip_, cores[i],
-                                           chip_->vddNtv(),
-                                           domain.f);
+                watts += dyn + stat[cores[i]];
                 ++i;
             }
             sum_f += domain.f *

@@ -1,6 +1,7 @@
 #include "core_selection.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "util/log.hpp"
 
@@ -12,14 +13,27 @@ CoreSelector::CoreSelector(const vartech::VariationChip &chip,
 {
     const auto &geometry = chip.geometry();
     const double vdd = chip.vddNtv();
+    // One batch query per column instead of per-core accessor calls:
+    // cluster safe frequencies and per-core static powers are read as
+    // whole-chip arrays; the dynamic term is per-core invariant at
+    // the cluster clock and hoisted out of the inner loop. The
+    // accumulation order (uncore, then dynamic + static per core in
+    // index order) matches the historical scalar loop bit for bit.
+    const std::span<const double> cluster_safe_f = chip.clusterSafeFs();
+    std::vector<double> static_w(chip.numCores());
+    chip.coreStaticPowers(vdd, static_w);
+    const std::size_t per_cluster = geometry.coresPerCluster();
     ranking_.reserve(chip.numClusters());
     for (std::size_t k = 0; k < chip.numClusters(); ++k) {
         ClusterRank rank;
         rank.cluster = k;
-        rank.safeF = chip.clusterSafeF(k);
+        rank.safeF = cluster_safe_f[k];
+        const double dyn = power.coreDynamicPower(vdd, rank.safeF);
         double watts = power.uncorePowerPerCluster(vdd);
-        for (std::size_t core : geometry.coresOfCluster(k))
-            watts += power.corePower(chip, core, vdd, rank.safeF);
+        const std::size_t first = geometry.firstCoreOfCluster(k);
+        for (std::size_t core = first; core < first + per_cluster;
+             ++core)
+            watts += dyn + static_w[core];
         rank.powerW = watts;
         rank.efficiency = static_cast<double>(
                               geometry.coresPerCluster()) *
@@ -32,6 +46,15 @@ CoreSelector::CoreSelector(const vartech::VariationChip &chip,
                       return a.efficiency > b.efficiency;
                   return a.cluster < b.cluster;
               });
+
+    // The single most reliable core: argmax of safe f with the same
+    // lowest-index tiebreak selectControlCores' sort applies, cached
+    // so pareto scans read it without re-sorting 288 cores per point.
+    const std::span<const double> safe_f = chip.coreSafeFs();
+    fastestCore_ = 0;
+    for (std::size_t c = 1; c < safe_f.size(); ++c)
+        if (safe_f[c] > safe_f[fastestCore_])
+            fastestCore_ = c;
 }
 
 std::vector<std::size_t>
@@ -60,10 +83,7 @@ CoreSelector::safeFrequency(const std::vector<std::size_t> &cores) const
 {
     if (cores.empty())
         util::fatal("CoreSelector::safeFrequency: empty selection");
-    double f = 1e300;
-    for (std::size_t core : cores)
-        f = std::min(f, chip_->coreSafeF(core));
-    return f;
+    return chip_->minSafeF(cores);
 }
 
 double
@@ -72,10 +92,9 @@ CoreSelector::speculativeFrequency(const std::vector<std::size_t> &cores,
 {
     if (cores.empty())
         util::fatal("CoreSelector::speculativeFrequency: empty selection");
-    double f = 1e300;
-    for (std::size_t core : cores)
-        f = std::min(f, chip_->coreFrequencyForErrorRate(core, perr));
-    return f;
+    // Gathered reduction with the error-rate inversion's z* hoisted
+    // once for the whole selection instead of per core.
+    return chip_->minFrequencyForErrorRate(perr, cores);
 }
 
 std::vector<std::size_t>
@@ -84,10 +103,11 @@ CoreSelector::selectControlCores(std::size_t count) const
     std::vector<std::size_t> all(chip_->numCores());
     for (std::size_t c = 0; c < all.size(); ++c)
         all[c] = c;
+    const std::span<const double> safe_f = chip_->coreSafeFs();
     std::sort(all.begin(), all.end(),
-              [this](std::size_t a, std::size_t b) {
-                  const double fa = chip_->coreSafeF(a);
-                  const double fb = chip_->coreSafeF(b);
+              [safe_f](std::size_t a, std::size_t b) {
+                  const double fa = safe_f[a];
+                  const double fb = safe_f[b];
                   if (fa != fb)
                       return fa > fb;
                   return a < b;

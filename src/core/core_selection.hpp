@@ -73,12 +73,21 @@ class CoreSelector
      */
     std::vector<std::size_t> selectControlCores(std::size_t count) const;
 
+    /**
+     * The single most reliable core —
+     * selectControlCores(1).front(), precomputed at construction so
+     * per-operating-point scans (pareto, baselines) read it without
+     * sorting the whole chip each time.
+     */
+    std::size_t fastestCore() const { return fastestCore_; }
+
     const vartech::VariationChip &chip() const { return *chip_; }
 
   private:
     const vartech::VariationChip *chip_;
     const manycore::PowerModel *power_;
     std::vector<ClusterRank> ranking_;
+    std::size_t fastestCore_ = 0;
 };
 
 } // namespace accordion::core

@@ -53,15 +53,23 @@ DynamicOrchestrator::selectForBudget(const rms::Workload &workload,
         double f;
         double eff;
     };
+    // One batch static-power query for the whole chip; the dynamic
+    // term is per-core invariant at each cluster's clock. Summed in
+    // the same order as the historical per-core corePower calls.
+    std::vector<double> stat(chip_->numCores());
+    chip_->coreStaticPowers(vdd, stat);
     std::vector<Rank> ranking;
     ranking.reserve(chip_->numClusters());
     for (std::size_t k = 0; k < chip_->numClusters(); ++k) {
         Rank rank;
         rank.cluster = k;
         rank.f = effectiveClusterF(k, scale);
+        const double dyn = power_->coreDynamicPower(vdd, rank.f);
         double watts = power_->uncorePowerPerCluster(vdd);
-        for (std::size_t core : geometry.coresOfCluster(k))
-            watts += power_->corePower(*chip_, core, vdd, rank.f);
+        const std::size_t first = geometry.firstCoreOfCluster(k);
+        for (std::size_t core = first;
+             core < first + geometry.coresPerCluster(); ++core)
+            watts += dyn + stat[core];
         rank.eff = static_cast<double>(geometry.coresPerCluster()) *
             rank.f / watts;
         ranking.push_back(rank);
@@ -78,8 +86,8 @@ DynamicOrchestrator::selectForBudget(const rms::Workload &workload,
     // Control cores keep their own clock domain: the fastest core
     // of the chip runs the serial merge tail.
     double cc_f = 0.0;
-    for (std::size_t core = 0; core < chip_->numCores(); ++core)
-        cc_f = std::max(cc_f, chip_->coreSafeF(core));
+    for (double safe_f : chip_->coreSafeFs())
+        cc_f = std::max(cc_f, safe_f);
 
     std::vector<std::size_t> cores;
     double f = 1e300;
@@ -144,6 +152,11 @@ DynamicOrchestrator::run(const rms::Workload &workload,
     std::vector<std::size_t> cores;
     double f = 0.0;
 
+    // Phase-invariant: the fastest core of the chip (serial tail).
+    double cc_f = 0.0;
+    for (double safe_f : chip_->coreSafeFs())
+        cc_f = std::max(cc_f, safe_f);
+
     for (std::size_t phase = 0; phase < params_.phases; ++phase) {
         // Apply the events that fire at this boundary.
         bool resiliency_changed = false;
@@ -176,9 +189,6 @@ DynamicOrchestrator::run(const rms::Workload &workload,
         tasks.numTasks = cores.size();
         tasks.instrPerTask =
             phase_instr / static_cast<double>(cores.size());
-        double cc_f = 0.0;
-        for (std::size_t core = 0; core < chip_->numCores(); ++core)
-            cc_f = std::max(cc_f, chip_->coreSafeF(core));
         tasks.ccFrequencyHz = cc_f;
         const auto est = perf_->estimate(geometry, cores, f, tasks,
                                          workload.traits(),

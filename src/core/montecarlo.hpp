@@ -48,7 +48,13 @@ class MonteCarloEvaluator
     MonteCarloEvaluator(const vartech::ChipFactory &factory,
                         std::size_t chips = 100);
 
-    /** Metric evaluated on one manufactured chip. */
+    /**
+     * Metric evaluated on one manufactured chip. Each worker gets a
+     * chip whose whole-chip reliability tables are precomputed, so
+     * metrics should reduce over the span views (coreSafeFs,
+     * clusterSafeFs, clusterVddMins) or the batch queries instead of
+     * issuing per-core accessor calls.
+     */
     using ChipMetric =
         std::function<double(const vartech::VariationChip &)>;
 

@@ -94,6 +94,12 @@ ParetoExtractor::evaluateAt(const rms::Workload &workload,
 
     const auto &tech = chip_->technology();
 
+    // The serial merge tail runs on the fastest (control) core of
+    // the chip, not at the workers' common clock. It does not depend
+    // on the candidate core count, so read it once from the
+    // selector's cached argmax instead of sorting all cores per n.
+    const double cc_f = chip_->coreSafeF(selector_.fastestCore());
+
     // Scan core counts at cluster granularity from small to large;
     // the first count achieving iso-execution time is the pareto
     // point (fewest cores == least power == most efficient).
@@ -108,10 +114,7 @@ ParetoExtractor::evaluateAt(const rms::Workload &workload,
         manycore::TaskSet tasks;
         tasks.numTasks = n;
         tasks.instrPerTask = total_instr / static_cast<double>(n);
-        // The serial merge tail runs on the fastest (control) core
-        // of the chip, not at the workers' common clock.
-        tasks.ccFrequencyHz =
-            chip_->coreSafeF(selector_.selectControlCores(1).front());
+        tasks.ccFrequencyHz = cc_f;
 
         double f = 0.0;
         double perr = 0.0;

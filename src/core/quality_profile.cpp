@@ -1,10 +1,12 @@
 #include "quality_profile.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "obs/stats.hpp"
 #include "obs/timer.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace accordion::core {
 
@@ -43,42 +45,54 @@ QualityProfile::measure(const rms::Workload &workload, std::uint64_t seed)
                     "(ps=%g, q=%g)", workload.name().c_str(),
                     profile.psDefault_, profile.qDefault_);
 
-    struct Scenario
-    {
-        fault::FaultPlan plan;
-        ProfileCurve *curve;
+    const std::array<fault::FaultPlan, 3> plans = {
+        fault::FaultPlan(),
+        fault::FaultPlan::dropQuarter(),
+        fault::FaultPlan::dropHalf(),
     };
-    Scenario scenarios[] = {
-        {fault::FaultPlan(), &profile.default_},
-        {fault::FaultPlan::dropQuarter(), &profile.quarter_},
-        {fault::FaultPlan::dropHalf(), &profile.half_},
-    };
+    const std::array<ProfileCurve *, 3> curves = {
+        &profile.default_, &profile.quarter_, &profile.half_};
 
-    for (double input : workload.inputSweep()) {
+    // The sweep is a (input x {clean, 3 fault scenarios}) matrix of
+    // independent, deterministic kernel runs — the hot part of
+    // profile measurement. Fan the matrix out on the thread pool
+    // into pre-sized slots (bit-identical at any thread count), then
+    // assemble the curves serially in sweep order as before.
+    const std::vector<double> sweep = workload.inputSweep();
+    std::vector<double> ps_ratio(sweep.size());
+    std::vector<std::array<double, 3>> quality(sweep.size());
+    util::parallelFor(0, sweep.size() * 4, [&](std::size_t job) {
+        const std::size_t i = job / 4;
+        const std::size_t s = job % 4;
         rms::RunConfig config;
-        config.input = input;
+        config.input = sweep[i];
         config.threads = profile.threads_;
         config.seed = seed;
-        // Problem size is scenario-independent; take it from the
-        // fault-free run.
-        config.fault = fault::FaultPlan();
         kernel_runs.inc();
-        const rms::RunResult clean = workload.run(config);
-        const double ps_ratio = clean.problemSize / profile.psDefault_;
-        for (Scenario &scenario : scenarios) {
-            config.fault = scenario.plan;
-            kernel_runs.inc();
-            const double q = workload.qualityOf(config, reference) /
+        if (s == 0) {
+            // Problem size is scenario-independent; take it from the
+            // fault-free run.
+            config.fault = fault::FaultPlan();
+            ps_ratio[i] =
+                workload.run(config).problemSize / profile.psDefault_;
+        } else {
+            config.fault = plans[s - 1];
+            quality[i][s - 1] =
+                workload.qualityOf(config, reference) /
                 profile.qDefault_;
-            ProfileCurve &curve = *scenario.curve;
+        }
+    });
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        for (std::size_t s = 0; s < 3; ++s) {
+            ProfileCurve &curve = *curves[s];
             // PiecewiseLinear needs strictly increasing knots; the
             // sweeps are size-ordered, so collisions only come from
             // quantized tilings — keep the first.
             if (!curve.psRatio.empty() &&
-                ps_ratio <= curve.psRatio.back())
+                ps_ratio[i] <= curve.psRatio.back())
                 continue;
-            curve.psRatio.push_back(ps_ratio);
-            curve.qRatio.push_back(q);
+            curve.psRatio.push_back(ps_ratio[i]);
+            curve.qRatio.push_back(quality[i][s]);
         }
     }
     if (profile.default_.psRatio.size() < 2)

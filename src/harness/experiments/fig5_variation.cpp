@@ -16,6 +16,7 @@
  */
 
 #include <algorithm>
+#include <span>
 
 #include "core/montecarlo.hpp"
 #include "harness/experiment.hpp"
@@ -49,8 +50,9 @@ class Fig5Variation final : public Experiment
         double lo = 1e9, hi = 0.0;
         auto csv_a = ctx.series("fig5a_vddmin",
                                 {"cluster", "vddmin_v"});
-        for (std::size_t k = 0; k < chip.numClusters(); ++k) {
-            const double v = chip.clusterVddMin(k);
+        const std::span<const double> vddmins = chip.clusterVddMins();
+        for (std::size_t k = 0; k < vddmins.size(); ++k) {
+            const double v = vddmins[k];
             hist.add(v);
             lo = std::min(lo, v);
             hi = std::max(hi, v);
@@ -69,13 +71,16 @@ class Fig5Variation final : public Experiment
                            "max Perr", "#clusters Perr>1e-12"});
         auto csv_b = ctx.series("fig5b_perr",
                                 {"f_ghz", "cluster", "perr"});
+        // The slowest-core set is frequency-independent; gather it
+        // once (precomputed argmins) instead of per sweep point.
+        std::vector<std::size_t> slow(chip.numClusters());
+        for (std::size_t k = 0; k < chip.numClusters(); ++k)
+            slow[k] = chip.slowestCoreOfCluster(k);
         for (double f = 0.2e9; f <= 1.5e9 + 1e-3; f += 0.1e9) {
             std::vector<double> rates;
             std::size_t above = 0;
             for (std::size_t k = 0; k < chip.numClusters(); ++k) {
-                const std::size_t core =
-                    chip.slowestCoreOfCluster(k);
-                const double perr = chip.coreErrorRate(core, f);
+                const double perr = chip.coreErrorRate(slow[k], f);
                 rates.push_back(perr);
                 above += perr > 1e-12;
                 csv_b.addRow(std::vector<double>{
@@ -92,8 +97,7 @@ class Fig5Variation final : public Experiment
         std::printf("%s", table.render().c_str());
 
         double f_lo = 1e300, f_hi = 0.0;
-        for (std::size_t k = 0; k < chip.numClusters(); ++k) {
-            const double f = chip.clusterSafeF(k);
+        for (double f : chip.clusterSafeFs()) {
             f_lo = std::min(f_lo, f);
             f_hi = std::max(f_hi, f);
         }

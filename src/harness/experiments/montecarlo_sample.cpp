@@ -74,17 +74,15 @@ class MontecarloSample final : public Experiment
                  {"slowest cluster safe f",
                   [](const vartech::VariationChip &chip) {
                       double f = 1e300;
-                      for (std::size_t k = 0; k < chip.numClusters();
-                           ++k)
-                          f = std::min(f, chip.clusterSafeF(k));
+                      for (double cluster_f : chip.clusterSafeFs())
+                          f = std::min(f, cluster_f);
                       return f;
                   }},
                  {"fastest cluster safe f",
                   [](const vartech::VariationChip &chip) {
                       double f = 0.0;
-                      for (std::size_t k = 0; k < chip.numClusters();
-                           ++k)
-                          f = std::max(f, chip.clusterSafeF(k));
+                      for (double cluster_f : chip.clusterSafeFs())
+                          f = std::max(f, cluster_f);
                       return f;
                   }}});
         add(reliability[0], 1.0, "(V)");

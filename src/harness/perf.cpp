@@ -118,16 +118,29 @@ buildScenarios()
 
     suite.push_back(
         {"substrate.safe_frequency",
-         "safe-frequency queries against one core's timing model",
+         "safe-frequency queries against one core (batch of 1)",
          [](PerfRun &run) {
              const std::size_t n = run.scaled(5000);
-             const auto &timing =
-                 run.fixtures.chip.coreTiming(kernels::kTimingCore);
+             const auto &chip = run.fixtures.chip;
              double acc = 0.0;
              for (std::size_t i = 0; i < n; ++i)
-                 acc += kernels::safeFrequencyOnce(timing);
+                 acc += kernels::safeFrequencyOnce(chip);
              perfSink = acc;
              countItems(n);
+         }});
+
+    suite.push_back(
+        {"substrate.safe_frequency_batch",
+         "whole-chip safe-frequency batches (288 cores per call)",
+         [](PerfRun &run) {
+             const std::size_t n = run.scaled(200);
+             const auto &chip = run.fixtures.chip;
+             std::vector<double> out(chip.numCores());
+             double acc = 0.0;
+             for (std::size_t i = 0; i < n; ++i)
+                 acc += kernels::safeFrequenciesBatch(chip, out);
+             perfSink = acc;
+             countItems(n * chip.numCores());
          }});
 
     suite.push_back(
@@ -141,6 +154,36 @@ buildScenarios()
                  acc += kernels::errorRateOnce(chip);
              perfSink = acc;
              countItems(n);
+         }});
+
+    suite.push_back(
+        {"substrate.error_rate_batch",
+         "whole-chip timing-error-rate batches (288 cores per call)",
+         [](PerfRun &run) {
+             const std::size_t n = run.scaled(4000);
+             const auto &chip = run.fixtures.chip;
+             std::vector<double> out(chip.numCores());
+             double acc = 0.0;
+             for (std::size_t i = 0; i < n; ++i)
+                 acc += kernels::errorRatesBatch(chip, out);
+             perfSink = acc;
+             countItems(n * chip.numCores());
+         }});
+
+    suite.push_back(
+        {"substrate.spec_frequency_batch",
+         "whole-chip speculative-frequency batches (error-rate "
+         "inversion, 288 cores per call)",
+         [](PerfRun &run) {
+             const std::size_t n = run.scaled(4000);
+             const auto &chip = run.fixtures.chip;
+             std::vector<double> out(chip.numCores());
+             double acc = 0.0;
+             for (std::size_t i = 0; i < n; ++i)
+                 acc +=
+                     kernels::speculativeFrequenciesBatch(chip, out);
+             perfSink = acc;
+             countItems(n * chip.numCores());
          }});
 
     suite.push_back(

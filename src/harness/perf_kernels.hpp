@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "core/core_selection.hpp"
@@ -61,22 +62,64 @@ manufactureOne(const vartech::ChipFactory &factory, std::uint64_t id)
     return factory.make(id).vddNtv();
 }
 
-/** One safe-frequency query at the probe operating point. */
+/**
+ * One safe-frequency query at the probe operating point, routed
+ * through the production batch API (batch of 1) so the perf
+ * scenarios exercise the same code path the consumers use.
+ */
 inline double
-safeFrequencyOnce(const vartech::CoreTimingModel &timing)
+safeFrequencyOnce(const vartech::VariationChip &chip)
 {
-    return timing.safeFrequency(kTimingVdd);
+    double out = 0.0;
+    chip.safeFrequencies(kTimingVdd, std::span<double>(&out, 1),
+                         kTimingCore);
+    return out;
 }
 
 /**
  * One timing-error-rate query at the NTV operating point, the way
  * the pareto / speculative scans issue it: against the chip's
- * hoisted per-core delay point, so only the CDF math is measured.
+ * hoisted per-core delay statistics, so only the CDF math is
+ * measured (batch of 1 through the production batch API).
  */
 inline double
 errorRateOnce(const vartech::VariationChip &chip)
 {
-    return chip.coreErrorRate(kTimingCore, kTimingFreqHz);
+    double out = 0.0;
+    chip.errorRates(kTimingFreqHz, std::span<double>(&out, 1),
+                    kTimingCore);
+    return out;
+}
+
+/**
+ * Whole-chip batch bodies: one call answers the query for every
+ * core. @p out must be sized chip.numCores(); reused across
+ * iterations so the timed region measures the kernel, not the
+ * allocator. Each returns a value derived from the batch so the
+ * compiler cannot discard the work.
+ */
+inline double
+errorRatesBatch(const vartech::VariationChip &chip,
+                std::span<double> out)
+{
+    chip.errorRates(kTimingFreqHz, out);
+    return out[kTimingCore];
+}
+
+inline double
+safeFrequenciesBatch(const vartech::VariationChip &chip,
+                     std::span<double> out)
+{
+    chip.safeFrequencies(kTimingVdd, out);
+    return out[kTimingCore];
+}
+
+inline double
+speculativeFrequenciesBatch(const vartech::VariationChip &chip,
+                            std::span<double> out)
+{
+    chip.frequenciesForErrorRate(1e-8, out);
+    return out[kTimingCore];
 }
 
 /**

@@ -1,7 +1,5 @@
 #include "power_model.hpp"
 
-#include <set>
-
 #include "util/log.hpp"
 
 namespace accordion::manycore {
@@ -29,6 +27,13 @@ PowerModel::corePower(const vartech::VariationChip &chip, std::size_t core,
 }
 
 double
+PowerModel::coreDynamicPower(double vdd, double f,
+                             double utilization) const
+{
+    return tech_->dynamicPower(vdd, f) * utilization;
+}
+
+double
 PowerModel::uncoreScale(double vdd) const
 {
     const double vth = tech_->params().vthNom;
@@ -52,13 +57,24 @@ PowerModel::chipPower(const vartech::VariationChip &chip,
                       double f, double utilization) const
 {
     PowerBreakdown sum;
-    std::set<std::size_t> clusters;
-    for (std::size_t core : cores) {
-        sum.coreDynamicW += tech_->dynamicPower(vdd, f) * utilization;
-        sum.coreStaticW += chip.coreStaticPower(core, vdd);
-        clusters.insert(chip.geometry().clusterOfCore(core));
+    // The dynamic term is per-core invariant at a common (vdd, f);
+    // repeated addition of the hoisted value matches the historical
+    // per-core recomputation bit for bit. The static column comes
+    // from one gathered batch query, accumulated in selection order.
+    const double dyn = tech_->dynamicPower(vdd, f) * utilization;
+    std::vector<double> static_w(cores.size());
+    chip.coreStaticPowers(vdd, cores, static_w);
+    std::vector<unsigned char> cluster_mark(chip.numClusters(), 0);
+    std::size_t clusters = 0;
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        sum.coreDynamicW += dyn;
+        sum.coreStaticW += static_w[i];
+        unsigned char &mark =
+            cluster_mark[chip.geometry().clusterOfCore(cores[i])];
+        clusters += mark == 0 ? 1 : 0;
+        mark = 1;
     }
-    sum.uncoreW = static_cast<double>(clusters.size()) *
+    sum.uncoreW = static_cast<double>(clusters) *
         uncorePowerPerCluster(vdd);
     return sum;
 }

@@ -76,6 +76,14 @@ class PowerModel
     double corePower(const vartech::VariationChip &chip, std::size_t core,
                      double vdd, double f, double utilization = 1.0) const;
 
+    /**
+     * Dynamic-only component of corePower [W]. Per-core invariant at
+     * a common (vdd, f), so batch consumers hoist it and add the
+     * per-core static column from coreStaticPowers.
+     */
+    double coreDynamicPower(double vdd, double f,
+                            double utilization = 1.0) const;
+
     /** Uncore power per active cluster at supply @p vdd [W]. */
     double uncorePowerPerCluster(double vdd) const;
 

@@ -52,12 +52,20 @@ ChipGeometry::clusterOfCore(std::size_t core) const
 std::vector<std::size_t>
 ChipGeometry::coresOfCluster(std::size_t cluster) const
 {
-    if (cluster >= numClusters())
-        util::panic("coresOfCluster: cluster %zu out of range", cluster);
     std::vector<std::size_t> cores(coresPerCluster());
+    const std::size_t first = firstCoreOfCluster(cluster);
     for (std::size_t i = 0; i < cores.size(); ++i)
-        cores[i] = cluster * coresPerCluster() + i;
+        cores[i] = first + i;
     return cores;
+}
+
+std::size_t
+ChipGeometry::firstCoreOfCluster(std::size_t cluster) const
+{
+    if (cluster >= numClusters())
+        util::panic("firstCoreOfCluster: cluster %zu out of range",
+                    cluster);
+    return cluster * coresPerCluster();
 }
 
 std::pair<std::size_t, std::size_t>

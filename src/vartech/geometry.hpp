@@ -65,6 +65,14 @@ class ChipGeometry
     /** Cores belonging to a cluster, in core-index order. */
     std::vector<std::size_t> coresOfCluster(std::size_t cluster) const;
 
+    /**
+     * First core index of a cluster. Cores of cluster k are the
+     * contiguous range [firstCoreOfCluster(k),
+     * firstCoreOfCluster(k) + coresPerCluster()) — the invariant the
+     * batch cluster reductions in VariationChip stream over.
+     */
+    std::size_t firstCoreOfCluster(std::size_t cluster) const;
+
     /** Normalized position of a core's center. */
     Point corePosition(std::size_t core) const;
 

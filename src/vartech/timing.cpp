@@ -7,6 +7,36 @@
 #include "util/stats.hpp"
 
 namespace accordion::vartech {
+namespace {
+
+// Shared per-element math of the scalar accessors and the batch
+// kernels: both sides call these, so batch-vs-scalar bit-identity
+// holds by construction (identical expressions, identical order).
+
+inline double
+errorRateOne(double paths_per_cycle, double log_period,
+             double log_delay_mean, double sigma_ln)
+{
+    const double z = (log_period - log_delay_mean) / sigma_ln;
+    const double log_survive_all =
+        paths_per_cycle * util::logNormalCdf(z);
+    return -std::expm1(log_survive_all);
+}
+
+} // namespace
+
+double
+CoreTimingModel::frequencyForCriticalZ(double z, double delay_mean,
+                                       double sigma_ln)
+{
+    // ln(1/f) = ln(mu) + z sigma  =>  f = exp(-z sigma) / mu.
+    const double f = std::exp(-z * sigma_ln) / delay_mean;
+    // Clamp into the bracket the historical bisection searched:
+    // degenerate cores (errors even at crawl speed) report the same
+    // floor, runaway targets the same ceiling.
+    const double mean_f = 1.0 / delay_mean;
+    return std::clamp(f, 0.01 * mean_f, 4.0 * mean_f);
+}
 
 CoreTimingModel::CoreTimingModel(const Technology &tech,
                                  const TimingModelParams &params,
@@ -20,6 +50,25 @@ CoreTimingModel::CoreTimingModel(const Technology &tech,
     // the path-effective random sigma shrinks by sqrt(G).
     sigmaVthRandomVolts_ = sigma_vth_random * vth_nom /
         std::sqrt(params_.gatesPerPath);
+}
+
+CoreTimingModel::CoreTimingModel(FromState, const Technology &tech,
+                                 const TimingModelParams &params,
+                                 double vth_volts, double leff_dev,
+                                 double path_sigma_volts)
+    : tech_(tech), params_(params), vth_(vth_volts), leffDev_(leff_dev),
+      sigmaVthRandomVolts_(path_sigma_volts)
+{
+}
+
+CoreTimingModel
+CoreTimingModel::fromState(const Technology &tech,
+                           const TimingModelParams &params,
+                           double vth_volts, double leff_dev,
+                           double path_sigma_volts)
+{
+    return CoreTimingModel(FromState{}, tech, params, vth_volts,
+                           leff_dev, path_sigma_volts);
 }
 
 double
@@ -63,11 +112,8 @@ CoreTimingModel::errorRateAt(const DelayPoint &point, double f) const
     if (f <= 0.0)
         util::panic("errorRate: non-positive frequency %g", f);
     const double period = 1.0 / f;
-    const double z =
-        (std::log(period) - point.logDelayMean) / point.sigmaLn;
-    const double log_survive_all =
-        params_.pathsPerCycle * util::logNormalCdf(z);
-    return -std::expm1(log_survive_all);
+    return errorRateOne(params_.pathsPerCycle, std::log(period),
+                        point.logDelayMean, point.sigmaLn);
 }
 
 double
@@ -86,23 +132,77 @@ double
 CoreTimingModel::frequencyForErrorRateAt(const DelayPoint &point,
                                          double perr) const
 {
+    const double z = criticalZ(params_.pathsPerCycle, perr);
+    return frequencyForCriticalZ(z, point.delayMean, point.sigmaLn);
+}
+
+double
+CoreTimingModel::criticalZ(double paths_per_cycle, double perr)
+{
     if (perr <= 0.0 || perr >= 1.0)
         util::fatal("frequencyForErrorRate: perr %g not in (0,1)", perr);
     // Invert Perr = -expm1(N log Phi(z)) analytically. The survival
     // probability per cycle is exp(L) with L = log1p(-perr)/N; its
     // complement q = -expm1(L) stays accurate down to ~1e-308 where
     // Phi(z) itself would round to 1.0.
-    const double log_survive =
-        std::log1p(-perr) / params_.pathsPerCycle;
+    const double log_survive = std::log1p(-perr) / paths_per_cycle;
     const double q = -std::expm1(log_survive);
-    const double z = util::normalInvCdfUpper(q);
-    // ln(1/f) = ln(mu) + z sigma  =>  f = exp(-z sigma) / mu.
-    const double f = std::exp(-z * point.sigmaLn) / point.delayMean;
-    // Clamp into the bracket the historical bisection searched:
-    // degenerate cores (errors even at crawl speed) report the same
-    // floor, runaway targets the same ceiling.
-    const double mean_f = 1.0 / point.delayMean;
-    return std::clamp(f, 0.01 * mean_f, 4.0 * mean_f);
+    return util::normalInvCdfUpper(q);
+}
+
+void
+CoreTimingModel::errorRatesAt(double paths_per_cycle, double f,
+                              std::span<const double> log_delay_mean,
+                              std::span<const double> sigma_ln,
+                              std::span<double> out)
+{
+    if (f <= 0.0)
+        util::panic("errorRate: non-positive frequency %g", f);
+    if (log_delay_mean.size() != out.size() ||
+        sigma_ln.size() != out.size())
+        util::panic("errorRatesAt: span sizes %zu/%zu/%zu differ",
+                    log_delay_mean.size(), sigma_ln.size(), out.size());
+    const double period = 1.0 / f;
+    const double log_period = std::log(period);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = errorRateOne(paths_per_cycle, log_period,
+                              log_delay_mean[i], sigma_ln[i]);
+}
+
+void
+CoreTimingModel::frequenciesForErrorRateAt(
+    double paths_per_cycle, double perr,
+    std::span<const double> delay_mean, std::span<const double> sigma_ln,
+    std::span<double> out)
+{
+    if (delay_mean.size() != out.size() || sigma_ln.size() != out.size())
+        util::panic("frequenciesForErrorRateAt: span sizes %zu/%zu/%zu "
+                    "differ", delay_mean.size(), sigma_ln.size(),
+                    out.size());
+    const double z = criticalZ(paths_per_cycle, perr);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = frequencyForCriticalZ(z, delay_mean[i], sigma_ln[i]);
+}
+
+void
+CoreTimingModel::delayPointsAt(const Technology &tech, double vdd,
+                               std::span<const double> vth_volts,
+                               std::span<const double> leff_dev,
+                               std::span<const double> path_sigma_volts,
+                               std::span<double> delay_mean,
+                               std::span<double> sigma_ln)
+{
+    const std::size_t n = delay_mean.size();
+    if (vth_volts.size() != n || leff_dev.size() != n ||
+        path_sigma_volts.size() != n || sigma_ln.size() != n)
+        util::panic("delayPointsAt: span sizes differ (%zu cores)", n);
+    const double f_nom = tech.params().fNom;
+    for (std::size_t i = 0; i < n; ++i) {
+        delay_mean[i] =
+            tech.relativeDelay(vdd, vth_volts[i], leff_dev[i]) / f_nom;
+        sigma_ln[i] = tech.delayVthSensitivity(vdd, vth_volts[i]) *
+            path_sigma_volts[i];
+    }
 }
 
 double

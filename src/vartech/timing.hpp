@@ -20,6 +20,8 @@
 #ifndef ACCORDION_VARTECH_TIMING_HPP
 #define ACCORDION_VARTECH_TIMING_HPP
 
+#include <span>
+
 #include "technology.hpp"
 
 namespace accordion::vartech {
@@ -66,11 +68,25 @@ class CoreTimingModel
                     double vth_dev, double leff_dev,
                     double sigma_vth_random);
 
+    /**
+     * Rebuild a model from already-derived state — the structure-of-
+     * arrays chip layout stores (vth [V], leff_dev, path sigma [V])
+     * per core and materializes a model view on demand. Bit-identical
+     * to the deviation-based constructor that produced the state.
+     */
+    static CoreTimingModel fromState(const Technology &tech,
+                                     const TimingModelParams &params,
+                                     double vth_volts, double leff_dev,
+                                     double path_sigma_volts);
+
     /** The core's actual threshold voltage [V]. */
     double vth() const { return vth_; }
 
     /** Systematic Leff deviation (fraction). */
     double leffDev() const { return leffDev_; }
+
+    /** Path-effective random Vth sigma [V] (post sqrt-G averaging). */
+    double pathSigmaVolts() const { return sigmaVthRandomVolts_; }
 
     /** Mean critical-path delay at @p vdd [s]. */
     double pathDelayMean(double vdd) const;
@@ -131,7 +147,71 @@ class CoreTimingModel
 
     const TimingModelParams &params() const { return params_; }
 
+    // ------------------------------------------------------------------
+    // Batch kernels over structure-of-arrays core state. Each kernel is
+    // the exact per-element math of the scalar accessor above with every
+    // per-batch invariant (log period, inverted z*) hoisted out of the
+    // loop, and the loop body branch-free so it auto-vectorizes. The
+    // scalar members remain the bit-identity oracle: for every element,
+    // batch output == scalar output, bit for bit.
+    // ------------------------------------------------------------------
+
+    /**
+     * The z* at which the per-cycle error rate equals @p perr — a pure
+     * function of (perr, pathsPerCycle), so batch inversions compute it
+     * once per batch. @pre perr in (0, 1) (fatal otherwise).
+     */
+    static double criticalZ(double paths_per_cycle, double perr);
+
+    /**
+     * The closed-form inversion at a precomputed z* (clamped into the
+     * historical [0.01, 4] x meanPathFrequency bracket). Gathered
+     * reductions hoist z* via criticalZ and call this per element.
+     */
+    static double frequencyForCriticalZ(double z, double delay_mean,
+                                        double sigma_ln);
+
+    /**
+     * Batch errorRateAt: per-cycle error probability at frequency @p f
+     * for cores with log-delay means / sigmas in the given spans.
+     * @pre f > 0 (panics otherwise); spans have equal length.
+     */
+    static void errorRatesAt(double paths_per_cycle, double f,
+                             std::span<const double> log_delay_mean,
+                             std::span<const double> sigma_ln,
+                             std::span<double> out);
+
+    /**
+     * Batch frequencyForErrorRateAt: the closed-form inversion with z*
+     * hoisted (see criticalZ). @pre perr in (0, 1); spans equal length.
+     */
+    static void frequenciesForErrorRateAt(double paths_per_cycle,
+                                          double perr,
+                                          std::span<const double> delay_mean,
+                                          std::span<const double> sigma_ln,
+                                          std::span<double> out);
+
+    /**
+     * Batch delayPoint at @p vdd over structure-of-arrays core state
+     * (vth [V], leff_dev, path sigma [V]); fills mean delay [s] and
+     * log-delay sigma spans. Spans must all have equal length.
+     */
+    static void delayPointsAt(const Technology &tech, double vdd,
+                              std::span<const double> vth_volts,
+                              std::span<const double> leff_dev,
+                              std::span<const double> path_sigma_volts,
+                              std::span<double> delay_mean,
+                              std::span<double> sigma_ln);
+
   private:
+    struct FromState
+    {
+    };
+
+    CoreTimingModel(FromState, const Technology &tech,
+                    const TimingModelParams &params, double vth_volts,
+                    double leff_dev, double path_sigma_volts);
+
     const Technology &tech_;
     TimingModelParams params_;
     double vth_; //!< core threshold [V]

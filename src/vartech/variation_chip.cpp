@@ -1,6 +1,7 @@
 #include "variation_chip.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 
 #include "obs/stats.hpp"
@@ -18,7 +19,8 @@ VariationChip::VariationChip(const Technology &tech,
                              std::uint64_t chip_id,
                              std::size_t private_mem_bits,
                              std::size_t cluster_mem_bits)
-    : tech_(&tech), geometry_(geometry), chipId_(chip_id)
+    : tech_(&tech), geometry_(geometry), chipId_(chip_id),
+      timingParams_(timing_params)
 {
     const std::size_t n_cores = geometry_.numCores();
     const std::size_t n_clusters = geometry_.numClusters();
@@ -30,15 +32,22 @@ VariationChip::VariationChip(const Technology &tech,
 
     coreVthDev_.resize(n_cores);
     coreLeffDev_.resize(n_cores);
-    coreTiming_.reserve(n_cores);
+    coreVth_.resize(n_cores);
+    corePathSigmaVolts_.resize(n_cores);
     privateMemVddMin_.resize(n_cores);
     for (std::size_t c = 0; c < n_cores; ++c) {
         coreVthDev_[c] = realization.vthDev(c);
         coreLeffDev_[c] = realization.leffDev(c);
-        coreTiming_.emplace_back(tech, timing_params, coreVthDev_[c],
-                                 coreLeffDev_[c],
-                                 realization.sigmaVthRandom() *
-                                     realization.pathSigmaScale(c));
+        // Derive (vth [V], path sigma [V]) through the same model
+        // constructor the per-core object layout used, then keep only
+        // the structure-of-arrays state; coreTiming() re-materializes
+        // the identical model from it on demand.
+        const CoreTimingModel model(tech, timing_params, coreVthDev_[c],
+                                    coreLeffDev_[c],
+                                    realization.sigmaVthRandom() *
+                                        realization.pathSigmaScale(c));
+        coreVth_[c] = model.vth();
+        corePathSigmaVolts_[c] = model.pathSigmaVolts();
     }
 
     const double vth_nom = tech.params().vthNom;
@@ -72,15 +81,35 @@ VariationChip::VariationChip(const Technology &tech,
     // Filled eagerly: every downstream path (core selection, CC
     // ranking, pareto scans) reads all of it anyway, and a
     // write-once table keeps concurrent pareto sweeps over the same
-    // chip free of data races. The hoisted NTV delay points turn
+    // chip free of data races. The hoisted NTV delay statistics turn
     // every later error-rate / speculative-frequency query at
-    // VddNTV into pure CDF math.
+    // VddNTV into pure CDF math; the safe-f fill shares the batch
+    // kernel with every downstream batch query (z* inverted once for
+    // the whole chip instead of per core).
+    ntvDelayMean_.resize(n_cores);
+    ntvLogDelayMean_.resize(n_cores);
+    ntvSigmaLn_.resize(n_cores);
+    CoreTimingModel::delayPointsAt(tech, vddNtv_, coreVth_,
+                                   coreLeffDev_, corePathSigmaVolts_,
+                                   ntvDelayMean_, ntvSigmaLn_);
+    for (std::size_t c = 0; c < n_cores; ++c)
+        ntvLogDelayMean_[c] = std::log(ntvDelayMean_[c]);
     coreSafeF_.resize(n_cores);
-    coreNtvPoint_.resize(n_cores);
-    for (std::size_t c = 0; c < n_cores; ++c) {
-        coreNtvPoint_[c] = coreTiming_[c].delayPoint(vddNtv_);
-        coreSafeF_[c] = coreTiming_[c].frequencyForErrorRateAt(
-            coreNtvPoint_[c], timing_params.perrSafe);
+    CoreTimingModel::frequenciesForErrorRateAt(
+        timingParams_.pathsPerCycle, timingParams_.perrSafe,
+        ntvDelayMean_, ntvSigmaLn_, coreSafeF_);
+
+    clusterSafeF_.resize(n_clusters);
+    clusterSafeFs(clusterSafeF_);
+    slowestCore_.resize(n_clusters);
+    for (std::size_t k = 0; k < n_clusters; ++k) {
+        const std::size_t begin = geometry_.firstCoreOfCluster(k);
+        const std::size_t end = begin + geometry_.coresPerCluster();
+        std::size_t slowest = begin;
+        for (std::size_t core = begin; core < end; ++core)
+            if (coreSafeF_[core] < coreSafeF_[slowest])
+                slowest = core;
+        slowestCore_[k] = slowest;
     }
 }
 
@@ -108,13 +137,15 @@ VariationChip::coreLeffDev(std::size_t core) const
     return coreLeffDev_[core];
 }
 
-const CoreTimingModel &
+CoreTimingModel
 VariationChip::coreTiming(std::size_t core) const
 {
-    ACC_DEBUG_ASSERT(core < coreTiming_.size(),
+    ACC_DEBUG_ASSERT(core < coreVth_.size(),
                      "coreTiming: core %zu out of %zu", core,
-                     coreTiming_.size());
-    return coreTiming_[core];
+                     coreVth_.size());
+    return CoreTimingModel::fromState(*tech_, timingParams_,
+                                      coreVth_[core], coreLeffDev_[core],
+                                      corePathSigmaVolts_[core]);
 }
 
 double
@@ -156,21 +187,19 @@ VariationChip::coreSafeF(std::size_t core) const
 double
 VariationChip::clusterSafeF(std::size_t cluster) const
 {
-    double f = 1e300;
-    for (std::size_t core : geometry_.coresOfCluster(cluster))
-        f = std::min(f, coreSafeF(core));
-    return f;
+    ACC_DEBUG_ASSERT(cluster < clusterSafeF_.size(),
+                     "clusterSafeF: cluster %zu out of %zu", cluster,
+                     clusterSafeF_.size());
+    return clusterSafeF_[cluster];
 }
 
 std::size_t
 VariationChip::slowestCoreOfCluster(std::size_t cluster) const
 {
-    const auto cores = geometry_.coresOfCluster(cluster);
-    std::size_t slowest = cores.front();
-    for (std::size_t core : cores)
-        if (coreSafeF(core) < coreSafeF(slowest))
-            slowest = core;
-    return slowest;
+    ACC_DEBUG_ASSERT(cluster < slowestCore_.size(),
+                     "slowestCoreOfCluster: cluster %zu out of %zu",
+                     cluster, slowestCore_.size());
+    return slowestCore_[cluster];
 }
 
 double
@@ -182,21 +211,24 @@ VariationChip::coreSafeFAt(std::size_t core, double vdd) const
 double
 VariationChip::coreErrorRate(std::size_t core, double f) const
 {
-    ACC_DEBUG_ASSERT(core < coreNtvPoint_.size(),
+    ACC_DEBUG_ASSERT(core < ntvSigmaLn_.size(),
                      "coreErrorRate: core %zu out of %zu", core,
-                     coreNtvPoint_.size());
-    return coreTiming_[core].errorRateAt(coreNtvPoint_[core], f);
+                     ntvSigmaLn_.size());
+    double out;
+    errorRates(f, std::span<double>(&out, 1), core);
+    return out;
 }
 
 double
 VariationChip::coreFrequencyForErrorRate(std::size_t core,
                                          double perr) const
 {
-    ACC_DEBUG_ASSERT(core < coreNtvPoint_.size(),
+    ACC_DEBUG_ASSERT(core < ntvSigmaLn_.size(),
                      "coreFrequencyForErrorRate: core %zu out of %zu",
-                     core, coreNtvPoint_.size());
-    return coreTiming_[core].frequencyForErrorRateAt(
-        coreNtvPoint_[core], perr);
+                     core, ntvSigmaLn_.size());
+    double out;
+    frequenciesForErrorRate(perr, std::span<double>(&out, 1), core);
+    return out;
 }
 
 double
@@ -204,6 +236,144 @@ VariationChip::coreStaticPower(std::size_t core, double vdd) const
 {
     return tech_->staticPower(vdd, coreTiming(core).vth(),
                               coreLeffDev(core));
+}
+
+// ---------------------------------------------------------------------
+// Batch queries. Each kernel hoists the per-batch invariants and
+// streams over the parallel arrays; the scalar accessors above stay
+// the bit-identity oracle.
+// ---------------------------------------------------------------------
+
+void
+VariationChip::errorRates(double f, std::span<double> out,
+                          std::size_t first) const
+{
+    ACC_DEBUG_ASSERT(first + out.size() <= ntvSigmaLn_.size(),
+                     "errorRates: range [%zu, %zu) out of %zu", first,
+                     first + out.size(), ntvSigmaLn_.size());
+    CoreTimingModel::errorRatesAt(
+        timingParams_.pathsPerCycle, f,
+        std::span<const double>(ntvLogDelayMean_)
+            .subspan(first, out.size()),
+        std::span<const double>(ntvSigmaLn_).subspan(first, out.size()),
+        out);
+}
+
+void
+VariationChip::safeFrequencies(double vdd, std::span<double> out,
+                               std::size_t first) const
+{
+    ACC_DEBUG_ASSERT(first + out.size() <= coreVth_.size(),
+                     "safeFrequencies: range [%zu, %zu) out of %zu",
+                     first, first + out.size(), coreVth_.size());
+    // EKV delay statistics at this supply, then the hoisted-z
+    // inversion — the same two steps coreSafeFAt performs per core.
+    std::vector<double> delay_mean(out.size());
+    std::vector<double> sigma_ln(out.size());
+    CoreTimingModel::delayPointsAt(
+        *tech_, vdd,
+        std::span<const double>(coreVth_).subspan(first, out.size()),
+        std::span<const double>(coreLeffDev_).subspan(first, out.size()),
+        std::span<const double>(corePathSigmaVolts_)
+            .subspan(first, out.size()),
+        delay_mean, sigma_ln);
+    CoreTimingModel::frequenciesForErrorRateAt(
+        timingParams_.pathsPerCycle, timingParams_.perrSafe, delay_mean,
+        sigma_ln, out);
+}
+
+void
+VariationChip::frequenciesForErrorRate(double perr, std::span<double> out,
+                                       std::size_t first) const
+{
+    ACC_DEBUG_ASSERT(first + out.size() <= ntvSigmaLn_.size(),
+                     "frequenciesForErrorRate: range [%zu, %zu) out of "
+                     "%zu", first, first + out.size(),
+                     ntvSigmaLn_.size());
+    CoreTimingModel::frequenciesForErrorRateAt(
+        timingParams_.pathsPerCycle, perr,
+        std::span<const double>(ntvDelayMean_).subspan(first, out.size()),
+        std::span<const double>(ntvSigmaLn_).subspan(first, out.size()),
+        out);
+}
+
+void
+VariationChip::coreStaticPowers(double vdd, std::span<double> out,
+                                std::size_t first) const
+{
+    ACC_DEBUG_ASSERT(first + out.size() <= coreVth_.size(),
+                     "coreStaticPowers: range [%zu, %zu) out of %zu",
+                     first, first + out.size(), coreVth_.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = tech_->staticPower(vdd, coreVth_[first + i],
+                                    coreLeffDev_[first + i]);
+}
+
+void
+VariationChip::coreStaticPowers(double vdd,
+                                std::span<const std::size_t> cores,
+                                std::span<double> out) const
+{
+    ACC_DEBUG_ASSERT(cores.size() == out.size(),
+                     "coreStaticPowers: %zu cores but %zu outputs",
+                     cores.size(), out.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const std::size_t core = cores[i];
+        ACC_DEBUG_ASSERT(core < coreVth_.size(),
+                         "coreStaticPowers: core %zu out of %zu", core,
+                         coreVth_.size());
+        out[i] = tech_->staticPower(vdd, coreVth_[core],
+                                    coreLeffDev_[core]);
+    }
+}
+
+void
+VariationChip::clusterSafeFs(std::span<double> out,
+                             std::size_t first) const
+{
+    ACC_DEBUG_ASSERT(first + out.size() <= geometry_.numClusters(),
+                     "clusterSafeFs: range [%zu, %zu) out of %zu", first,
+                     first + out.size(), geometry_.numClusters());
+    const std::size_t per_cluster = geometry_.coresPerCluster();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const std::size_t begin =
+            geometry_.firstCoreOfCluster(first + i);
+        double f = 1e300;
+        for (std::size_t core = begin; core < begin + per_cluster;
+             ++core)
+            f = std::min(f, coreSafeF_[core]);
+        out[i] = f;
+    }
+}
+
+double
+VariationChip::minSafeF(std::span<const std::size_t> cores) const
+{
+    double f = 1e300;
+    for (std::size_t core : cores) {
+        ACC_DEBUG_ASSERT(core < coreSafeF_.size(),
+                         "minSafeF: core %zu out of %zu", core,
+                         coreSafeF_.size());
+        f = std::min(f, coreSafeF_[core]);
+    }
+    return f;
+}
+
+double
+VariationChip::minFrequencyForErrorRate(
+    double perr, std::span<const std::size_t> cores) const
+{
+    const double z =
+        CoreTimingModel::criticalZ(timingParams_.pathsPerCycle, perr);
+    double f = 1e300;
+    for (std::size_t core : cores) {
+        ACC_DEBUG_ASSERT(core < ntvSigmaLn_.size(),
+                         "minFrequencyForErrorRate: core %zu out of %zu",
+                         core, ntvSigmaLn_.size());
+        f = std::min(f, CoreTimingModel::frequencyForCriticalZ(
+                            z, ntvDelayMean_[core], ntvSigmaLn_[core]));
+    }
+    return f;
 }
 
 ChipFactory::ChipFactory(const Technology &tech, Params params,

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "geometry.hpp"
@@ -26,6 +27,16 @@ namespace accordion::vartech {
 /**
  * One manufactured chip instance with its full variation
  * realization and derived reliability quantities.
+ *
+ * Hot per-core state lives in contiguous parallel arrays
+ * (structure-of-arrays): threshold voltages, Leff deviations, the
+ * hoisted NTV delay statistics, and the per-core safe frequencies.
+ * Batch queries (errorRates, safeFrequencies,
+ * frequenciesForErrorRate, coreStaticPowers, clusterSafeFs) stream
+ * over those arrays with per-batch invariants hoisted and branch-free
+ * inner loops; the scalar accessors are thin views over the same
+ * arrays and double as the bit-identity oracle — for every core,
+ * batch output == scalar output, bit for bit.
  */
 class VariationChip
 {
@@ -51,8 +62,12 @@ class VariationChip
     /** Systematic Leff deviation of a core (fraction). */
     double coreLeffDev(std::size_t core) const;
 
-    /** Timing model of a core. */
-    const CoreTimingModel &coreTiming(std::size_t core) const;
+    /**
+     * Timing model of a core, materialized on demand from the
+     * structure-of-arrays state (bit-identical to the model the
+     * chip was built from).
+     */
+    CoreTimingModel coreTiming(std::size_t core) const;
 
     /** VddMIN of a core's private memory block [V]. */
     double privateMemVddMin(std::size_t core) const;
@@ -97,29 +112,86 @@ class VariationChip
     double coreStaticPower(std::size_t core, double vdd) const;
 
     /** Number of cores. */
-    std::size_t numCores() const { return coreTiming_.size(); }
+    std::size_t numCores() const { return coreVth_.size(); }
 
     /** Number of clusters. */
     std::size_t numClusters() const { return geometry_.numClusters(); }
+
+    // ------------------------------------------------------------------
+    // Batch queries. Compute-into variants fill out.size() entries for
+    // cores (or clusters) [first, first + out.size()); span views hand
+    // whole-chip arrays to callers (Monte Carlo metric fan-out, CC
+    // ranking scans) without any per-core calls. All bit-identical to
+    // the scalar accessors above.
+    // ------------------------------------------------------------------
+
+    /** Batch coreErrorRate: per-cycle error rate at (VddNTV, f). */
+    void errorRates(double f, std::span<double> out,
+                    std::size_t first = 0) const;
+
+    /** Batch coreSafeFAt: safe frequency at an arbitrary supply. */
+    void safeFrequencies(double vdd, std::span<double> out,
+                         std::size_t first = 0) const;
+
+    /** Batch coreFrequencyForErrorRate at VddNTV (z* hoisted). */
+    void frequenciesForErrorRate(double perr, std::span<double> out,
+                                 std::size_t first = 0) const;
+
+    /** Batch coreStaticPower over a contiguous core range. */
+    void coreStaticPowers(double vdd, std::span<double> out,
+                          std::size_t first = 0) const;
+
+    /** Gathered coreStaticPower over an arbitrary core index list. */
+    void coreStaticPowers(double vdd, std::span<const std::size_t> cores,
+                          std::span<double> out) const;
+
+    /** Batch clusterSafeF: the cluster-min reduction over coreSafeFs. */
+    void clusterSafeFs(std::span<double> out, std::size_t first = 0) const;
+
+    /** Slowest selected core's safe f (min over the gathered set). */
+    double minSafeF(std::span<const std::size_t> cores) const;
+
+    /** Slowest selected core's speculative f at @p perr (z* hoisted). */
+    double minFrequencyForErrorRate(double perr,
+                                    std::span<const std::size_t> cores)
+        const;
+
+    /** Whole-chip view: safe f of every core at VddNTV [Hz]. */
+    std::span<const double> coreSafeFs() const { return coreSafeF_; }
+
+    /** Whole-chip view: safe f of every cluster at VddNTV [Hz]. */
+    std::span<const double> clusterSafeFs() const { return clusterSafeF_; }
+
+    /** Whole-chip view: per-cluster VddMIN [V]. */
+    std::span<const double> clusterVddMins() const { return clusterVddMin_; }
 
   private:
     const Technology *tech_;
     ChipGeometry geometry_;
     std::uint64_t chipId_;
+    TimingModelParams timingParams_;
+    // Structure-of-arrays core state: parallel arrays indexed by core.
     std::vector<double> coreVthDev_;
     std::vector<double> coreLeffDev_;
-    std::vector<CoreTimingModel> coreTiming_;
+    std::vector<double> coreVth_; //!< actual threshold [V]
+    std::vector<double> corePathSigmaVolts_; //!< path random-Vth sigma [V]
     std::vector<double> privateMemVddMin_;
     std::vector<double> clusterMemVddMin_;
     std::vector<double> clusterVddMin_;
     double vddNtv_;
+    /** Per-core NTV delay statistics (mean delay, its log, log-delay
+     *  sigma), hoisted at construction so every later error-rate /
+     *  speculative-frequency query at VddNTV is pure CDF math. */
+    std::vector<double> ntvDelayMean_;
+    std::vector<double> ntvLogDelayMean_;
+    std::vector<double> ntvSigmaLn_;
     /** Safe f of every core at VddNTV, computed at construction so
      *  concurrent readers never mutate chip state. */
     std::vector<double> coreSafeF_;
-    /** Per-core (delay mean, log-delay sigma) at VddNTV, hoisted at
-     *  construction so the error-rate queries of pareto scans and
-     *  speculative-frequency searches skip the EKV delay model. */
-    std::vector<CoreTimingModel::DelayPoint> coreNtvPoint_;
+    /** Per-cluster min of coreSafeF_ and its argmin, precomputed so
+     *  cluster ranking and CC selection are array reads. */
+    std::vector<double> clusterSafeF_;
+    std::vector<std::size_t> slowestCore_;
 };
 
 /**

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Bit-identity property suite for the structure-of-arrays batch
+ * substrate: for every batch query on VariationChip, the batch
+ * output must equal the scalar accessor output bit for bit — same
+ * helpers, same operand order, no tolerance. The grid spans both
+ * technologies, several chip geometries (including odd, non-default
+ * shapes), and a spread of vdd / f / perr operating points; batch
+ * spans cover size 1, a prime size at a nonzero offset, and the
+ * whole chip, so off-by-one windowing bugs cannot hide behind the
+ * full-chip case.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vartech/variation_chip.hpp"
+
+using namespace accordion::vartech;
+
+namespace {
+
+struct GeometryCase
+{
+    const char *name;
+    ChipGeometry::Params params;
+};
+
+/** Default 6x6 of 4x2, a tiny chip, and an odd 3x3 of 3x1. */
+const GeometryCase kGeometries[] = {
+    {"default_6x6_4x2", {6, 6, 4, 2, 20.0}},
+    {"small_2x2_2x1", {2, 2, 2, 1, 10.0}},
+    {"odd_3x3_3x1", {3, 3, 3, 1, 14.0}},
+};
+
+Technology
+makeTech(bool itrs22)
+{
+    return itrs22 ? Technology::makeItrs22nm()
+                  : Technology::makeItrs11nm();
+}
+
+VariationChip
+makeChip(const Technology &tech, const GeometryCase &geometry,
+         std::uint64_t seed, std::uint64_t id)
+{
+    ChipFactory::Params params;
+    params.geometry = geometry.params;
+    const ChipFactory factory(tech, params, seed);
+    return factory.make(id);
+}
+
+/**
+ * Spans to probe for an n-core (or n-cluster) chip: a batch of one
+ * in the middle, a prime-sized window at an odd offset, and the
+ * whole range. Degenerates gracefully for tiny n.
+ */
+struct Window
+{
+    std::size_t first;
+    std::size_t count;
+};
+
+std::vector<Window>
+windows(std::size_t n)
+{
+    std::vector<Window> out;
+    out.push_back({n / 2, 1});
+    const std::size_t prime = 7;
+    if (n > prime)
+        out.push_back({std::min<std::size_t>(3, n - prime),
+                       prime});
+    out.push_back({0, n});
+    return out;
+}
+
+class BatchSubstrate
+    : public ::testing::TestWithParam<std::tuple<bool, std::size_t>>
+{
+  protected:
+    BatchSubstrate()
+        : tech_(makeTech(std::get<0>(GetParam()))),
+          geometry_(kGeometries[std::get<1>(GetParam())]),
+          chip_(makeChip(tech_, geometry_, 12345, 3))
+    {
+    }
+
+    Technology tech_;
+    GeometryCase geometry_;
+    VariationChip chip_;
+};
+
+TEST_P(BatchSubstrate, ErrorRatesMatchScalar)
+{
+    for (double f : {0.3e9, 0.7e9, 1.2e9}) {
+        for (const Window &w : windows(chip_.numCores())) {
+            std::vector<double> batch(w.count);
+            chip_.errorRates(f, batch, w.first);
+            for (std::size_t i = 0; i < w.count; ++i)
+                EXPECT_EQ(batch[i],
+                          chip_.coreErrorRate(w.first + i, f))
+                    << "core " << w.first + i << " f " << f;
+        }
+    }
+}
+
+TEST_P(BatchSubstrate, SafeFrequenciesMatchScalar)
+{
+    for (double vdd : {0.45, 0.55, 0.7}) {
+        for (const Window &w : windows(chip_.numCores())) {
+            std::vector<double> batch(w.count);
+            chip_.safeFrequencies(vdd, batch, w.first);
+            for (std::size_t i = 0; i < w.count; ++i)
+                EXPECT_EQ(batch[i],
+                          chip_.coreSafeFAt(w.first + i, vdd))
+                    << "core " << w.first + i << " vdd " << vdd;
+        }
+    }
+}
+
+TEST_P(BatchSubstrate, FrequenciesForErrorRateMatchScalar)
+{
+    for (double perr : {1e-12, 1e-7, 1e-3}) {
+        for (const Window &w : windows(chip_.numCores())) {
+            std::vector<double> batch(w.count);
+            chip_.frequenciesForErrorRate(perr, batch, w.first);
+            for (std::size_t i = 0; i < w.count; ++i)
+                EXPECT_EQ(batch[i],
+                          chip_.coreFrequencyForErrorRate(
+                              w.first + i, perr))
+                    << "core " << w.first + i << " perr " << perr;
+        }
+    }
+}
+
+TEST_P(BatchSubstrate, StaticPowersMatchScalar)
+{
+    for (double vdd : {0.45, 0.55, 0.7}) {
+        for (const Window &w : windows(chip_.numCores())) {
+            std::vector<double> batch(w.count);
+            chip_.coreStaticPowers(vdd, batch, w.first);
+            for (std::size_t i = 0; i < w.count; ++i)
+                EXPECT_EQ(batch[i],
+                          chip_.coreStaticPower(w.first + i, vdd))
+                    << "core " << w.first + i << " vdd " << vdd;
+        }
+    }
+}
+
+TEST_P(BatchSubstrate, GatheredStaticPowersMatchScalar)
+{
+    // An arbitrary, non-contiguous, non-monotone gather list.
+    std::vector<std::size_t> cores;
+    for (std::size_t c = chip_.numCores(); c-- > 0;)
+        if (c % 3 == 0)
+            cores.push_back(c);
+    std::vector<double> batch(cores.size());
+    chip_.coreStaticPowers(0.55, cores, batch);
+    for (std::size_t i = 0; i < cores.size(); ++i)
+        EXPECT_EQ(batch[i], chip_.coreStaticPower(cores[i], 0.55))
+            << "core " << cores[i];
+}
+
+TEST_P(BatchSubstrate, ClusterSafeFsMatchScalar)
+{
+    for (const Window &w : windows(chip_.numClusters())) {
+        std::vector<double> batch(w.count);
+        chip_.clusterSafeFs(batch, w.first);
+        for (std::size_t i = 0; i < w.count; ++i)
+            EXPECT_EQ(batch[i], chip_.clusterSafeF(w.first + i))
+                << "cluster " << w.first + i;
+    }
+}
+
+TEST_P(BatchSubstrate, SpanViewsMatchScalar)
+{
+    const std::span<const double> safe_f = chip_.coreSafeFs();
+    ASSERT_EQ(safe_f.size(), chip_.numCores());
+    for (std::size_t c = 0; c < chip_.numCores(); ++c)
+        EXPECT_EQ(safe_f[c], chip_.coreSafeF(c));
+
+    const std::span<const double> cluster_f = chip_.clusterSafeFs();
+    ASSERT_EQ(cluster_f.size(), chip_.numClusters());
+    const std::span<const double> vddmins = chip_.clusterVddMins();
+    ASSERT_EQ(vddmins.size(), chip_.numClusters());
+    for (std::size_t k = 0; k < chip_.numClusters(); ++k) {
+        EXPECT_EQ(cluster_f[k], chip_.clusterSafeF(k));
+        EXPECT_EQ(vddmins[k], chip_.clusterVddMin(k));
+    }
+}
+
+TEST_P(BatchSubstrate, MinReductionsMatchManualLoops)
+{
+    // Gather set: every other core, reversed (exercises non-trivial
+    // index order in the reductions).
+    std::vector<std::size_t> cores;
+    for (std::size_t c = chip_.numCores(); c-- > 0;)
+        if (c % 2 == 0)
+            cores.push_back(c);
+
+    double safe = 1e300;
+    for (std::size_t core : cores)
+        safe = std::min(safe, chip_.coreSafeF(core));
+    EXPECT_EQ(chip_.minSafeF(cores), safe);
+
+    for (double perr : {1e-12, 1e-7, 1e-3}) {
+        double spec = 1e300;
+        for (std::size_t core : cores)
+            spec = std::min(
+                spec, chip_.coreFrequencyForErrorRate(core, perr));
+        EXPECT_EQ(chip_.minFrequencyForErrorRate(perr, cores), spec)
+            << "perr " << perr;
+    }
+}
+
+TEST_P(BatchSubstrate, SlowestCoreIsClusterArgmin)
+{
+    for (std::size_t k = 0; k < chip_.numClusters(); ++k) {
+        const std::size_t slow = chip_.slowestCoreOfCluster(k);
+        EXPECT_EQ(chip_.geometry().clusterOfCore(slow), k);
+        EXPECT_EQ(chip_.coreSafeF(slow), chip_.clusterSafeF(k));
+        // First-wins argmin: no earlier core of the cluster is
+        // strictly slower, and none before `slow` ties it.
+        for (std::size_t core :
+             chip_.geometry().coresOfCluster(k)) {
+            EXPECT_GE(chip_.coreSafeF(core), chip_.clusterSafeF(k));
+            if (core < slow)
+                EXPECT_GT(chip_.coreSafeF(core),
+                          chip_.clusterSafeF(k));
+        }
+    }
+}
+
+TEST_P(BatchSubstrate, CoreTimingViewIsBitIdenticalOracle)
+{
+    // The materialized per-core timing model must answer exactly
+    // like the chip's batch paths: it is the oracle the SoA arrays
+    // were filled from.
+    const std::size_t probe[] = {0, chip_.numCores() / 2,
+                                 chip_.numCores() - 1};
+    for (std::size_t core : probe) {
+        const CoreTimingModel timing = chip_.coreTiming(core);
+        for (double vdd : {0.45, 0.55, 0.7})
+            EXPECT_EQ(timing.safeFrequency(vdd),
+                      chip_.coreSafeFAt(core, vdd))
+                << "core " << core << " vdd " << vdd;
+        EXPECT_EQ(timing.vth(),
+                  chip_.technology().params().vthNom *
+                      (1.0 + chip_.coreVthDev(core)))
+            << "core " << core;
+    }
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<std::tuple<bool, std::size_t>>
+             &info)
+{
+    std::string name = std::get<0>(info.param) ? "itrs22" : "itrs11";
+    name += "_";
+    name += kGeometries[std::get<1>(info.param)].name;
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BatchSubstrate,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Range<std::size_t>(0, 3)),
+    caseName);
+
+} // namespace

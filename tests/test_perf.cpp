@@ -9,6 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -413,6 +417,129 @@ TEST(PerfRecord, ExperimentScenariosAlwaysDeriveThroughput)
     EXPECT_EQ(record.counters.at("perf.items"), 1u);
     ASSERT_FALSE(record.throughput.empty());
     EXPECT_GT(record.throughput.at("perf.items"), 0.0);
+}
+
+// ---------------------------------------------------------------
+// Compare CLI smoke: runPerfCompare end to end against real files,
+// asserting the documented exit-code contract (0 ok / 1 verdict
+// failure / 2 unusable input) CI scripts depend on.
+// ---------------------------------------------------------------
+
+/** Writes @p text to a fresh temp file; removed on destruction. */
+class TempSnapshotFile
+{
+  public:
+    TempSnapshotFile(const std::string &stem, const std::string &text)
+        : path_((std::filesystem::temp_directory_path() /
+                 ("accordion-test-" + stem + "-" +
+                  std::to_string(::getpid()) + ".json"))
+                    .string())
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        out << text;
+    }
+
+    TempSnapshotFile(const TempSnapshotFile &) = delete;
+    TempSnapshotFile &operator=(const TempSnapshotFile &) = delete;
+
+    ~TempSnapshotFile()
+    {
+        std::error_code ec;
+        std::filesystem::remove(path_, ec);
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(PerfCompareCli, MissingScenarioExitsOneAndNamesIt)
+{
+    const TempSnapshotFile base(
+        "base", obs::toJson(makeSnapshot(
+                    {{"substrate.alpha", 10.0}, {"gone", 10.0}})));
+    const TempSnapshotFile next(
+        "next", obs::toJson(makeSnapshot({{"substrate.alpha", 10.0}})));
+
+    harness::CompareOptions options;
+    options.basePath = base.path();
+    options.newPath = next.path();
+
+    ::testing::internal::CaptureStdout();
+    ::testing::internal::CaptureStderr();
+    const int code = harness::runPerfCompare(options);
+    const std::string verdict =
+        ::testing::internal::GetCapturedStdout();
+    const std::string table = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(code, 1);
+    // The human table names the vanished scenario and its status.
+    EXPECT_NE(table.find("gone"), std::string::npos) << table;
+    EXPECT_NE(table.find("missing_in_new"), std::string::npos)
+        << table;
+    // And stdout still carries parseable verdict JSON.
+    const Json root = JsonParser(verdict).parse();
+    EXPECT_FALSE(root.at("ok").boolean);
+    EXPECT_EQ(root.at("missing").number, 1.0);
+
+    // --warn-only downgrades the verdict failure to success.
+    options.warnOnly = true;
+    ::testing::internal::CaptureStdout();
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(harness::runPerfCompare(options), 0);
+    ::testing::internal::GetCapturedStdout();
+    ::testing::internal::GetCapturedStderr();
+}
+
+TEST(PerfCompareCli, TruncatedFileExitsTwo)
+{
+    const std::string good =
+        obs::toJson(makeSnapshot({{"substrate.alpha", 10.0}}));
+    const TempSnapshotFile base("trunc-base", good);
+    // Chop the file mid-object: unusable input, not a verdict.
+    const TempSnapshotFile next("trunc-new",
+                                good.substr(0, good.size() / 2));
+
+    harness::CompareOptions options;
+    options.basePath = base.path();
+    options.newPath = next.path();
+    ::testing::internal::CaptureStdout();
+    ::testing::internal::CaptureStderr();
+    const int code = harness::runPerfCompare(options);
+    ::testing::internal::GetCapturedStdout();
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(code, 2);
+    EXPECT_NE(err.find(next.path()), std::string::npos) << err;
+    // Even --warn-only cannot bless unusable input.
+    options.warnOnly = true;
+    ::testing::internal::CaptureStdout();
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(harness::runPerfCompare(options), 2);
+    ::testing::internal::GetCapturedStdout();
+    ::testing::internal::GetCapturedStderr();
+}
+
+TEST(PerfCompareCli, SchemaMismatchedFileExitsTwo)
+{
+    const std::string good =
+        obs::toJson(makeSnapshot({{"substrate.alpha", 10.0}}));
+    std::string other = good;
+    const std::string needle = obs::kPerfSnapshotSchema;
+    other.replace(other.find(needle), needle.size(),
+                  "accordion-perf-snapshot-v999");
+    const TempSnapshotFile base("schema-base", good);
+    const TempSnapshotFile next("schema-new", other);
+
+    harness::CompareOptions options;
+    options.basePath = base.path();
+    options.newPath = next.path();
+    ::testing::internal::CaptureStdout();
+    ::testing::internal::CaptureStderr();
+    const int code = harness::runPerfCompare(options);
+    ::testing::internal::GetCapturedStdout();
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(code, 2);
+    EXPECT_NE(err.find("v999"), std::string::npos) << err;
 }
 
 TEST(PerfSuite, CuratedSuiteIsSortedAndBigEnough)
