@@ -1,9 +1,11 @@
 #include "cli.hpp"
 
 #include <cstdio>
+#include <optional>
 
 #include "args.hpp"
 #include "obs/clock.hpp"
+#include "obs/metrics.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
 #include "stats_report.hpp"
@@ -23,6 +25,7 @@ usage()
            "  run <name>... | run all  run experiments\n"
            "  perf                     record a performance snapshot\n"
            "  perf compare BASE NEW    compare two snapshots\n"
+           "  profile <scenario>       sample one perf scenario\n"
            "  help                     this text\n"
            "\n"
            "run options:\n"
@@ -36,6 +39,10 @@ usage()
            "(auto: stdout for csv, stderr for json)\n"
            "  --trace FILE   write a Chrome-trace (Perfetto-"
            "loadable) JSON of the run\n"
+           "  --metrics-out FILE      live Prometheus text "
+           "exposition, rewritten atomically\n"
+           "  --metrics-interval MS   exposition flush period "
+           "(default: 500)\n"
            "\n"
            "perf options:\n"
            "  --reps R         recorded repetitions per scenario "
@@ -52,6 +59,19 @@ usage()
            "perf compare options:\n"
            "  --threshold PCT  relative noise threshold (default: 5)\n"
            "  --warn-only      report regressions but exit 0\n"
+           "\n"
+           "profile options:\n"
+           "  --folded FILE    write flamegraph-compatible folded "
+           "stacks\n"
+           "  --reps R         profiled repetitions (default: 10; "
+           "one unprofiled warmup first)\n"
+           "  --interval US    sampling period in microseconds of "
+           "process CPU time (default: 1000)\n"
+           "  --top N          self-time table rows (default: 20)\n"
+           "  --list           print the scenario suite and exit\n"
+           "  --scale X, --threads N, --seed S  as for perf\n"
+           "  --trace FILE, --metrics-out FILE, --metrics-interval "
+           "MS  as for run\n"
            "\n"
            "perf compare prints the verdict table on stderr and the "
            "verdict JSON on stdout;\nexit 1 = regression or missing "
@@ -180,6 +200,117 @@ parsePerf(const std::vector<std::string> &args, std::string *error)
     return options;
 }
 
+/** Parse the `profile` subcommand's argument tail. */
+std::optional<CliOptions>
+parseProfile(const std::vector<std::string> &args, std::string *error)
+{
+    CliOptions options;
+    options.command = CliOptions::Command::Profile;
+
+    std::string value;
+    std::vector<std::string> names;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--folded") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            options.profile.folded = value;
+        } else if (arg == "--interval") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            std::size_t us = 0;
+            if (!parsePositiveCount(value, &us)) {
+                *error = "--interval wants a positive integer "
+                         "(microseconds), got '" +
+                         value + "'";
+                return std::nullopt;
+            }
+            options.profile.intervalUs = us;
+        } else if (arg == "--reps") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            if (!parsePositiveCount(value, &options.profile.reps)) {
+                *error = "--reps wants a positive integer, got '" +
+                         value + "'";
+                return std::nullopt;
+            }
+        } else if (arg == "--scale") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            if (!parsePositiveReal(value, &options.profile.scale)) {
+                *error = "--scale wants a positive number, got '" +
+                         value + "'";
+                return std::nullopt;
+            }
+        } else if (arg == "--threads") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            if (!parsePositiveCount(value,
+                                    &options.profile.threads)) {
+                *error = "--threads wants a positive integer, got '" +
+                         value + "'";
+                return std::nullopt;
+            }
+        } else if (arg == "--seed") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            if (!parseSeed(value, &options.profile.seed)) {
+                *error = "--seed wants a non-negative integer, got '" +
+                         value + "'";
+                return std::nullopt;
+            }
+        } else if (arg == "--top") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            if (!parsePositiveCount(value, &options.profile.top)) {
+                *error = "--top wants a positive integer, got '" +
+                         value + "'";
+                return std::nullopt;
+            }
+        } else if (arg == "--trace") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            options.profile.trace = value;
+        } else if (arg == "--metrics-out") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            options.profile.metricsOut = value;
+        } else if (arg == "--metrics-interval") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            std::size_t ms = 0;
+            if (!parsePositiveCount(value, &ms)) {
+                *error = "--metrics-interval wants a positive "
+                         "integer (milliseconds), got '" +
+                         value + "'";
+                return std::nullopt;
+            }
+            options.profile.metricsIntervalMs = ms;
+        } else if (arg == "--list") {
+            options.profile.list = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            *error = "unknown option '" + arg + "'";
+            return std::nullopt;
+        } else {
+            names.push_back(arg);
+        }
+    }
+    if (options.profile.list) {
+        if (!names.empty()) {
+            *error = "profile --list takes no scenario name";
+            return std::nullopt;
+        }
+        return options;
+    }
+    if (names.size() != 1) {
+        *error = "profile wants exactly one scenario name (see: "
+                 "accordion profile --list)";
+        return std::nullopt;
+    }
+    options.profile.scenario = names[0];
+    return options;
+}
+
 } // namespace
 
 std::optional<CliOptions>
@@ -206,6 +337,8 @@ parseCli(const std::vector<std::string> &args, std::string *error)
     }
     if (command == "perf")
         return parsePerf(args, error);
+    if (command == "profile")
+        return parseProfile(args, error);
     if (command != "run") {
         *error = "unknown command '" + command +
                  "' (try: accordion help)";
@@ -240,6 +373,21 @@ parseCli(const std::vector<std::string> &args, std::string *error)
             if (!flagValue(args, &i, &value, error))
                 return std::nullopt;
             options.trace = value;
+        } else if (arg == "--metrics-out") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            options.metricsOut = value;
+        } else if (arg == "--metrics-interval") {
+            if (!flagValue(args, &i, &value, error))
+                return std::nullopt;
+            std::size_t ms = 0;
+            if (!parsePositiveCount(value, &ms)) {
+                *error = "--metrics-interval wants a positive "
+                         "integer (milliseconds), got '" +
+                         value + "'";
+                return std::nullopt;
+            }
+            options.metricsIntervalMs = ms;
         } else if (arg == "--format") {
             if (!flagValue(args, &i, &value, error))
                 return std::nullopt;
@@ -337,6 +485,9 @@ runCli(int argc, char **argv)
     case CliOptions::Command::PerfCompare:
         return runPerfCompare(options->compare);
 
+    case CliOptions::Command::Profile:
+        return runProfile(options->profile);
+
     case CliOptions::Command::Run:
         break;
     }
@@ -356,6 +507,23 @@ runCli(int argc, char **argv)
 
     RunContext ctx(options->run);
     const std::size_t threads = util::ThreadPool::global().size();
+
+    // Live telemetry: the Prometheus exposition file when asked
+    // for, and — whenever a trace is open — periodic "C" counter
+    // events so the trace shows stats evolving over the run. Built
+    // after RunContext so the (possibly resized) pool's counters
+    // are live. Read-only: it cannot perturb results.
+    std::optional<obs::MetricsExporter> exporter;
+    if (!options->metricsOut.empty() || obs::TraceWriter::global()) {
+        obs::MetricsExporter::Options metrics;
+        metrics.path = options->metricsOut;
+        metrics.intervalMs = options->metricsIntervalMs;
+        exporter.emplace(registry, metrics);
+        if (!exporter->ok())
+            util::fatal("--metrics-out: cannot write '%s'",
+                        options->metricsOut.c_str());
+    }
+
     std::vector<ExperimentSummary> summaries;
     summaries.reserve(experiments.size());
     std::uint64_t total_ns = 0;
@@ -378,6 +546,10 @@ runCli(int argc, char **argv)
                      elapsed * 1e-9);
     }
 
+    // Stop the exporter before the trace seals so no counter event
+    // races the close (and the exposition file gets a final flush).
+    if (exporter)
+        exporter->stopAndFlush();
     if (obs::TraceWriter::global()) {
         // Recreate the pool so every worker exits and flushes its
         // lifetime span before the trace file is sealed.

@@ -6,11 +6,14 @@
  *   accordion run <name>... [--threads N] [--seed S]
  *                           [--out-dir DIR] [--format csv|json|both]
  *                           [--stats auto|on|off] [--trace FILE]
+ *                           [--metrics-out FILE]
+ *                           [--metrics-interval MS]
  *   accordion run all [...]
  *   accordion perf [--reps R] [--warmup W] [--scale X] [--out FILE]
  *                  [--scenario NAME]... [--list]
  *   accordion perf compare BASE.json NEW.json [--threshold PCT]
  *                  [--warn-only]
+ *   accordion profile <scenario> [--folded FILE] [--reps R] [...]
  *
  * Parsing is separated from execution (and from fatal()) so the
  * test suite can exercise every error path in-process.
@@ -25,6 +28,7 @@
 
 #include "experiment.hpp"
 #include "perf.hpp"
+#include "profile.hpp"
 #include "run_context.hpp"
 
 namespace accordion::harness {
@@ -49,6 +53,7 @@ struct CliOptions
         Run,  //!< run the named experiments (or all)
         Perf, //!< record a performance snapshot
         PerfCompare, //!< compare two snapshots
+        Profile, //!< sample one perf scenario
     };
 
     Command command = Command::Help;
@@ -58,9 +63,13 @@ struct CliOptions
     StatsMode stats = StatsMode::Auto;
     /** Chrome-trace output path (`--trace`); empty = tracing off. */
     std::string trace;
+    /** Prometheus exposition path (`--metrics-out`); empty = off. */
+    std::string metricsOut;
+    std::uint64_t metricsIntervalMs = 500; //!< `--metrics-interval`
 
     PerfOptions perf; //!< Command::Perf
     CompareOptions compare; //!< Command::PerfCompare
+    ProfileOptions profile; //!< Command::Profile
 };
 
 /** The usage text `accordion help` prints. */

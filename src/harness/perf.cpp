@@ -1,6 +1,5 @@
 #include "perf.hpp"
 
-#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -17,6 +16,7 @@
 #include "obs/clock.hpp"
 #include "perf_kernels.hpp"
 #include "run_context.hpp"
+#include "silencer.hpp"
 #include "stats_report.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -32,41 +32,6 @@ PerfRun::scaled(std::size_t base) const
 }
 
 namespace {
-
-/**
- * Redirect stdout to /dev/null for a scope. The experiment
- * scenarios rerun experiment bodies that print their figures to
- * stdout; perf record must keep stdout clean for its own report.
- */
-class StdoutSilencer
-{
-  public:
-    StdoutSilencer()
-    {
-        std::fflush(stdout);
-        saved_ = ::dup(1);
-        const int null = ::open("/dev/null", O_WRONLY);
-        if (saved_ >= 0 && null >= 0)
-            ::dup2(null, 1);
-        if (null >= 0)
-            ::close(null);
-    }
-
-    StdoutSilencer(const StdoutSilencer &) = delete;
-    StdoutSilencer &operator=(const StdoutSilencer &) = delete;
-
-    ~StdoutSilencer()
-    {
-        std::fflush(stdout);
-        if (saved_ >= 0) {
-            ::dup2(saved_, 1);
-            ::close(saved_);
-        }
-    }
-
-  private:
-    int saved_ = -1;
-};
 
 /**
  * The work counter every scenario bumps: substrate scenarios count
@@ -237,7 +202,11 @@ buildScenarios()
          "workers)",
          [](PerfRun &run) {
              const std::size_t n = run.scaled(20);
-             const manycore::BspPerfModel model;
+             // An explicit team request sized to the pool: auto
+             // would bow to hardware_concurrency(), quietly turning
+             // this into the serial scenario on one-core CI boxes.
+             const manycore::BspPerfModel model(
+                 {}, util::ThreadPool::global().size());
              const kernels::PerfModelInput input(288);
              double acc = 0.0;
              for (std::size_t i = 0; i < n; ++i)

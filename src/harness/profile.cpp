@@ -1,0 +1,196 @@
+#include "profile.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/domain.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+#include "perf.hpp"
+#include "perf_kernels.hpp"
+#include "run_context.hpp"
+#include "silencer.hpp"
+#include "stats_report.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace accordion::harness {
+
+namespace {
+
+/** The perf-suite scenario named @p name, or null. */
+const PerfScenario *
+findScenario(const std::string &name)
+{
+    for (const PerfScenario &s : perfScenarios())
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+/** One-line human spelling of a sample share. */
+std::string
+formatShare(double fraction)
+{
+    return util::format("%5.1f%%", fraction * 100.0);
+}
+
+} // namespace
+
+int
+runProfile(const ProfileOptions &options)
+{
+    if (options.list) {
+        util::Table table({"scenario", "description"});
+        for (const PerfScenario &s : perfScenarios())
+            table.addRow({s.name, s.description});
+        std::printf("%s", table.render().c_str());
+        std::printf("\n%zu scenarios; profile with: accordion "
+                    "profile <scenario>\n",
+                    perfScenarios().size());
+        return 0;
+    }
+
+    const PerfScenario *scenario = findScenario(options.scenario);
+    if (!scenario)
+        util::fatal("unknown scenario '%s' (see: accordion profile "
+                    "--list)",
+                    options.scenario.c_str());
+
+    obs::StatsRegistry &registry = obs::StatsRegistry::global();
+    registry.setEnabled(true);
+    if (!options.trace.empty() &&
+        !obs::TraceWriter::openGlobal(options.trace))
+        util::fatal("--trace: cannot open '%s' for writing",
+                    options.trace.c_str());
+
+    // Same shared state the perf suite measures against, so the
+    // profile answers "where does *that* scenario spend its time".
+    const std::string out_dir =
+        (std::filesystem::temp_directory_path() /
+         util::format("accordion-profile-%d",
+                      static_cast<int>(getpid())))
+            .string();
+    RunContext::Options run_options;
+    run_options.seed = options.seed;
+    run_options.threads = options.threads;
+    run_options.outDir = out_dir;
+    RunContext ctx(run_options);
+    kernels::SubstrateFixtures fixtures(options.seed);
+    PerfRun run{ctx, fixtures, options.scale};
+
+    // Live telemetry while the run is in flight: the Prometheus
+    // file when asked for, trace counter events whenever a trace is
+    // open. Started after the pool exists so its counters are live.
+    std::optional<obs::MetricsExporter> exporter;
+    if (!options.metricsOut.empty() || obs::TraceWriter::global()) {
+        obs::MetricsExporter::Options metrics;
+        metrics.path = options.metricsOut;
+        metrics.intervalMs = options.metricsIntervalMs;
+        exporter.emplace(registry, metrics);
+        if (!exporter->ok())
+            util::fatal("--metrics-out: cannot write '%s'",
+                        options.metricsOut.c_str());
+    }
+
+    // One unprofiled warmup builds the lazy fixtures (systems,
+    // caches) so the samples cover steady-state work; its stats are
+    // discarded with the reset below.
+    {
+        StdoutSilencer silence;
+        scenario->body(run);
+    }
+    registry.reset();
+
+    obs::SamplingProfiler profiler;
+    obs::ProfilerOptions profiler_options;
+    profiler_options.intervalUs = options.intervalUs;
+    if (!profiler.start(profiler_options))
+        util::fatal("cannot start the sampling profiler (another "
+                    "profiler running, or no timer support)");
+
+    const std::uint64_t t0 = obs::nowNs();
+    {
+        StdoutSilencer silence;
+        for (std::size_t rep = 0; rep < options.reps; ++rep)
+            scenario->body(run);
+    }
+    const std::uint64_t elapsed = obs::nowNs() - t0;
+    profiler.stop();
+
+    // Profiler bookkeeping rides into the run's stats through a
+    // scoped domain: registered locally, folded into the global
+    // registry on merge, so the table below carries it alongside
+    // the wait-state counters.
+    {
+        obs::StatsDomain domain(registry, "profile");
+        domain.counter("profiler.samples").add(profiler.sampleCount());
+        domain.counter("profiler.dropped_samples")
+            .add(profiler.droppedSamples());
+        domain.counter("profiler.threads")
+            .add(profiler.sampledThreads());
+    }
+    deriveUtilization(registry, elapsed);
+
+    if (obs::TraceWriter *writer = obs::TraceWriter::global())
+        profiler.injectTraceSamples(writer);
+    if (exporter)
+        exporter->stopAndFlush();
+    if (obs::TraceWriter::global()) {
+        // Recreate the pool so every worker flushes its lifetime
+        // span before the trace file is sealed (same dance as run).
+        util::ThreadPool::setGlobalThreads(
+            util::ThreadPool::global().size());
+        obs::TraceWriter::closeGlobal();
+    }
+
+    if (!options.folded.empty() &&
+        !profiler.writeFolded(options.folded))
+        util::fatal("--folded: cannot write '%s'",
+                    options.folded.c_str());
+
+    std::fprintf(stderr,
+                 "profile: %s: %zu rep(s), %.2f s wall, %llu "
+                 "samples (%llu dropped) on %zu thread(s)\n",
+                 scenario->name.c_str(), options.reps, elapsed * 1e-9,
+                 static_cast<unsigned long long>(
+                     profiler.sampleCount()),
+                 static_cast<unsigned long long>(
+                     profiler.droppedSamples()),
+                 profiler.sampledThreads());
+
+    const std::vector<obs::SelfTimeEntry> top =
+        profiler.selfTimes(options.top);
+    util::Table table({"self", "samples", "symbol"});
+    for (const obs::SelfTimeEntry &e : top)
+        table.addRow({formatShare(e.fraction),
+                      util::format("%llu",
+                                   static_cast<unsigned long long>(
+                                       e.samples)),
+                      e.symbol});
+    std::printf("top %zu symbols by self time:\n%s",
+                std::min(options.top, top.size()),
+                table.render().c_str());
+
+    std::vector<ExperimentSummary> summaries;
+    summaries.push_back(
+        {scenario->name, elapsed, registry.snapshot()});
+    std::printf("%s", statsTable(summaries, elapsed).c_str());
+
+    registry.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(out_dir, ec);
+    return 0;
+}
+
+} // namespace accordion::harness

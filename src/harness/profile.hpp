@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The `accordion profile` subcommand: run one perf scenario under
+ * the sampling profiler (obs/profiler.hpp) and report where the
+ * time went.
+ *
+ *   accordion profile <scenario> [--folded FILE] [--reps R]
+ *                     [--interval US] [--scale X] [--top N]
+ *                     [--threads N] [--seed S] [--trace FILE]
+ *                     [--metrics-out FILE] [--metrics-interval MS]
+ *                     [--list]
+ *
+ * The scenario names are the perf suite's (accordion perf --list);
+ * profiling reuses the exact same bodies and fixtures, so a hot
+ * spot found here is a hot spot of the tracked perf scenario, not
+ * of a profiling-only approximation.
+ *
+ * Output: a top-N self-time table on stdout, the run's stats table
+ * (wait-state attribution included) below it, an optional
+ * flamegraph-compatible folded-stacks file (--folded), an optional
+ * Chrome trace with the samples injected as instant events
+ * (--trace), and optional live Prometheus telemetry while the run
+ * is in flight (--metrics-out).
+ */
+
+#ifndef ACCORDION_HARNESS_PROFILE_HPP
+#define ACCORDION_HARNESS_PROFILE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace accordion::harness {
+
+/** `accordion profile` options. */
+struct ProfileOptions
+{
+    std::string scenario; //!< a perf suite scenario name
+    std::string folded; //!< folded-stacks output path; empty = none
+    std::uint64_t intervalUs = 1000; //!< sampling period (CPU time)
+    std::size_t reps = 10; //!< profiled repetitions (1 warmup first)
+    double scale = 1.0; //!< scenario size multiplier
+    std::size_t threads = 0; //!< 0 = leave the global pool alone
+    std::uint64_t seed = 12345;
+    std::size_t top = 20; //!< self-time table rows
+    std::string trace; //!< Chrome-trace path; empty = off
+    std::string metricsOut; //!< Prometheus file; empty = off
+    std::uint64_t metricsIntervalMs = 500;
+    bool list = false; //!< print the scenario suite and exit
+};
+
+/** Entry point: run, sample, symbolize, report. */
+int runProfile(const ProfileOptions &options);
+
+} // namespace accordion::harness
+
+#endif // ACCORDION_HARNESS_PROFILE_HPP

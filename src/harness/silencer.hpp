@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Redirect stdout to /dev/null for a scope. The perf and profile
+ * subcommands rerun experiment bodies that print their figures to
+ * stdout; both must keep stdout clean for their own reports.
+ */
+
+#ifndef ACCORDION_HARNESS_SILENCER_HPP
+#define ACCORDION_HARNESS_SILENCER_HPP
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace accordion::harness {
+
+/** RAII stdout silencer (fd-level, so child printf is caught too). */
+class StdoutSilencer
+{
+  public:
+    StdoutSilencer()
+    {
+        std::fflush(stdout);
+        saved_ = ::dup(1);
+        const int null = ::open("/dev/null", O_WRONLY);
+        if (saved_ >= 0 && null >= 0)
+            ::dup2(null, 1);
+        if (null >= 0)
+            ::close(null);
+    }
+
+    StdoutSilencer(const StdoutSilencer &) = delete;
+    StdoutSilencer &operator=(const StdoutSilencer &) = delete;
+
+    ~StdoutSilencer()
+    {
+        std::fflush(stdout);
+        if (saved_ >= 0) {
+            ::dup2(saved_, 1);
+            ::close(saved_);
+        }
+    }
+
+  private:
+    int saved_ = -1;
+};
+
+} // namespace accordion::harness
+
+#endif // ACCORDION_HARNESS_SILENCER_HPP

@@ -91,33 +91,6 @@ writeRunSummary(const std::string &path,
         util::fatal("failed writing '%s'", path.c_str());
 }
 
-namespace {
-
-/**
- * Thin an ascending-sorted reservoir so each kept sample stands for
- * `ratio` times as many raw samples as before: keep every ratio-th
- * element (offset-centred), which preserves the empirical quantile
- * function. Never thins a non-empty reservoir to empty.
- */
-void
-thinSamples(std::vector<double> *samples, std::uint64_t ratio)
-{
-    if (ratio <= 1 || samples->empty())
-        return;
-    std::size_t out = 0;
-    for (std::size_t i = static_cast<std::size_t>(ratio / 2);
-         i < samples->size(); i += static_cast<std::size_t>(ratio))
-        (*samples)[out++] = (*samples)[i];
-    if (out == 0) {
-        // Fewer samples than the ratio: keep the median.
-        (*samples)[0] = (*samples)[samples->size() / 2];
-        out = 1;
-    }
-    samples->resize(out);
-}
-
-} // namespace
-
 std::map<std::string, obs::StatEntry>
 mergedStats(const std::vector<ExperimentSummary> &summaries)
 {
@@ -125,52 +98,52 @@ mergedStats(const std::vector<ExperimentSummary> &summaries)
     for (const ExperimentSummary &s : summaries) {
         for (const obs::StatEntry &e : s.stats) {
             auto it = merged.find(e.name);
-            if (it == merged.end()) {
+            if (it == merged.end())
                 merged.emplace(e.name, e);
-                continue;
-            }
-            obs::StatEntry &m = it->second;
-            switch (e.kind) {
-            case obs::StatKind::Counter:
-                m.count += e.count;
-                break;
-            case obs::StatKind::Gauge:
-                m.value = e.value; // level: keep the latest
-                break;
-            case obs::StatKind::Distribution:
-                if (!e.count)
-                    break;
-                if (!m.count) {
-                    m = e;
-                    break;
-                }
-                m.min = std::min(m.min, e.min);
-                m.max = std::max(m.max, e.max);
-                m.count += e.count;
-                m.sum += e.sum;
-                {
-                    // Sources decimated at different strides weight
-                    // their retained samples differently; thin both
-                    // to the common (coarser) stride before pooling
-                    // so merged quantiles stay unbiased.
-                    const std::uint64_t target =
-                        std::max(m.stride, e.stride);
-                    std::vector<double> other = e.samples;
-                    thinSamples(&m.samples, target / m.stride);
-                    thinSamples(&other, target / e.stride);
-                    m.stride = target;
-                    m.samples.insert(m.samples.end(), other.begin(),
-                                     other.end());
-                    // Keep the invariant: reservoirs stay sorted so
-                    // quantile reads (and later thinning) are valid.
-                    std::sort(m.samples.begin(), m.samples.end());
-                }
-                break;
-            }
+            else
+                obs::mergeStatEntry(&it->second, e);
         }
     }
     return merged;
 }
+
+namespace {
+
+/** True for "pool.workerN<suffix>" (N = one or more digits). */
+bool
+isPerWorkerName(const std::string &name, const char *suffix)
+{
+    const std::string prefix = "pool.worker";
+    const std::size_t suffix_len =
+        std::char_traits<char>::length(suffix);
+    if (name.size() <= prefix.size() + suffix_len ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix_len, suffix_len, suffix) !=
+            0)
+        return false;
+    for (std::size_t i = prefix.size();
+         i < name.size() - suffix_len; ++i)
+        if (name[i] < '0' || name[i] > '9')
+            return false;
+    return true;
+}
+
+/**
+ * Rows the table folds into the one-line worker summary; the JSON
+ * outputs keep the full per-worker detail.
+ */
+bool
+isPerWorkerRow(const std::string &name, const obs::StatEntry &e)
+{
+    if (e.kind == obs::StatKind::Counter)
+        return isPerWorkerName(name, ".busy_ns") ||
+            isPerWorkerName(name, ".idle_ns");
+    if (e.kind == obs::StatKind::Gauge)
+        return name.compare(0, 23, "pool.utilization.worker") == 0;
+    return false;
+}
+
+} // namespace
 
 std::string
 statsTable(const std::vector<ExperimentSummary> &summaries,
@@ -178,39 +151,43 @@ statsTable(const std::vector<ExperimentSummary> &summaries,
 {
     std::map<std::string, obs::StatEntry> merged =
         mergedStats(summaries);
-    // Whole-run utilization from the summed busy counters.
+    // Whole-run utilization from the summed busy counters. The
+    // per-worker fan-out collapses to one summary row below; wide
+    // pools would otherwise drown the table in near-identical rows.
+    std::vector<double> worker_util;
     if (total_elapsed_ns > 0) {
         double busy_total = 0.0;
-        std::size_t workers = 0;
         for (auto &[name, e] : merged) {
             if (e.kind != obs::StatKind::Counter ||
-                name.compare(0, 11, "pool.worker") != 0 ||
-                name.size() <= 19 ||
-                name.compare(name.size() - 8, 8, ".busy_ns") != 0)
+                !isPerWorkerName(name, ".busy_ns"))
                 continue;
-            const std::string worker =
-                name.substr(5, name.size() - 5 - 8);
-            obs::StatEntry &util_entry =
-                merged["pool.utilization." + worker];
-            util_entry.name = "pool.utilization." + worker;
-            util_entry.kind = obs::StatKind::Gauge;
-            util_entry.value = static_cast<double>(e.count) /
-                static_cast<double>(total_elapsed_ns);
+            worker_util.push_back(
+                static_cast<double>(e.count) /
+                static_cast<double>(total_elapsed_ns));
             busy_total += static_cast<double>(e.count);
-            ++workers;
         }
-        if (workers > 0) {
+        if (!worker_util.empty()) {
             obs::StatEntry &mean = merged["pool.utilization.mean"];
             mean.name = "pool.utilization.mean";
             mean.kind = obs::StatKind::Gauge;
             mean.value = busy_total /
-                (static_cast<double>(workers) *
+                (static_cast<double>(worker_util.size()) *
                  static_cast<double>(total_elapsed_ns));
         }
     }
+    std::sort(worker_util.begin(), worker_util.end());
 
     util::Table table({"stat", "kind", "value"});
+    if (!worker_util.empty())
+        table.addRow(
+            {"pool.utilization.workers", "summary",
+             util::format("n=%zu min=%.4g p50=%.4g max=%.4g",
+                          worker_util.size(), worker_util.front(),
+                          worker_util[worker_util.size() / 2],
+                          worker_util.back())});
     for (const auto &[name, e] : merged) {
+        if (isPerWorkerRow(name, e))
+            continue;
         switch (e.kind) {
         case obs::StatKind::Counter:
             table.addRow({name, "counter",

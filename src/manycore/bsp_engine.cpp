@@ -241,6 +241,21 @@ BspPerfModel::estimate(const vartech::ChipGeometry &geometry,
     std::uint64_t epochs = 0;
     std::uint64_t msgs = 0;
 
+    obs::StatsRegistry &registry = obs::StatsRegistry::global();
+    // Wait-state attribution (where does the epoch loop's wall time
+    // go?): per-partition heap-advance and mailbox-merge *host*
+    // nanoseconds, plus each worker's barrier wait. Clock reads are
+    // gated on the registry so the uninstrumented hot path stays
+    // clock-free; none of it feeds back into the simulation.
+    const bool instrumented = registry.enabled();
+    struct alignas(64) PhaseNs
+    {
+        std::uint64_t heapAdvance = 0;
+        std::uint64_t mailboxMerge = 0;
+        std::uint64_t barrierWait = 0;
+    };
+    std::vector<PhaseNs> phase_ns(instrumented ? num_parts : 0);
+
     if (num_parts == 1 || !(lookahead > 0.0)) {
         MonoSink sink;
         sink.buses = buses.data();
@@ -287,16 +302,34 @@ BspPerfModel::estimate(const vartech::ChipGeometry &geometry,
         // sit at t = 0, so every worker starts from T = 0.
         auto worker = [&](std::size_t w) -> std::uint64_t {
             std::uint64_t local_epochs = 0;
+            // Barrier waits are a per-worker cost; attribute them
+            // to the worker's home partition (p = w), which it
+            // always owns since team <= num_parts.
+            std::uint64_t barrier_wait = 0;
             double t_min = 0.0;
             while (t_min < kInf) {
                 const double horizon = t_min + lookahead;
-                for (std::size_t p = w; p < num_parts; p += team)
-                    runPartition(cfg, state.data(), sinks[p],
-                                 parts[p], horizon);
-                barrier.arriveAndWait();
+                for (std::size_t p = w; p < num_parts; p += team) {
+                    if (instrumented) {
+                        const std::uint64_t t0 = obs::nowNs();
+                        runPartition(cfg, state.data(), sinks[p],
+                                     parts[p], horizon);
+                        phase_ns[p].heapAdvance +=
+                            obs::nowNs() - t0;
+                    } else {
+                        runPartition(cfg, state.data(), sinks[p],
+                                     parts[p], horizon);
+                    }
+                }
+                if (instrumented)
+                    barrier_wait += barrier.arriveAndWaitTimed();
+                else
+                    barrier.arriveAndWait();
                 double my_min = kInf;
                 for (std::size_t dst = w; dst < num_parts;
                      dst += team) {
+                    const std::uint64_t m0 =
+                        instrumented ? obs::nowNs() : 0;
                     Partition &d = parts[dst];
                     for (std::size_t src = 0; src < num_parts;
                          ++src) {
@@ -308,14 +341,22 @@ BspPerfModel::estimate(const vartech::ChipGeometry &geometry,
                         box.clear();
                     }
                     my_min = std::min(my_min, d.nextWhen());
+                    if (instrumented)
+                        phase_ns[dst].mailboxMerge +=
+                            obs::nowNs() - m0;
                 }
                 worker_min[w].value = my_min;
                 ++local_epochs;
-                barrier.arriveAndWait();
+                if (instrumented)
+                    barrier_wait += barrier.arriveAndWaitTimed();
+                else
+                    barrier.arriveAndWait();
                 t_min = kInf;
                 for (const MinSlot &slot : worker_min)
                     t_min = std::min(t_min, slot.value);
             }
+            if (instrumented)
+                phase_ns[w].barrierWait = barrier_wait;
             return local_epochs;
         };
 
@@ -331,7 +372,6 @@ BspPerfModel::estimate(const vartech::ChipGeometry &geometry,
             msgs += p.msgs;
     }
 
-    obs::StatsRegistry &registry = obs::StatsRegistry::global();
     if (registry.enabled()) {
         registry.counter("manycore.epochs").add(epochs);
         registry.counter("manycore.cross_cluster_msgs").add(msgs);
@@ -345,6 +385,19 @@ BspPerfModel::estimate(const vartech::ChipGeometry &geometry,
                 .counter("manycore.partition" + std::to_string(p) +
                          ".busy_ns")
                 .add(static_cast<std::uint64_t>(partition_busy[p]));
+        // Wait-state attribution in *host* nanoseconds (only the
+        // partitioned epoch loop collects it; the monolithic
+        // fallback has no barriers or mailboxes to attribute).
+        for (std::size_t p = 0; p < phase_ns.size(); ++p) {
+            const std::string prefix =
+                "manycore.partition" + std::to_string(p);
+            registry.counter(prefix + ".heap_advance_ns")
+                .add(phase_ns[p].heapAdvance);
+            registry.counter(prefix + ".mailbox_merge_ns")
+                .add(phase_ns[p].mailboxMerge);
+            registry.counter(prefix + ".barrier_wait_ns")
+                .add(phase_ns[p].barrierWait);
+        }
     }
 
     struct BusView

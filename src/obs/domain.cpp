@@ -1,0 +1,38 @@
+#include "domain.hpp"
+
+namespace accordion::obs {
+
+StatsDomain::StatsDomain(StatsRegistry &parent, std::string name)
+    : parent_(&parent), name_(std::move(name)),
+      local_(parent.enabled())
+{
+}
+
+StatsDomain::StatsDomain(StatsDomain &parent, std::string name)
+    : StatsDomain(parent.registry(), std::move(name))
+{
+}
+
+StatsDomain::~StatsDomain()
+{
+    merge();
+}
+
+void
+StatsDomain::merge()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    if (local_.enabled() && local_.size() > 0)
+        parent_->absorb(local_.snapshot());
+}
+
+void
+StatsDomain::discard()
+{
+    local_.reset();
+    closed_ = true;
+}
+
+} // namespace accordion::obs

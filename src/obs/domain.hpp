@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Scoped statistics domains: a StatsDomain owns a private
+ * StatsRegistry for one unit of work (an experiment, a profiled
+ * scenario, later one server request) and folds everything it
+ * collected into the parent registry when the scope exits. Stats
+ * keep their dotted names across the merge — the hierarchy is the
+ * *lifetime* nesting, not a name prefix — so a domain's counters
+ * land on the same parent cells direct registration would have
+ * used, by the mergeStatEntry() rules (counters add, gauges keep
+ * the latest level, distributions pool stride-aware).
+ *
+ * Cost model: the domain's registry is enabled iff the parent was
+ * enabled at construction, so handles handed out under a disabled
+ * parent are disengaged and the whole mechanism keeps the
+ * zero-overhead-when-off contract. The merge itself is one
+ * snapshot + absorb, paid once per scope.
+ *
+ * Domains nest: construct a child from another domain's registry()
+ * and the child's stats cascade upward scope by scope.
+ */
+
+#ifndef ACCORDION_OBS_DOMAIN_HPP
+#define ACCORDION_OBS_DOMAIN_HPP
+
+#include <string>
+
+#include "stats.hpp"
+
+namespace accordion::obs {
+
+/** One merge-on-exit stats scope. */
+class StatsDomain
+{
+  public:
+    /**
+     * Open a domain under @p parent. @p name labels the scope (for
+     * logs and snapshots); it does not prefix stat names.
+     */
+    explicit StatsDomain(StatsRegistry &parent,
+                         std::string name = "domain");
+
+    /** Nested scope under another domain. */
+    StatsDomain(StatsDomain &parent, std::string name);
+
+    /** Merges into the parent unless merge()/discard() already ran. */
+    ~StatsDomain();
+
+    StatsDomain(const StatsDomain &) = delete;
+    StatsDomain &operator=(const StatsDomain &) = delete;
+
+    /** The scope's own registry; register stats against this. */
+    StatsRegistry &registry() { return local_; }
+
+    const std::string &name() const { return name_; }
+
+    // Registration shorthands, mirroring StatsRegistry.
+    Counter counter(const std::string &n) { return local_.counter(n); }
+    Gauge gauge(const std::string &n) { return local_.gauge(n); }
+    Distribution distribution(const std::string &n)
+    {
+        return local_.distribution(n);
+    }
+
+    /**
+     * Fold the collected stats into the parent now and close the
+     * scope (the destructor then merges nothing, and later updates
+     * through this domain's handles are not forwarded). Useful when
+     * the parent must be read while the scope object is still
+     * alive.
+     */
+    void merge();
+
+    /** Drop everything collected; the destructor merges nothing. */
+    void discard();
+
+  private:
+    StatsRegistry *parent_;
+    std::string name_;
+    StatsRegistry local_;
+    bool closed_ = false;
+};
+
+} // namespace accordion::obs
+
+#endif // ACCORDION_OBS_DOMAIN_HPP

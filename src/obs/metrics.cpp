@@ -1,0 +1,159 @@
+#include "metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "trace.hpp"
+
+namespace accordion::obs {
+
+std::string
+prometheusMetricName(const std::string &name)
+{
+    std::string out = "accordion_";
+    out.reserve(out.size() + name.size());
+    for (char c : name) {
+        const bool legal = (c >= 'a' && c <= 'z') ||
+                           (c >= 'A' && c <= 'Z') ||
+                           (c >= '0' && c <= '9') || c == '_' ||
+                           c == ':';
+        out += legal ? c : '_';
+    }
+    return out;
+}
+
+namespace {
+
+/** A double in exposition format (%.17g round-trips). */
+std::string
+promNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+prometheusText(const std::vector<StatEntry> &entries)
+{
+    std::string out;
+    for (const StatEntry &e : entries) {
+        const std::string metric = prometheusMetricName(e.name);
+        out += "# HELP " + metric + " accordion stat " + e.name + "\n";
+        switch (e.kind) {
+        case StatKind::Counter:
+            out += "# TYPE " + metric + " counter\n";
+            out += metric + " " + std::to_string(e.count) + "\n";
+            break;
+        case StatKind::Gauge:
+            out += "# TYPE " + metric + " gauge\n";
+            out += metric + " " + promNumber(e.value) + "\n";
+            break;
+        case StatKind::Distribution:
+            out += "# TYPE " + metric + " summary\n";
+            out += metric + "{quantile=\"0.5\"} " +
+                   promNumber(e.p50()) + "\n";
+            out += metric + "{quantile=\"0.95\"} " +
+                   promNumber(e.p95()) + "\n";
+            out += metric + "{quantile=\"0.99\"} " +
+                   promNumber(e.p99()) + "\n";
+            out += metric + "_sum " + promNumber(e.sum) + "\n";
+            out += metric + "_count " + std::to_string(e.count) +
+                   "\n";
+            break;
+        }
+    }
+    return out;
+}
+
+MetricsExporter::MetricsExporter(StatsRegistry &registry,
+                                 Options options)
+    : registry_(registry), options_(std::move(options))
+{
+    options_.intervalMs =
+        std::max<std::uint64_t>(1, options_.intervalMs);
+    flushNow(); // fail fast on an unwritable path
+    thread_ = std::thread([this] { loop(); });
+}
+
+MetricsExporter::~MetricsExporter()
+{
+    stopAndFlush();
+}
+
+void
+MetricsExporter::flushNow()
+{
+    const std::vector<StatEntry> entries = registry_.snapshot();
+
+    if (!options_.path.empty()) {
+        // Write-then-rename: a reader of `path` sees either the
+        // previous complete exposition or this one, never a tear.
+        const std::string tmp = options_.path + ".tmp";
+        std::FILE *file = std::fopen(tmp.c_str(), "w");
+        bool wrote = false;
+        if (file) {
+            const std::string text = prometheusText(entries);
+            wrote = std::fwrite(text.data(), 1, text.size(), file) ==
+                    text.size();
+            wrote = (std::fclose(file) == 0) && wrote;
+            if (wrote)
+                wrote = std::rename(tmp.c_str(),
+                                    options_.path.c_str()) == 0;
+        }
+        if (!wrote)
+            ok_.store(false, std::memory_order_relaxed);
+    }
+
+    if (TraceWriter *trace = TraceWriter::global()) {
+        const std::uint64_t now = nowNs();
+        for (const StatEntry &e : entries) {
+            if (e.kind != StatKind::Counter)
+                continue;
+            for (const std::string &want : options_.traceCounters)
+                if (e.name == want) {
+                    trace->counter(e.name, now,
+                                   static_cast<double>(e.count));
+                    break;
+                }
+        }
+    }
+
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+MetricsExporter::stopAndFlush()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_ && !thread_.joinable())
+            return;
+        stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    flushNow();
+}
+
+void
+MetricsExporter::loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+        cv_.wait_for(lock,
+                     std::chrono::milliseconds(options_.intervalMs),
+                     [this] { return stop_; });
+        if (stop_)
+            break;
+        lock.unlock();
+        flushNow();
+        lock.lock();
+    }
+}
+
+} // namespace accordion::obs

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Live telemetry out of the stats registry: a background thread
+ * periodically snapshots a StatsRegistry and (a) rewrites a file in
+ * Prometheus text exposition format — atomically, via temp+rename,
+ * so a scraper sidecar never reads a torn file — and (b) mirrors a
+ * configured set of counters into the open Chrome TraceWriter as
+ * "ph":"C" counter events, so traces show stats evolving over the
+ * run instead of only the end-of-run totals.
+ *
+ * The exporter only *reads* instrumentation state; it can never
+ * perturb simulation results. It holds no locks while formatting
+ * (snapshot() copies under the registry lock, formatting is on the
+ * copy).
+ *
+ * Prometheus naming: dotted stat names are not legal metric names,
+ * so "pool.tasks" exports as "accordion_pool_tasks". Counters map
+ * to counter metrics, gauges to gauge metrics, distributions to
+ * summaries (quantile series + _sum + _count).
+ */
+
+#ifndef ACCORDION_OBS_METRICS_HPP
+#define ACCORDION_OBS_METRICS_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stats.hpp"
+
+namespace accordion::obs {
+
+/** "pool.tasks" -> "accordion_pool_tasks" (legal metric name). */
+std::string prometheusMetricName(const std::string &name);
+
+/** A snapshot rendered as Prometheus text exposition format. */
+std::string prometheusText(const std::vector<StatEntry> &entries);
+
+/** The periodic flusher. */
+class MetricsExporter
+{
+  public:
+    struct Options
+    {
+        /** Exposition file path; empty = no file (trace counter
+         *  events only). */
+        std::string path;
+
+        /** Flush period in milliseconds. */
+        std::uint64_t intervalMs = 500;
+
+        /** Counters mirrored into the trace as "C" events each
+         *  flush (when the global TraceWriter is open and the
+         *  counter is registered). */
+        std::vector<std::string> traceCounters = {
+            "pool.tasks",
+            "manycore.cross_cluster_msgs",
+            "syscache.hits",
+        };
+    };
+
+    /**
+     * Start flushing @p registry; the first flush happens
+     * immediately on the caller's thread, so ok() reports whether
+     * the path is writable before any work runs.
+     */
+    MetricsExporter(StatsRegistry &registry, Options options);
+
+    /** Stops and performs one final flush. */
+    ~MetricsExporter();
+
+    MetricsExporter(const MetricsExporter &) = delete;
+    MetricsExporter &operator=(const MetricsExporter &) = delete;
+
+    /** False when the exposition file could not be written. */
+    bool ok() const { return ok_.load(std::memory_order_relaxed); }
+
+    /** Completed flushes (including the constructor's). */
+    std::uint64_t flushes() const
+    {
+        return flushes_.load(std::memory_order_relaxed);
+    }
+
+    /** Snapshot + write + trace mirror, now, on this thread. */
+    void flushNow();
+
+    /**
+     * Stop the background thread and flush once more. Idempotent;
+     * the destructor calls it. Call before closing the global
+     * trace writer so no counter event races the close.
+     */
+    void stopAndFlush();
+
+  private:
+    void loop();
+
+    StatsRegistry &registry_;
+    Options options_;
+    std::atomic<bool> ok_{true};
+    std::atomic<std::uint64_t> flushes_{0};
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+} // namespace accordion::obs
+
+#endif // ACCORDION_OBS_METRICS_HPP

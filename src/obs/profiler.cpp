@@ -1,0 +1,527 @@
+#include "profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "trace.hpp"
+
+#if defined(__linux__)
+#include <cerrno>
+#include <csignal>
+#include <ctime>
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <ucontext.h>
+#endif
+
+namespace accordion::obs {
+
+namespace {
+
+/** Hard cap on recorded stack depth (bounds handler stack usage). */
+constexpr std::size_t kFrameCap = 128;
+
+/**
+ * One thread's sample log: a flat word arena the signal handler
+ * appends [ts][interrupted_pc][depth][pc...] records to. Only the
+ * owning thread writes; readers load head with acquire after stop()
+ * so every record word is visible.
+ */
+struct ThreadArena
+{
+    std::atomic<std::uint64_t> head{0}; //!< words used
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace
+
+/** Everything one start()..stop() session owns. */
+struct ProfilerSession
+{
+    ProfilerOptions options;
+    std::uint64_t generation = 0;
+    std::vector<std::unique_ptr<ThreadArena>> arenas;
+    std::atomic<std::size_t> claimed{0};
+    std::atomic<std::uint64_t> dropped{0};
+#if defined(__linux__)
+    timer_t timer{};
+    struct sigaction oldAction{};
+#endif
+};
+
+namespace {
+
+/** The running session the handler samples into; null = off. */
+std::atomic<ProfilerSession *> g_active{nullptr};
+
+/** Process-wide "a profiler is armed" latch (SIGPROF is global). */
+std::atomic<bool> g_armed{false};
+
+/** Session generation source; slot generations compare against it. */
+std::atomic<std::uint64_t> g_generation{0};
+
+/**
+ * The calling thread's claimed arena, keyed by session generation
+ * so a stale slot from a finished session is never reused (the
+ * session pointer itself could be reallocated at the same address).
+ * Plain POD with constant initialization: safe to touch from the
+ * signal handler.
+ */
+struct ThreadSlot
+{
+    std::uint64_t generation;
+    ThreadArena *arena;
+};
+thread_local ThreadSlot t_slot{0, nullptr};
+
+#if defined(__linux__)
+
+/** Interrupted program counter from the signal context; 0 when the
+ *  architecture is not recognized. */
+std::uint64_t
+contextPc(void *ctx)
+{
+    if (!ctx)
+        return 0;
+    auto *uc = static_cast<ucontext_t *>(ctx);
+#if defined(__x86_64__)
+    return static_cast<std::uint64_t>(uc->uc_mcontext.gregs[REG_RIP]);
+#elif defined(__aarch64__)
+    return static_cast<std::uint64_t>(uc->uc_mcontext.pc);
+#else
+    (void)uc;
+    return 0;
+#endif
+}
+
+/**
+ * The SIGPROF handler. Async-signal-safe by construction: it only
+ * touches preallocated memory, lock-free atomics, backtrace()
+ * (primed at start() so its one-time dynamic-loader work is done),
+ * and clock_gettime. No locks, no allocation, no I/O.
+ */
+void
+sigprofHandler(int, siginfo_t *, void *ctx)
+{
+    const int saved_errno = errno;
+    ProfilerSession *session =
+        g_active.load(std::memory_order_acquire);
+    if (session) {
+        ThreadSlot &slot = t_slot;
+        if (slot.generation != session->generation) {
+            const std::size_t idx = session->claimed.fetch_add(
+                1, std::memory_order_acq_rel);
+            slot.arena = idx < session->arenas.size()
+                             ? session->arenas[idx].get()
+                             : nullptr;
+            slot.generation = session->generation;
+        }
+        ThreadArena *arena = slot.arena;
+        if (!arena) {
+            // More threads than maxThreads: count, don't crash.
+            session->dropped.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            void *frames[kFrameCap];
+            const int depth = ::backtrace(
+                frames,
+                static_cast<int>(session->options.maxFrames));
+            struct timespec ts;
+            clock_gettime(CLOCK_MONOTONIC, &ts);
+            const std::uint64_t now =
+                static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+                static_cast<std::uint64_t>(ts.tv_nsec);
+            const std::uint64_t head =
+                arena->head.load(std::memory_order_relaxed);
+            const std::uint64_t need =
+                3 + static_cast<std::uint64_t>(depth > 0 ? depth : 0);
+            if (head + need > arena->words.size()) {
+                session->dropped.fetch_add(1,
+                                           std::memory_order_relaxed);
+            } else {
+                std::uint64_t *w = arena->words.data() + head;
+                w[0] = now;
+                w[1] = contextPc(ctx);
+                w[2] = static_cast<std::uint64_t>(depth > 0 ? depth
+                                                            : 0);
+                for (int i = 0; i < depth; ++i)
+                    w[3 + i] = reinterpret_cast<std::uint64_t>(
+                        frames[i]);
+                // Release so a reader that acquires head sees the
+                // whole record.
+                arena->head.store(head + need,
+                                  std::memory_order_release);
+            }
+        }
+    }
+    errno = saved_errno;
+}
+
+/** Cached symbol resolution of one sampled address. */
+const std::string &
+symbolOf(std::uint64_t pc,
+         std::unordered_map<std::uint64_t, std::string> *cache)
+{
+    auto it = cache->find(pc);
+    if (it != cache->end())
+        return it->second;
+    std::string name;
+    Dl_info info;
+    std::memset(&info, 0, sizeof(info));
+    // backtrace() records return addresses; resolve the call site
+    // (pc - 1) so a call as a function's last instruction does not
+    // attribute to the *next* symbol.
+    if (dladdr(reinterpret_cast<void *>(pc - 1), &info) &&
+        info.dli_sname) {
+        int status = 0;
+        char *dem = abi::__cxa_demangle(info.dli_sname, nullptr,
+                                        nullptr, &status);
+        name = (status == 0 && dem) ? dem : info.dli_sname;
+        std::free(dem);
+    } else if (info.dli_fname) {
+        // No symbol (static function or stripped object): name the
+        // containing image so the frame is still attributable.
+        const char *base = std::strrchr(info.dli_fname, '/');
+        name = std::string("[") + (base ? base + 1 : info.dli_fname) +
+               "]";
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "0x%llx",
+                      static_cast<unsigned long long>(pc));
+        name = buf;
+    }
+    // Semicolon and newline are the folded format's structure.
+    for (char &c : name)
+        if (c == ';' || c == '\n')
+            c = ':';
+    return cache->emplace(pc, std::move(name)).first->second;
+}
+
+#endif // __linux__
+
+/** Iterate the raw records of a session: fn(ts, pc, pcs, depth). */
+template <typename Fn>
+void
+forEachRecord(const ProfilerSession *session, Fn &&fn)
+{
+    if (!session)
+        return;
+    const std::size_t threads = std::min(
+        session->claimed.load(std::memory_order_acquire),
+        session->arenas.size());
+    for (std::size_t t = 0; t < threads; ++t) {
+        const ThreadArena &arena = *session->arenas[t];
+        const std::uint64_t head =
+            arena.head.load(std::memory_order_acquire);
+        std::uint64_t i = 0;
+        while (i + 3 <= head) {
+            const std::uint64_t depth = arena.words[i + 2];
+            if (i + 3 + depth > head)
+                break; // torn tail (stop raced a writer): drop it
+            fn(arena.words[i], arena.words[i + 1],
+               &arena.words[i + 3], static_cast<std::size_t>(depth));
+            i += 3 + depth;
+        }
+    }
+}
+
+} // namespace
+
+SamplingProfiler::SamplingProfiler() = default;
+
+SamplingProfiler::~SamplingProfiler()
+{
+    stop();
+    delete session_;
+}
+
+bool
+SamplingProfiler::running() const
+{
+    return running_;
+}
+
+bool
+SamplingProfiler::start(const ProfilerOptions &options)
+{
+#if !defined(__linux__)
+    (void)options;
+    return false;
+#else
+    if (running_)
+        return false;
+    bool expected = false;
+    if (!g_armed.compare_exchange_strong(expected, true))
+        return false; // another profiler is armed
+
+    // Prime backtrace(): its first call loads libgcc's unwinder,
+    // which allocates — do that here, never in the handler.
+    void *prime[4];
+    ::backtrace(prime, 4);
+
+    delete session_; // previous session's samples
+    session_ = nullptr;
+    auto session = std::make_unique<ProfilerSession>();
+    session->options = options;
+    session->options.maxFrames =
+        std::clamp<std::size_t>(session->options.maxFrames, 2,
+                                kFrameCap);
+    session->options.intervalUs =
+        std::max<std::uint64_t>(50, session->options.intervalUs);
+    session->options.maxThreads =
+        std::max<std::size_t>(1, session->options.maxThreads);
+    session->options.arenaWords = std::max<std::size_t>(
+        64, session->options.arenaWords);
+    session->generation =
+        g_generation.fetch_add(1, std::memory_order_relaxed) + 1;
+    session->arenas.reserve(session->options.maxThreads);
+    for (std::size_t i = 0; i < session->options.maxThreads; ++i) {
+        auto arena = std::make_unique<ThreadArena>();
+        arena->words.resize(session->options.arenaWords);
+        session->arenas.push_back(std::move(arena));
+    }
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = sigprofHandler;
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    if (sigaction(SIGPROF, &sa, &session->oldAction) != 0) {
+        g_armed.store(false);
+        return false;
+    }
+
+    g_active.store(session.get(), std::memory_order_release);
+
+    struct sigevent sev;
+    std::memset(&sev, 0, sizeof(sev));
+    sev.sigev_notify = SIGEV_SIGNAL;
+    sev.sigev_signo = SIGPROF;
+    // Prefer the process CPU clock (samples track work, not sleep);
+    // fall back to wall time where the kernel refuses it.
+    if (timer_create(CLOCK_PROCESS_CPUTIME_ID, &sev,
+                     &session->timer) != 0 &&
+        timer_create(CLOCK_MONOTONIC, &sev, &session->timer) != 0) {
+        g_active.store(nullptr, std::memory_order_release);
+        sigaction(SIGPROF, &session->oldAction, nullptr);
+        g_armed.store(false);
+        return false;
+    }
+    struct itimerspec its;
+    std::memset(&its, 0, sizeof(its));
+    its.it_interval.tv_sec =
+        static_cast<time_t>(session->options.intervalUs / 1000000);
+    its.it_interval.tv_nsec = static_cast<long>(
+        (session->options.intervalUs % 1000000) * 1000);
+    its.it_value = its.it_interval;
+    timer_settime(session->timer, 0, &its, nullptr);
+
+    session_ = session.release();
+    running_ = true;
+    return true;
+#endif
+}
+
+void
+SamplingProfiler::stop()
+{
+    if (!running_)
+        return;
+#if defined(__linux__)
+    // Order matters: quiesce the handler first, then disarm. A
+    // handler mid-flight keeps writing into the session's arenas,
+    // which stay allocated until the next start() — its sample is
+    // simply included or not.
+    g_active.store(nullptr, std::memory_order_release);
+    timer_delete(session_->timer);
+    sigaction(SIGPROF, &session_->oldAction, nullptr);
+#endif
+    running_ = false;
+    g_armed.store(false);
+}
+
+std::uint64_t
+SamplingProfiler::sampleCount() const
+{
+    std::uint64_t n = 0;
+    forEachRecord(session_, [&](std::uint64_t, std::uint64_t,
+                                const std::uint64_t *,
+                                std::size_t) { ++n; });
+    return n;
+}
+
+std::uint64_t
+SamplingProfiler::droppedSamples() const
+{
+    return session_
+               ? session_->dropped.load(std::memory_order_relaxed)
+               : 0;
+}
+
+std::size_t
+SamplingProfiler::sampledThreads() const
+{
+    if (!session_)
+        return 0;
+    const std::size_t threads =
+        std::min(session_->claimed.load(std::memory_order_acquire),
+                 session_->arenas.size());
+    std::size_t active = 0;
+    for (std::size_t t = 0; t < threads; ++t)
+        if (session_->arenas[t]->head.load(
+                std::memory_order_acquire) > 0)
+            ++active;
+    return active;
+}
+
+void
+SamplingProfiler::decodeSamples(
+    std::vector<std::vector<std::string>> *stacks,
+    std::vector<std::uint64_t> *when_ns) const
+{
+    stacks->clear();
+    when_ns->clear();
+#if defined(__linux__)
+    std::unordered_map<std::uint64_t, std::string> cache;
+    forEachRecord(session_, [&](std::uint64_t ts, std::uint64_t ctx_pc,
+                                const std::uint64_t *pcs,
+                                std::size_t depth) {
+        // backtrace() from inside the handler prepends the handler
+        // and the kernel's signal trampoline. The interrupted pc
+        // (from ucontext) marks where the real stack resumes; when
+        // it is not found fall back to the conventional two-frame
+        // strip.
+        std::size_t begin = 0;
+        if (ctx_pc != 0) {
+            bool found = false;
+            for (std::size_t f = 0; f < depth; ++f)
+                if (pcs[f] == ctx_pc) {
+                    begin = f;
+                    found = true;
+                    break;
+                }
+            if (!found && depth > 2)
+                begin = 2;
+        } else if (depth > 2) {
+            begin = 2;
+        }
+        std::vector<std::string> frames;
+        frames.reserve(depth - begin);
+        for (std::size_t f = begin; f < depth; ++f)
+            frames.push_back(symbolOf(pcs[f], &cache));
+        if (frames.empty())
+            frames.push_back("[truncated]");
+        stacks->push_back(std::move(frames));
+        when_ns->push_back(ts);
+    });
+#endif
+}
+
+std::vector<FoldedStack>
+SamplingProfiler::foldSymbolized(
+    const std::vector<std::vector<std::string>> &leaf_first)
+{
+    std::map<std::string, std::uint64_t> counts;
+    for (const std::vector<std::string> &stack : leaf_first) {
+        std::string folded;
+        for (std::size_t i = stack.size(); i-- > 0;) {
+            if (!folded.empty())
+                folded += ';';
+            folded += stack[i];
+        }
+        ++counts[folded];
+    }
+    std::vector<FoldedStack> out;
+    out.reserve(counts.size());
+    for (auto &[stack, count] : counts)
+        out.push_back(FoldedStack{stack, count});
+    std::sort(out.begin(), out.end(),
+              [](const FoldedStack &a, const FoldedStack &b) {
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  return a.stack < b.stack;
+              });
+    return out;
+}
+
+std::vector<FoldedStack>
+SamplingProfiler::folded() const
+{
+    std::vector<std::vector<std::string>> stacks;
+    std::vector<std::uint64_t> when;
+    decodeSamples(&stacks, &when);
+    return foldSymbolized(stacks);
+}
+
+std::string
+SamplingProfiler::foldedText() const
+{
+    std::string out;
+    for (const FoldedStack &f : folded()) {
+        out += f.stack;
+        out += ' ';
+        out += std::to_string(f.count);
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+SamplingProfiler::writeFolded(const std::string &path) const
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file)
+        return false;
+    const std::string text = foldedText();
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), file) == text.size();
+    return std::fclose(file) == 0 && ok;
+}
+
+std::vector<SelfTimeEntry>
+SamplingProfiler::selfTimes(std::size_t top_n) const
+{
+    std::vector<std::vector<std::string>> stacks;
+    std::vector<std::uint64_t> when;
+    decodeSamples(&stacks, &when);
+    std::map<std::string, std::uint64_t> self;
+    for (const std::vector<std::string> &stack : stacks)
+        ++self[stack.front()]; // leaf frame owns the sample
+    std::vector<SelfTimeEntry> out;
+    out.reserve(self.size());
+    const double total =
+        stacks.empty() ? 1.0 : static_cast<double>(stacks.size());
+    for (auto &[symbol, samples] : self)
+        out.push_back(SelfTimeEntry{
+            symbol, samples, static_cast<double>(samples) / total});
+    std::sort(out.begin(), out.end(),
+              [](const SelfTimeEntry &a, const SelfTimeEntry &b) {
+                  if (a.samples != b.samples)
+                      return a.samples > b.samples;
+                  return a.symbol < b.symbol;
+              });
+    if (out.size() > top_n)
+        out.resize(top_n);
+    return out;
+}
+
+std::size_t
+SamplingProfiler::injectTraceSamples(TraceWriter *writer) const
+{
+    if (!writer)
+        return 0;
+    std::vector<std::vector<std::string>> stacks;
+    std::vector<std::uint64_t> when;
+    decodeSamples(&stacks, &when);
+    for (std::size_t i = 0; i < stacks.size(); ++i)
+        writer->instant("profiler", stacks[i].front(), when[i]);
+    return stacks.size();
+}
+
+} // namespace accordion::obs

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * In-process sampling profiler: a POSIX interval timer
+ * (timer_create on the process CPU clock) delivers SIGPROF, and the
+ * async-signal-safe handler appends a raw backtrace to a per-thread
+ * sample arena. Everything expensive — symbol resolution (dladdr +
+ * demangling), stack folding, file output — happens off the hot
+ * path, after stop().
+ *
+ * Contract with the rest of the system:
+ *  - Zero overhead and zero signals when not running: nothing is
+ *    armed, no handler is installed, no thread ever observes the
+ *    profiler. Golden-figure byte-identity and the determinism
+ *    contract are untouched (sampling only reads the stacks, it
+ *    never feeds back into simulation state).
+ *  - start()/stop() are idempotent, and only one profiler can run
+ *    per process at a time (SIGPROF is process-global).
+ *  - Sample timestamps are raw CLOCK_MONOTONIC nanoseconds — the
+ *    same epoch as obs::nowNs() under the production clock — so
+ *    samples can be injected into an open TraceWriter.
+ *
+ * The folded-stack output ("frameA;frameB;frameC 42" per line) is
+ * the format flamegraph.pl and speedscope consume directly.
+ *
+ * The obs module sits *below* util and must not include it.
+ */
+
+#ifndef ACCORDION_OBS_PROFILER_HPP
+#define ACCORDION_OBS_PROFILER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace accordion::obs {
+
+class TraceWriter;
+struct ProfilerSession; //!< arenas + options of one start()..stop()
+
+/** Sampler configuration. */
+struct ProfilerOptions
+{
+    /** Sampling period in microseconds of *process CPU time* (all
+     *  running threads share the budget), ~1 kHz by default. */
+    std::uint64_t intervalUs = 1000;
+
+    /** Deepest stack recorded per sample; deeper frames are cut. */
+    std::size_t maxFrames = 48;
+
+    /** Distinct threads that can deliver samples; later threads
+     *  are counted as dropped. The arenas are preallocated, so
+     *  memory is maxThreads * arenaWords * 8 bytes. */
+    std::size_t maxThreads = 64;
+
+    /** Per-thread arena capacity in 64-bit words; a sample costs
+     *  2 + depth words. The default holds ~20k deep samples. */
+    std::size_t arenaWords = std::size_t(1) << 20;
+};
+
+/** One aggregated stack, root-first, semicolon-joined. */
+struct FoldedStack
+{
+    std::string stack;
+    std::uint64_t count = 0;
+};
+
+/** One symbol's self-time share (leaf-frame sample count). */
+struct SelfTimeEntry
+{
+    std::string symbol;
+    std::uint64_t samples = 0;
+    double fraction = 0.0; //!< of all kept samples
+};
+
+/**
+ * The sampler. Construct instances freely; at most one may be
+ * running at a time (start() on a second returns false). Collected
+ * samples survive stop() and are discarded by the next start().
+ */
+class SamplingProfiler
+{
+  public:
+    SamplingProfiler();
+    ~SamplingProfiler(); //!< stops if still running
+
+    SamplingProfiler(const SamplingProfiler &) = delete;
+    SamplingProfiler &operator=(const SamplingProfiler &) = delete;
+
+    /**
+     * Arm the timer and install the SIGPROF handler. False when a
+     * profiler is already running (this one or another) or the
+     * platform cannot deliver CPU-time signals. Idempotent: a
+     * second start() on a running profiler is a no-op returning
+     * false without disturbing the session in flight.
+     */
+    bool start(const ProfilerOptions &options = {});
+
+    /**
+     * Disarm the timer and restore the previous SIGPROF handler.
+     * Idempotent; samples remain readable until the next start().
+     */
+    void stop();
+
+    bool running() const;
+
+    /** Samples captured (valid after stop()). */
+    std::uint64_t sampleCount() const;
+
+    /** Samples lost to arena exhaustion or thread overflow. */
+    std::uint64_t droppedSamples() const;
+
+    /** Distinct threads that delivered at least one sample. */
+    std::size_t sampledThreads() const;
+
+    /**
+     * Symbolized, aggregated stacks, sorted by count descending
+     * (ties by stack string). Symbolization is cached per address.
+     */
+    std::vector<FoldedStack> folded() const;
+
+    /** folded() as flamegraph.pl input: "a;b;c 42\n" per stack. */
+    std::string foldedText() const;
+
+    /** Write foldedText() to @p path; false on I/O failure. */
+    bool writeFolded(const std::string &path) const;
+
+    /** Top-@p top_n symbols by self time (leaf-frame samples). */
+    std::vector<SelfTimeEntry> selfTimes(std::size_t top_n) const;
+
+    /**
+     * Emit every sample as an instant event (leaf symbol, category
+     * "profiler") into @p writer; returns events emitted. The
+     * writer must be open; timestamps predating its epoch clamp.
+     */
+    std::size_t injectTraceSamples(TraceWriter *writer) const;
+
+    /**
+     * The pure folding step, exposed for tests: aggregate
+     * leaf-first symbolized stacks into root-first folded form,
+     * sorted by count descending then stack ascending.
+     */
+    static std::vector<FoldedStack> foldSymbolized(
+        const std::vector<std::vector<std::string>> &leaf_first);
+
+  private:
+    /** Leaf-first symbol stacks + timestamps of every kept sample. */
+    void decodeSamples(
+        std::vector<std::vector<std::string>> *stacks,
+        std::vector<std::uint64_t> *when_ns) const;
+
+    ProfilerSession *session_ = nullptr;
+    bool running_ = false;
+};
+
+} // namespace accordion::obs
+
+#endif // ACCORDION_OBS_PROFILER_HPP

@@ -121,6 +121,76 @@ Distribution::add(double x) const
         cell_->add(x);
 }
 
+namespace {
+
+/**
+ * Thin an ascending-sorted reservoir so each kept sample stands for
+ * `ratio` times as many raw samples as before: keep every ratio-th
+ * element (offset-centred), which preserves the empirical quantile
+ * function. Never thins a non-empty reservoir to empty.
+ */
+void
+thinSamples(std::vector<double> *samples, std::uint64_t ratio)
+{
+    if (ratio <= 1 || samples->empty())
+        return;
+    std::size_t out = 0;
+    for (std::size_t i = static_cast<std::size_t>(ratio / 2);
+         i < samples->size(); i += static_cast<std::size_t>(ratio))
+        (*samples)[out++] = (*samples)[i];
+    if (out == 0) {
+        // Fewer samples than the ratio: keep the median.
+        (*samples)[0] = (*samples)[samples->size() / 2];
+        out = 1;
+    }
+    samples->resize(out);
+}
+
+} // namespace
+
+void
+mergeStatEntry(StatEntry *into, const StatEntry &from)
+{
+    StatEntry &m = *into;
+    switch (from.kind) {
+    case StatKind::Counter:
+        m.count += from.count;
+        break;
+    case StatKind::Gauge:
+        m.value = from.value; // level: keep the latest
+        break;
+    case StatKind::Distribution:
+        if (!from.count)
+            break;
+        if (!m.count) {
+            m = from;
+            break;
+        }
+        m.min = std::min(m.min, from.min);
+        m.max = std::max(m.max, from.max);
+        m.count += from.count;
+        m.sum += from.sum;
+        {
+            // Sources decimated at different strides weight their
+            // retained samples differently; thin both to the common
+            // (coarser) stride before pooling so merged quantiles
+            // stay unbiased.
+            const std::uint64_t target =
+                std::max(m.stride, from.stride);
+            std::vector<double> other = from.samples;
+            thinSamples(&m.samples, target / m.stride);
+            thinSamples(&other, target / from.stride);
+            m.stride = target;
+            m.samples.insert(m.samples.end(), other.begin(),
+                             other.end());
+            // Keep the invariant: reservoirs stay sorted so
+            // quantile reads (and later thinning) are valid.
+            std::sort(m.samples.begin(), m.samples.end());
+        }
+        break;
+    }
+}
+
 struct StatsRegistry::Slot
 {
     explicit Slot(StatKind k) : kind(k) {}
@@ -184,6 +254,60 @@ StatsRegistry::distribution(const std::string &name)
 {
     Slot *slot = slotFor(name, StatKind::Distribution);
     return slot ? Distribution(&slot->dist) : Distribution();
+}
+
+void
+StatsRegistry::absorb(const std::vector<StatEntry> &entries)
+{
+    if (!enabled())
+        return;
+    for (const StatEntry &e : entries) {
+        Slot *slot = slotFor(e.name, e.kind);
+        if (!slot)
+            return; // disabled mid-loop
+        switch (e.kind) {
+        case StatKind::Counter:
+            slot->counter.fetch_add(e.count,
+                                    std::memory_order_relaxed);
+            break;
+        case StatKind::Gauge:
+            slot->gauge.store(e.value, std::memory_order_relaxed);
+            break;
+        case StatKind::Distribution: {
+            std::lock_guard<std::mutex> lock(slot->dist.mutex);
+            // Lift the live cell into entry form, merge, and write
+            // the result back — so absorb shares the exact
+            // stride-thinning rules every other merge path uses.
+            StatEntry cur;
+            cur.name = e.name;
+            cur.kind = StatKind::Distribution;
+            cur.count = slot->dist.count;
+            cur.sum = slot->dist.sum;
+            cur.min = slot->dist.min;
+            cur.max = slot->dist.max;
+            cur.stride = slot->dist.stride;
+            cur.samples = slot->dist.samples;
+            std::sort(cur.samples.begin(), cur.samples.end());
+            mergeStatEntry(&cur, e);
+            slot->dist.count = cur.count;
+            slot->dist.sum = cur.sum;
+            slot->dist.min = cur.min;
+            slot->dist.max = cur.max;
+            slot->dist.stride = cur.stride;
+            slot->dist.samples = std::move(cur.samples);
+            // A merge can overfill the reservoir (two near-full
+            // ones pool); decimate back under the cap so the live
+            // cell keeps its bounded-memory invariant.
+            while (slot->dist.samples.size() >
+                   Distribution::kMaxSamples) {
+                thinSamples(&slot->dist.samples, 2);
+                slot->dist.stride *= 2;
+            }
+            slot->dist.untilNext = 0;
+            break;
+        }
+        }
+    }
 }
 
 void

@@ -177,6 +177,17 @@ struct StatEntry
 };
 
 /**
+ * Merge @p from into @p into (two snapshots of the same name and
+ * kind): counters sum, gauges keep the @p from level (latest wins),
+ * distributions pool — min/max/count/sum combine exactly, and the
+ * sample reservoirs are first thinned to the common (coarser)
+ * decimation stride so every pooled sample stands for the same
+ * number of raw samples and merged quantiles stay unbiased. Both
+ * reservoirs must be sorted ascending; the result is too.
+ */
+void mergeStatEntry(StatEntry *into, const StatEntry &from);
+
+/**
  * Render snapshot entries as one flat JSON object keyed by stat
  * name: counters as integers, gauges as numbers, distributions as
  * {"count","sum","min","max","mean","p50","p95","p99"} objects.
@@ -245,6 +256,15 @@ class StatsRegistry
 
     /** All registered stats, sorted by name. */
     std::vector<StatEntry> snapshot() const;
+
+    /**
+     * Fold a snapshot into this registry (the StatsDomain merge
+     * path): each entry is registered get-or-create under its own
+     * name/kind and combined with the live cell by the
+     * mergeStatEntry() rules. No-op when disabled; aborts on a kind
+     * collision, like any registration.
+     */
+    void absorb(const std::vector<StatEntry> &entries);
 
     /** snapshot() rendered via jsonObject(). */
     std::string jsonString() const;

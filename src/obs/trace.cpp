@@ -76,6 +76,41 @@ TraceWriter::span(const char *category, const std::string &name,
     events_.push_back(std::move(event));
 }
 
+void
+TraceWriter::counter(const std::string &name, std::uint64_t ts_ns,
+                     double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file_)
+        return;
+    Event event;
+    event.name = name;
+    event.category = "stats";
+    event.startNs = std::max(ts_ns, epochNs_);
+    event.durNs = 0;
+    event.tid = 0; // counter tracks are per-process, not per-thread
+    event.phase = Phase::Counter;
+    event.value = value;
+    events_.push_back(std::move(event));
+}
+
+void
+TraceWriter::instant(const char *category, const std::string &name,
+                     std::uint64_t ts_ns)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file_)
+        return;
+    Event event;
+    event.name = name;
+    event.category = category;
+    event.startNs = std::max(ts_ns, epochNs_);
+    event.durNs = 0;
+    event.tid = tidOfCallingThread();
+    event.phase = Phase::Instant;
+    events_.push_back(std::move(event));
+}
+
 std::size_t
 TraceWriter::eventCount() const
 {
@@ -104,14 +139,35 @@ TraceWriter::close()
     for (const Event &event : events_) {
         // Microsecond timestamps relative to the writer's epoch,
         // the unit chrome://tracing expects.
-        std::fprintf(
-            file_,
-            "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
-            "\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}",
-            first ? "" : ",", jsonEscape(event.name).c_str(),
-            event.category, event.tid,
-            static_cast<double>(event.startNs - epochNs_) / 1e3,
-            static_cast<double>(event.durNs) / 1e3);
+        const double ts =
+            static_cast<double>(event.startNs - epochNs_) / 1e3;
+        switch (event.phase) {
+        case Phase::Span:
+            std::fprintf(
+                file_,
+                "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                "\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}",
+                first ? "" : ",", jsonEscape(event.name).c_str(),
+                event.category, event.tid, ts,
+                static_cast<double>(event.durNs) / 1e3);
+            break;
+        case Phase::Counter:
+            std::fprintf(
+                file_,
+                "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"C\","
+                "\"pid\":1,\"ts\":%.3f,\"args\":{\"value\":%.17g}}",
+                first ? "" : ",", jsonEscape(event.name).c_str(),
+                event.category, ts, event.value);
+            break;
+        case Phase::Instant:
+            std::fprintf(
+                file_,
+                "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                "\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\"}",
+                first ? "" : ",", jsonEscape(event.name).c_str(),
+                event.category, event.tid, ts);
+            break;
+        }
         first = false;
     }
     std::fprintf(file_, "\n]}\n");

@@ -57,7 +57,25 @@ class TraceWriter
     void span(const char *category, const std::string &name,
               std::uint64_t start_ns, std::uint64_t end_ns);
 
-    /** Spans recorded so far. */
+    /**
+     * Record a counter sample ("ph":"C"): the named series takes
+     * @p value at @p ts_ns. Counter tracks render as a filled area
+     * chart above the lanes, so periodically sampled stats (pool
+     * tasks, cross-cluster messages) show their evolution over the
+     * run, not just the end-of-run total.
+     */
+    void counter(const std::string &name, std::uint64_t ts_ns,
+                 double value);
+
+    /**
+     * Record an instant event ("ph":"i", thread scope) on the
+     * calling thread's lane — used for profiler samples, where the
+     * event's moment matters but it has no duration.
+     */
+    void instant(const char *category, const std::string &name,
+                 std::uint64_t ts_ns);
+
+    /** Events recorded so far (spans + counters + instants). */
     std::size_t eventCount() const;
 
     /** Write the JSON and close the file. Idempotent. */
@@ -81,6 +99,13 @@ class TraceWriter
     static void closeGlobal();
 
   private:
+    enum class Phase
+    {
+        Span,    //!< "X": complete event with a duration
+        Counter, //!< "C": sampled counter value
+        Instant, //!< "i": zero-duration marker on a thread lane
+    };
+
     struct Event
     {
         std::string name;
@@ -88,6 +113,8 @@ class TraceWriter
         std::uint64_t startNs;
         std::uint64_t durNs;
         int tid;
+        Phase phase = Phase::Span;
+        double value = 0.0; //!< Phase::Counter only
     };
 
     /** Lane of the calling thread; assigns ids 0,1,... on first use. */

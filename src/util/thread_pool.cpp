@@ -30,9 +30,13 @@ ThreadPool::ThreadPool(std::size_t threads)
     parallelFors_ = registry.counter("pool.parallel_fors");
     registry.gauge("pool.workers").set(static_cast<double>(n));
     workerBusyNs_.reserve(n);
-    for (std::size_t i = 0; i < n; ++i)
+    workerIdleNs_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
         workerBusyNs_.push_back(registry.counter(
             "pool.worker" + std::to_string(i) + ".busy_ns"));
+        workerIdleNs_.push_back(registry.counter(
+            "pool.worker" + std::to_string(i) + ".idle_ns"));
+    }
     workers_.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
         workers_.emplace_back([this, i] { workerLoop(i); });
@@ -59,8 +63,22 @@ ThreadPool::workerLoop(std::size_t index)
         std::function<void()> task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock,
-                     [this] { return shutdown_ || !queue_.empty(); });
+            // The busy/idle split: time spent parked on the queue
+            // is this worker's idle (wait-state) share. Clock reads
+            // only when the counters are live, so an uninstrumented
+            // pool pays nothing.
+            if (workerIdleNs_[index] &&
+                !(shutdown_ || !queue_.empty())) {
+                const std::uint64_t w0 = obs::nowNs();
+                cv_.wait(lock, [this] {
+                    return shutdown_ || !queue_.empty();
+                });
+                workerIdleNs_[index].add(obs::nowNs() - w0);
+            } else {
+                cv_.wait(lock, [this] {
+                    return shutdown_ || !queue_.empty();
+                });
+            }
             if (queue_.empty())
                 break; // shutdown with a drained queue
             task = std::move(queue_.front());

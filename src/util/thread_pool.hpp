@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/clock.hpp"
 #include "obs/stats.hpp"
 
 namespace accordion::util {
@@ -65,6 +66,31 @@ class SpinBarrier
     void
     arriveAndWait()
     {
+        waitImpl(nullptr);
+    }
+
+    /**
+     * arriveAndWait() that also reports how long this party spent
+     * waiting for the stragglers, in obs::nowNs() nanoseconds (0
+     * for the last arrival). The wait-state attribution path: only
+     * call it when instrumentation is on — it pays clock reads the
+     * plain overload never does.
+     */
+    std::uint64_t
+    arriveAndWaitTimed()
+    {
+        std::uint64_t waited = 0;
+        waitImpl(&waited);
+        return waited;
+    }
+
+    /** Team size this barrier synchronizes. */
+    std::size_t parties() const { return parties_; }
+
+  private:
+    void
+    waitImpl(std::uint64_t *waited_ns)
+    {
         const std::uint64_t phase =
             phase_.load(std::memory_order_acquire);
         if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
@@ -72,6 +98,8 @@ class SpinBarrier
             arrived_.store(0, std::memory_order_relaxed);
             phase_.fetch_add(1, std::memory_order_acq_rel);
         } else {
+            const std::uint64_t t0 =
+                waited_ns ? obs::nowNs() : 0;
             std::size_t spins = 0;
             while (phase_.load(std::memory_order_acquire) == phase) {
                 if (++spins > 128) {
@@ -79,13 +107,11 @@ class SpinBarrier
                     spins = 0;
                 }
             }
+            if (waited_ns)
+                *waited_ns = obs::nowNs() - t0;
         }
     }
 
-    /** Team size this barrier synchronizes. */
-    std::size_t parties() const { return parties_; }
-
-  private:
     const std::size_t parties_;
     std::atomic<std::size_t> arrived_{0};
     std::atomic<std::uint64_t> phase_{0};
@@ -188,6 +214,7 @@ class ThreadPool
     obs::Counter tasks_; //!< pool.tasks
     obs::Counter parallelFors_; //!< pool.parallel_fors
     std::vector<obs::Counter> workerBusyNs_; //!< pool.workerN.busy_ns
+    std::vector<obs::Counter> workerIdleNs_; //!< pool.workerN.idle_ns
 };
 
 /**

@@ -267,4 +267,58 @@ TEST(BspEngine, ObservabilityCountersTrackEpochsAndMessages)
     registry.setEnabled(false);
 }
 
+TEST(BspEngine, WaitStateCountersAttributePhases)
+{
+    obs::StatsRegistry &registry = obs::StatsRegistry::global();
+    registry.setEnabled(true);
+    registry.reset();
+
+    const vartech::ChipGeometry geometry;
+    TaskSet tasks;
+    tasks.numTasks = 64;
+    tasks.instrPerTask = 12000;
+    {
+        PoolGuard pool(4);
+        const BspPerfModel bsp({}, 4);
+        (void)bsp.estimate(geometry, contiguousCores(64), 0.5e9, tasks,
+                           WorkloadTraits{});
+    }
+
+    // 64 contiguous cores span 8 partitions worked by a team of 4:
+    // every partition advances its heap and merges mailboxes, and
+    // each worker's barrier wait lands on its home partition
+    // (p = w < team). The last arrival waits zero, so assert the
+    // team-wide sum, not any single worker.
+    std::uint64_t barrier_total = 0;
+    for (std::size_t p = 0; p < 8; ++p) {
+        const std::string prefix =
+            "manycore.partition" + std::to_string(p);
+        EXPECT_GT(
+            registry.counter(prefix + ".heap_advance_ns").value(), 0u)
+            << prefix;
+        EXPECT_GT(
+            registry.counter(prefix + ".mailbox_merge_ns").value(), 0u)
+            << prefix;
+        barrier_total +=
+            registry.counter(prefix + ".barrier_wait_ns").value();
+    }
+    EXPECT_GT(barrier_total, 0u);
+
+    // The uninstrumented path must not collect (or crash): the same
+    // run with the registry off leaves the counters untouched.
+    registry.reset();
+    registry.setEnabled(false);
+    {
+        PoolGuard pool(4);
+        const BspPerfModel bsp({}, 4);
+        (void)bsp.estimate(geometry, contiguousCores(64), 0.5e9, tasks,
+                           WorkloadTraits{});
+    }
+    registry.setEnabled(true);
+    EXPECT_EQ(
+        registry.counter("manycore.partition0.barrier_wait_ns").value(),
+        0u);
+    registry.setEnabled(false);
+}
+
 } // namespace

@@ -36,6 +36,8 @@
 #include "golden_mode.hpp"
 #include "harness/experiment.hpp"
 #include "harness/run_context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
 #include "rms/workload.hpp"
@@ -366,9 +368,11 @@ TEST_F(GoldenFigures, HarnessTable3CsvByteIdentical)
 
 /**
  * The instrumentation layer's no-perturbation contract: with the
- * stats registry enabled *and* a trace being recorded — the
- * heaviest observability configuration — an experiment's CSV is
- * still byte-identical to the frozen pre-instrumentation output.
+ * stats registry enabled, a trace being recorded, the sampling
+ * profiler delivering SIGPROF to the workers *and* a live metrics
+ * exporter flushing concurrently — the heaviest observability
+ * configuration — an experiment's CSV is still byte-identical to
+ * the frozen pre-instrumentation output.
  */
 TEST_F(GoldenFigures, InstrumentationPreservesCsvBytes)
 {
@@ -379,7 +383,23 @@ TEST_F(GoldenFigures, InstrumentationPreservesCsvBytes)
     registry.setEnabled(true);
     ASSERT_TRUE(obs::TraceWriter::openGlobal(trace_path));
 
+    obs::MetricsExporter::Options metrics;
+    metrics.path = std::string(kOutDir) + "/instrumented.prom";
+    metrics.intervalMs = 20;
+    obs::MetricsExporter exporter(registry, metrics);
+    ASSERT_TRUE(exporter.ok());
+
+    obs::SamplingProfiler profiler;
+    obs::ProfilerOptions sampling;
+    sampling.intervalUs = 500;
+    const bool profiling = profiler.start(sampling);
+
     runExperiment("fig6_pareto_parsec");
+
+    profiler.stop();
+    if (profiling)
+        (void)profiler.injectTraceSamples(obs::TraceWriter::global());
+    exporter.stopAndFlush();
 
     // Join the pool's workers (recreating the pool) before sealing
     // the trace so no in-flight span races the writer teardown —
@@ -390,6 +410,7 @@ TEST_F(GoldenFigures, InstrumentationPreservesCsvBytes)
     registry.setEnabled(false);
     EXPECT_GT(registry.size(), 0u)
         << "instrumented run registered no stats";
+    EXPECT_GE(exporter.flushes(), 1u);
     checkBytesOrUpdate("fig6_pareto.csv");
 }
 

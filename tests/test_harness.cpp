@@ -191,6 +191,89 @@ TEST(HarnessCli, RejectsUnknownOptionAndBadShapes)
     EXPECT_FALSE(harness::parseCli({"list", "extra"}, &error));
 }
 
+TEST(HarnessCli, ParsesProfileWithOptions)
+{
+    std::string error;
+    const auto options = harness::parseCli(
+        {"profile", "substrate.perf_model_event_parallel", "--folded",
+         "out.folded", "--interval", "250", "--reps", "3", "--scale",
+         "0.5", "--threads", "4", "--seed", "99", "--top", "12",
+         "--trace", "t.json", "--metrics-out", "m.prom",
+         "--metrics-interval", "100"},
+        &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    EXPECT_EQ(options->command,
+              harness::CliOptions::Command::Profile);
+    EXPECT_EQ(options->profile.scenario,
+              "substrate.perf_model_event_parallel");
+    EXPECT_EQ(options->profile.folded, "out.folded");
+    EXPECT_EQ(options->profile.intervalUs, 250u);
+    EXPECT_EQ(options->profile.reps, 3u);
+    EXPECT_EQ(options->profile.scale, 0.5);
+    EXPECT_EQ(options->profile.threads, 4u);
+    EXPECT_EQ(options->profile.seed, 99u);
+    EXPECT_EQ(options->profile.top, 12u);
+    EXPECT_EQ(options->profile.trace, "t.json");
+    EXPECT_EQ(options->profile.metricsOut, "m.prom");
+    EXPECT_EQ(options->profile.metricsIntervalMs, 100u);
+    EXPECT_FALSE(options->profile.list);
+}
+
+TEST(HarnessCli, ProfileDefaultsAndList)
+{
+    std::string error;
+    const auto options =
+        harness::parseCli({"profile", "some.scenario"}, &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    EXPECT_EQ(options->profile.intervalUs, 1000u);
+    EXPECT_EQ(options->profile.reps, 10u);
+    EXPECT_EQ(options->profile.top, 20u);
+    EXPECT_TRUE(options->profile.folded.empty());
+
+    const auto list = harness::parseCli({"profile", "--list"}, &error);
+    ASSERT_TRUE(list.has_value()) << error;
+    EXPECT_TRUE(list->profile.list);
+    EXPECT_TRUE(list->profile.scenario.empty());
+}
+
+TEST(HarnessCli, RejectsProfileBadShapes)
+{
+    std::string error;
+    EXPECT_FALSE(harness::parseCli({"profile"}, &error));
+    EXPECT_NE(error.find("exactly one scenario"), std::string::npos);
+    EXPECT_FALSE(harness::parseCli({"profile", "a", "b"}, &error));
+    EXPECT_NE(error.find("exactly one scenario"), std::string::npos);
+    EXPECT_FALSE(
+        harness::parseCli({"profile", "--list", "a"}, &error));
+    EXPECT_NE(error.find("takes no scenario"), std::string::npos);
+    EXPECT_FALSE(harness::parseCli(
+        {"profile", "a", "--interval", "0"}, &error));
+    EXPECT_NE(error.find("--interval"), std::string::npos);
+    EXPECT_FALSE(
+        harness::parseCli({"profile", "a", "--reps", "-1"}, &error));
+    EXPECT_NE(error.find("--reps"), std::string::npos);
+    EXPECT_FALSE(
+        harness::parseCli({"profile", "a", "--folded"}, &error));
+    EXPECT_FALSE(
+        harness::parseCli({"profile", "a", "--bogus"}, &error));
+    EXPECT_NE(error.find("unknown option"), std::string::npos);
+}
+
+TEST(HarnessCli, ParsesRunMetricsFlags)
+{
+    std::string error;
+    const auto options = harness::parseCli(
+        {"run", "table1_modes", "--metrics-out", "live.prom",
+         "--metrics-interval", "250"},
+        &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    EXPECT_EQ(options->metricsOut, "live.prom");
+    EXPECT_EQ(options->metricsIntervalMs, 250u);
+    EXPECT_FALSE(harness::parseCli(
+        {"run", "all", "--metrics-interval", "no"}, &error));
+    EXPECT_NE(error.find("--metrics-interval"), std::string::npos);
+}
+
 TEST(HarnessCli, ResolvesUnknownExperimentToError)
 {
     std::string error;

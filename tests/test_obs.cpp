@@ -482,6 +482,49 @@ TEST(TraceWriter, AssignsOneLanePerThread)
     EXPECT_EQ(names.size(), 3u); // t0, t1, t2 each on their own lane
 }
 
+TEST(TraceWriter, EmitsCounterAndInstantEvents)
+{
+    ClockGuard guard;
+    guard.clock().set(1000000);
+    const std::string path = tempPath("trace_counters.json");
+    {
+        obs::TraceWriter trace(path);
+        ASSERT_TRUE(trace.ok());
+        obs::setCurrentThreadName("main");
+        trace.counter("pool.tasks", 1002000, 7.0);
+        trace.counter("pool.tasks", 1004000, 12.0);
+        // Pre-epoch timestamps clamp, same as spans.
+        trace.counter("syscache.hits", 0, 3.0);
+        trace.instant("profiler", "sample", 1003000);
+        EXPECT_EQ(trace.eventCount(), 4u);
+        trace.close();
+    }
+
+    const Json root = JsonParser(readFile(path)).parse();
+    std::size_t counters = 0, instants = 0;
+    for (const Json &event : root.at("traceEvents").items) {
+        const std::string ph = event.at("ph").text;
+        if (ph == "C") {
+            EXPECT_EQ(event.at("cat").text, "stats");
+            EXPECT_GE(event.at("ts").number, 0.0);
+            if (event.at("name").text == "pool.tasks" &&
+                event.at("ts").number == 2.0)
+                EXPECT_EQ(event.at("args").at("value").number, 7.0);
+            if (event.at("name").text == "syscache.hits")
+                EXPECT_EQ(event.at("ts").number, 0.0); // clamped
+            ++counters;
+        } else if (ph == "i") {
+            EXPECT_EQ(event.at("name").text, "sample");
+            EXPECT_EQ(event.at("cat").text, "profiler");
+            EXPECT_EQ(event.at("s").text, "t");
+            EXPECT_EQ(event.at("ts").number, 3.0);
+            ++instants;
+        }
+    }
+    EXPECT_EQ(counters, 3u);
+    EXPECT_EQ(instants, 1u);
+}
+
 TEST(TraceWriter, CloseIsIdempotent)
 {
     const std::string path = tempPath("trace_idem.json");

@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Tests of the profiling/telemetry additions to the obs layer: the
+ * sampling profiler (pure folding, start/stop lifecycle, real
+ * SIGPROF sampling of a busy loop, coexistence with the thread
+ * pool, trace-sample injection), scoped StatsDomain merge
+ * semantics, and the Prometheus metrics exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/domain.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+#include "test_json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace obs = accordion::obs;
+namespace util = accordion::util;
+
+namespace {
+
+using testjson::Json;
+using testjson::JsonParser;
+
+std::string
+tempPath(const std::string &leaf)
+{
+    return testing::TempDir() + leaf;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Burn CPU for roughly @p ns wall nanoseconds (spinning, so CPU
+ *  time tracks wall time and the CPU-clock sampler fires). */
+volatile double busySink = 0.0;
+void
+burnCpu(std::uint64_t ns)
+{
+    const std::uint64_t t0 = obs::nowNs();
+    double acc = busySink;
+    while (obs::nowNs() - t0 < ns)
+        for (int i = 0; i < 1000; ++i)
+            acc += static_cast<double>(i) * 1e-9;
+    busySink = acc;
+}
+
+// ---------------------------------------------------------------
+// SamplingProfiler
+// ---------------------------------------------------------------
+
+TEST(Profiler, FoldSymbolizedAggregatesRootFirst)
+{
+    // Input stacks are leaf-first (backtrace order); folded output
+    // is root-first, semicolon-joined, count-aggregated.
+    const std::vector<std::vector<std::string>> stacks = {
+        {"leaf", "mid", "root"},
+        {"leaf", "mid", "root"},
+        {"other", "root"},
+        {"solo"},
+    };
+    const auto folded = obs::SamplingProfiler::foldSymbolized(stacks);
+    ASSERT_EQ(folded.size(), 3u);
+    EXPECT_EQ(folded[0].stack, "root;mid;leaf");
+    EXPECT_EQ(folded[0].count, 2u);
+    // Ties sort by stack string ascending.
+    EXPECT_EQ(folded[1].stack, "root;other");
+    EXPECT_EQ(folded[1].count, 1u);
+    EXPECT_EQ(folded[2].stack, "solo");
+    EXPECT_EQ(folded[2].count, 1u);
+}
+
+TEST(Profiler, FoldSymbolizedEmptyInput)
+{
+    EXPECT_TRUE(obs::SamplingProfiler::foldSymbolized({}).empty());
+}
+
+#if defined(__linux__)
+
+TEST(Profiler, StartStopLifecycleAndExclusivity)
+{
+    obs::SamplingProfiler first;
+    obs::SamplingProfiler second;
+    ASSERT_TRUE(first.start());
+    EXPECT_TRUE(first.running());
+    // Idempotent on the running instance, exclusive across
+    // instances (SIGPROF is process-global).
+    EXPECT_FALSE(first.start());
+    EXPECT_TRUE(first.running());
+    EXPECT_FALSE(second.start());
+    EXPECT_FALSE(second.running());
+    first.stop();
+    EXPECT_FALSE(first.running());
+    first.stop(); // idempotent
+    // A stopped profiler releases the process latch: restart works.
+    ASSERT_TRUE(second.start());
+    second.stop();
+}
+
+TEST(Profiler, SamplesBusyLoopAndFoldsStacks)
+{
+    obs::SamplingProfiler profiler;
+    obs::ProfilerOptions options;
+    options.intervalUs = 500;
+    ASSERT_TRUE(profiler.start(options));
+    burnCpu(300000000ull); // ~300 ms of spinning
+    profiler.stop();
+
+    EXPECT_GT(profiler.sampleCount(), 5u);
+    EXPECT_GE(profiler.sampledThreads(), 1u);
+
+    const auto folded = profiler.folded();
+    ASSERT_FALSE(folded.empty());
+    std::uint64_t total = 0;
+    for (const obs::FoldedStack &f : folded) {
+        EXPECT_FALSE(f.stack.empty());
+        EXPECT_GT(f.count, 0u);
+        total += f.count;
+    }
+    EXPECT_EQ(total, profiler.sampleCount());
+
+    // Every foldedText line is "stack count".
+    std::istringstream text(profiler.foldedText());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(text, line)) {
+        const std::size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        EXPECT_GT(space, 0u);
+        EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+        ++lines;
+    }
+    EXPECT_EQ(lines, folded.size());
+
+    // Self times: fractions over *all* symbols sum to ~1.
+    const auto self = profiler.selfTimes(1u << 20);
+    ASSERT_FALSE(self.empty());
+    double fraction_total = 0.0;
+    for (std::size_t i = 0; i < self.size(); ++i) {
+        fraction_total += self[i].fraction;
+        if (i > 0)
+            EXPECT_GE(self[i - 1].samples, self[i].samples);
+    }
+    EXPECT_NEAR(fraction_total, 1.0, 1e-9);
+    EXPECT_EQ(profiler.selfTimes(1).size(), 1u);
+
+    // Samples survive stop() and reach disk.
+    const std::string path = tempPath("profiler_busy.folded");
+    ASSERT_TRUE(profiler.writeFolded(path));
+    EXPECT_FALSE(readFile(path).empty());
+}
+
+TEST(Profiler, SamplesUnderThreadPoolWork)
+{
+    // SIGPROF delivery while pool workers are parked on the queue
+    // condvar (and while they compute) must not deadlock, crash, or
+    // corrupt samples.
+    util::ThreadPool pool(3);
+    obs::SamplingProfiler profiler;
+    obs::ProfilerOptions options;
+    options.intervalUs = 500;
+    ASSERT_TRUE(profiler.start(options));
+    pool.parallelFor(0, 64,
+                     [](std::size_t) { burnCpu(3000000ull); });
+    profiler.stop();
+    EXPECT_GT(profiler.sampleCount(), 0u);
+    EXPECT_EQ(
+        profiler.sampleCount(),
+        [&] {
+            std::uint64_t n = 0;
+            for (const obs::FoldedStack &f : profiler.folded())
+                n += f.count;
+            return n;
+        }());
+}
+
+TEST(Profiler, InjectsTraceSamplesAsInstantEvents)
+{
+    const std::string path = tempPath("profiler_trace.json");
+    obs::SamplingProfiler profiler;
+    obs::ProfilerOptions options;
+    options.intervalUs = 500;
+    std::size_t injected = 0;
+    {
+        obs::TraceWriter trace(path);
+        ASSERT_TRUE(trace.ok());
+        ASSERT_TRUE(profiler.start(options));
+        burnCpu(100000000ull);
+        profiler.stop();
+        injected = profiler.injectTraceSamples(&trace);
+        EXPECT_EQ(injected, profiler.sampleCount());
+        trace.close();
+    }
+    ASSERT_GT(injected, 0u);
+
+    const Json root = JsonParser(readFile(path)).parse();
+    std::size_t instants = 0;
+    for (const Json &event : root.at("traceEvents").items)
+        if (event.at("ph").text == "i") {
+            EXPECT_EQ(event.at("cat").text, "profiler");
+            EXPECT_FALSE(event.at("name").text.empty());
+            ++instants;
+        }
+    EXPECT_EQ(instants, injected);
+    EXPECT_EQ(profiler.injectTraceSamples(nullptr), 0u);
+}
+
+#endif // __linux__
+
+// ---------------------------------------------------------------
+// StatsDomain
+// ---------------------------------------------------------------
+
+TEST(StatsDomain, MergesIntoParentOnScopeExit)
+{
+    obs::StatsRegistry parent(true);
+    parent.counter("domain.hits").add(10);
+    {
+        obs::StatsDomain domain(parent, "scope");
+        domain.counter("domain.hits").add(5);
+        domain.counter("domain.fresh").add(2);
+        // Not yet merged: the parent sees only its own counts.
+        EXPECT_EQ(parent.counter("domain.hits").value(), 10u);
+    }
+    EXPECT_EQ(parent.counter("domain.hits").value(), 15u);
+    EXPECT_EQ(parent.counter("domain.fresh").value(), 2u);
+}
+
+TEST(StatsDomain, MergeIsIdempotentAndStopsForwarding)
+{
+    obs::StatsRegistry parent(true);
+    obs::StatsDomain domain(parent, "scope");
+    obs::Counter hits = domain.counter("domain.hits");
+    hits.add(3);
+    domain.merge();
+    EXPECT_EQ(parent.counter("domain.hits").value(), 3u);
+    // Updates after merge() stay local; a second merge (and the
+    // destructor) must not double-count.
+    hits.add(100);
+    domain.merge();
+    EXPECT_EQ(parent.counter("domain.hits").value(), 3u);
+}
+
+TEST(StatsDomain, DiscardDropsEverything)
+{
+    obs::StatsRegistry parent(true);
+    {
+        obs::StatsDomain domain(parent, "scope");
+        domain.counter("domain.hits").add(7);
+        domain.discard();
+    }
+    EXPECT_EQ(parent.counter("domain.hits").value(), 0u);
+}
+
+TEST(StatsDomain, NestedDomainsCascade)
+{
+    obs::StatsRegistry parent(true);
+    {
+        obs::StatsDomain outer(parent, "outer");
+        {
+            obs::StatsDomain inner(outer, "inner");
+            inner.counter("domain.hits").add(4);
+        }
+        // Cascaded one level: the outer domain holds it now.
+        EXPECT_EQ(parent.counter("domain.hits").value(), 0u);
+        EXPECT_EQ(outer.counter("domain.hits").value(), 4u);
+    }
+    EXPECT_EQ(parent.counter("domain.hits").value(), 4u);
+}
+
+TEST(StatsDomain, DisabledParentDisengagesHandles)
+{
+    obs::StatsRegistry parent(false);
+    obs::StatsDomain domain(parent, "scope");
+    obs::Counter hits = domain.counter("domain.hits");
+    EXPECT_FALSE(static_cast<bool>(hits));
+    hits.add(9); // no-op, must not crash
+    domain.merge();
+    EXPECT_EQ(parent.size(), 0u);
+}
+
+TEST(StatsDomain, MergesGaugesAndDistributionsBySemantics)
+{
+    obs::StatsRegistry parent(true);
+    parent.gauge("domain.level").set(1.0);
+    parent.distribution("domain.lat").add(10.0);
+    {
+        obs::StatsDomain domain(parent, "scope");
+        domain.gauge("domain.level").set(2.5); // latest wins
+        domain.distribution("domain.lat").add(30.0);
+        domain.distribution("domain.lat").add(20.0);
+    }
+    EXPECT_EQ(parent.gauge("domain.level").value(), 2.5);
+    for (const obs::StatEntry &e : parent.snapshot()) {
+        if (e.name != "domain.lat")
+            continue;
+        EXPECT_EQ(e.kind, obs::StatKind::Distribution);
+        EXPECT_EQ(e.count, 3u);
+        EXPECT_EQ(e.sum, 60.0);
+        EXPECT_EQ(e.min, 10.0);
+        EXPECT_EQ(e.max, 30.0);
+        ASSERT_EQ(e.samples.size(), 3u); // pooled, sorted
+        EXPECT_EQ(e.samples[0], 10.0);
+        EXPECT_EQ(e.samples[2], 30.0);
+    }
+}
+
+// ---------------------------------------------------------------
+// MetricsExporter
+// ---------------------------------------------------------------
+
+TEST(MetricsExporter, SanitizesMetricNames)
+{
+    EXPECT_EQ(obs::prometheusMetricName("pool.tasks"),
+              "accordion_pool_tasks");
+    EXPECT_EQ(obs::prometheusMetricName("time.phase_ns"),
+              "accordion_time_phase_ns");
+    EXPECT_EQ(obs::prometheusMetricName("weird-name!"),
+              "accordion_weird_name_");
+}
+
+TEST(MetricsExporter, RendersAllKindsAsPrometheusText)
+{
+    std::vector<obs::StatEntry> entries(3);
+    entries[0].name = "pool.tasks";
+    entries[0].kind = obs::StatKind::Counter;
+    entries[0].count = 42;
+    entries[1].name = "pool.workers";
+    entries[1].kind = obs::StatKind::Gauge;
+    entries[1].value = 8.0;
+    entries[2].name = "time.phase_ns";
+    entries[2].kind = obs::StatKind::Distribution;
+    entries[2].count = 2;
+    entries[2].sum = 30.0;
+    entries[2].min = 10.0;
+    entries[2].max = 20.0;
+    entries[2].samples = {10.0, 20.0};
+
+    const std::string text = obs::prometheusText(entries);
+    EXPECT_NE(text.find("# TYPE accordion_pool_tasks counter\n"
+                        "accordion_pool_tasks 42\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE accordion_pool_workers gauge\n"
+                        "accordion_pool_workers 8\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE accordion_time_phase_ns summary"),
+              std::string::npos);
+    EXPECT_NE(text.find("accordion_time_phase_ns{quantile=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("accordion_time_phase_ns_sum 30\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("accordion_time_phase_ns_count 2\n"),
+              std::string::npos);
+}
+
+TEST(MetricsExporter, FlushesExpositionFileAtomically)
+{
+    obs::StatsRegistry registry(true);
+    obs::Counter hits = registry.counter("syscache.hits");
+    hits.add(5);
+
+    const std::string path = tempPath("metrics.prom");
+    obs::MetricsExporter::Options options;
+    options.path = path;
+    options.intervalMs = 3600000; // flushes driven by hand below
+    obs::MetricsExporter exporter(registry, options);
+    ASSERT_TRUE(exporter.ok());
+    EXPECT_GE(exporter.flushes(), 1u); // constructor flushed
+    EXPECT_NE(readFile(path).find("accordion_syscache_hits 5"),
+              std::string::npos);
+
+    hits.add(2);
+    exporter.flushNow();
+    EXPECT_NE(readFile(path).find("accordion_syscache_hits 7"),
+              std::string::npos);
+    // No torn temp file left behind after a completed flush.
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+    exporter.stopAndFlush();
+    exporter.stopAndFlush(); // idempotent
+    EXPECT_TRUE(exporter.ok());
+}
+
+TEST(MetricsExporter, ReportsUnwritablePath)
+{
+    obs::StatsRegistry registry(true);
+    obs::MetricsExporter::Options options;
+    options.path = "/nonexistent-dir/x/metrics.prom";
+    obs::MetricsExporter exporter(registry, options);
+    EXPECT_FALSE(exporter.ok());
+    exporter.stopAndFlush();
+}
+
+TEST(MetricsExporter, MirrorsConfiguredCountersIntoTrace)
+{
+    obs::StatsRegistry registry(true);
+    registry.counter("pool.tasks").add(11);
+    registry.counter("not.mirrored").add(3);
+
+    const std::string path = tempPath("metrics_trace.json");
+    ASSERT_TRUE(obs::TraceWriter::openGlobal(path));
+    {
+        obs::MetricsExporter::Options options; // no file: trace only
+        options.intervalMs = 3600000;
+        obs::MetricsExporter exporter(registry, options);
+        exporter.stopAndFlush();
+    }
+    obs::TraceWriter::closeGlobal();
+
+    const Json root = JsonParser(readFile(path)).parse();
+    std::size_t mirrored = 0;
+    for (const Json &event : root.at("traceEvents").items) {
+        if (event.at("ph").text != "C")
+            continue;
+        EXPECT_EQ(event.at("name").text, "pool.tasks");
+        EXPECT_EQ(event.at("args").at("value").number, 11.0);
+        ++mirrored;
+    }
+    EXPECT_GE(mirrored, 2u); // constructor flush + final flush
+}
+
+} // namespace
