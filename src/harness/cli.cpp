@@ -6,6 +6,7 @@
 #include "args.hpp"
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_events.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
 #include "stats_report.hpp"
@@ -43,6 +44,8 @@ usage()
            "exposition, rewritten atomically\n"
            "  --metrics-interval MS   exposition flush period "
            "(default: 500)\n"
+           "  --events       collect hardware PMU counters "
+           "(perf_event_open; degrades gracefully)\n"
            "\n"
            "perf options:\n"
            "  --reps R         recorded repetitions per scenario "
@@ -54,6 +57,8 @@ usage()
            "BENCH_<n>.json)\n"
            "  --scenario NAME  run only NAME (repeatable)\n"
            "  --list           print the scenario suite and exit\n"
+           "  --events         per-scenario hardware PMU counters in "
+           "the snapshot's hw section\n"
            "  --threads N, --seed S  as for run\n"
            "\n"
            "perf compare options:\n"
@@ -69,6 +74,8 @@ usage()
            "process CPU time (default: 1000)\n"
            "  --top N          self-time table rows (default: 20)\n"
            "  --list           print the scenario suite and exit\n"
+           "  --events         per-scope hardware counter table next "
+           "to self time\n"
            "  --scale X, --threads N, --seed S  as for perf\n"
            "  --trace FILE, --metrics-out FILE, --metrics-interval "
            "MS  as for run\n"
@@ -191,6 +198,8 @@ parsePerf(const std::vector<std::string> &args, std::string *error)
             options.perf.only.push_back(value);
         } else if (arg == "--list") {
             options.perf.list = true;
+        } else if (arg == "--events") {
+            options.perf.events = true;
         } else {
             *error = "unknown perf argument '" + arg +
                      "' (try: accordion help)";
@@ -288,6 +297,8 @@ parseProfile(const std::vector<std::string> &args, std::string *error)
             options.profile.metricsIntervalMs = ms;
         } else if (arg == "--list") {
             options.profile.list = true;
+        } else if (arg == "--events") {
+            options.profile.events = true;
         } else if (!arg.empty() && arg[0] == '-') {
             *error = "unknown option '" + arg + "'";
             return std::nullopt;
@@ -388,6 +399,8 @@ parseCli(const std::vector<std::string> &args, std::string *error)
                 return std::nullopt;
             }
             options.metricsIntervalMs = ms;
+        } else if (arg == "--events") {
+            options.events = true;
         } else if (arg == "--format") {
             if (!flagValue(args, &i, &value, error))
                 return std::nullopt;
@@ -497,9 +510,15 @@ runCli(int argc, char **argv)
         util::fatal("%s", error.c_str());
 
     // Instrumentation on for the whole run; the pool binds its
-    // counters when RunContext (re)creates it below.
+    // counters when RunContext (re)creates it below. Hardware
+    // counters engage before the pool spawns so every worker opens
+    // its per-thread fds on the way in.
     obs::StatsRegistry &registry = obs::StatsRegistry::global();
     registry.setEnabled(true);
+    if (options->events)
+        obs::hwEngage();
+    else
+        obs::hwDisengage();
     if (!options->trace.empty() &&
         !obs::TraceWriter::openGlobal(options->trace))
         util::fatal("--trace: cannot open '%s' for writing",
@@ -533,6 +552,9 @@ runCli(int argc, char **argv)
         const std::uint64_t t0 = obs::nowNs();
         {
             obs::ScopedSpan span("experiment", e->name());
+            // Main-thread counters for the whole experiment; worker
+            // scopes (pool.task, manycore.*) publish on their own.
+            obs::ScopedHwRegion hw_region("experiment");
             e->run(ctx);
         }
         const std::uint64_t elapsed = obs::nowNs() - t0;

@@ -7,7 +7,7 @@
  *                           [--out-dir DIR] [--format csv|json|both]
  *                           [--stats auto|on|off] [--trace FILE]
  *                           [--metrics-out FILE]
- *                           [--metrics-interval MS]
+ *                           [--metrics-interval MS] [--events]
  *   accordion run all [...]
  *   accordion perf [--reps R] [--warmup W] [--scale X] [--out FILE]
  *                  [--scenario NAME]... [--list]
@@ -66,6 +66,8 @@ struct CliOptions
     /** Prometheus exposition path (`--metrics-out`); empty = off. */
     std::string metricsOut;
     std::uint64_t metricsIntervalMs = 500; //!< `--metrics-interval`
+    /** Collect hardware PMU counters during run (`--events`). */
+    bool events = false;
 
     PerfOptions perf; //!< Command::Perf
     CompareOptions compare; //!< Command::PerfCompare

@@ -14,6 +14,7 @@
 #include "core/quality_profile.hpp"
 #include "manycore/bsp_engine.hpp"
 #include "obs/clock.hpp"
+#include "obs/perf_events.hpp"
 #include "perf_kernels.hpp"
 #include "run_context.hpp"
 #include "silencer.hpp"
@@ -293,7 +294,11 @@ hasPrefix(const std::string &name, const char *prefix)
  * Harvest the registry into a scenario record after the final
  * repetition: work counters (the pool/cache internals stay out —
  * they are plumbing, not work items), time.* phase-timer summaries,
- * and the derived pool.utilization.* gauges.
+ * the derived pool.utilization.* gauges, and — when hardware
+ * counters were engaged — the hw.* PMU counters and derived
+ * IPC/MPKI gauges into the record's hw section. hw.* stays out of
+ * the work counters so throughput rates keep meaning items/s, not
+ * cycles/s.
  */
 void
 harvestStats(const std::vector<obs::StatEntry> &stats,
@@ -304,12 +309,16 @@ harvestStats(const std::vector<obs::StatEntry> &stats,
         // reset() keeps the registration, so skip them here.
         switch (e.kind) {
         case obs::StatKind::Counter:
-            if (e.count > 0 && !hasPrefix(e.name, "pool.") &&
-                !hasPrefix(e.name, "syscache."))
+            if (e.count > 0 && hasPrefix(e.name, "hw."))
+                record->hwCounters[e.name] = e.count;
+            else if (e.count > 0 && !hasPrefix(e.name, "pool.") &&
+                     !hasPrefix(e.name, "syscache."))
                 record->counters[e.name] = e.count;
             break;
         case obs::StatKind::Gauge:
-            if (hasPrefix(e.name, "pool.utilization."))
+            if (hasPrefix(e.name, "hw."))
+                record->hwDerived[e.name] = e.value;
+            else if (hasPrefix(e.name, "pool.utilization."))
                 record->gauges[e.name] = e.value;
             break;
         case obs::StatKind::Distribution:
@@ -339,6 +348,15 @@ perfScenarios()
 {
     static const std::vector<PerfScenario> suite = buildScenarios();
     return suite;
+}
+
+std::string
+scenarioSuiteTable()
+{
+    util::Table table({"scenario", "description"});
+    for (const PerfScenario &s : perfScenarios())
+        table.addRow({s.name, s.description});
+    return table.render();
 }
 
 std::size_t
@@ -375,8 +393,13 @@ compareSnapshots(const obs::PerfSnapshot &base,
 {
     CompareReport report;
     report.thresholdPct = threshold_pct;
-    if (base.schema != next.schema) {
-        std::string message = "schema mismatch: base '";
+    // v1 and v2 interoperate (v2 only *added* the hw section); only
+    // a schema this build cannot parse at all is an error. The
+    // parser normally rejects those first — this guards snapshots
+    // constructed in-process.
+    if (!obs::perfSnapshotSchemaSupported(base.schema) ||
+        !obs::perfSnapshotSchemaSupported(next.schema)) {
+        std::string message = "unsupported schema: base '";
         message += base.schema;
         message += "' vs new '";
         message += next.schema;
@@ -403,6 +426,15 @@ compareSnapshots(const obs::PerfSnapshot &base,
             continue;
         }
         delta.newNs = n->minWallNs();
+        // Derived hardware metrics present in both snapshots ride
+        // along as warn-only context (IPC drop, MPKI jump) for the
+        // wall-time verdict; they never gate on their own.
+        for (const auto &[key, base_value] : b.hwDerived) {
+            auto it = n->hwDerived.find(key);
+            if (it != n->hwDerived.end())
+                delta.hwDeltas.push_back(
+                    {key, base_value, it->second});
+        }
         const double diff = delta.newNs - delta.baseNs;
         delta.deltaPct =
             delta.baseNs > 0.0 ? diff / delta.baseNs * 100.0 : 0.0;
@@ -447,6 +479,17 @@ compareTable(const CompareReport &report)
              comparable ? util::format("%+.1f%%", d.deltaPct) : "-",
              deltaStatusName(d.status)});
     }
+    std::string hw_lines;
+    for (const ScenarioDelta &d : report.deltas)
+        for (const HwDelta &h : d.hwDeltas) {
+            const double pct =
+                h.base != 0.0
+                    ? (h.next - h.base) / h.base * 100.0
+                    : 0.0;
+            hw_lines += util::format(
+                "hw (warn-only): %-32s %s %.4g -> %.4g (%+.1f%%)\n",
+                d.name.c_str(), h.name.c_str(), h.base, h.next, pct);
+        }
     return table.render() +
         util::format("\n%zu scenarios: %zu regression(s), %zu "
                      "improvement(s), %zu within noise (threshold "
@@ -456,7 +499,8 @@ compareTable(const CompareReport &report)
                      report.count(DeltaStatus::WithinNoise),
                      report.thresholdPct, kAbsNoiseFloorNs * 1e-6,
                      report.missing(),
-                     report.count(DeltaStatus::OnlyInNew));
+                     report.count(DeltaStatus::OnlyInNew)) +
+        hw_lines;
 }
 
 std::string
@@ -510,7 +554,7 @@ recordSnapshot(const PerfOptions &options, std::string *error)
             [&](const PerfScenario *s) { return s->name == name; });
         if (!known) {
             *error = "unknown perf scenario '" + name +
-                     "' (see: accordion perf --list)";
+                     "'; the suite is:\n" + scenarioSuiteTable();
             return std::nullopt;
         }
     }
@@ -518,6 +562,15 @@ recordSnapshot(const PerfOptions &options, std::string *error)
     obs::StatsRegistry &registry = obs::StatsRegistry::global();
     const bool was_enabled = registry.enabled();
     registry.setEnabled(true);
+
+    // Hardware counters are strictly opt-in per record call: engage
+    // on --events, and drop any engagement a previous caller left
+    // behind otherwise, so an eventless snapshot can never pick up
+    // hw stats (the degradation tests assert exactly this).
+    if (options.events)
+        obs::hwEngage();
+    else
+        obs::hwDisengage();
 
     // Experiment scenarios run against a throwaway output directory;
     // the CSVs they write are a side effect, not the product.
@@ -547,9 +600,20 @@ recordSnapshot(const PerfOptions &options, std::string *error)
         const std::size_t total = options.warmup + options.reps;
         for (std::size_t rep = 0; rep < total; ++rep) {
             registry.reset();
+            // Sample hw before t0 and publish after the wall read:
+            // the timed section stays exactly what v1 measured even
+            // with counters engaged.
+            obs::HwSample hw0;
+            const bool hw_on =
+                options.events && obs::hwSampleNow(&hw0);
             const std::uint64_t t0 = obs::nowNs();
             scenario->body(run);
             const std::uint64_t wall = obs::nowNs() - t0;
+            if (hw_on) {
+                obs::HwSample hw1;
+                if (obs::hwSampleNow(&hw1))
+                    obs::hwPublishDelta("scenario", hw0, hw1);
+            }
             deriveUtilization(registry, wall);
             if (rep >= options.warmup)
                 record.wallNs.push_back(static_cast<double>(wall));
@@ -584,10 +648,7 @@ int
 runPerfRecord(const PerfOptions &options)
 {
     if (options.list) {
-        util::Table table({"scenario", "description"});
-        for (const PerfScenario &s : perfScenarios())
-            table.addRow({s.name, s.description});
-        std::printf("%s", table.render().c_str());
+        std::printf("%s", scenarioSuiteTable().c_str());
         std::printf("\n%zu scenarios; record with: accordion perf "
                     "[--scenario NAME]...\n",
                     perfScenarios().size());

@@ -5,7 +5,7 @@
  *
  *   accordion perf [--reps R] [--warmup W] [--scale X]
  *                  [--out FILE] [--scenario NAME]... [--list]
- *                  [--threads N] [--seed S]
+ *                  [--threads N] [--seed S] [--events]
  *   accordion perf compare BASE.json NEW.json [--threshold PCT]
  *                  [--warn-only]
  *
@@ -13,15 +13,21 @@
  * substrate hot paths shared with bench/micro_substrates.cpp
  * (perf_kernels.hpp) plus a representative subset of the harness
  * experiments — with W unrecorded warmup repetitions and R timed
- * repetitions, and writes an "accordion-perf-snapshot-v1" JSON
+ * repetitions, and writes an "accordion-perf-snapshot-v2" JSON
  * (obs/snapshot.hpp) to --out, defaulting to the next free
- * BENCH_<n>.json in the working directory.
+ * BENCH_<n>.json in the working directory. With --events each
+ * scenario additionally carries hardware PMU counters (instructions,
+ * cycles, IPC, MPKI via obs/perf_events.hpp) in its "hw" section;
+ * without it — or when perf_event_open is unavailable — "hw" is
+ * null and nothing else changes.
  *
  * Compare mode diffs two snapshots scenario-by-scenario on
  * min-of-reps wall time with a relative threshold plus an absolute
  * noise floor, prints a human verdict table and a machine-readable
  * verdict JSON, and exits non-zero on a regression (or a scenario
- * missing from the new snapshot) unless --warn-only.
+ * missing from the new snapshot) unless --warn-only. v1 snapshots
+ * compare against v2 transparently; hardware IPC/MPKI deltas are
+ * reported as warn-only lines and never gate.
  *
  * The compare engine is exposed as plain functions over parsed
  * snapshots so tests drive every verdict path in-process.
@@ -67,6 +73,13 @@ struct PerfScenario
 /** The curated suite, sorted by name. */
 const std::vector<PerfScenario> &perfScenarios();
 
+/**
+ * The rendered scenario table (name + description rows): the one
+ * source `perf --list`, `profile --list`, and the unknown-scenario
+ * error messages all print, so they can never drift apart.
+ */
+std::string scenarioSuiteTable();
+
 /** `accordion perf` record-mode options. */
 struct PerfOptions
 {
@@ -78,6 +91,7 @@ struct PerfOptions
     std::string out; //!< empty = next free BENCH_<n>.json
     std::vector<std::string> only; //!< scenario filter (empty = all)
     bool list = false; //!< print the suite instead of running
+    bool events = false; //!< collect hardware PMU counters (--events)
 };
 
 /** `accordion perf compare` options. */
@@ -102,6 +116,14 @@ enum class DeltaStatus
 /** CLI spelling of a status ("regression", "within_noise", ...). */
 const char *deltaStatusName(DeltaStatus status);
 
+/** One derived hardware metric present in both snapshots. */
+struct HwDelta
+{
+    std::string name; //!< full gauge name ("hw.scenario.ipc")
+    double base = 0.0;
+    double next = 0.0;
+};
+
 /** One scenario's comparison outcome. */
 struct ScenarioDelta
 {
@@ -110,13 +132,17 @@ struct ScenarioDelta
     double newNs = 0.0;  //!< min-of-reps wall in the new snapshot
     double deltaPct = 0.0;
     DeltaStatus status = DeltaStatus::WithinNoise;
+    /** IPC/MPKI deltas, warn-only: informational lines in the
+     *  human table, never part of the gate verdict. Empty unless
+     *  both snapshots carry the same derived hw gauges. */
+    std::vector<HwDelta> hwDeltas;
 };
 
 /** The full comparison outcome. */
 struct CompareReport
 {
-    /** Non-empty = the snapshots are not comparable (schema or
-     *  scale mismatch); deltas are empty then. */
+    /** Non-empty = the snapshots are not comparable (unsupported
+     *  schema or scale mismatch); deltas are empty then. */
     std::string error;
     double thresholdPct = 0.0;
     std::vector<ScenarioDelta> deltas;

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "obs/clock.hpp"
 #include "obs/domain.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_events.hpp"
 #include "obs/profiler.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
@@ -45,16 +47,67 @@ formatShare(double fraction)
     return util::format("%5.1f%%", fraction * 100.0);
 }
 
+/**
+ * Pivot the registry's hw.* stats into a per-scope table: one row
+ * per instrumented scope ("scenario", "pool.task",
+ * "manycore.heap_advance", ...), one column per event or derived
+ * metric actually present. "" when no hw stats exist (counters not
+ * engaged or nothing counted).
+ */
+std::string
+hwScopeTable(const std::vector<obs::StatEntry> &stats)
+{
+    // scope -> metric -> rendered value
+    std::map<std::string, std::map<std::string, std::string>> rows;
+    std::vector<std::string> columns;
+    for (const obs::StatEntry &e : stats) {
+        if (e.name.compare(0, 3, "hw.") != 0)
+            continue;
+        const std::size_t dot = e.name.rfind('.');
+        if (dot <= 3)
+            continue;
+        const std::string scope = e.name.substr(3, dot - 3);
+        const std::string metric = e.name.substr(dot + 1);
+        std::string value;
+        if (e.kind == obs::StatKind::Counter) {
+            if (e.count == 0)
+                continue;
+            value = util::format(
+                "%llu", static_cast<unsigned long long>(e.count));
+        } else if (e.kind == obs::StatKind::Gauge) {
+            value = util::format("%.3f", e.value);
+        } else {
+            continue;
+        }
+        rows[scope][metric] = value;
+        if (std::find(columns.begin(), columns.end(), metric) ==
+            columns.end())
+            columns.push_back(metric);
+    }
+    if (rows.empty())
+        return "";
+    std::sort(columns.begin(), columns.end());
+    std::vector<std::string> header = {"scope"};
+    header.insert(header.end(), columns.begin(), columns.end());
+    util::Table table(header);
+    for (const auto &[scope, metrics] : rows) {
+        std::vector<std::string> row = {scope};
+        for (const std::string &column : columns) {
+            auto it = metrics.find(column);
+            row.push_back(it == metrics.end() ? "-" : it->second);
+        }
+        table.addRow(row);
+    }
+    return table.render();
+}
+
 } // namespace
 
 int
 runProfile(const ProfileOptions &options)
 {
     if (options.list) {
-        util::Table table({"scenario", "description"});
-        for (const PerfScenario &s : perfScenarios())
-            table.addRow({s.name, s.description});
-        std::printf("%s", table.render().c_str());
+        std::printf("%s", scenarioSuiteTable().c_str());
         std::printf("\n%zu scenarios; profile with: accordion "
                     "profile <scenario>\n",
                     perfScenarios().size());
@@ -63,12 +116,16 @@ runProfile(const ProfileOptions &options)
 
     const PerfScenario *scenario = findScenario(options.scenario);
     if (!scenario)
-        util::fatal("unknown scenario '%s' (see: accordion profile "
-                    "--list)",
-                    options.scenario.c_str());
+        util::fatal("unknown scenario '%s'; the suite is:\n%s",
+                    options.scenario.c_str(),
+                    scenarioSuiteTable().c_str());
 
     obs::StatsRegistry &registry = obs::StatsRegistry::global();
     registry.setEnabled(true);
+    if (options.events)
+        obs::hwEngage();
+    else
+        obs::hwDisengage();
     if (!options.trace.empty() &&
         !obs::TraceWriter::openGlobal(options.trace))
         util::fatal("--trace: cannot open '%s' for writing",
@@ -119,6 +176,10 @@ runProfile(const ProfileOptions &options)
         util::fatal("cannot start the sampling profiler (another "
                     "profiler running, or no timer support)");
 
+    // The hw "scenario" scope brackets exactly the profiled reps,
+    // so its IPC/MPKI describe the same work as the sample stacks.
+    obs::HwSample hw0;
+    const bool hw_on = options.events && obs::hwSampleNow(&hw0);
     const std::uint64_t t0 = obs::nowNs();
     {
         StdoutSilencer silence;
@@ -126,6 +187,11 @@ runProfile(const ProfileOptions &options)
             scenario->body(run);
     }
     const std::uint64_t elapsed = obs::nowNs() - t0;
+    if (hw_on) {
+        obs::HwSample hw1;
+        if (obs::hwSampleNow(&hw1))
+            obs::hwPublishDelta("scenario", hw0, hw1);
+    }
     profiler.stop();
 
     // Profiler bookkeeping rides into the run's stats through a
@@ -185,6 +251,10 @@ runProfile(const ProfileOptions &options)
     std::vector<ExperimentSummary> summaries;
     summaries.push_back(
         {scenario->name, elapsed, registry.snapshot()});
+    const std::string hw_table = hwScopeTable(summaries.back().stats);
+    if (!hw_table.empty())
+        std::printf("\nhardware counters by scope:\n%s",
+                    hw_table.c_str());
     std::printf("%s", statsTable(summaries, elapsed).c_str());
 
     registry.reset();

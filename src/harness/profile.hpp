@@ -8,14 +8,17 @@
  *                     [--interval US] [--scale X] [--top N]
  *                     [--threads N] [--seed S] [--trace FILE]
  *                     [--metrics-out FILE] [--metrics-interval MS]
- *                     [--list]
+ *                     [--events] [--list]
  *
  * The scenario names are the perf suite's (accordion perf --list);
  * profiling reuses the exact same bodies and fixtures, so a hot
  * spot found here is a hot spot of the tracked perf scenario, not
  * of a profiling-only approximation.
  *
- * Output: a top-N self-time table on stdout, the run's stats table
+ * Output: a top-N self-time table on stdout, a per-scope hardware
+ * counter table next to it under --events (instructions, cycles,
+ * IPC, MPKI per instrumented scope via obs/perf_events.hpp; silently
+ * absent when perf_event_open is unavailable), the run's stats table
  * (wait-state attribution included) below it, an optional
  * flamegraph-compatible folded-stacks file (--folded), an optional
  * Chrome trace with the samples injected as instant events
@@ -47,6 +50,7 @@ struct ProfileOptions
     std::string metricsOut; //!< Prometheus file; empty = off
     std::uint64_t metricsIntervalMs = 500;
     bool list = false; //!< print the scenario suite and exit
+    bool events = false; //!< collect hardware PMU counters (--events)
 };
 
 /** Entry point: run, sample, symbolize, report. */

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <map>
 
+#include "obs/perf_events.hpp"
 #include "obs/snapshot.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -76,6 +77,10 @@ writeRunSummary(const std::string &path,
             << obs::jsonEscape(value) << "\"";
         first = false;
     }
+    // Hardware-counter availability: always present so a summary
+    // says whether hw.* stats are real counts, degraded, or off.
+    out << (first ? "\n" : ",\n")
+        << "    \"perf_events\": " << obs::hwAvailabilityJson();
     out << "\n  },\n"
         << "  \"experiments\": [";
     for (std::size_t i = 0; i < summaries.size(); ++i) {

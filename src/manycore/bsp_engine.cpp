@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "event_sim.hpp"
+#include "obs/perf_events.hpp"
 #include "obs/stats.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -267,6 +268,10 @@ BspPerfModel::estimate(const vartech::ChipGeometry &geometry,
                       static_cast<std::uint32_t>(i),
                       detail::EvKind::Chunk, 0.0);
         std::vector<PodEvent> &heap = sink.heap;
+        // The whole monolithic drain is one long heap advance; give
+        // it the same architectural attribution as the partitioned
+        // loop's run phase (no-op unless hw counters are engaged).
+        ACC_SCOPED_HW("manycore.heap_advance");
         while (!heap.empty()) {
             std::pop_heap(heap.begin(), heap.end(), EvLater{});
             const PodEvent ev = heap.back();
@@ -306,9 +311,27 @@ BspPerfModel::estimate(const vartech::ChipGeometry &geometry,
             // to the worker's home partition (p = w), which it
             // always owns since team <= num_parts.
             std::uint64_t barrier_wait = 0;
+            // Hardware-event attribution per phase: each worker
+            // samples its own counter set at the run/merge phase
+            // boundaries and accumulates deltas locally, publishing
+            // once at exit under hw.manycore.{heap_advance,
+            // mailbox_merge} — the architectural dimension (IPC,
+            // cache misses) behind the *_ns wait attribution.
+            obs::HwSample hw_heap, hw_merge, hw_a, hw_b;
+            const bool hw_on =
+                instrumented && obs::hwSampleNow(&hw_a);
+            auto hw_accum = [](obs::HwSample &acc,
+                               const obs::HwSample &a,
+                               const obs::HwSample &b) {
+                acc.n = b.n;
+                for (std::size_t i = 0; i < b.n; ++i)
+                    acc.values[i] += b.values[i] - a.values[i];
+            };
             double t_min = 0.0;
             while (t_min < kInf) {
                 const double horizon = t_min + lookahead;
+                if (hw_on)
+                    obs::hwSampleNow(&hw_a);
                 for (std::size_t p = w; p < num_parts; p += team) {
                     if (instrumented) {
                         const std::uint64_t t0 = obs::nowNs();
@@ -321,10 +344,16 @@ BspPerfModel::estimate(const vartech::ChipGeometry &geometry,
                                      parts[p], horizon);
                     }
                 }
+                if (hw_on) {
+                    obs::hwSampleNow(&hw_b);
+                    hw_accum(hw_heap, hw_a, hw_b);
+                }
                 if (instrumented)
                     barrier_wait += barrier.arriveAndWaitTimed();
                 else
                     barrier.arriveAndWait();
+                if (hw_on)
+                    obs::hwSampleNow(&hw_a);
                 double my_min = kInf;
                 for (std::size_t dst = w; dst < num_parts;
                      dst += team) {
@@ -345,6 +374,10 @@ BspPerfModel::estimate(const vartech::ChipGeometry &geometry,
                         phase_ns[dst].mailboxMerge +=
                             obs::nowNs() - m0;
                 }
+                if (hw_on) {
+                    obs::hwSampleNow(&hw_b);
+                    hw_accum(hw_merge, hw_a, hw_b);
+                }
                 worker_min[w].value = my_min;
                 ++local_epochs;
                 if (instrumented)
@@ -357,6 +390,14 @@ BspPerfModel::estimate(const vartech::ChipGeometry &geometry,
             }
             if (instrumented)
                 phase_ns[w].barrierWait = barrier_wait;
+            if (hw_on) {
+                obs::HwSample zero;
+                zero.n = hw_heap.n;
+                obs::hwPublishDelta("manycore.heap_advance", zero,
+                                    hw_heap);
+                obs::hwPublishDelta("manycore.mailbox_merge", zero,
+                                    hw_merge);
+            }
             return local_epochs;
         };
 

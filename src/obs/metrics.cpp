@@ -76,7 +76,10 @@ MetricsExporter::MetricsExporter(StatsRegistry &registry,
     options_.intervalMs =
         std::max<std::uint64_t>(1, options_.intervalMs);
     flushNow(); // fail fast on an unwritable path
-    thread_ = std::thread([this] { loop(); });
+    // A failed first flush means every future file write would fail
+    // the same way: don't start a thread whose only job is to fail.
+    if (ok())
+        thread_ = std::thread([this] { loop(); });
 }
 
 MetricsExporter::~MetricsExporter()
@@ -89,7 +92,8 @@ MetricsExporter::flushNow()
 {
     const std::vector<StatEntry> entries = registry_.snapshot();
 
-    if (!options_.path.empty()) {
+    if (!options_.path.empty() &&
+        ok_.load(std::memory_order_relaxed)) {
         // Write-then-rename: a reader of `path` sees either the
         // previous complete exposition or this one, never a tear.
         const std::string tmp = options_.path + ".tmp";
@@ -111,14 +115,25 @@ MetricsExporter::flushNow()
     if (TraceWriter *trace = TraceWriter::global()) {
         const std::uint64_t now = nowNs();
         for (const StatEntry &e : entries) {
-            if (e.kind != StatKind::Counter)
+            if (e.kind == StatKind::Distribution)
                 continue;
-            for (const std::string &want : options_.traceCounters)
-                if (e.name == want) {
-                    trace->counter(e.name, now,
-                                   static_cast<double>(e.count));
-                    break;
-                }
+            // hw.* series (PMU counters and derived IPC/MPKI
+            // gauges) always mirror; other counters only when
+            // configured, other gauges never.
+            const bool isHw = e.name.compare(0, 3, "hw.") == 0;
+            bool mirror = isHw;
+            if (!mirror && e.kind == StatKind::Counter)
+                for (const std::string &want :
+                     options_.traceCounters)
+                    if (e.name == want) {
+                        mirror = true;
+                        break;
+                    }
+            if (mirror)
+                trace->counter(e.name, now,
+                               e.kind == StatKind::Counter
+                                   ? static_cast<double>(e.count)
+                                   : e.value);
         }
     }
 

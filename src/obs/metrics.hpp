@@ -55,7 +55,9 @@ class MetricsExporter
 
         /** Counters mirrored into the trace as "C" events each
          *  flush (when the global TraceWriter is open and the
-         *  counter is registered). */
+         *  counter is registered). Every `hw.*` counter and gauge
+         *  is mirrored too — hardware PMU series are exactly the
+         *  evolving-over-time kind the counter track is for. */
         std::vector<std::string> traceCounters = {
             "pool.tasks",
             "manycore.cross_cluster_msgs",
@@ -66,7 +68,10 @@ class MetricsExporter
     /**
      * Start flushing @p registry; the first flush happens
      * immediately on the caller's thread, so ok() reports whether
-     * the path is writable before any work runs.
+     * the path is writable before any work runs. When that first
+     * flush fails the background thread is never started and later
+     * flushes skip the file — a dead exposition path degrades to a
+     * no-op, it cannot crash or stall the run.
      */
     MetricsExporter(StatsRegistry &registry, Options options);
 

@@ -1,0 +1,633 @@
+#include "perf_events.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "stats.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace accordion::obs {
+
+namespace {
+
+/**
+ * Alias table rows: every spelling we accept for an event, the
+ * canonical stat suffix, and the kernel identity. Type/config
+ * constants are only meaningful on Linux; elsewhere every open
+ * fails with ENOSYS before they are used, so the values are inert.
+ */
+struct EventAlias
+{
+    const char *alias;
+    const char *statName;
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+#if defined(__linux__)
+constexpr std::uint32_t kTypeHw = PERF_TYPE_HARDWARE;
+constexpr std::uint32_t kTypeSw = PERF_TYPE_SOFTWARE;
+constexpr EventAlias kAliases[] = {
+    {"cycles", "cycles", kTypeHw, PERF_COUNT_HW_CPU_CYCLES},
+    {"cpu_cycles", "cycles", kTypeHw, PERF_COUNT_HW_CPU_CYCLES},
+    {"instructions", "instructions", kTypeHw,
+     PERF_COUNT_HW_INSTRUCTIONS},
+    {"cache_references", "cache_references", kTypeHw,
+     PERF_COUNT_HW_CACHE_REFERENCES},
+    {"cache_misses", "cache_misses", kTypeHw,
+     PERF_COUNT_HW_CACHE_MISSES},
+    {"branches", "branches", kTypeHw,
+     PERF_COUNT_HW_BRANCH_INSTRUCTIONS},
+    {"branch_instructions", "branches", kTypeHw,
+     PERF_COUNT_HW_BRANCH_INSTRUCTIONS},
+    {"branch_misses", "branch_misses", kTypeHw,
+     PERF_COUNT_HW_BRANCH_MISSES},
+    {"ref_cycles", "ref_cycles", kTypeHw,
+     PERF_COUNT_HW_REF_CPU_CYCLES},
+    {"stalled_cycles_frontend", "stalled_cycles_frontend", kTypeHw,
+     PERF_COUNT_HW_STALLED_CYCLES_FRONTEND},
+    {"stalled_cycles_backend", "stalled_cycles_backend", kTypeHw,
+     PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+    {"task_clock", "task_clock_ns", kTypeSw,
+     PERF_COUNT_SW_TASK_CLOCK},
+    {"page_faults", "page_faults", kTypeSw,
+     PERF_COUNT_SW_PAGE_FAULTS},
+    {"context_switches", "context_switches", kTypeSw,
+     PERF_COUNT_SW_CONTEXT_SWITCHES},
+    {"cpu_migrations", "cpu_migrations", kTypeSw,
+     PERF_COUNT_SW_CPU_MIGRATIONS},
+};
+#else
+// Non-Linux: the same names parse (so CLI/env handling behaves
+// identically) but every open fails with ENOSYS.
+constexpr EventAlias kAliases[] = {
+    {"cycles", "cycles", 0, 0},
+    {"cpu_cycles", "cycles", 0, 0},
+    {"instructions", "instructions", 0, 1},
+    {"cache_references", "cache_references", 0, 2},
+    {"cache_misses", "cache_misses", 0, 3},
+    {"branches", "branches", 0, 4},
+    {"branch_instructions", "branches", 0, 4},
+    {"branch_misses", "branch_misses", 0, 5},
+    {"ref_cycles", "ref_cycles", 0, 9},
+    {"stalled_cycles_frontend", "stalled_cycles_frontend", 0, 7},
+    {"stalled_cycles_backend", "stalled_cycles_backend", 0, 8},
+    {"task_clock", "task_clock_ns", 1, 0},
+    {"page_faults", "page_faults", 1, 2},
+    {"context_switches", "context_switches", 1, 3},
+    {"cpu_migrations", "cpu_migrations", 1, 4},
+};
+#endif
+
+/** Lowercase and fold '-' to '_' so both spellings match. */
+std::string normalizeToken(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        if (c == '-')
+            out.push_back('_');
+        else
+            out.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c))));
+    }
+    return out;
+}
+
+const EventAlias *findAlias(const std::string &normalized)
+{
+    for (const EventAlias &a : kAliases)
+        if (normalized == a.alias)
+            return &a;
+    return nullptr;
+}
+
+/** "r01c2" → raw config 0x01c2; false when not a raw descriptor. */
+bool parseRawEvent(const std::string &normalized, std::uint64_t *config)
+{
+    if (normalized.size() < 2 || normalized.size() > 17 ||
+        normalized[0] != 'r')
+        return false;
+    std::uint64_t value = 0;
+    for (std::size_t i = 1; i < normalized.size(); ++i) {
+        char c = normalized[i];
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = 10 + (c - 'a');
+        else
+            return false;
+        value = (value << 4) | static_cast<std::uint64_t>(digit);
+    }
+    *config = value;
+    return true;
+}
+
+const char *errnoName(int err)
+{
+    switch (err) {
+    case EACCES:
+        return "EACCES";
+    case EPERM:
+        return "EPERM";
+    case ENOENT:
+        return "ENOENT";
+    case ENOSYS:
+        return "ENOSYS";
+    case EINVAL:
+        return "EINVAL";
+    case ENODEV:
+        return "ENODEV";
+    case EMFILE:
+        return "EMFILE";
+    case EBUSY:
+        return "EBUSY";
+    case EOPNOTSUPP:
+        return "EOPNOTSUPP";
+    default:
+        return nullptr;
+    }
+}
+
+std::string errnoLabel(int err)
+{
+    if (const char *name = errnoName(err))
+        return name;
+    return "errno=" + std::to_string(err);
+}
+
+/**
+ * Open one counter on the calling thread. Returns the fd, or -1
+ * with errno set. Kernel/hypervisor excluded so paranoid level 2
+ * (the common container default) still admits us.
+ */
+int openEvent(const PerfEventSpec &spec)
+{
+#if defined(__linux__)
+    struct perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = spec.type;
+    attr.config = spec.config;
+    attr.disabled = 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    long fd = syscall(SYS_perf_event_open, &attr, 0, -1, -1,
+                      PERF_FLAG_FD_CLOEXEC);
+    return static_cast<int>(fd);
+#else
+    (void)spec;
+    errno = ENOSYS;
+    return -1;
+#endif
+}
+
+/**
+ * Read one fd's {value, time_enabled, time_running} and return the
+ * multiplex-scaled full-speed estimate; 0.0 on a short read.
+ */
+double readScaled(int fd)
+{
+#if defined(__linux__)
+    if (fd < 0)
+        return 0.0;
+    struct Reading
+    {
+        std::uint64_t value;
+        std::uint64_t enabled;
+        std::uint64_t running;
+    } r{};
+    if (read(fd, &r, sizeof(r)) != static_cast<ssize_t>(sizeof(r)))
+        return 0.0;
+    double value = static_cast<double>(r.value);
+    if (r.running > 0 && r.running != r.enabled)
+        value *= static_cast<double>(r.enabled) /
+                 static_cast<double>(r.running);
+    return value;
+#else
+    (void)fd;
+    return 0.0;
+#endif
+}
+
+void closeFd(int fd)
+{
+#if defined(__linux__)
+    if (fd >= 0)
+        close(fd);
+#else
+    (void)fd;
+#endif
+}
+
+/** Process-wide engagement state; mutex-guarded, generation-stamped. */
+struct HwState
+{
+    std::mutex mutex;
+    bool attempted = false; //!< any engage ever ran
+    std::vector<PerfEventStatus> status; //!< every requested event
+    std::vector<PerfEventSpec> live; //!< the ones that opened
+    int firstError = 0; //!< representative errno when nothing opened
+};
+
+HwState &state()
+{
+    static HwState s;
+    return s;
+}
+
+std::atomic<bool> g_engaged{false};
+/** Bumped on every engage/disengage so threads re-open lazily. */
+std::atomic<int> g_generation{0};
+
+/** One thread's open fds, aligned with HwState::live. */
+struct ThreadSet
+{
+    int generation = 0;
+    std::vector<int> fds;
+
+    void closeAll()
+    {
+        for (int fd : fds)
+            closeFd(fd);
+        fds.clear();
+    }
+
+    ~ThreadSet() { closeAll(); }
+};
+
+thread_local ThreadSet t_set;
+
+/** (Re)open the calling thread's fds for the current generation. */
+void attachLocked(ThreadSet *set)
+{
+    HwState &s = state();
+    std::vector<PerfEventSpec> live;
+    int generation;
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        live = s.live;
+        generation = g_generation.load(std::memory_order_acquire);
+    }
+    set->closeAll();
+    set->fds.reserve(live.size());
+    for (const PerfEventSpec &spec : live)
+        set->fds.push_back(openEvent(spec));
+    set->generation = generation;
+}
+
+/** The calling thread's set, attached and current; nullptr when off. */
+ThreadSet *currentSet()
+{
+    if (!g_engaged.load(std::memory_order_relaxed))
+        return nullptr;
+    if (t_set.generation !=
+        g_generation.load(std::memory_order_acquire))
+        attachLocked(&t_set);
+    return t_set.fds.empty() ? nullptr : &t_set;
+}
+
+int readParanoid()
+{
+#if defined(__linux__)
+    std::FILE *f =
+        std::fopen("/proc/sys/kernel/perf_event_paranoid", "r");
+    if (!f)
+        return -100;
+    int level = -100;
+    if (std::fscanf(f, "%d", &level) != 1)
+        level = -100;
+    std::fclose(f);
+    return level;
+#else
+    return -100;
+#endif
+}
+
+} // namespace
+
+std::vector<PerfEventSpec> defaultPerfEventSpecs()
+{
+    static const char *kDefaults[] = {
+        "cycles",        "instructions",  "cache_references",
+        "cache_misses",  "branches",      "branch_misses",
+        "task_clock",
+    };
+    std::vector<PerfEventSpec> specs;
+    for (const char *name : kDefaults) {
+        const EventAlias *alias = findAlias(name);
+        specs.push_back({alias->statName, alias->type, alias->config});
+    }
+    return specs;
+}
+
+std::vector<PerfEventSpec> parsePerfEventList(
+    const std::string &text, std::vector<std::string> *rejected)
+{
+    std::vector<PerfEventSpec> specs;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        std::string token = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        // Trim surrounding whitespace.
+        std::size_t b = token.find_first_not_of(" \t");
+        std::size_t e = token.find_last_not_of(" \t");
+        if (b == std::string::npos)
+            continue;
+        token = token.substr(b, e - b + 1);
+        std::string norm = normalizeToken(token);
+        if (const EventAlias *alias = findAlias(norm)) {
+            specs.push_back(
+                {alias->statName, alias->type, alias->config});
+            continue;
+        }
+        std::uint64_t raw = 0;
+        if (parseRawEvent(norm, &raw)) {
+#if defined(__linux__)
+            specs.push_back({norm, PERF_TYPE_RAW, raw});
+#else
+            specs.push_back({norm, 4, raw});
+#endif
+            continue;
+        }
+        if (rejected)
+            rejected->push_back(token);
+    }
+    // Dedupe by stat name, first spelling wins, so e.g.
+    // "cycles,cpu-cycles" cannot register one suffix twice.
+    std::vector<PerfEventSpec> unique;
+    for (PerfEventSpec &spec : specs) {
+        bool seen = false;
+        for (const PerfEventSpec &u : unique)
+            seen = seen || u.name == spec.name;
+        if (!seen)
+            unique.push_back(std::move(spec));
+    }
+    return unique;
+}
+
+bool hwEngage()
+{
+    HwState &s = state();
+    std::unique_lock<std::mutex> lock(s.mutex);
+    if (g_engaged.load(std::memory_order_relaxed))
+        return true;
+
+    std::vector<PerfEventSpec> requested;
+    std::vector<std::string> rejected;
+    const char *env = std::getenv("ACCORDION_PERF_EVENTS");
+    if (env && *env)
+        requested = parsePerfEventList(env, &rejected);
+    else
+        requested = defaultPerfEventSpecs();
+    if (requested.size() > kMaxPerfEvents)
+        requested.resize(kMaxPerfEvents);
+
+    s.attempted = true;
+    s.status.clear();
+    s.live.clear();
+    s.firstError = 0;
+
+    // Probe on the calling thread; successful fds become this
+    // thread's set so the main thread is attached from here on.
+    std::vector<int> fds;
+    for (const PerfEventSpec &spec : requested) {
+        PerfEventStatus st;
+        st.spec = spec;
+        errno = 0;
+        int fd = openEvent(spec);
+        if (fd >= 0) {
+            st.available = true;
+            s.live.push_back(spec);
+            fds.push_back(fd);
+        } else {
+            st.error = errno ? errno : ENOENT;
+            if (!s.firstError)
+                s.firstError = st.error;
+        }
+        s.status.push_back(st);
+    }
+
+    bool engaged = !s.live.empty();
+    int generation = g_generation.load(std::memory_order_relaxed) + 1;
+    g_generation.store(generation, std::memory_order_release);
+    g_engaged.store(engaged, std::memory_order_relaxed);
+    lock.unlock();
+
+    t_set.closeAll();
+    t_set.fds = std::move(fds);
+    t_set.generation = generation;
+
+    // The one stderr note of the degradation contract: name what we
+    // could not count (and what we still can), then stay silent.
+    std::string unavailable;
+    {
+        std::lock_guard<std::mutex> relock(s.mutex);
+        for (const PerfEventStatus &st : s.status)
+            if (!st.available) {
+                if (!unavailable.empty())
+                    unavailable += ", ";
+                unavailable +=
+                    st.spec.name + " (" + errnoLabel(st.error) + ")";
+            }
+    }
+    for (const std::string &tok : rejected) {
+        if (!unavailable.empty())
+            unavailable += ", ";
+        unavailable += tok + " (unknown)";
+    }
+    if (!engaged) {
+        std::fprintf(stderr,
+                     "accordion: hardware counters unavailable (%s); "
+                     "continuing without (perf_event_paranoid=%d)\n",
+                     unavailable.empty() ? "no events requested"
+                                         : unavailable.c_str(),
+                     readParanoid());
+    } else if (!unavailable.empty()) {
+        std::fprintf(stderr,
+                     "accordion: some perf events unavailable: %s\n",
+                     unavailable.c_str());
+    }
+    return engaged;
+}
+
+void hwDisengage()
+{
+    HwState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    g_engaged.store(false, std::memory_order_relaxed);
+    g_generation.fetch_add(1, std::memory_order_release);
+    s.live.clear();
+    // status/attempted are kept: availability reporting describes
+    // the last probe even after the counters are released.
+    t_set.closeAll();
+    t_set.generation = g_generation.load(std::memory_order_relaxed);
+}
+
+bool hwEngaged()
+{
+    return g_engaged.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> hwEventNames()
+{
+    HwState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    std::vector<std::string> names;
+    names.reserve(s.live.size());
+    for (const PerfEventSpec &spec : s.live)
+        names.push_back(spec.name);
+    return names;
+}
+
+std::vector<PerfEventStatus> hwEventStatus()
+{
+    HwState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.status;
+}
+
+int hwParanoidLevel()
+{
+    return readParanoid();
+}
+
+void hwAttachCurrentThread()
+{
+    if (g_engaged.load(std::memory_order_relaxed))
+        currentSet();
+}
+
+bool hwSampleNow(HwSample *out)
+{
+    ThreadSet *set = currentSet();
+    if (!set)
+        return false;
+    std::size_t n = std::min(set->fds.size(), kMaxPerfEvents);
+    out->n = n;
+    for (std::size_t i = 0; i < n; ++i)
+        out->values[i] = readScaled(set->fds[i]);
+    return true;
+}
+
+void hwPublishDelta(const std::string &scope, const HwSample &begin,
+                    const HwSample &end)
+{
+    StatsRegistry &registry = StatsRegistry::global();
+    if (!registry.enabled())
+        return;
+    std::vector<std::string> names = hwEventNames();
+    std::size_t n = std::min(names.size(), end.n);
+
+    Counter instructions, cycles, cacheMisses;
+    for (std::size_t i = 0; i < n; ++i) {
+        double delta = end.values[i] -
+                       (i < begin.n ? begin.values[i] : 0.0);
+        if (delta < 0.0)
+            delta = 0.0;
+        Counter c =
+            registry.counter("hw." + scope + "." + names[i]);
+        c.add(static_cast<std::uint64_t>(std::llround(delta)));
+        if (names[i] == "instructions")
+            instructions = c;
+        else if (names[i] == "cycles")
+            cycles = c;
+        else if (names[i] == "cache_misses")
+            cacheMisses = c;
+    }
+    // Derived gauges from *cumulative* totals, so repeated regions
+    // under one scope converge on the scope-wide ratio.
+    if (instructions && cycles && cycles.value() > 0)
+        registry.gauge("hw." + scope + ".ipc")
+            .set(static_cast<double>(instructions.value()) /
+                 static_cast<double>(cycles.value()));
+    if (cacheMisses && instructions && instructions.value() > 0)
+        registry.gauge("hw." + scope + ".mpki")
+            .set(static_cast<double>(cacheMisses.value()) * 1000.0 /
+                 static_cast<double>(instructions.value()));
+}
+
+std::string hwAvailabilityJson()
+{
+    HwState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    std::string out = "{\"engaged\": ";
+    out += g_engaged.load(std::memory_order_relaxed) ? "true"
+                                                     : "false";
+    out += ", \"paranoid\": ";
+    out += std::to_string(readParanoid());
+    out += ", \"events\": {";
+    bool first = true;
+    for (const PerfEventStatus &st : s.status) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "\"";
+        out += jsonEscape(st.spec.name);
+        out += "\": \"";
+        out += st.available ? "ok" : errnoLabel(st.error);
+        out += "\"";
+    }
+    out += "}}";
+    return out;
+}
+
+std::string hwSummary()
+{
+    HwState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.attempted)
+        return "off";
+    if (s.live.empty() ||
+        !g_engaged.load(std::memory_order_relaxed)) {
+        if (s.firstError)
+            return "unavailable (" + errnoLabel(s.firstError) + ")";
+        return "unavailable";
+    }
+    std::string out;
+    for (const PerfEventSpec &spec : s.live) {
+        if (!out.empty())
+            out += ",";
+        out += spec.name;
+    }
+    return out;
+}
+
+ScopedHwRegion::ScopedHwRegion(const char *name) : name_(name)
+{
+    if (!g_engaged.load(std::memory_order_relaxed))
+        return;
+    if (!StatsRegistry::global().enabled())
+        return;
+    active_ = hwSampleNow(&begin_);
+}
+
+ScopedHwRegion::~ScopedHwRegion()
+{
+    if (!active_)
+        return;
+    HwSample end;
+    if (hwSampleNow(&end))
+        hwPublishDelta(name_, begin_, end);
+}
+
+} // namespace accordion::obs

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Hardware PMU counters via Linux perf_event_open(2): per-thread
+ * counter sets (cycles, instructions, cache-references/misses,
+ * branches/misses, task-clock by default; `ACCORDION_PERF_EVENTS`
+ * replaces the list with named or raw `r<hex>` events), read as
+ * deltas by RAII scoped regions and published into the global stats
+ * registry as `hw.<scope>.<event>` counters plus derived gauges
+ * `hw.<scope>.ipc` and `hw.<scope>.mpki`.
+ *
+ * Events are opened standalone (one fd each, not one kernel group):
+ * a seven-event group either schedules atomically or never runs on
+ * a small PMU, while standalone fds degrade per event — the kernel
+ * multiplexes, and reads carry TIME_ENABLED/TIME_RUNNING so deltas
+ * are scaled back to full-speed estimates. We trade simultaneity
+ * for robustness; region deltas are estimates, not exact sections.
+ *
+ * Degradation contract (EACCES / ENOENT / perf_event_paranoid, or a
+ * non-Linux build): engagement fails event-by-event, one stderr
+ * note total, and every region/sample call collapses to a relaxed
+ * atomic load and branch. Nothing else in the run changes — no
+ * stats appear, no bytes of any output differ.
+ *
+ * Cost model when engaged: a region endpoint is one read(2) per
+ * live event on the calling thread (sub-microsecond); publishing
+ * takes the registry mutex once per event name. Keep regions at
+ * phase granularity, not per-iteration.
+ */
+
+#ifndef ACCORDION_OBS_PERF_EVENTS_HPP
+#define ACCORDION_OBS_PERF_EVENTS_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace accordion::obs {
+
+/** Most events a thread set will hold; extras are dropped with a note. */
+inline constexpr std::size_t kMaxPerfEvents = 16;
+
+/** One event to count: a stats suffix plus the kernel identity. */
+struct PerfEventSpec
+{
+    std::string name; //!< stat suffix ("instructions", "r01c2")
+    std::uint32_t type = 0; //!< PERF_TYPE_HARDWARE / _SOFTWARE / _RAW
+    std::uint64_t config = 0; //!< PERF_COUNT_* or raw descriptor
+};
+
+/** The default seven-event set (see file comment). */
+std::vector<PerfEventSpec> defaultPerfEventSpecs();
+
+/**
+ * Parse a comma-separated event list ("cycles,instructions,r01c2").
+ * Known aliases (hyphens or underscores) map to hardware/software
+ * events; `r<hex>` is a raw PERF_TYPE_RAW config. Unknown entries
+ * are appended to @p rejected (when non-null) and dropped.
+ */
+std::vector<PerfEventSpec> parsePerfEventList(
+    const std::string &text, std::vector<std::string> *rejected);
+
+/** Per-event probe outcome after engagement. */
+struct PerfEventStatus
+{
+    PerfEventSpec spec;
+    bool available = false;
+    int error = 0; //!< errno when !available (0 = never probed)
+};
+
+/** A point-in-time reading of the calling thread's event set. */
+struct HwSample
+{
+    std::size_t n = 0; //!< live events (== hwEventNames().size())
+    /** Multiplex-scaled cumulative values, in hwEventNames() order. */
+    std::array<double, kMaxPerfEvents> values{};
+};
+
+/**
+ * Engage hardware counters process-wide: resolve the event list
+ * (`ACCORDION_PERF_EVENTS` replaces the defaults when set), probe
+ * and attach the calling thread, and print at most one stderr note
+ * naming any unavailable events. Threads attach lazily on first
+ * sample (the pool also attaches workers at spawn). Idempotent;
+ * returns hwEngaged().
+ */
+bool hwEngage();
+
+/** Drop engagement: future samples/regions are no-ops. Re-engage
+ *  re-probes (tests exercise the degraded path this way). */
+void hwDisengage();
+
+/** True when at least one requested event opened successfully. */
+bool hwEngaged();
+
+/** Stat suffixes of the live (successfully opened) events. */
+std::vector<std::string> hwEventNames();
+
+/** Probe outcome for every requested event (empty before engage). */
+std::vector<PerfEventStatus> hwEventStatus();
+
+/** /proc/sys/kernel/perf_event_paranoid, or -100 when unreadable. */
+int hwParanoidLevel();
+
+/**
+ * Open this thread's event set now instead of on first sample.
+ * No-op when disengaged. ThreadPool workers call this at spawn so
+ * pooled work is counted from the first task.
+ */
+void hwAttachCurrentThread();
+
+/**
+ * Read the calling thread's counters (attaching if needed). False
+ * and untouched @p out when disengaged or nothing opened.
+ */
+bool hwSampleNow(HwSample *out);
+
+/**
+ * Publish an end-begin delta under @p scope: each live event adds
+ * `hw.<scope>.<event>` to the global stats registry, then the
+ * cumulative totals refresh `hw.<scope>.ipc` (instructions/cycles)
+ * and `hw.<scope>.mpki` (cache misses per kilo-instruction) when
+ * their inputs are being counted. Negative per-event deltas (PMU
+ * wrap, scaling jitter) clamp to zero. No-op when the registry is
+ * disabled.
+ */
+void hwPublishDelta(const std::string &scope, const HwSample &begin,
+                    const HwSample &end);
+
+/**
+ * Machine block for run_summary.json's environment section:
+ * {"engaged": bool, "paranoid": N, "events": {"cycles": "ok", ...}}
+ * — event values are "ok" or an errno name. "events" is {} before
+ * engagement was ever attempted.
+ */
+std::string hwAvailabilityJson();
+
+/**
+ * One-line human summary for snapshot environments: "off" before
+ * any engage attempt, "unavailable (<errno name>)" when nothing
+ * opened, else the live event names joined by commas.
+ */
+std::string hwSummary();
+
+/**
+ * RAII region: samples at construction and destruction and
+ * publishes the delta under @p name. Two branches total when
+ * disengaged or the registry is disabled.
+ */
+class ScopedHwRegion
+{
+  public:
+    explicit ScopedHwRegion(const char *name);
+    ~ScopedHwRegion();
+
+    ScopedHwRegion(const ScopedHwRegion &) = delete;
+    ScopedHwRegion &operator=(const ScopedHwRegion &) = delete;
+
+  private:
+    const char *name_;
+    bool active_ = false;
+    HwSample begin_;
+};
+
+} // namespace accordion::obs
+
+#define ACC_OBS_HW_CONCAT2(a, b) a##b
+#define ACC_OBS_HW_CONCAT(a, b) ACC_OBS_HW_CONCAT2(a, b)
+
+/** Count hardware events over the rest of the enclosing scope. */
+#define ACC_SCOPED_HW(name)                                           \
+    ::accordion::obs::ScopedHwRegion ACC_OBS_HW_CONCAT(accObsHw_,     \
+                                                       __LINE__)(name)
+
+#endif // ACCORDION_OBS_PERF_EVENTS_HPP

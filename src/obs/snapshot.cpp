@@ -65,6 +65,13 @@ ScenarioRecord::wallSummary() const
     return summarize(wallNs);
 }
 
+bool
+perfSnapshotSchemaSupported(const std::string &schema)
+{
+    return schema == kPerfSnapshotSchema ||
+           schema == kPerfSnapshotSchemaV1;
+}
+
 const ScenarioRecord *
 PerfSnapshot::find(const std::string &name) const
 {
@@ -173,7 +180,28 @@ toJson(const PerfSnapshot &snapshot)
             << "      \"gauges\": "
             << objectJson(s.gauges, "      ",
                           [](double v) { return jsonNumber(v); })
-            << "\n    }";
+            << ",\n"
+            << "      \"hw\": ";
+        // null, not {}: a reader can distinguish "counters were
+        // never engaged" from "engaged but counted zero".
+        if (!s.hasHw()) {
+            out << "null";
+        } else {
+            out << "{\n        \"counters\": "
+                << objectJson(s.hwCounters, "        ",
+                              [&buf](std::uint64_t v) {
+                                  std::snprintf(
+                                      buf, sizeof(buf), "%llu",
+                                      static_cast<unsigned long long>(
+                                          v));
+                                  return std::string(buf);
+                              })
+                << ",\n        \"derived\": "
+                << objectJson(s.hwDerived, "        ",
+                              [](double v) { return jsonNumber(v); })
+                << "\n      }";
+        }
+        out << "\n    }";
     }
     out << "\n  ]\n}\n";
     return out.str();
@@ -439,6 +467,23 @@ scenarioFrom(const Json &json)
     if (const Json *v = json.get("gauges"))
         for (const auto &[key, value] : v->fields)
             s.gauges[key] = value.number;
+    // v2 addition; absent in v1 documents and null when the run had
+    // no hardware counters — both leave the maps empty.
+    if (const Json *v = json.get("hw")) {
+        if (v->type == Json::Object) {
+            if (const Json *c = v->get("counters"))
+                for (const auto &[key, value] : c->fields)
+                    s.hwCounters[key] =
+                        static_cast<std::uint64_t>(value.number);
+            if (const Json *d = v->get("derived"))
+                for (const auto &[key, value] : d->fields)
+                    s.hwDerived[key] = value.number;
+        } else if (v->type != Json::Null) {
+            throw std::runtime_error("scenario '" + name->text +
+                                     "' \"hw\" is neither object "
+                                     "nor null");
+        }
+    }
     return s;
 }
 
@@ -455,10 +500,12 @@ parsePerfSnapshot(const std::string &text, PerfSnapshot *out,
         const Json *schema = root.get("schema");
         if (!schema || schema->type != Json::String)
             throw std::runtime_error("missing \"schema\"");
-        if (schema->text != kPerfSnapshotSchema) {
+        if (!perfSnapshotSchemaSupported(schema->text)) {
             std::string msg = "unsupported schema '";
             msg += schema->text;
             msg += "' (want ";
+            msg += kPerfSnapshotSchemaV1;
+            msg += " or ";
             msg += kPerfSnapshotSchema;
             msg += ")";
             throw std::runtime_error(msg);

@@ -1,7 +1,7 @@
 /**
  * @file
  * Schema-versioned performance snapshots ("accordion-perf-snapshot-
- * v1"): the longitudinal counterpart of the in-process stats
+ * v2"; v1 still parses): the longitudinal counterpart of the stats
  * registry. `accordion perf` records one PerfSnapshot per run —
  * per-scenario wall times over R repetitions, throughput rates
  * derived from the instrumentation counters, phase-timer quantiles,
@@ -27,9 +27,18 @@
 
 namespace accordion::obs {
 
-/** The snapshot schema this build reads and writes. */
+/** The snapshot schema this build writes. v2 added the nullable
+ *  per-scenario "hw" section (hardware PMU counters + derived
+ *  IPC/MPKI); everything v1 carried is unchanged. */
 inline constexpr const char *kPerfSnapshotSchema =
+    "accordion-perf-snapshot-v2";
+
+/** The previous schema; still read (its snapshots gate CI). */
+inline constexpr const char *kPerfSnapshotSchemaV1 =
     "accordion-perf-snapshot-v1";
+
+/** True for every schema this build can parse (v1 and v2). */
+bool perfSnapshotSchemaSupported(const std::string &schema);
 
 /** Quantile-rich summary of one distribution (a time.* stat). */
 struct DistributionSummary
@@ -72,6 +81,19 @@ struct ScenarioRecord
     /** Level stats of the final repetition (pool utilization). */
     std::map<std::string, double> gauges;
 
+    /** Hardware PMU counters of the final repetition, full stat
+     *  names ("hw.scenario.instructions"); empty → "hw": null. */
+    std::map<std::string, std::uint64_t> hwCounters;
+
+    /** Derived hardware gauges ("hw.scenario.ipc", ".mpki"). */
+    std::map<std::string, double> hwDerived;
+
+    /** True when any hardware counters were captured (v2 "hw"). */
+    bool hasHw() const
+    {
+        return !hwCounters.empty() || !hwDerived.empty();
+    }
+
     /** Best (minimum) repetition wall time; 0 when no reps. */
     double minWallNs() const;
 
@@ -102,7 +124,8 @@ std::string toJson(const PerfSnapshot &snapshot);
 /**
  * Parse a snapshot document. Returns false — with a one-line
  * message in *error — on malformed JSON, a missing required field,
- * or a schema other than kPerfSnapshotSchema.
+ * or an unsupported schema (anything but v1/v2; a v1 document
+ * simply parses with empty hw sections).
  */
 bool parsePerfSnapshot(const std::string &text, PerfSnapshot *out,
                        std::string *error);

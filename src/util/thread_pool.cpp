@@ -8,6 +8,7 @@
 
 #include "log.hpp"
 #include "obs/clock.hpp"
+#include "obs/perf_events.hpp"
 #include "obs/trace.hpp"
 
 namespace accordion::util {
@@ -58,6 +59,9 @@ ThreadPool::workerLoop(std::size_t index)
 {
     t_in_worker = true;
     obs::setCurrentThreadName("worker-" + std::to_string(index));
+    // Open this worker's hardware-counter set up front (no-op when
+    // counters are disengaged) so even its first task is counted.
+    obs::hwAttachCurrentThread();
     const std::uint64_t born_ns = obs::nowNs();
     for (;;) {
         std::function<void()> task;
@@ -86,6 +90,11 @@ ThreadPool::workerLoop(std::size_t index)
         }
         obs::TraceWriter *trace = obs::TraceWriter::global();
         if (tasks_ || trace) {
+            // Hardware-event delta per task (two branches when the
+            // counters are disengaged). Tasks are chunky — whole
+            // parallelFor chunk bodies — so the per-endpoint read
+            // cost stays far off the hot path.
+            ACC_SCOPED_HW("pool.task");
             const std::uint64_t t0 = obs::nowNs();
             task();
             const std::uint64_t t1 = obs::nowNs();
@@ -94,6 +103,7 @@ ThreadPool::workerLoop(std::size_t index)
             if (trace)
                 trace->span("pool", "task", t0, t1);
         } else {
+            ACC_SCOPED_HW("pool.task");
             task();
         }
     }

@@ -37,6 +37,7 @@
 #include "harness/experiment.hpp"
 #include "harness/run_context.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_events.hpp"
 #include "obs/profiler.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
@@ -383,6 +384,14 @@ TEST_F(GoldenFigures, InstrumentationPreservesCsvBytes)
     registry.setEnabled(true);
     ASSERT_TRUE(obs::TraceWriter::openGlobal(trace_path));
 
+    // Hardware counters requested but forced onto the degraded path
+    // (no requested event can open): the run must not notice.
+    ::setenv("ACCORDION_PERF_EVENTS", "no-such-event", 1);
+    ::testing::internal::CaptureStderr();
+    const bool hw_engaged = obs::hwEngage();
+    ::testing::internal::GetCapturedStderr();
+    EXPECT_FALSE(hw_engaged);
+
     obs::MetricsExporter::Options metrics;
     metrics.path = std::string(kOutDir) + "/instrumented.prom";
     metrics.intervalMs = 20;
@@ -410,6 +419,11 @@ TEST_F(GoldenFigures, InstrumentationPreservesCsvBytes)
     registry.setEnabled(false);
     EXPECT_GT(registry.size(), 0u)
         << "instrumented run registered no stats";
+    // Degraded counters leave no trace in the stats either.
+    for (const obs::StatEntry &e : registry.snapshot())
+        EXPECT_NE(e.name.rfind("hw.", 0), 0u) << e.name;
+    obs::hwDisengage();
+    ::unsetenv("ACCORDION_PERF_EVENTS");
     EXPECT_GE(exporter.flushes(), 1u);
     checkBytesOrUpdate("fig6_pareto.csv");
 }

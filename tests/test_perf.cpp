@@ -11,6 +11,7 @@
 
 #include <unistd.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -85,9 +86,21 @@ TEST(PerfSnapshot, JsonRoundTripPreservesEverything)
         obs::summarize(std::vector<double>{1.0, 2.0, 3.0});
     snapshot.scenarios[0].gauges["pool.utilization.mean"] = 0.875;
 
+    snapshot.scenarios[0].hwCounters["hw.scenario.instructions"] =
+        123456789u;
+    snapshot.scenarios[0].hwCounters["hw.scenario.cycles"] =
+        98765432u;
+    snapshot.scenarios[0].hwDerived["hw.scenario.ipc"] = 1.25;
+
     const std::string text = obs::toJson(snapshot);
     // Valid JSON as seen by an independent parser.
     ASSERT_NO_THROW(JsonParser(text).parse());
+    // Scenario 0 carries an hw object, scenario 1 an explicit null.
+    const Json parsed = JsonParser(text).parse();
+    EXPECT_EQ(parsed.at("scenarios").items[0].at("hw").type,
+              Json::Object);
+    EXPECT_EQ(parsed.at("scenarios").items[1].at("hw").type,
+              Json::Null);
 
     obs::PerfSnapshot back;
     std::string error;
@@ -112,6 +125,14 @@ TEST(PerfSnapshot, JsonRoundTripPreservesEverything)
     EXPECT_DOUBLE_EQ(alpha->timers.at("time.x_ns").p50, 2.0);
     EXPECT_DOUBLE_EQ(alpha->gauges.at("pool.utilization.mean"),
                      0.875);
+    ASSERT_TRUE(alpha->hasHw());
+    EXPECT_EQ(alpha->hwCounters.at("hw.scenario.instructions"),
+              123456789u);
+    EXPECT_EQ(alpha->hwCounters.at("hw.scenario.cycles"), 98765432u);
+    EXPECT_DOUBLE_EQ(alpha->hwDerived.at("hw.scenario.ipc"), 1.25);
+    const obs::ScenarioRecord *beta = back.find("experiment.beta");
+    ASSERT_NE(beta, nullptr);
+    EXPECT_FALSE(beta->hasHw());
     EXPECT_EQ(back.find("nope"), nullptr);
 }
 
@@ -221,7 +242,7 @@ TEST(PerfCompare, SchemaAndScaleMismatchesAreErrors)
 {
     obs::PerfSnapshot base = makeSnapshot({{"a", 10.0}});
     obs::PerfSnapshot next = makeSnapshot({{"a", 10.0}});
-    next.schema = "accordion-perf-snapshot-v2";
+    next.schema = "accordion-perf-snapshot-v999";
     harness::CompareReport report =
         harness::compareSnapshots(base, next, 5.0);
     EXPECT_FALSE(report.error.empty());
@@ -231,6 +252,51 @@ TEST(PerfCompare, SchemaAndScaleMismatchesAreErrors)
     next = makeSnapshot({{"a", 10.0}}, 0.25);
     report = harness::compareSnapshots(base, next, 5.0);
     EXPECT_NE(report.error.find("scale"), std::string::npos);
+}
+
+TEST(PerfCompare, V1BaselineComparesAgainstV2Transparently)
+{
+    // Pre-hw baselines stay usable: a v1 base against a v2 next is
+    // an ordinary comparison, not a schema error.
+    obs::PerfSnapshot base = makeSnapshot({{"a", 10.0}});
+    base.schema = obs::kPerfSnapshotSchemaV1;
+    const obs::PerfSnapshot next = makeSnapshot({{"a", 10.0}});
+    const harness::CompareReport report =
+        harness::compareSnapshots(base, next, 5.0);
+    EXPECT_TRUE(report.error.empty()) << report.error;
+    ASSERT_EQ(report.deltas.size(), 1u);
+    EXPECT_TRUE(report.ok());
+}
+
+TEST(PerfCompare, HwDeltasAreWarnOnlyTableLines)
+{
+    obs::PerfSnapshot base = makeSnapshot({{"a", 10.0}});
+    obs::PerfSnapshot next = makeSnapshot({{"a", 10.0}});
+    base.scenarios[0].hwDerived["hw.scenario.ipc"] = 2.0;
+    next.scenarios[0].hwDerived["hw.scenario.ipc"] = 1.0;
+    // Present on one side only: no delta line, no error.
+    next.scenarios[0].hwDerived["hw.scenario.mpki"] = 3.0;
+
+    const harness::CompareReport report =
+        harness::compareSnapshots(base, next, 5.0);
+    ASSERT_EQ(report.deltas.size(), 1u);
+    ASSERT_EQ(report.deltas[0].hwDeltas.size(), 1u);
+    EXPECT_EQ(report.deltas[0].hwDeltas[0].name, "hw.scenario.ipc");
+    EXPECT_DOUBLE_EQ(report.deltas[0].hwDeltas[0].base, 2.0);
+    EXPECT_DOUBLE_EQ(report.deltas[0].hwDeltas[0].next, 1.0);
+    // A halved IPC never gates: the wall time is the verdict.
+    EXPECT_EQ(report.deltas[0].status,
+              harness::DeltaStatus::WithinNoise);
+    EXPECT_TRUE(report.ok());
+
+    const std::string table = harness::compareTable(report);
+    EXPECT_NE(table.find("hw (warn-only)"), std::string::npos)
+        << table;
+    EXPECT_NE(table.find("hw.scenario.ipc"), std::string::npos);
+
+    // And the machine verdict keeps its v1 contract: no hw keys.
+    const std::string verdict = harness::verdictJson(report);
+    EXPECT_EQ(verdict.find("hw."), std::string::npos) << verdict;
 }
 
 TEST(PerfCompare, VerdictJsonParsesBackWithStatuses)
@@ -321,6 +387,43 @@ TEST(PerfCli, ParsesCompareFlags)
                                    &error));
 }
 
+TEST(PerfCli, ParsesEventsFlagEverywhere)
+{
+    std::string error;
+    auto options = harness::parseCli({"perf", "--events"}, &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    EXPECT_TRUE(options->perf.events);
+    options = harness::parseCli({"perf"}, &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    EXPECT_FALSE(options->perf.events);
+
+    options = harness::parseCli(
+        {"profile", "substrate.error_rate", "--events"}, &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    EXPECT_TRUE(options->profile.events);
+
+    options = harness::parseCli({"run", "all", "--events"}, &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    EXPECT_TRUE(options->events);
+    options = harness::parseCli({"run", "all"}, &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    EXPECT_FALSE(options->events);
+}
+
+TEST(PerfCli, ParsesListFlags)
+{
+    std::string error;
+    auto options = harness::parseCli({"perf", "--list"}, &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    EXPECT_TRUE(options->perf.list);
+
+    options = harness::parseCli({"profile", "--list"}, &error);
+    ASSERT_TRUE(options.has_value()) << error;
+    EXPECT_TRUE(options->profile.list);
+    EXPECT_FALSE(
+        harness::parseCli({"profile", "--list", "name"}, &error));
+}
+
 TEST(PerfCli, ParsesStatsModeOnRun)
 {
     std::string error;
@@ -353,6 +456,17 @@ TEST(PerfRecord, UnknownScenarioIsAnError)
     std::string error;
     EXPECT_FALSE(harness::recordSnapshot(options, &error));
     EXPECT_NE(error.find("does_not_exist"), std::string::npos);
+    // The error embeds the one shared suite table --list prints, so
+    // a typo'd name always shows the valid spellings.
+    EXPECT_NE(error.find("substrate.error_rate"), std::string::npos)
+        << error;
+}
+
+TEST(PerfSuite, SuiteTableNamesEveryScenario)
+{
+    const std::string table = harness::scenarioSuiteTable();
+    for (const harness::PerfScenario &s : harness::perfScenarios())
+        EXPECT_NE(table.find(s.name), std::string::npos) << s.name;
 }
 
 TEST(PerfRecord, RecordsOneScenarioWithCountersAndThroughput)
@@ -394,6 +508,43 @@ TEST(PerfRecord, RecordsOneScenarioWithCountersAndThroughput)
     // Recording must leave the global registry disabled (the tests'
     // ambient state) so other suites see the zero-overhead path.
     EXPECT_FALSE(obs::StatsRegistry::global().enabled());
+}
+
+TEST(PerfRecord, DegradedEventsRecordMatchesEventlessRecord)
+{
+    // --events on a host where no requested event can open must
+    // yield the same snapshot shape as no --events at all: "hw"
+    // null, same counters, same schema — only the wall times (and
+    // environment timestamps) may differ.
+    obs::StatsRegistry::global().setEnabled(false);
+    ::setenv("ACCORDION_PERF_EVENTS", "no-such-event", 1);
+
+    harness::PerfOptions options;
+    options.reps = 1;
+    options.warmup = 0;
+    options.scale = 0.01;
+    options.only = {"substrate.error_rate"};
+    std::string error;
+    options.events = true;
+    ::testing::internal::CaptureStderr();
+    const auto with = harness::recordSnapshot(options, &error);
+    ::testing::internal::GetCapturedStderr();
+    ::unsetenv("ACCORDION_PERF_EVENTS");
+    ASSERT_TRUE(with.has_value()) << error;
+
+    options.events = false;
+    const auto without = harness::recordSnapshot(options, &error);
+    ASSERT_TRUE(without.has_value()) << error;
+
+    ASSERT_EQ(with->scenarios.size(), 1u);
+    ASSERT_EQ(without->scenarios.size(), 1u);
+    EXPECT_FALSE(with->scenarios[0].hasHw());
+    EXPECT_FALSE(without->scenarios[0].hasHw());
+    EXPECT_EQ(with->schema, without->schema);
+    EXPECT_EQ(with->scenarios[0].counters,
+              without->scenarios[0].counters);
+    EXPECT_NE(obs::toJson(*with).find("\"hw\": null"),
+              std::string::npos);
 }
 
 TEST(PerfRecord, ExperimentScenariosAlwaysDeriveThroughput)

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests of the hardware-counter layer (src/obs/perf_events.*): the
+ * event-list parser, engagement and the degradation contract, delta
+ * publication into the stats registry, and the availability
+ * reporting blocks. Runs on any host: where perf_event_open is
+ * unavailable (permissions, no PMU, non-Linux) the degraded-path
+ * assertions are the interesting ones and the counting assertions
+ * gate on hwEngaged().
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "harness/stats_report.hpp"
+#include "obs/perf_events.hpp"
+#include "obs/stats.hpp"
+#include "test_json.hpp"
+
+namespace obs = accordion::obs;
+
+namespace {
+
+using testjson::Json;
+using testjson::JsonParser;
+
+/** Scoped setenv/unsetenv of ACCORDION_PERF_EVENTS. */
+class ScopedEventsEnv
+{
+  public:
+    explicit ScopedEventsEnv(const char *value)
+    {
+        const char *old = std::getenv("ACCORDION_PERF_EVENTS");
+        if (old)
+            saved_ = old;
+        had_ = old != nullptr;
+        if (value)
+            ::setenv("ACCORDION_PERF_EVENTS", value, 1);
+        else
+            ::unsetenv("ACCORDION_PERF_EVENTS");
+    }
+
+    ~ScopedEventsEnv()
+    {
+        if (had_)
+            ::setenv("ACCORDION_PERF_EVENTS", saved_.c_str(), 1);
+        else
+            ::unsetenv("ACCORDION_PERF_EVENTS");
+    }
+
+  private:
+    std::string saved_;
+    bool had_ = false;
+};
+
+/** Leave every test with counters off and the registry disabled. */
+class PerfEventsTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        obs::hwDisengage();
+        obs::StatsRegistry::global().reset();
+        obs::StatsRegistry::global().setEnabled(false);
+    }
+};
+
+// ---------------------------------------------------------------
+// Event-list parsing (pure, no syscalls)
+// ---------------------------------------------------------------
+
+TEST(PerfEventParse, DefaultsAreSevenKnownEvents)
+{
+    const auto specs = obs::defaultPerfEventSpecs();
+    ASSERT_EQ(specs.size(), 7u);
+    EXPECT_EQ(specs[0].name, "cycles");
+    EXPECT_EQ(specs[1].name, "instructions");
+    // task-clock rides along as a software event so the hw section
+    // is never empty on a PMU-less host.
+    EXPECT_EQ(specs.back().name, "task_clock_ns");
+}
+
+TEST(PerfEventParse, AliasesAcceptHyphensAndCase)
+{
+    std::vector<std::string> rejected;
+    const auto specs = obs::parsePerfEventList(
+        "Cache-Misses, BRANCH_MISSES ,instructions", &rejected);
+    EXPECT_TRUE(rejected.empty());
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_EQ(specs[0].name, "cache_misses");
+    EXPECT_EQ(specs[1].name, "branch_misses");
+    EXPECT_EQ(specs[2].name, "instructions");
+}
+
+TEST(PerfEventParse, RawEventsAndRejects)
+{
+    std::vector<std::string> rejected;
+    const auto specs =
+        obs::parsePerfEventList("r01c2,bogus,,cycles", &rejected);
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0].name, "r01c2");
+    EXPECT_EQ(specs[0].config, 0x01c2u);
+    EXPECT_EQ(specs[1].name, "cycles");
+    ASSERT_EQ(rejected.size(), 1u);
+    EXPECT_EQ(rejected[0], "bogus");
+}
+
+TEST(PerfEventParse, DuplicateSpellingsCollapse)
+{
+    std::vector<std::string> rejected;
+    const auto specs = obs::parsePerfEventList(
+        "cycles,cpu-cycles,cycles", &rejected);
+    EXPECT_TRUE(rejected.empty());
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0].name, "cycles");
+}
+
+// ---------------------------------------------------------------
+// Engagement & degradation
+// ---------------------------------------------------------------
+
+TEST_F(PerfEventsTest, DisengagedIsInertEverywhere)
+{
+    obs::hwDisengage();
+    EXPECT_FALSE(obs::hwEngaged());
+    EXPECT_TRUE(obs::hwEventNames().empty());
+    obs::HwSample sample;
+    EXPECT_FALSE(obs::hwSampleNow(&sample));
+
+    // A scoped region over an enabled registry publishes nothing.
+    obs::StatsRegistry &registry = obs::StatsRegistry::global();
+    registry.setEnabled(true);
+    registry.reset();
+    {
+        ACC_SCOPED_HW("test.inert");
+    }
+    for (const obs::StatEntry &e : registry.snapshot())
+        EXPECT_NE(e.name.rfind("hw.", 0), 0u) << e.name;
+}
+
+TEST_F(PerfEventsTest, BogusEventListDegradesCleanly)
+{
+    // Every requested event is unknown: engagement must fail with
+    // disengaged semantics, not crash or half-engage.
+    ScopedEventsEnv env("nonsense,also-bogus");
+    ::testing::internal::CaptureStderr();
+    const bool engaged = obs::hwEngage();
+    const std::string note =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_FALSE(engaged);
+    EXPECT_FALSE(obs::hwEngaged());
+    EXPECT_TRUE(obs::hwEventNames().empty());
+    obs::HwSample sample;
+    EXPECT_FALSE(obs::hwSampleNow(&sample));
+}
+
+TEST_F(PerfEventsTest, EngageIsIdempotentAndStatusIsComplete)
+{
+    ScopedEventsEnv env(nullptr);
+    ::testing::internal::CaptureStderr();
+    const bool first = obs::hwEngage();
+    const bool second = obs::hwEngage(); // no second probe, no note
+    ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(first, second);
+
+    // Whatever this host supports, every default event has a
+    // definite probe outcome: available, or a real errno.
+    const auto status = obs::hwEventStatus();
+    ASSERT_EQ(status.size(), obs::defaultPerfEventSpecs().size());
+    for (const obs::PerfEventStatus &s : status) {
+        if (!s.available) {
+            EXPECT_NE(s.error, 0) << s.spec.name;
+        }
+    }
+    EXPECT_EQ(obs::hwEventNames().size(),
+              static_cast<std::size_t>(
+                  std::count_if(status.begin(), status.end(),
+                                [](const obs::PerfEventStatus &s) {
+                                    return s.available;
+                                })));
+}
+
+TEST_F(PerfEventsTest, SamplingAndPublishWhenEngaged)
+{
+    ScopedEventsEnv env(nullptr);
+    ::testing::internal::CaptureStderr();
+    const bool engaged = obs::hwEngage();
+    ::testing::internal::GetCapturedStderr();
+    if (!engaged)
+        GTEST_SKIP() << "perf_event_open unavailable on this host";
+
+    obs::StatsRegistry &registry = obs::StatsRegistry::global();
+    registry.setEnabled(true);
+    registry.reset();
+
+    obs::HwSample a, b;
+    ASSERT_TRUE(obs::hwSampleNow(&a));
+    // Burn some cycles so at least task-clock/cycles advance.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 200000; ++i)
+        sink = sink + static_cast<double>(i) * 1e-9;
+    ASSERT_TRUE(obs::hwSampleNow(&b));
+    EXPECT_EQ(a.n, obs::hwEventNames().size());
+    double advanced = 0.0;
+    for (std::size_t i = 0; i < b.n; ++i)
+        advanced += b.values[i] - a.values[i];
+    EXPECT_GT(advanced, 0.0);
+
+    obs::hwPublishDelta("test.scope", a, b);
+    bool saw_counter = false;
+    for (const obs::StatEntry &e : registry.snapshot()) {
+        if (e.name.rfind("hw.test.scope.", 0) == 0 &&
+            e.kind == obs::StatKind::Counter && e.count > 0)
+            saw_counter = true;
+    }
+    EXPECT_TRUE(saw_counter);
+}
+
+TEST_F(PerfEventsTest, ScopedRegionPublishesUnderItsName)
+{
+    ScopedEventsEnv env(nullptr);
+    ::testing::internal::CaptureStderr();
+    const bool engaged = obs::hwEngage();
+    ::testing::internal::GetCapturedStderr();
+    if (!engaged)
+        GTEST_SKIP() << "perf_event_open unavailable on this host";
+
+    obs::StatsRegistry &registry = obs::StatsRegistry::global();
+    registry.setEnabled(true);
+    registry.reset();
+    {
+        ACC_SCOPED_HW("test.region");
+        volatile double sink = 0.0;
+        for (int i = 0; i < 200000; ++i)
+            sink = sink + static_cast<double>(i) * 1e-9;
+    }
+    bool saw = false;
+    for (const obs::StatEntry &e : registry.snapshot())
+        if (e.name.rfind("hw.test.region.", 0) == 0)
+            saw = true;
+    EXPECT_TRUE(saw);
+}
+
+// ---------------------------------------------------------------
+// Availability reporting
+// ---------------------------------------------------------------
+
+TEST_F(PerfEventsTest, AvailabilityJsonIsWellFormed)
+{
+    ScopedEventsEnv env(nullptr);
+    ::testing::internal::CaptureStderr();
+    obs::hwEngage();
+    ::testing::internal::GetCapturedStderr();
+
+    const Json root = JsonParser(obs::hwAvailabilityJson()).parse();
+    EXPECT_EQ(root.at("engaged").type, Json::Bool);
+    EXPECT_EQ(root.at("paranoid").type, Json::Number);
+    ASSERT_EQ(root.at("events").type, Json::Object);
+    // Every default event reports "ok" or an errno name.
+    EXPECT_EQ(root.at("events").fields.size(),
+              obs::defaultPerfEventSpecs().size());
+    for (const auto &[name, value] : root.at("events").fields) {
+        EXPECT_EQ(value.type, Json::String) << name;
+        EXPECT_FALSE(value.text.empty()) << name;
+    }
+}
+
+TEST_F(PerfEventsTest, RunSummaryCarriesAvailabilityBlock)
+{
+    namespace harness = accordion::harness;
+    namespace fs = std::filesystem;
+
+    ScopedEventsEnv env(nullptr);
+    ::testing::internal::CaptureStderr();
+    obs::hwEngage();
+    ::testing::internal::GetCapturedStderr();
+
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("accordion-test-summary-" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+    harness::RunContext::Options run;
+    run.outDir = dir.string();
+    const std::string path = (dir / "run_summary.json").string();
+    harness::writeRunSummary(path, run, "", 1, {});
+
+    std::ifstream in(path, std::ios::binary);
+    const std::string text{std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>()};
+    const Json root = JsonParser(text).parse();
+    const Json &avail = root.at("environment").at("perf_events");
+    EXPECT_EQ(avail.at("engaged").type, Json::Bool);
+    EXPECT_EQ(avail.at("events").type, Json::Object);
+    EXPECT_FALSE(avail.at("events").fields.empty());
+
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+}
+
+TEST_F(PerfEventsTest, SummaryReflectsEngagementState)
+{
+    obs::hwDisengage();
+    ScopedEventsEnv env(nullptr);
+    ::testing::internal::CaptureStderr();
+    const bool engaged = obs::hwEngage();
+    ::testing::internal::GetCapturedStderr();
+    const std::string summary = obs::hwSummary();
+    if (engaged)
+        EXPECT_NE(summary.find(obs::hwEventNames()[0]),
+                  std::string::npos)
+            << summary;
+    else
+        EXPECT_NE(summary.find("unavailable"), std::string::npos)
+            << summary;
+}
+
+} // namespace

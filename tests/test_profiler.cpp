@@ -402,11 +402,59 @@ TEST(MetricsExporter, FlushesExpositionFileAtomically)
 TEST(MetricsExporter, ReportsUnwritablePath)
 {
     obs::StatsRegistry registry(true);
+    registry.counter("pool.tasks").add(1);
     obs::MetricsExporter::Options options;
     options.path = "/nonexistent-dir/x/metrics.prom";
+    options.intervalMs = 1; // a live flusher would spin here
     obs::MetricsExporter exporter(registry, options);
+    // The constructor's immediate flush fails fast: ok() false, no
+    // background thread to stop, and later flushes never retry the
+    // dead file (or crash) — they just skip it.
+    EXPECT_FALSE(exporter.ok());
+    exporter.flushNow();
     EXPECT_FALSE(exporter.ok());
     exporter.stopAndFlush();
+    exporter.stopAndFlush(); // idempotent on the failed path too
+    EXPECT_FALSE(exporter.ok());
+}
+
+TEST(MetricsExporter, MirrorsHwStatsIntoTraceUnconditionally)
+{
+    // hw.* counters AND gauges ride into the trace without being
+    // listed in traceCounters — they exist only under --events, so
+    // they are always wanted when present.
+    obs::StatsRegistry registry(true);
+    registry.counter("hw.scenario.instructions").add(1000);
+    registry.gauge("hw.scenario.ipc").set(1.5);
+    registry.counter("not.mirrored").add(3);
+
+    const std::string path = tempPath("metrics_hw_trace.json");
+    ASSERT_TRUE(obs::TraceWriter::openGlobal(path));
+    {
+        obs::MetricsExporter::Options options; // no file: trace only
+        options.intervalMs = 3600000;
+        obs::MetricsExporter exporter(registry, options);
+        exporter.stopAndFlush();
+    }
+    obs::TraceWriter::closeGlobal();
+
+    const Json root = JsonParser(readFile(path)).parse();
+    bool saw_counter = false, saw_gauge = false;
+    for (const Json &event : root.at("traceEvents").items) {
+        if (event.at("ph").text != "C")
+            continue;
+        const std::string &name = event.at("name").text;
+        EXPECT_NE(name, "not.mirrored");
+        if (name == "hw.scenario.instructions") {
+            EXPECT_EQ(event.at("args").at("value").number, 1000.0);
+            saw_counter = true;
+        } else if (name == "hw.scenario.ipc") {
+            EXPECT_EQ(event.at("args").at("value").number, 1.5);
+            saw_gauge = true;
+        }
+    }
+    EXPECT_TRUE(saw_counter);
+    EXPECT_TRUE(saw_gauge);
 }
 
 TEST(MetricsExporter, MirrorsConfiguredCountersIntoTrace)
